@@ -1,0 +1,140 @@
+// Substrate micro-benchmarks (google-benchmark): the primitive costs the
+// simulator's cost model abstracts — SHA-256 hashing, canonical tuple
+// serialisation, shuffle partitioning, group evaluation, script parsing,
+// and a full PBFT agreement round.
+#include <benchmark/benchmark.h>
+
+#include "bftsmr/system.hpp"
+#include "common/rng.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/sha256.hpp"
+#include "dataflow/ops_eval.hpp"
+#include "dataflow/parser.hpp"
+#include "mapreduce/task.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/twitter.hpp"
+
+namespace {
+
+using namespace clusterbft;
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_ChunkedDigester(benchmark::State& state) {
+  const std::string rec = "user\x1f" "123456\x1f" "follower\x1f" "7890";
+  for (auto _ : state) {
+    crypto::ChunkedDigester d(static_cast<std::uint64_t>(state.range(0)));
+    for (int i = 0; i < 10000; ++i) d.add_record(rec);
+    benchmark::DoNotOptimize(d.finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ChunkedDigester)->Arg(0)->Arg(1000)->Arg(100);
+
+void BM_TupleSerialize(benchmark::State& state) {
+  dataflow::Tuple t({dataflow::Value(std::int64_t{123456}),
+                     dataflow::Value(3.14159),
+                     dataflow::Value("chararray-value")});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataflow::serialize_tuple(t));
+  }
+}
+BENCHMARK(BM_TupleSerialize);
+
+void BM_ShufflePartition(benchmark::State& state) {
+  dataflow::OpNode group;
+  group.kind = dataflow::OpKind::kGroup;
+  group.group_keys = {0};
+  Rng rng(1);
+  std::vector<dataflow::Tuple> tuples;
+  for (int i = 0; i < 1000; ++i) {
+    tuples.push_back(dataflow::Tuple(
+        {dataflow::Value(static_cast<std::int64_t>(rng.next_below(100)))}));
+  }
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (const auto& t : tuples) {
+      acc += mapreduce::shuffle_partition(group, 0, t, 8);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ShufflePartition);
+
+void BM_EvalGroup(benchmark::State& state) {
+  workloads::TwitterConfig cfg;
+  cfg.num_edges = static_cast<std::uint64_t>(state.range(0));
+  const auto rel = workloads::generate_twitter_edges(cfg);
+  dataflow::OpNode op;
+  op.kind = dataflow::OpKind::kGroup;
+  op.group_keys = {0};
+  op.schema = dataflow::Schema::of(
+      {{"group", dataflow::ValueType::kLong},
+       {"bag", dataflow::ValueType::kBag}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataflow::eval_group(op, rel));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvalGroup)->Arg(1000)->Arg(10000);
+
+void BM_ParseScript(benchmark::State& state) {
+  const std::string script = workloads::airline_top20_analysis();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataflow::parse_script(script));
+  }
+}
+BENCHMARK(BM_ParseScript);
+
+void BM_PbftOrderingThroughput(benchmark::State& state) {
+  // Simulated seconds to totally order 100 requests, by batch size. The
+  // counter reports ops per simulated second.
+  for (auto _ : state) {
+    cluster::EventSim sim;
+    bftsmr::SystemConfig cfg;
+    cfg.f = 1;
+    cfg.batch_size = static_cast<std::size_t>(state.range(0));
+    cfg.checkpoint_interval = 64;
+    bftsmr::BftSystem sys(
+        sim, cfg, [] { return std::make_unique<bftsmr::LogService>(); });
+    double last_done = 0;
+    for (int i = 0; i < 100; ++i) {
+      sys.submit("op" + std::to_string(i),
+                 [&sim, &last_done](const std::string&, double) {
+                   last_done = sim.now();
+                 });
+    }
+    sim.run();
+    state.counters["sim_ops_per_s"] = 100.0 / last_done;
+    benchmark::DoNotOptimize(last_done);
+  }
+}
+BENCHMARK(BM_PbftOrderingThroughput)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_PbftAgreementRound(benchmark::State& state) {
+  for (auto _ : state) {
+    cluster::EventSim sim;
+    bftsmr::SystemConfig cfg;
+    cfg.f = static_cast<std::size_t>(state.range(0));
+    bftsmr::BftSystem sys(
+        sim, cfg, [] { return std::make_unique<bftsmr::LogService>(); });
+    double latency = 0;
+    sys.submit("op", [&](const std::string&, double lat) { latency = lat; });
+    sim.run();
+    benchmark::DoNotOptimize(latency);
+  }
+}
+BENCHMARK(BM_PbftAgreementRound)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Table 3: ClusterBFT (C) vs final-output-only verification (P) on the
+// RITA airline top-20 multi-store query, with one node set up to always
+// produce commission failures, f = 1, 2 verification points, and
+// replication degrees r = 2, 3 (two cases), 4.
+//
+//   - r=3 case 1: all replicas answer within the verifier timeout;
+//   - r=3 case 2: one correct replica is too slow (a crawling node), so
+//     the verifier times out and reschedules with a higher timeout.
+//
+// All numbers are multipliers over a single unreplicated Pure Pig run,
+// exactly like the paper's table. Paper shapes to check: with
+// rescheduling (r=2, r=3 case 2) C beats P by ~23% latency because only
+// the unverified suffix re-executes; without rescheduling (r=3 case 1,
+// r=4) C and P are close, C up to 14% cheaper on I/O.
+#include "bench_util.hpp"
+
+using namespace clusterbft;
+using namespace clusterbft::bench;
+
+namespace {
+
+struct Row {
+  double latency = 0;
+  double cpu = 0;
+  double file_read = 0;
+  double file_write = 0;
+  double hdfs_write = 0;
+};
+
+struct Scenario {
+  const char* name;
+  std::size_t r;
+  bool slow_replica;  // case 2: one crawling (but correct) node set
+};
+
+Row run_config(bool clusterbft_mode, const Scenario& sc,
+               const std::string& script, double base_latency) {
+  cluster::TrackerConfig cfg = paper_cluster();
+  // Node 0 always produces commission failures "resulting in an incorrect
+  // digest" (§6.2): it lies to the verifier rather than corrupting the
+  // data lineage. (Data-corrupting adversaries are exercised by the
+  // ablation bench and the integration tests.)
+  cfg.policies[0] = cluster::AdversaryPolicy{.commission_prob = 1.0,
+                                             .lie_in_digest = true};
+  if (sc.slow_replica) {
+    // Case 2: one node stops responding, so one (otherwise correct)
+    // replica misses the verifier timeout and the script is rescheduled
+    // with a higher timeout — the paper's description verbatim.
+    cfg.policies[1] = cluster::AdversaryPolicy{.omission_prob = 1.0};
+  }
+  World w(cfg);
+  load_airline(w);
+
+  core::ClientRequest req =
+      clusterbft_mode
+          ? baseline::cluster_bft(script, "C", /*f=*/1, sc.r, /*n=*/2)
+          : baseline::full_output_bft(script, "P", /*f=*/1, sc.r);
+  // The verifier allows a margin over a fault-free run before declaring
+  // omission (the paper tunes this the same way).
+  req.verifier_timeout_s = 1.5 * base_latency;
+
+  const auto res = w.run(req);
+  if (!res.verified) {
+    std::fprintf(stderr, "WARNING: %s %s did not verify\n",
+                 clusterbft_mode ? "C" : "P", sc.name);
+  }
+  Row row;
+  row.latency = res.metrics.latency_s;
+  row.cpu = res.metrics.cpu_seconds;
+  row.file_read = static_cast<double>(res.metrics.file_read);
+  row.file_write = static_cast<double>(res.metrics.file_write);
+  row.hdfs_write = static_cast<double>(res.metrics.hdfs_write);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  print_header("ClusterBFT vs final-output verification under Byzantine "
+               "failures (airline top-20)",
+               "Table 3");
+
+  const std::string script = workloads::airline_top20_analysis();
+
+  // Baseline: single Pure Pig run, no faults.
+  Row base;
+  {
+    World w(paper_cluster());
+    load_airline(w);
+    const auto res = w.run(baseline::pure_pig(script, "pure"));
+    base.latency = res.metrics.latency_s;
+    base.cpu = res.metrics.cpu_seconds;
+    base.file_read = static_cast<double>(res.metrics.file_read);
+    base.file_write = static_cast<double>(res.metrics.file_write);
+    base.hdfs_write = static_cast<double>(res.metrics.hdfs_write);
+  }
+  std::printf("baseline (standard Pig, single run): latency %.1fs cpu %.1fs\n\n",
+              base.latency, base.cpu);
+
+  const Scenario scenarios[] = {
+      {"r=2", 2, false},
+      {"r=3,case1", 3, false},
+      {"r=3,case2", 3, true},
+      {"r=4", 4, false},
+  };
+
+  std::printf("%-22s", "Measure");
+  for (const Scenario& sc : scenarios) std::printf("| %-6s C     P ", sc.name);
+  std::printf("\n");
+
+  Row c_rows[4], p_rows[4];
+  for (int i = 0; i < 4; ++i) {
+    c_rows[i] = run_config(true, scenarios[i], script, base.latency);
+    p_rows[i] = run_config(false, scenarios[i], script, base.latency);
+  }
+
+  auto print_measure = [&](const char* name, double Row::*field,
+                           double base_value) {
+    std::printf("%-22s", name);
+    for (int i = 0; i < 4; ++i) {
+      std::printf("|   %5.1fx %5.1fx ", (c_rows[i].*field) / base_value,
+                  (p_rows[i].*field) / base_value);
+    }
+    std::printf("\n");
+  };
+  print_measure("Latency", &Row::latency, base.latency);
+  print_measure("CPU time spent", &Row::cpu, base.cpu);
+  print_measure("File read (bytes)", &Row::file_read, base.file_read);
+  print_measure("File write (bytes)", &Row::file_write, base.file_write);
+  print_measure("HDFS write (bytes)", &Row::hdfs_write, base.hdfs_write);
+
+  std::printf(
+      "\npaper: | r=2: C 1.6x/P 2.1x latency | r=3 case1: 1.1x/1.1x |\n"
+      "r=3 case2: 1.6x/2.1x | r=4: 1.1x/1.1x | — C beats P by ~23%% when\n"
+      "rescheduling happens, because C reruns only the unverified suffix.\n");
+  return 0;
+}

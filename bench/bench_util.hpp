@@ -1,0 +1,83 @@
+// Shared setup for the paper-reproduction benchmark harnesses: a fresh
+// simulated cluster per configuration, loaded with the experiment's
+// synthetic workload.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseline/presets.hpp"
+#include "cluster/event_sim.hpp"
+#include "cluster/tracker.hpp"
+#include "core/controller.hpp"
+#include "mapreduce/dfs.hpp"
+#include "workloads/airline.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/twitter.hpp"
+#include "workloads/weather.hpp"
+
+namespace clusterbft::bench {
+
+/// One self-contained simulated deployment. Fresh per measurement so
+/// configurations never share scheduler or suspicion state.
+struct World {
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs;
+  std::unique_ptr<cluster::ExecutionTracker> tracker;
+  std::unique_ptr<core::ClusterBft> controller;
+
+  /// 256 KiB blocks keep map-task fan-out (and with it each replica's
+  /// pinned-node footprint) proportionate to the 32-node testbed.
+  explicit World(cluster::TrackerConfig cfg = {},
+                 std::uint64_t block_size = 256 << 10)
+      : dfs(block_size) {
+    tracker = std::make_unique<cluster::ExecutionTracker>(sim, dfs, cfg);
+    controller = std::make_unique<core::ClusterBft>(sim, dfs, *tracker);
+  }
+
+  core::ScriptResult run(const core::ClientRequest& req) {
+    return controller->execute(req);
+  }
+};
+
+inline cluster::TrackerConfig paper_cluster(std::size_t nodes = 32,
+                                            std::size_t slots = 3) {
+  // The Vicci testbed of §6.1/6.2: 32 untrusted nodes. Slots per node as
+  // in §5.1 ("typically 3-4 slots ... on a node with 4 CPU cores").
+  cluster::TrackerConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.slots_per_node = slots;
+  return cfg;
+}
+
+inline void load_twitter(World& w, std::uint64_t edges = 60000,
+                         std::uint64_t users = 4000) {
+  workloads::TwitterConfig tw;
+  tw.num_edges = edges;
+  tw.num_users = users;
+  w.dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+}
+
+inline void load_airline(World& w, std::uint64_t flights = 50000) {
+  workloads::AirlineConfig a;
+  a.num_flights = flights;
+  w.dfs.write("airline/flights", workloads::generate_flights(a));
+}
+
+inline void load_weather(World& w, std::uint64_t stations = 1500,
+                         std::uint64_t readings = 30) {
+  workloads::WeatherConfig cfg;
+  cfg.num_stations = stations;
+  cfg.readings_per_station = readings;
+  w.dfs.write("weather/gsod", workloads::generate_weather(cfg));
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s)\n", title, paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace clusterbft::bench

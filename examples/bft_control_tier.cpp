@@ -1,0 +1,58 @@
+// Using the PBFT library directly (the §6.4 control-tier setup): a 3f+1
+// replica group running a deterministic decision log, surviving a crashed
+// primary via view change and a lying replica via f+1 reply matching.
+//
+//   ./bft_control_tier
+#include <cstdio>
+
+#include "bftsmr/system.hpp"
+
+using namespace clusterbft;
+
+int main() {
+  cluster::EventSim sim;
+  bftsmr::SystemConfig cfg;
+  cfg.f = 1;  // 4 replicas
+  cfg.seed = 5;
+  bftsmr::BftSystem sys(sim, cfg,
+                        [] { return std::make_unique<bftsmr::LogService>(); });
+
+  std::printf("control tier: %zu PBFT replicas (f = %zu)\n", sys.n(), sys.f());
+
+  // Phase 1: normal case.
+  for (int i = 0; i < 3; ++i) {
+    sys.submit("verify sub-graph j" + std::to_string(i),
+               [i](const std::string& r, double lat) {
+                 std::printf("  decision %d agreed: '%s' in %.1f ms\n", i,
+                             r.c_str(), lat * 1000);
+               });
+  }
+  sim.run();
+
+  // Phase 2: replica 2 starts lying in its replies — masked by the
+  // client's f+1 matching.
+  std::printf("\nreplica 2 turns malicious (corrupt replies)...\n");
+  sys.make_malicious(2);
+  sys.submit("verify sub-graph j3", [](const std::string& r, double lat) {
+    std::printf("  decision agreed despite the liar: '%s' in %.1f ms\n",
+                r.c_str(), lat * 1000);
+  });
+  sim.run();
+
+  // Phase 3: the primary crashes — a view change elects a new one.
+  std::printf("\nprimary (replica 0) crashes...\n");
+  sys.crash(0);
+  sys.submit("verify sub-graph j4", [](const std::string& r, double lat) {
+    std::printf("  decision agreed after view change: '%s' in %.1f ms\n",
+                r.c_str(), lat * 1000);
+  });
+  sim.run();
+
+  for (std::size_t i = 1; i < sys.n(); ++i) {
+    std::printf("replica %zu: view=%zu executed=%llu ops\n", i,
+                sys.replica(i).view(),
+                static_cast<unsigned long long>(
+                    sys.replica(i).last_executed()));
+  }
+  return sys.completed_requests() == 5 ? 0 : 1;
+}

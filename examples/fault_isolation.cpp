@@ -1,0 +1,51 @@
+// The §6.3 fault-isolation story: a 250-node cluster, one stealthy
+// Byzantine node that corrupts only 40% of the jobs it touches, and the
+// Fig. 7 fault analyzer narrowing suspicion from whole job clusters down
+// to the single faulty node as overlapping clusters accumulate.
+//
+//   ./fault_isolation
+#include <cstdio>
+
+#include "sim/isolation_sim.hpp"
+
+using namespace clusterbft;
+
+int main() {
+  sim::IsolationSimConfig cfg;
+  cfg.num_nodes = 250;
+  cfg.slots_per_node = 3;
+  cfg.f = 1;
+  cfg.replicas = 4;
+  cfg.commission_prob = 0.4;  // a stealthy adversary
+  cfg.seed = 21;
+  cfg.max_time = 150;
+  cfg.max_completed_jobs = 100000;
+
+  const auto res = sim::run_isolation_sim(cfg);
+
+  std::printf("250-node cluster, 1 Byzantine node corrupting 40%% of jobs\n");
+  std::printf("---------------------------------------------------------\n");
+  std::printf("truly faulty node   :");
+  for (auto n : res.true_faulty) std::printf(" %zu", n);
+  std::printf("\njobs completed      : %zu\n", res.jobs_completed);
+  std::printf("faulty observations : %zu\n", res.commission_observations);
+  std::printf("jobs until |D| = f  : %s\n",
+              res.jobs_until_saturation
+                  ? std::to_string(*res.jobs_until_saturation).c_str()
+                  : "never");
+
+  std::printf("\nsuspicion bands over time (low / med / high):\n");
+  for (const auto& snap : res.timeline) {
+    if (snap.time % 10 != 0) continue;
+    std::printf("  t=%-4zu %3zu / %3zu / %3zu\n", snap.time, snap.low,
+                snap.med, snap.high);
+  }
+
+  std::printf("\nfinal suspect set   :");
+  for (auto n : res.final_suspects) std::printf(" %zu", n);
+  std::printf("\nexactly the faulty node high-suspect from t=%s\n",
+              res.high_band_exact_time
+                  ? std::to_string(*res.high_band_exact_time).c_str()
+                  : "never");
+  return res.suspects_cover_observed_faulty ? 0 : 1;
+}

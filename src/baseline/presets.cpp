@@ -1,0 +1,77 @@
+#include "baseline/presets.hpp"
+
+namespace clusterbft::baseline {
+
+using core::ClientRequest;
+
+ClientRequest pure_pig(std::string script, std::string name) {
+  ClientRequest req;
+  req.script = std::move(script);
+  req.name = std::move(name);
+  req.f = 0;
+  req.r = 1;
+  req.n = 0;
+  req.verify_final_output = false;
+  return req;
+}
+
+ClientRequest single_execution(std::string script, std::string name,
+                               std::size_t n_points,
+                               std::uint64_t records_per_digest) {
+  ClientRequest req;
+  req.script = std::move(script);
+  req.name = std::move(name);
+  req.f = 0;
+  req.r = 1;
+  req.n = n_points;
+  req.records_per_digest = records_per_digest;
+  req.verify_final_output = true;  // digest the outputs too, like the paper
+  return req;
+}
+
+ClientRequest full_output_bft(std::string script, std::string name,
+                              std::size_t f, std::size_t r,
+                              std::uint64_t records_per_digest) {
+  ClientRequest req;
+  req.script = std::move(script);
+  req.name = std::move(name);
+  req.f = f;
+  req.r = r;
+  req.n = 0;  // no internal points: final output only
+  req.records_per_digest = records_per_digest;
+  return req;
+}
+
+ClientRequest cluster_bft(std::string script, std::string name, std::size_t f,
+                          std::size_t r, std::size_t n,
+                          std::uint64_t records_per_digest) {
+  ClientRequest req;
+  req.script = std::move(script);
+  req.name = std::move(name);
+  req.f = f;
+  req.r = r;
+  req.n = n;
+  req.records_per_digest = records_per_digest;
+  return req;
+}
+
+ClientRequest individual(std::string script, std::string name, std::size_t f,
+                         std::size_t r, std::uint64_t records_per_digest) {
+  ClientRequest req;
+  req.script = std::move(script);
+  req.name = std::move(name);
+  req.f = f;
+  req.r = r;
+  req.n = static_cast<std::size_t>(-1) / 2;  // every eligible vertex
+  req.records_per_digest = records_per_digest;
+  return req;
+}
+
+ClientRequest naive_bft(std::string script, std::string name, std::size_t f,
+                        std::size_t r) {
+  ClientRequest req = individual(std::move(script), std::move(name), f, r);
+  req.synchronous_verification = true;
+  return req;
+}
+
+}  // namespace clusterbft::baseline

@@ -1,0 +1,53 @@
+// The evaluation's comparator configurations, expressed as ClientRequest
+// presets over the same execution machinery:
+//
+//  * pure_pig          — "Pure Pig" (Fig. 9): one replica, no digests, no
+//                        verification. The baseline every multiplier in
+//                        Table 3 is relative to.
+//  * single_execution  — "Single Execution" (Fig. 9/10): one replica WITH
+//                        digest computation at the requested points, no
+//                        comparison (isolates digest overhead).
+//  * full_output_bft   — "P" (Table 3) / "Full" (Fig. 14): r replicas,
+//                        digest verified for the final output only; a
+//                        failed verification re-executes the whole script
+//                        (the Costa-et-al.-style BFT MapReduce baseline).
+//  * cluster_bft       — ClusterBFT proper: r replicas, n internal
+//                        verification points chosen by the graph analyzer
+//                        plus the final outputs; failed segments rerun
+//                        from the last verified boundary.
+//  * individual        — "Individual" (Fig. 14): a verification point on
+//                        every eligible vertex.
+#pragma once
+
+#include <string>
+
+#include "core/request.hpp"
+
+namespace clusterbft::baseline {
+
+core::ClientRequest pure_pig(std::string script, std::string name);
+
+core::ClientRequest single_execution(std::string script, std::string name,
+                                     std::size_t n_points,
+                                     std::uint64_t records_per_digest = 0);
+
+core::ClientRequest full_output_bft(std::string script, std::string name,
+                                    std::size_t f, std::size_t r,
+                                    std::uint64_t records_per_digest = 0);
+
+core::ClientRequest cluster_bft(std::string script, std::string name,
+                                std::size_t f, std::size_t r, std::size_t n,
+                                std::uint64_t records_per_digest = 0);
+
+core::ClientRequest individual(std::string script, std::string name,
+                               std::size_t f, std::size_t r,
+                               std::uint64_t records_per_digest = 0);
+
+/// Naive per-stage BFT (Fig. 1 part ii / challenge C2): digests at every
+/// vertex AND a synchronisation barrier after every job — downstream work
+/// waits for f+1 verified agreement at each boundary. The comparator
+/// ClusterBFT's offline comparison is designed to beat.
+core::ClientRequest naive_bft(std::string script, std::string name,
+                              std::size_t f, std::size_t r);
+
+}  // namespace clusterbft::baseline

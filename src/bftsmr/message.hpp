@@ -1,0 +1,92 @@
+// PBFT message vocabulary (Castro & Liskov, OSDI'99), used to replicate
+// ClusterBFT's control tier (§6.4 runs 3f+1 request-handler replicas via
+// BFT-SMaRt; this library is our from-scratch equivalent).
+//
+// The simulated network provides authenticated point-to-point channels
+// (the true sender id is attached at delivery), so messages carry no
+// signatures; request digests are real SHA-256 over the payload identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+
+namespace clusterbft::bftsmr {
+
+enum class MsgType {
+  kRequest,
+  kPrePrepare,
+  kPrepare,
+  kCommit,
+  kReply,
+  kCheckpoint,
+  kViewChange,
+  kNewView,
+  kFetchState,     ///< lagging replica asks peers for a snapshot
+  kStateSnapshot,  ///< service snapshot + executed-op log up to `seq`
+};
+
+const char* to_string(MsgType t);
+
+/// Proof that a (view, seq, request) was prepared — carried in ViewChange
+/// so the new primary re-proposes it.
+struct PreparedProof {
+  std::uint64_t seq = 0;
+  std::size_t view = 0;
+  crypto::Digest256 digest;
+  std::string payload;
+};
+
+/// One wire message. A closed union kept flat: only the fields relevant
+/// to `type` are meaningful.
+struct Message {
+  MsgType type = MsgType::kRequest;
+  std::size_t sender = 0;  ///< filled by the network at delivery
+
+  // kRequest (also embedded in kPrePrepare)
+  std::size_t client = 0;
+  std::uint64_t request_id = 0;
+  std::string payload;
+
+  // protocol phases
+  std::size_t view = 0;
+  std::uint64_t seq = 0;
+  crypto::Digest256 digest;
+
+  // kReply
+  std::string result;
+
+  // kCheckpoint
+  crypto::Digest256 state_digest;
+
+  // kViewChange
+  std::uint64_t stable_seq = 0;
+  std::vector<PreparedProof> prepared;
+
+  // kNewView: seq -> payload to re-propose ("" marks a no-op filler).
+  std::vector<std::pair<std::uint64_t, std::string>> proposals;
+};
+
+/// Identity digest of a client request.
+crypto::Digest256 request_digest(std::size_t client, std::uint64_t request_id,
+                                 const std::string& payload);
+
+/// Request batching: the primary may order several client requests under
+/// one sequence number (one agreement round amortised over the batch —
+/// the standard PBFT throughput optimisation). A batch is encoded into a
+/// single slot payload; correct replicas decode and execute the entries
+/// in order.
+struct BatchEntry {
+  std::size_t client = 0;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// True if `payload` is an encoded batch rather than a plain operation.
+bool is_batch_payload(const std::string& payload);
+std::string encode_batch(const std::vector<BatchEntry>& entries);
+std::vector<BatchEntry> decode_batch(const std::string& payload);
+
+}  // namespace clusterbft::bftsmr

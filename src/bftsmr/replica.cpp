@@ -1,0 +1,720 @@
+#include "bftsmr/replica.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace clusterbft::bftsmr {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kRequest:
+      return "Request";
+    case MsgType::kPrePrepare:
+      return "PrePrepare";
+    case MsgType::kPrepare:
+      return "Prepare";
+    case MsgType::kCommit:
+      return "Commit";
+    case MsgType::kReply:
+      return "Reply";
+    case MsgType::kCheckpoint:
+      return "Checkpoint";
+    case MsgType::kViewChange:
+      return "ViewChange";
+    case MsgType::kNewView:
+      return "NewView";
+    case MsgType::kFetchState:
+      return "FetchState";
+    case MsgType::kStateSnapshot:
+      return "StateSnapshot";
+  }
+  return "?";
+}
+
+crypto::Digest256 request_digest(std::size_t client, std::uint64_t request_id,
+                                 const std::string& payload) {
+  std::string buf = std::to_string(client);
+  buf += '/';
+  buf += std::to_string(request_id);
+  buf += '/';
+  buf += payload;
+  return crypto::Digest256::of(buf);
+}
+
+namespace {
+// Batch payloads start with an unprintable marker no client op uses
+// ('' is a view-change no-op and client ops are application strings).
+constexpr char kBatchMarker = '\x01';
+}  // namespace
+
+bool is_batch_payload(const std::string& payload) {
+  return !payload.empty() && payload[0] == kBatchMarker;
+}
+
+std::string encode_batch(const std::vector<BatchEntry>& entries) {
+  std::string out(1, kBatchMarker);
+  for (const BatchEntry& e : entries) {
+    out += std::to_string(e.client);
+    out += '|';
+    out += std::to_string(e.request_id);
+    out += '|';
+    out += std::to_string(e.payload.size());
+    out += '|';
+    out += e.payload;
+  }
+  return out;
+}
+
+std::vector<BatchEntry> decode_batch(const std::string& payload) {
+  CBFT_CHECK(is_batch_payload(payload));
+  std::vector<BatchEntry> out;
+  std::size_t pos = 1;
+  auto read_num = [&]() -> std::uint64_t {
+    const std::size_t bar = payload.find('|', pos);
+    CBFT_CHECK_MSG(bar != std::string::npos, "malformed batch payload");
+    const std::uint64_t v = std::stoull(payload.substr(pos, bar - pos));
+    pos = bar + 1;
+    return v;
+  };
+  while (pos < payload.size()) {
+    BatchEntry e;
+    e.client = static_cast<std::size_t>(read_num());
+    e.request_id = read_num();
+    const std::uint64_t len = read_num();
+    CBFT_CHECK_MSG(pos + len <= payload.size(), "malformed batch payload");
+    e.payload = payload.substr(pos, len);
+    pos += len;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Replica::Replica(ReplicaConfig cfg, std::unique_ptr<Service> service,
+                 std::function<void(std::size_t, Message)> send,
+                 std::function<void(std::size_t, Message)> reply,
+                 std::function<void(double, std::function<void()>)> set_timer)
+    : cfg_(cfg),
+      service_(std::move(service)),
+      send_(std::move(send)),
+      reply_(std::move(reply)),
+      set_timer_(std::move(set_timer)) {
+  CBFT_CHECK_MSG(cfg_.n == 3 * cfg_.f + 1, "PBFT needs n = 3f + 1");
+  CBFT_CHECK(service_ != nullptr);
+}
+
+void Replica::broadcast(const Message& msg) {
+  for (std::size_t r = 0; r < cfg_.n; ++r) {
+    if (r != cfg_.id) send_(r, msg);
+  }
+}
+
+void Replica::on_message(Message msg) {
+  // Protocol-phase messages from a view we have not entered yet (or that
+  // arrive while this replica is mid view-change) are stashed and
+  // replayed on view entry — without retransmission this is what keeps
+  // slots from stalling across transitions.
+  if (msg.type == MsgType::kPrePrepare || msg.type == MsgType::kPrepare ||
+      msg.type == MsgType::kCommit) {
+    if (msg.view > view_ || (msg.view == view_ && in_view_change_)) {
+      if (stashed_.size() < kMaxStash) stashed_.push_back(std::move(msg));
+      return;
+    }
+  }
+  switch (msg.type) {
+    case MsgType::kRequest:
+      handle_request(msg);
+      break;
+    case MsgType::kPrePrepare:
+      handle_pre_prepare(msg);
+      break;
+    case MsgType::kPrepare:
+      handle_prepare(msg);
+      break;
+    case MsgType::kCommit:
+      handle_commit(msg);
+      break;
+    case MsgType::kCheckpoint:
+      handle_checkpoint(msg);
+      break;
+    case MsgType::kViewChange:
+      handle_view_change(msg);
+      break;
+    case MsgType::kNewView:
+      handle_new_view(msg);
+      break;
+    case MsgType::kFetchState:
+      handle_fetch_state(msg);
+      break;
+    case MsgType::kStateSnapshot:
+      handle_state_snapshot(msg);
+      break;
+    case MsgType::kReply:
+      break;  // replicas never receive replies
+  }
+}
+
+// ----------------------------------------------------------- requests --
+
+void Replica::handle_request(const Message& msg) {
+  const crypto::Digest256 d =
+      request_digest(msg.client, msg.request_id, msg.payload);
+  const std::string key = d.hex();
+
+  // At-most-once: a retransmission of an executed request re-sends the
+  // cached reply.
+  auto done = executed_replies_.find(key);
+  if (done != executed_replies_.end()) {
+    reply_(msg.client, done->second);
+    return;
+  }
+  pending_requests_[key] = msg;
+
+  if (is_primary() && !in_view_change_) {
+    propose_pending();
+  } else {
+    // Backup: forward so a correct primary learns about the request; the
+    // progress timer below triggers a view change if nothing executes.
+    Message fwd = msg;
+    send_(primary_of(view_), fwd);
+  }
+  arm_progress_timer();
+}
+
+void Replica::propose_pending() {
+  // Assign sequence numbers to every pending request that fits in the
+  // current watermark window; the rest wait for the next stable
+  // checkpoint to slide the window forward. With batch_size > 1, up to
+  // that many requests share one sequence number (one agreement round),
+  // and at most a small number of batches stays in flight so requests
+  // arriving during consensus accumulate into the next batch (classic
+  // PBFT batching).
+  const std::size_t max_inflight =
+      cfg_.batch_size > 1 ? 2 : std::size_t(-1);
+  std::vector<BatchEntry> batch;
+  auto flush = [this, &batch] {
+    if (batch.empty()) return;
+    if (batch.size() == 1) {
+      propose(batch[0].payload, batch[0].client, batch[0].request_id);
+    } else {
+      const std::string payload = encode_batch(batch);
+      for (const BatchEntry& e : batch) {
+        proposed_.insert(
+            request_digest(e.client, e.request_id, e.payload).hex());
+      }
+      propose(payload, /*client=*/0, /*request_id=*/0);
+    }
+    batch.clear();
+  };
+  for (const auto& [key, req] : pending_requests_) {
+    if (next_seq_ >= low_watermark_ + cfg_.window) break;
+    // In-flight slots = proposed but not yet executed locally.
+    if (next_seq_ > last_executed_ &&
+        next_seq_ - 1 - last_executed_ >= max_inflight) {
+      break;
+    }
+    if (proposed_.count(key)) continue;
+    batch.push_back(BatchEntry{req.client, req.request_id, req.payload});
+    if (batch.size() >= std::max<std::size_t>(1, cfg_.batch_size)) flush();
+  }
+  flush();
+}
+
+void Replica::propose(const std::string& payload, std::size_t client,
+                      std::uint64_t request_id) {
+  const std::uint64_t seq = next_seq_++;
+  CBFT_CHECK_MSG(seq < low_watermark_ + cfg_.window,
+                 "sequence window exhausted (checkpointing stalled?)");
+  CBFT_DEBUG("replica " << cfg_.id << " proposes seq " << seq << " view "
+                        << view_ << " payload " << payload);
+  const crypto::Digest256 d = request_digest(client, request_id, payload);
+  proposed_.insert(d.hex());
+
+  Slot& slot = slots_[seq];
+  slot.pre_prepared = true;
+  slot.view = view_;
+  slot.digest = d;
+  slot.payload = payload;
+
+  Message pp;
+  pp.type = MsgType::kPrePrepare;
+  pp.view = view_;
+  pp.seq = seq;
+  pp.digest = d;
+  pp.payload = payload;
+  pp.client = client;
+  pp.request_id = request_id;
+  broadcast(pp);
+  // The primary's pre-prepare counts as its prepare; nothing else to do
+  // until 2f prepares arrive.
+}
+
+// ------------------------------------------------------- normal phases --
+
+void Replica::handle_pre_prepare(const Message& msg) {
+  max_seen_seq_ = std::max(max_seen_seq_, msg.seq);
+  if (behind()) initiate_state_fetch();
+  if (msg.view != view_ || in_view_change_) return;
+  if (msg.sender != primary_of(view_)) return;
+  if (msg.seq <= low_watermark_ || msg.seq >= low_watermark_ + cfg_.window) {
+    return;
+  }
+  if (msg.seq <= last_executed_) return;  // already decided locally
+  Slot& slot = slots_[msg.seq];
+  if (slot.pre_prepared && slot.view == msg.view &&
+      !(slot.digest == msg.digest)) {
+    // Equivocating primary: refuse the conflicting assignment.
+    return;
+  }
+  slot.pre_prepared = true;
+  slot.view = msg.view;
+  slot.digest = msg.digest;
+  slot.payload = msg.payload;
+  if (!is_batch_payload(msg.payload)) {
+    pending_requests_[msg.digest.hex()] = msg;  // remember client coordinates
+  }
+
+  Message p;
+  p.type = MsgType::kPrepare;
+  p.view = msg.view;
+  p.seq = msg.seq;
+  p.digest = msg.digest;
+  broadcast(p);
+  slot.prepares.insert(cfg_.id);
+  try_prepare(msg.seq);
+}
+
+void Replica::handle_prepare(const Message& msg) {
+  if (msg.view != view_ || in_view_change_) return;
+  if (msg.sender == primary_of(view_)) return;  // primary never prepares
+  Slot& slot = slots_[msg.seq];
+  if (slot.pre_prepared && !(slot.digest == msg.digest)) return;
+  slot.prepares.insert(msg.sender);
+  try_prepare(msg.seq);
+}
+
+void Replica::try_prepare(std::uint64_t seq) {
+  Slot& slot = slots_[seq];
+  if (slot.prepared || !slot.pre_prepared) return;
+  if (slot.prepares.size() < quorum()) return;
+  slot.prepared = true;
+
+  Message c;
+  c.type = MsgType::kCommit;
+  c.view = slot.view;
+  c.seq = seq;
+  c.digest = slot.digest;
+  broadcast(c);
+  slot.commits.insert(cfg_.id);
+  try_commit(seq);
+}
+
+void Replica::handle_commit(const Message& msg) {
+  max_seen_seq_ = std::max(max_seen_seq_, msg.seq);
+  if (behind()) initiate_state_fetch();
+  if (msg.view != view_ || in_view_change_) return;
+  Slot& slot = slots_[msg.seq];
+  if (slot.pre_prepared && !(slot.digest == msg.digest)) return;
+  slot.commits.insert(msg.sender);
+  try_commit(msg.seq);
+}
+
+void Replica::try_commit(std::uint64_t seq) {
+  Slot& slot = slots_[seq];
+  if (slot.committed || !slot.prepared) return;
+  if (slot.commits.size() < quorum() + 1) return;
+  slot.committed = true;
+  execute_ready();
+}
+
+void Replica::execute_ready() {
+  bool progressed = false;
+  for (;;) {
+    auto it = slots_.find(last_executed_ + 1);
+    if (it == slots_.end() || !it->second.committed) break;
+    Slot& slot = it->second;
+    CBFT_CHECK(!slot.executed);
+    slot.executed = true;
+    ++last_executed_;
+    progressed = true;
+
+    if (is_batch_payload(slot.payload)) {
+      pending_requests_.erase(slot.digest.hex());
+      for (const BatchEntry& e : decode_batch(slot.payload)) {
+        const std::string key =
+            request_digest(e.client, e.request_id, e.payload).hex();
+        if (executed_replies_.count(key)) continue;  // at-most-once
+        const std::string result = service_->apply(e.payload);
+        executed_.push_back(e.payload);
+        pending_requests_.erase(key);
+        Message rep;
+        rep.type = MsgType::kReply;
+        rep.view = view_;
+        rep.result = result;
+        rep.client = e.client;
+        rep.request_id = e.request_id;
+        executed_replies_[key] = rep;
+        reply_(rep.client, rep);
+      }
+    } else if (!slot.payload.empty()) {  // "" is a view-change no-op filler
+      const std::string key = slot.digest.hex();
+      if (!executed_replies_.count(key)) {
+        const std::string result = service_->apply(slot.payload);
+        executed_.push_back(slot.payload);
+
+        auto req = pending_requests_.find(key);
+        Message rep;
+        rep.type = MsgType::kReply;
+        rep.view = view_;
+        rep.result = result;
+        if (req != pending_requests_.end()) {
+          rep.client = req->second.client;
+          rep.request_id = req->second.request_id;
+          pending_requests_.erase(req);
+        }
+        executed_replies_[key] = rep;
+        reply_(rep.client, rep);
+      }
+    }
+    if (last_executed_ % cfg_.checkpoint_interval == 0) take_checkpoint();
+  }
+  if (progressed) {
+    ++timer_epoch_;  // progress: invalidate the pending view-change timer
+    // Execution freed in-flight budget: the primary can propose the
+    // requests that accumulated during consensus (the next batch).
+    if (is_primary() && !in_view_change_) propose_pending();
+    if (!pending_requests_.empty()) arm_progress_timer();
+  }
+}
+
+// ---------------------------------------------------------- checkpoints --
+
+void Replica::take_checkpoint() {
+  Message cp;
+  cp.type = MsgType::kCheckpoint;
+  cp.seq = last_executed_;
+  cp.state_digest = crypto::Digest256::of(service_->state_fingerprint());
+  broadcast(cp);
+  checkpoint_votes_[cp.seq][cp.state_digest.hex()].insert(cfg_.id);
+  handle_checkpoint(cp);  // evaluate own vote against existing ones
+}
+
+void Replica::handle_checkpoint(const Message& msg) {
+  if (msg.seq <= low_watermark_) return;
+  auto& votes = checkpoint_votes_[msg.seq][msg.state_digest.hex()];
+  votes.insert(msg.sender);
+  if (votes.size() < quorum() + 1) return;
+
+  // Stable: advance the low watermark and garbage-collect.
+  low_watermark_ = msg.seq;
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = (it->first <= low_watermark_) ? slots_.erase(it) : std::next(it);
+  }
+  for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
+    it = (it->first <= low_watermark_) ? checkpoint_votes_.erase(it)
+                                       : std::next(it);
+  }
+  // The window slid forward: deferred requests can now be proposed.
+  if (is_primary() && !in_view_change_) propose_pending();
+
+  // If the cluster's stable checkpoint moved past our own execution, the
+  // slots we still needed are gone everywhere — only a state transfer
+  // can close the gap now.
+  if (low_watermark_ > last_executed_) initiate_state_fetch();
+}
+
+// -------------------------------------------------------- state transfer --
+
+bool Replica::execution_gap() const {
+  auto next = slots_.find(last_executed_ + 1);
+  if (next != slots_.end() && next->second.committed) return false;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.committed && seq > last_executed_) return true;
+  }
+  return false;
+}
+
+bool Replica::behind() const {
+  // Behind beyond repair by normal protocol messages: either the stable
+  // checkpoint passed us (our slots are GC'd cluster-wide), or traffic
+  // runs several checkpoint intervals ahead of our execution.
+  return low_watermark_ > last_executed_ ||
+         max_seen_seq_ > last_executed_ + 2 * cfg_.checkpoint_interval;
+}
+
+void Replica::initiate_state_fetch() {
+  if (fetching_state_) return;  // a retry round is already armed
+  fetching_state_ = true;
+  fetch_round();
+}
+
+void Replica::fetch_round() {
+  if (!behind() && !execution_gap()) {
+    fetching_state_ = false;
+    return;
+  }
+  snapshot_votes_.clear();
+  Message fetch;
+  fetch.type = MsgType::kFetchState;
+  fetch.seq = last_executed_;
+  broadcast(fetch);
+  CBFT_DEBUG("replica " << cfg_.id << " fetching state (executed "
+                        << last_executed_ << ", stable " << low_watermark_
+                        << ")");
+  // Peers answer with their current sequence numbers; if they are still
+  // moving, the snapshots may disagree — retry until f+1 line up.
+  set_timer_(cfg_.view_change_timeout, [this] { fetch_round(); });
+}
+
+void Replica::handle_fetch_state(const Message& msg) {
+  if (last_executed_ <= msg.seq) return;  // nothing newer to offer
+  Message snap;
+  snap.type = MsgType::kStateSnapshot;
+  snap.seq = last_executed_;
+  snap.payload = service_->snapshot();
+  // Carry the executed-op log so the transferee's audit view stays
+  // complete; reuse the batch framing.
+  std::vector<BatchEntry> ops;
+  ops.reserve(executed_.size());
+  for (const std::string& op : executed_) {
+    ops.push_back(BatchEntry{0, 0, op});
+  }
+  snap.result = encode_batch(ops);
+  send_(msg.sender, std::move(snap));
+}
+
+void Replica::handle_state_snapshot(const Message& msg) {
+  if (msg.seq <= last_executed_) return;
+  // A Byzantine peer can fabricate a snapshot; only install bytes that
+  // f+1 distinct peers vouch for.
+  const std::string fp =
+      crypto::Digest256::of(msg.payload + "\x1f" + msg.result).hex();
+  auto& entry = snapshot_votes_[{msg.seq, fp}];
+  entry.first.insert(msg.sender);
+  entry.second = msg;
+  if (entry.first.size() < cfg_.f + 1) return;
+
+  const Message& snap = entry.second;
+  service_->restore(snap.payload);
+  executed_.clear();
+  for (const BatchEntry& e : decode_batch(snap.result)) {
+    executed_.push_back(e.payload);
+  }
+  last_executed_ = snap.seq;
+  low_watermark_ = std::max(low_watermark_, snap.seq);
+  next_seq_ = std::max(next_seq_, snap.seq + 1);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = (it->first <= last_executed_) ? slots_.erase(it) : std::next(it);
+  }
+  // Requests covered by the transferred prefix are no longer pending.
+  // (Their cached replies are gone, but retransmissions re-execute
+  // nothing: the ops are part of the restored state and clients already
+  // hold f+1 replies from the replicas that served them.)
+  pending_requests_.clear();
+  snapshot_votes_.clear();
+  ++timer_epoch_;
+  CBFT_DEBUG("replica " << cfg_.id << " installed snapshot at seq "
+                        << last_executed_);
+  execute_ready();
+}
+
+// ----------------------------------------------------------- view change --
+
+void Replica::arm_progress_timer() {
+  const std::uint64_t epoch = timer_epoch_;
+  set_timer_(cfg_.view_change_timeout, [this, epoch] {
+    if (epoch != timer_epoch_) return;  // progress happened meanwhile
+    if (pending_requests_.empty()) return;
+    if (behind() || execution_gap()) {
+      // We alone cannot trigger a view change (f+1 needed), and a view
+      // change would not help anyway: the cluster decided without us.
+      // Transfer state instead.
+      initiate_state_fetch();
+      arm_progress_timer();
+      return;
+    }
+    start_view_change(view_ + 1);
+  });
+}
+
+void Replica::start_view_change(std::size_t new_view) {
+  if (new_view <= view_) return;
+  in_view_change_ = true;
+  ++timer_epoch_;
+
+  Message vc;
+  vc.type = MsgType::kViewChange;
+  vc.view = new_view;
+  vc.stable_seq = low_watermark_;
+  // The P set carries EVERY prepared slot above the stable checkpoint,
+  // including executed ones: a committed-and-executed request must be
+  // re-proposed at the same sequence number or replicas that missed the
+  // commit would fill the gap with a no-op and diverge.
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.prepared) continue;
+    PreparedProof proof;
+    proof.seq = seq;
+    proof.view = slot.view;
+    proof.digest = slot.digest;
+    proof.payload = slot.payload;
+    vc.prepared.push_back(std::move(proof));
+  }
+  broadcast(vc);
+  vc.sender = cfg_.id;
+  view_change_votes_[new_view][cfg_.id] = vc;
+  handle_view_change(vc);
+
+  // If this view change stalls (e.g. the next primary is also faulty),
+  // escalate to the view after it.
+  const std::uint64_t epoch = timer_epoch_;
+  set_timer_(cfg_.view_change_timeout * 2, [this, epoch, new_view] {
+    if (epoch != timer_epoch_) return;
+    if (view_ >= new_view && !in_view_change_) return;
+    start_view_change(new_view + 1);
+  });
+}
+
+void Replica::handle_view_change(const Message& msg) {
+  if (msg.view <= view_) return;
+  auto& votes = view_change_votes_[msg.view];
+  votes[msg.sender] = msg;
+
+  // A correct replica joins a view change once f+1 peers attest to it
+  // (it cannot be a fabrication of the faulty ones alone).
+  if (!in_view_change_ && votes.size() >= cfg_.f + 1 &&
+      !votes.count(cfg_.id)) {
+    start_view_change(msg.view);
+    return;
+  }
+
+  if (primary_of(msg.view) != cfg_.id) return;
+  if (votes.size() < quorum() + 1) return;
+  if (view_ >= msg.view) return;  // already installed
+
+  // Become primary of msg.view: merge the prepared sets.
+  std::uint64_t max_stable = 0;
+  for (const auto& [sender, vote] : votes) {
+    max_stable = std::max(max_stable, vote.stable_seq);
+  }
+  std::map<std::uint64_t, PreparedProof> merged;
+  std::uint64_t max_seq = max_stable;
+  for (const auto& [sender, vote] : votes) {
+    for (const PreparedProof& p : vote.prepared) {
+      if (p.seq <= max_stable) continue;
+      auto it = merged.find(p.seq);
+      if (it == merged.end() || it->second.view < p.view) {
+        merged[p.seq] = p;
+      }
+      max_seq = std::max(max_seq, p.seq);
+    }
+  }
+
+  Message nv;
+  nv.type = MsgType::kNewView;
+  nv.view = msg.view;
+  nv.stable_seq = max_stable;
+  for (std::uint64_t s = max_stable + 1; s <= max_seq; ++s) {
+    auto it = merged.find(s);
+    if (it != merged.end()) {
+      nv.prepared.push_back(it->second);
+    } else {
+      PreparedProof noop;
+      noop.seq = s;
+      noop.payload = "";
+      noop.digest = crypto::Digest256::of("noop/" + std::to_string(s));
+      nv.prepared.push_back(std::move(noop));
+    }
+  }
+  broadcast(nv);
+  nv.sender = cfg_.id;
+  handle_new_view(nv);
+}
+
+void Replica::handle_new_view(const Message& msg) {
+  if (msg.view < view_ || (msg.view == view_ && !in_view_change_)) return;
+  if (msg.sender != primary_of(msg.view)) return;
+
+  view_ = msg.view;
+  in_view_change_ = false;
+  ++view_changes_entered_;
+  ++timer_epoch_;
+  view_change_votes_.erase(view_);
+
+  // Re-run agreement for the carried-over prepared requests in the new
+  // view. The NewView message acts as the pre-prepare for each.
+  const bool primary = is_primary();
+  // Fresh proposals must land strictly above everything executed locally
+  // and everything the new view carries over — even proposals skipped
+  // below (because this replica already executed them) occupy their seq.
+  next_seq_ = std::max<std::uint64_t>(next_seq_, msg.stable_seq + 1);
+  next_seq_ = std::max<std::uint64_t>(next_seq_, last_executed_ + 1);
+  for (const PreparedProof& p : msg.prepared) {
+    next_seq_ = std::max(next_seq_, p.seq + 1);
+    if (p.seq <= last_executed_) {
+      // Already executed here — but a lagging replica may have missed the
+      // commits (that gap is often what triggered the view change), so
+      // re-affirm the decision in the new view instead of staying silent.
+      if (!p.payload.empty()) {
+        if (!primary) {
+          Message prep;
+          prep.type = MsgType::kPrepare;
+          prep.view = view_;
+          prep.seq = p.seq;
+          prep.digest = p.digest;
+          broadcast(prep);
+        }
+        Message com;
+        com.type = MsgType::kCommit;
+        com.view = view_;
+        com.seq = p.seq;
+        com.digest = p.digest;
+        broadcast(com);
+      }
+      continue;
+    }
+    Slot& slot = slots_[p.seq];
+    slot.pre_prepared = true;
+    slot.view = view_;
+    slot.digest = p.digest;
+    slot.payload = p.payload;
+    slot.prepared = false;
+    slot.committed = slot.committed && slot.executed;
+    slot.prepares.clear();
+    slot.commits.clear();
+    next_seq_ = std::max(next_seq_, p.seq + 1);
+    if (is_batch_payload(p.payload)) {
+      for (const BatchEntry& e : decode_batch(p.payload)) {
+        proposed_.insert(
+            request_digest(e.client, e.request_id, e.payload).hex());
+      }
+    } else if (!p.payload.empty()) {
+      proposed_.insert(p.digest.hex());
+    }
+    if (!primary) {
+      Message prep;
+      prep.type = MsgType::kPrepare;
+      prep.view = view_;
+      prep.seq = p.seq;
+      prep.digest = p.digest;
+      broadcast(prep);
+      slot.prepares.insert(cfg_.id);
+      try_prepare(p.seq);
+    }
+  }
+
+  // Any pending client request not carried over gets proposed afresh by
+  // the new primary.
+  if (primary) propose_pending();
+  if (!pending_requests_.empty()) arm_progress_timer();
+
+  // Replay protocol messages that arrived ahead of this view entry.
+  std::vector<Message> stashed;
+  stashed.swap(stashed_);
+  for (Message& m : stashed) {
+    if (m.view >= view_) on_message(std::move(m));
+  }
+  CBFT_DEBUG("replica " << cfg_.id << " entered view " << view_);
+}
+
+}  // namespace clusterbft::bftsmr

@@ -1,0 +1,140 @@
+// One PBFT replica: three-phase normal case (pre-prepare / prepare /
+// commit), periodic checkpoints with watermark advancement, and view
+// change on primary failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bftsmr/message.hpp"
+#include "bftsmr/service.hpp"
+#include "cluster/event_sim.hpp"
+
+namespace clusterbft::bftsmr {
+
+struct ReplicaConfig {
+  std::size_t id = 0;
+  std::size_t n = 4;  ///< 3f+1 replicas
+  std::size_t f = 1;
+  std::uint64_t checkpoint_interval = 16;
+  std::uint64_t window = 128;        ///< high-watermark span
+  std::size_t batch_size = 1;        ///< max client requests per slot
+  double view_change_timeout = 0.5;  ///< seconds without execution progress
+};
+
+class Replica {
+ public:
+  /// `send(to, msg)` delivers to replica `to`; `reply(client, msg)`
+  /// delivers to a client; `set_timer(delay, fn)` schedules on the sim.
+  Replica(ReplicaConfig cfg, std::unique_ptr<Service> service,
+          std::function<void(std::size_t, Message)> send,
+          std::function<void(std::size_t, Message)> reply,
+          std::function<void(double, std::function<void()>)> set_timer);
+
+  void on_message(Message msg);
+
+  // Introspection (tests / benches).
+  std::size_t id() const { return cfg_.id; }
+  std::size_t view() const { return view_; }
+  std::uint64_t last_executed() const { return last_executed_; }
+  const std::vector<std::string>& executed_ops() const { return executed_; }
+  bool is_primary() const { return primary_of(view_) == cfg_.id; }
+  std::size_t view_changes_seen() const { return view_changes_entered_; }
+
+ private:
+  struct Slot {
+    bool pre_prepared = false;
+    std::size_t view = 0;
+    crypto::Digest256 digest;
+    std::string payload;
+    std::set<std::size_t> prepares;  ///< replicas that sent Prepare
+    std::set<std::size_t> commits;
+    bool prepared = false;
+    bool committed = false;
+    bool executed = false;
+  };
+
+  std::size_t primary_of(std::size_t view) const { return view % cfg_.n; }
+  std::size_t quorum() const { return 2 * cfg_.f; }  // matching msgs besides own
+
+  void handle_request(const Message& msg);
+  void handle_pre_prepare(const Message& msg);
+  void handle_prepare(const Message& msg);
+  void handle_commit(const Message& msg);
+  void handle_checkpoint(const Message& msg);
+  void handle_view_change(const Message& msg);
+  void handle_new_view(const Message& msg);
+  void handle_fetch_state(const Message& msg);
+  void handle_state_snapshot(const Message& msg);
+  /// Lag detected (stable checkpoint beyond our execution, or protocol
+  /// traffic far ahead of it): ask peers, retrying until caught up.
+  void initiate_state_fetch();
+  void fetch_round();
+  bool behind() const;
+  /// Committed slots exist past an execution gap this replica cannot fill
+  /// (it cannot force a view change alone).
+  bool execution_gap() const;
+
+  void propose(const std::string& payload, std::size_t client,
+               std::uint64_t request_id);
+  /// Primary: propose pending requests as far as the window allows.
+  void propose_pending();
+  void try_prepare(std::uint64_t seq);
+  void try_commit(std::uint64_t seq);
+  void execute_ready();
+  void take_checkpoint();
+  void broadcast(const Message& msg);
+  void arm_progress_timer();
+  void start_view_change(std::size_t new_view);
+
+  ReplicaConfig cfg_;
+  std::unique_ptr<Service> service_;
+  std::function<void(std::size_t, Message)> send_;
+  std::function<void(std::size_t, Message)> reply_;
+  std::function<void(double, std::function<void()>)> set_timer_;
+
+  std::size_t view_ = 0;
+  bool in_view_change_ = false;
+  std::uint64_t next_seq_ = 1;       ///< primary's next assignment
+  std::uint64_t low_watermark_ = 0;  ///< last stable checkpoint seq
+  std::uint64_t last_executed_ = 0;
+
+  std::map<std::uint64_t, Slot> slots_;
+  /// Requests already assigned a sequence number (by digest hex).
+  std::set<std::string> proposed_;
+  /// Pending client requests not yet executed (digest hex -> message).
+  std::map<std::string, Message> pending_requests_;
+  /// Executed request digests -> cached reply (at-most-once semantics).
+  std::map<std::string, Message> executed_replies_;
+
+  /// Checkpoint votes: seq -> fingerprint -> voters.
+  std::map<std::uint64_t, std::map<std::string, std::set<std::size_t>>>
+      checkpoint_votes_;
+
+  /// View-change votes: view -> sender -> message.
+  std::map<std::size_t, std::map<std::size_t, Message>> view_change_votes_;
+
+  std::vector<std::string> executed_;
+  std::uint64_t timer_epoch_ = 0;  ///< invalidates stale progress timers
+  std::size_t view_changes_entered_ = 0;
+
+  /// Protocol messages from views not yet entered, replayed on entry.
+  static constexpr std::size_t kMaxStash = 4096;
+  std::vector<Message> stashed_;
+
+  /// State-transfer votes: (seq, snapshot fingerprint) -> senders; a
+  /// snapshot installs once f+1 peers vouch for the same bytes.
+  bool fetching_state_ = false;
+  std::uint64_t max_seen_seq_ = 0;  ///< highest protocol seq observed
+  std::map<std::pair<std::uint64_t, std::string>,
+           std::pair<std::set<std::size_t>, Message>>
+      snapshot_votes_;
+};
+
+}  // namespace clusterbft::bftsmr

@@ -1,0 +1,53 @@
+// The deterministic state machine a BFT replica group replicates.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace clusterbft::bftsmr {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Apply one operation and return its result. Must be deterministic:
+  /// identical operation sequences yield identical results and state
+  /// digests on every correct replica.
+  virtual std::string apply(const std::string& op) = 0;
+
+  /// Digest of the current state (checkpoint comparison).
+  virtual std::string state_fingerprint() const = 0;
+
+  /// Serialise the full state for transfer to a lagging replica.
+  virtual std::string snapshot() const = 0;
+
+  /// Replace the state with a transferred snapshot.
+  virtual void restore(const std::string& snapshot) = 0;
+};
+
+/// Reference service for tests: an append-only log whose fingerprint is
+/// the concatenation hash; apply returns "<index>:<op>".
+class LogService : public Service {
+ public:
+  std::string apply(const std::string& op) override {
+    log_ += op;
+    log_ += '\n';
+    return std::to_string(count_++) + ":" + op;
+  }
+  std::string state_fingerprint() const override { return log_; }
+
+  std::string snapshot() const override {
+    return std::to_string(count_) + "\x1f" + log_;
+  }
+  void restore(const std::string& snapshot) override {
+    const auto sep = snapshot.find('\x1f');
+    count_ = std::stoull(snapshot.substr(0, sep));
+    log_ = snapshot.substr(sep + 1);
+  }
+
+ private:
+  std::string log_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace clusterbft::bftsmr

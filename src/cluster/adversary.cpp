@@ -1,0 +1,63 @@
+#include "cluster/adversary.hpp"
+
+namespace clusterbft::cluster {
+
+using dataflow::Tuple;
+using dataflow::Value;
+using dataflow::ValueType;
+
+void corrupt_relation(dataflow::Relation& rel, Rng& rng) {
+  if (rel.rows().empty()) {
+    // Fabricate a record with the right arity so downstream operators do
+    // not crash — a smart adversary corrupts plausibly.
+    Tuple t;
+    for (std::size_t i = 0; i < rel.schema().size(); ++i) {
+      switch (rel.schema().at(i).type) {
+        case ValueType::kDouble:
+          t.fields.push_back(Value(static_cast<double>(rng.next_below(1000))));
+          break;
+        case ValueType::kChararray:
+          t.fields.push_back(Value(std::string("bogus")));
+          break;
+        default:
+          t.fields.push_back(
+              Value(static_cast<std::int64_t>(rng.next_below(1000))));
+          break;
+      }
+    }
+    rel.add(std::move(t));
+    return;
+  }
+
+  const std::size_t row = static_cast<std::size_t>(
+      rng.next_below(rel.rows().size()));
+  Tuple& t = rel.rows()[row];
+  if (t.fields.empty()) {
+    t.fields.push_back(Value(static_cast<std::int64_t>(1)));
+    return;
+  }
+  const std::size_t col =
+      static_cast<std::size_t>(rng.next_below(t.fields.size()));
+  Value& v = t.fields[col];
+  switch (v.type()) {
+    case ValueType::kLong:
+      v = Value(v.as_long() + 1);
+      break;
+    case ValueType::kDouble:
+      v = Value(v.as_double() + 1.0);
+      break;
+    case ValueType::kChararray:
+      v = Value(v.as_string() + "!");
+      break;
+    case ValueType::kNull:
+      v = Value(static_cast<std::int64_t>(1));
+      break;
+    case ValueType::kBag: {
+      // Drop the bag: a grossly wrong group.
+      v = Value(std::make_shared<const std::vector<Tuple>>());
+      break;
+    }
+  }
+}
+
+}  // namespace clusterbft::cluster

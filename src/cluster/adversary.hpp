@@ -1,0 +1,40 @@
+// Per-node Byzantine fault policies (§2.3 adversary models).
+//
+// A *weak* adversary causes omission faults (a task never reports back)
+// and commission faults (a task computes the wrong thing). A *strong*
+// adversary additionally controls everything on the node, modelled here
+// as the ability to corrupt the digest messages independently of the data
+// (lying to the verifier) — data corruption with an honest-looking digest
+// stream is what forces verification points to job boundaries under the
+// strong model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "dataflow/relation.hpp"
+
+namespace clusterbft::cluster {
+
+struct AdversaryPolicy {
+  /// Probability a task on this node suffers a commission fault
+  /// (mis-computation). Fig. 11 sweeps this.
+  double commission_prob = 0.0;
+
+  /// Probability a task on this node hangs forever (omission).
+  double omission_prob = 0.0;
+
+  /// Strong adversary: corrupt the digest bytes sent to the verifier
+  /// instead of the computed data.
+  bool lie_in_digest = false;
+
+  bool honest() const {
+    return commission_prob == 0.0 && omission_prob == 0.0 && !lie_in_digest;
+  }
+};
+
+/// Mutate `rel` the way a commission-faulty task would: perturb one value
+/// (or fabricate a row if the relation is empty). Deterministic given rng.
+void corrupt_relation(dataflow::Relation& rel, Rng& rng);
+
+}  // namespace clusterbft::cluster

@@ -1,0 +1,30 @@
+#include "cluster/event_sim.hpp"
+
+#include "common/check.hpp"
+
+namespace clusterbft::cluster {
+
+void EventSim::schedule_at(SimTime at, Action fn) {
+  CBFT_CHECK_MSG(at >= now_, "cannot schedule in the past");
+  queue_.push(Event{at, seq_++, std::move(fn)});
+}
+
+bool EventSim::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action is moved out via a copy
+  // of the (small) Event shell before pop.
+  Event e = queue_.top();
+  queue_.pop();
+  now_ = e.at;
+  e.fn();
+  return true;
+}
+
+void EventSim::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    CBFT_CHECK_MSG(++n <= max_events, "event budget exhausted (livelock?)");
+  }
+}
+
+}  // namespace clusterbft::cluster

@@ -1,0 +1,67 @@
+#include "cluster/resource_table.hpp"
+
+#include "common/check.hpp"
+
+namespace clusterbft::cluster {
+
+void ResourceTable::add_nodes(std::size_t count, std::size_t ru) {
+  for (std::size_t i = 0; i < count; ++i) {
+    ResourceEntry e;
+    e.nid = entries_.size();
+    e.total_ru = ru;
+    entries_.push_back(std::move(e));
+  }
+}
+
+ResourceEntry& ResourceTable::entry(NodeId nid) {
+  CBFT_CHECK(nid < entries_.size());
+  return entries_[nid];
+}
+
+const ResourceEntry& ResourceTable::entry(NodeId nid) const {
+  CBFT_CHECK(nid < entries_.size());
+  return entries_[nid];
+}
+
+void ResourceTable::allocate(NodeId nid, const std::string& sid) {
+  ResourceEntry& e = entry(nid);
+  CBFT_CHECK_MSG(e.used_ru < e.total_ru, "node has no free resource units");
+  ++e.used_ru;
+  e.sids.insert(sid);
+}
+
+void ResourceTable::release(NodeId nid, const std::string& sid) {
+  ResourceEntry& e = entry(nid);
+  CBFT_CHECK(e.used_ru > 0);
+  --e.used_ru;
+  auto it = e.sids.find(sid);
+  CBFT_CHECK_MSG(it != e.sids.end(), "releasing a sid not on the node");
+  e.sids.erase(it);
+}
+
+void ResourceTable::record_execution(NodeId nid) {
+  ++entry(nid).jobs_executed;
+}
+
+void ResourceTable::record_fault(NodeId nid) { ++entry(nid).faults; }
+
+std::vector<NodeId> ResourceTable::apply_threshold(double threshold) {
+  std::vector<NodeId> newly;
+  for (ResourceEntry& e : entries_) {
+    if (!e.excluded && e.jobs_executed > 0 && e.suspicion() > threshold) {
+      e.excluded = true;
+      newly.push_back(e.nid);
+    }
+  }
+  return newly;
+}
+
+std::size_t ResourceTable::excluded_count() const {
+  std::size_t n = 0;
+  for (const ResourceEntry& e : entries_) {
+    if (e.excluded) ++n;
+  }
+  return n;
+}
+
+}  // namespace clusterbft::cluster

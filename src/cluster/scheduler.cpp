@@ -1,0 +1,22 @@
+#include "cluster/scheduler.hpp"
+
+namespace clusterbft::cluster {
+
+std::optional<std::size_t> FifoScheduler::pick(
+    const ResourceEntry& /*node*/, const std::vector<TaskCandidate>& safe) {
+  if (safe.empty()) return std::nullopt;
+  return 0;
+}
+
+std::optional<std::size_t> OverlapScheduler::pick(
+    const ResourceEntry& node, const std::vector<TaskCandidate>& safe) {
+  if (safe.empty()) return std::nullopt;
+  // Prefer a task whose sid is not yet on this node (maximise
+  // intersections between job clusters); fall back to submission order.
+  for (std::size_t i = 0; i < safe.size(); ++i) {
+    if (node.sids.count(safe[i].sid) == 0) return i;
+  }
+  return 0;
+}
+
+}  // namespace clusterbft::cluster

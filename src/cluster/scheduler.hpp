@@ -1,0 +1,57 @@
+// Task schedulers (the paper's "resource manager", §4.2, implemented in
+// Hadoop by extending TaskScheduler, §5.3).
+//
+// Replica safety — never place tasks of two different replicas of one
+// sub-graph on the same node — is enforced by the execution tracker before
+// a scheduler ever sees a candidate, so no scheduling policy can violate
+// it. Schedulers only express *preference* among safe candidates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_table.hpp"
+
+namespace clusterbft::cluster {
+
+/// A schedulable task as presented to a scheduler.
+struct TaskCandidate {
+  std::size_t run_id = 0;      ///< job-replica run
+  std::string sid;             ///< sub-graph id
+  std::size_t replica = 0;
+  bool reduce = false;
+  std::size_t task_index = 0;  ///< map: task number; reduce: partition
+};
+
+class TaskScheduler {
+ public:
+  virtual ~TaskScheduler() = default;
+
+  /// Pick the index (into `safe`) of the task to run on `node`, or
+  /// nullopt to leave the slot idle. `safe` is never empty.
+  virtual std::optional<std::size_t> pick(
+      const ResourceEntry& node, const std::vector<TaskCandidate>& safe) = 0;
+};
+
+/// Baseline: first candidate in submission order (Hadoop's default FIFO
+/// behaviour).
+class FifoScheduler : public TaskScheduler {
+ public:
+  std::optional<std::size_t> pick(
+      const ResourceEntry& node,
+      const std::vector<TaskCandidate>& safe) override;
+};
+
+/// ClusterBFT's overlap scheduler: pick tasks from as many *different*
+/// sub-graphs as a node has resource units, so job clusters intersect and
+/// the fault analyzer can triangulate faulty nodes (§4.2: "cause as many
+/// intersections as there are resource units in a node").
+class OverlapScheduler : public TaskScheduler {
+ public:
+  std::optional<std::size_t> pick(
+      const ResourceEntry& node,
+      const std::vector<TaskCandidate>& safe) override;
+};
+
+}  // namespace clusterbft::cluster

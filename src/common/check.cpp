@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace clusterbft::detail {
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "CBFT_CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace clusterbft::detail

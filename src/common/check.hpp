@@ -1,0 +1,41 @@
+// Checked assertions used across ClusterBFT.
+//
+// CBFT_CHECK is always on (also in release builds): invariants in a system
+// that verifies Byzantine behaviour must not silently degrade. A failed
+// check throws CheckError with file/line context so tests can assert on it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace clusterbft {
+
+/// Error thrown when a CBFT_CHECK fails. Carries file:line and the failed
+/// condition text.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace clusterbft
+
+/// Assert `cond`; throws clusterbft::CheckError on failure.
+#define CBFT_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::clusterbft::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+    }                                                                     \
+  } while (false)
+
+/// Assert `cond` with an extra human-readable message.
+#define CBFT_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::clusterbft::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)

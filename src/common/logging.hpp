@@ -1,0 +1,35 @@
+// Minimal leveled logger. Off by default so benches/tests stay quiet;
+// examples turn it on to narrate what the system is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace clusterbft {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace clusterbft
+
+#define CBFT_LOG(level, expr)                                      \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::clusterbft::log_level())) {             \
+      std::ostringstream cbft_log_os_;                             \
+      cbft_log_os_ << expr;                                        \
+      ::clusterbft::detail::log_line(level, cbft_log_os_.str());   \
+    }                                                              \
+  } while (false)
+
+#define CBFT_DEBUG(expr) CBFT_LOG(::clusterbft::LogLevel::kDebug, expr)
+#define CBFT_INFO(expr) CBFT_LOG(::clusterbft::LogLevel::kInfo, expr)
+#define CBFT_WARN(expr) CBFT_LOG(::clusterbft::LogLevel::kWarn, expr)
+#define CBFT_ERROR(expr) CBFT_LOG(::clusterbft::LogLevel::kError, expr)

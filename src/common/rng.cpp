@@ -1,0 +1,87 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace clusterbft {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  CBFT_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CBFT_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  CBFT_CHECK(n > 0);
+  // Inverse-CDF via rejection (Devroye). Good enough for workload synthesis.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = uniform();
+    const double v = uniform();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      const auto r = static_cast<std::uint64_t>(x);
+      if (r >= 1 && r <= n) return r;
+    }
+  }
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace clusterbft

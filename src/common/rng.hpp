@@ -1,0 +1,59 @@
+// Deterministic random number generation.
+//
+// All randomness in ClusterBFT (workload generation, adversary coin flips,
+// scheduler tie-breaks, simulated network delays) flows through Rng so that
+// a fixed seed reproduces an identical run — a precondition for replica
+// digest comparison in tests and for reproducible benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clusterbft {
+
+/// xoshiro256** with SplitMix64 seeding. Small, fast, and good enough for
+/// simulation purposes (not cryptographic — digests use crypto/sha256).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent s. Used by the synthetic
+  /// Twitter/airline generators to get realistic skew.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-node / per-replica rngs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace clusterbft

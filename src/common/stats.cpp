@@ -1,0 +1,60 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace clusterbft {
+
+double mean(const std::vector<double>& xs) {
+  CBFT_CHECK(!xs.empty());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  CBFT_CHECK(!xs.empty());
+  const double m = mean(xs);
+  double sum = 0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50); }
+
+double percentile(std::vector<double> xs, double p) {
+  CBFT_CHECK(!xs.empty());
+  CBFT_CHECK(p >= 0 && p <= 100);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, kUnits[unit]);
+  return buf;
+}
+
+std::string format_multiplier(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", x);
+  return buf;
+}
+
+}  // namespace clusterbft

@@ -1,0 +1,26 @@
+// Small statistics helpers used by the benchmark harnesses to summarise
+// repeated runs (the paper reports single-run latencies; we report means
+// over a few seeded trials to smooth simulator noise).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace clusterbft {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+/// Percentile p in [0,100] via linear interpolation; xs may be unsorted.
+double percentile(std::vector<double> xs, double p);
+
+/// Format bytes with binary units ("1.3 GiB").
+std::string format_bytes(double bytes);
+
+/// Format a multiplier like the paper's Table 3 ("3.5x").
+std::string format_multiplier(double x);
+
+}  // namespace clusterbft

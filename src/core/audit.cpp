@@ -1,0 +1,75 @@
+#include "core/audit.hpp"
+
+#include <cstdio>
+
+namespace clusterbft::core {
+
+const char* to_string(AuditEvent::Kind kind) {
+  switch (kind) {
+    case AuditEvent::Kind::kScriptSubmitted:
+      return "script-submitted";
+    case AuditEvent::Kind::kScriptCompleted:
+      return "script-completed";
+    case AuditEvent::Kind::kJobVerified:
+      return "job-verified";
+    case AuditEvent::Kind::kCommissionFault:
+      return "commission-fault";
+    case AuditEvent::Kind::kOmissionFault:
+      return "omission-fault";
+    case AuditEvent::Kind::kProbeConviction:
+      return "probe-conviction";
+    case AuditEvent::Kind::kNodeEvicted:
+      return "node-evicted";
+  }
+  return "?";
+}
+
+void AuditLog::record(double time, AuditEvent::Kind kind, std::string detail,
+                      std::string sid, std::set<cluster::NodeId> nodes) {
+  AuditEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.detail = std::move(detail);
+  e.sid = std::move(sid);
+  e.nodes = std::move(nodes);
+  events_.push_back(std::move(e));
+}
+
+std::vector<AuditEvent> AuditLog::events_of(AuditEvent::Kind kind) const {
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<AuditEvent> AuditLog::events_involving(
+    cluster::NodeId node) const {
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.nodes.count(node)) out.push_back(e);
+  }
+  return out;
+}
+
+std::string AuditLog::to_string(std::size_t max_events) const {
+  std::string out;
+  const std::size_t start =
+      events_.size() > max_events ? events_.size() - max_events : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const AuditEvent& e = events_[i];
+    char head[64];
+    std::snprintf(head, sizeof(head), "[t=%8.2f] %-18s ", e.time,
+                  clusterbft::core::to_string(e.kind));
+    out += head;
+    out += e.detail;
+    if (!e.nodes.empty()) {
+      out += " | nodes:";
+      for (auto n : e.nodes) out += " " + std::to_string(n);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace clusterbft::core

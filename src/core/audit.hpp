@@ -1,0 +1,61 @@
+// Audit trail for the control tier.
+//
+// §3.1 motivates BFT partly through attribution: "in a sea of nodes such
+// as a cloud datacenter it is also necessary to keep track of where such
+// accesses were attempted, as these may hint to exploited leaks and
+// intruders." The audit log is that record: every verification decision,
+// fault attribution, probe conviction, and eviction, with the simulated
+// time and the nodes involved.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_table.hpp"
+
+namespace clusterbft::core {
+
+struct AuditEvent {
+  enum class Kind {
+    kScriptSubmitted,
+    kScriptCompleted,
+    kJobVerified,
+    kCommissionFault,
+    kOmissionFault,
+    kProbeConviction,
+    kNodeEvicted,
+  };
+
+  double time = 0;  ///< simulated seconds
+  Kind kind = Kind::kScriptSubmitted;
+  std::string detail;                 ///< human-readable description
+  std::string sid;                    ///< sub-graph, when applicable
+  std::set<cluster::NodeId> nodes;    ///< nodes involved, when applicable
+};
+
+const char* to_string(AuditEvent::Kind kind);
+
+class AuditLog {
+ public:
+  void record(double time, AuditEvent::Kind kind, std::string detail,
+              std::string sid = "", std::set<cluster::NodeId> nodes = {});
+
+  const std::vector<AuditEvent>& events() const { return events_; }
+
+  /// Events of one kind, in order.
+  std::vector<AuditEvent> events_of(AuditEvent::Kind kind) const;
+
+  /// Events that involve a given node, in order — "where were accesses
+  /// attempted" for one machine.
+  std::vector<AuditEvent> events_involving(cluster::NodeId node) const;
+
+  /// Multi-line human-readable rendering of the last `max_events` events.
+  std::string to_string(std::size_t max_events = SIZE_MAX) const;
+
+ private:
+  std::vector<AuditEvent> events_;
+};
+
+}  // namespace clusterbft::core

@@ -1,0 +1,548 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "core/audit.hpp"
+#include "core/graph_analyzer.hpp"
+#include "dataflow/optimizer.hpp"
+#include "dataflow/parser.hpp"
+
+namespace clusterbft::core {
+
+using cluster::NodeId;
+using mapreduce::MRJobSpec;
+
+ClusterBft::ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
+                       cluster::ExecutionTracker& tracker)
+    : sim_(sim), dfs_(dfs), tracker_(tracker) {
+  tracker_.on_digest = [this](const mapreduce::DigestReport& r,
+                              std::size_t run_id, NodeId node) {
+    handle_digest(r, run_id, node);
+  };
+  tracker_.on_run_complete = [this](std::size_t run_id) {
+    handle_run_complete(run_id);
+  };
+}
+
+ScriptResult ClusterBft::execute(const ClientRequest& request) {
+  // ---- reset per-execution state ----
+  request_ = &request;
+  ++exec_counter_;
+  plan_ = dataflow::parse_script(request.script);
+  if (request.optimize_plan) plan_ = dataflow::optimize(plan_);
+  waves_.clear();
+  run_info_.clear();
+  my_runs_.clear();
+  attributed_runs_.clear();
+  decision_pending_.clear();
+  decision_paid_.clear();
+  finished_ = false;
+  success_ = false;
+  commission_seen_ = 0;
+  omission_seen_ = 0;
+  digest_reports_ = 0;
+
+  // Input sizes annotate the plan (Fig. 4) and feed the input ratios.
+  std::map<std::string, std::uint64_t> input_sizes;
+  for (dataflow::OpId v : plan_.loads()) {
+    dataflow::OpNode& n = plan_.node(v);
+    CBFT_CHECK_MSG(dfs_.exists(n.path),
+                   "script input missing from DFS: " + n.path);
+    n.declared_input_bytes = dfs_.size_of(n.path);
+    input_sizes[n.path] = n.declared_input_bytes;
+  }
+
+  const auto vps = analyze(plan_, input_sizes, request);
+
+  mapreduce::CompileOptions copts;
+  copts.default_reducers = request.reducers_per_job;
+  copts.sid_prefix =
+      request.name + "#" + std::to_string(exec_counter_);
+  dag_ = mapreduce::compile(plan_, vps, copts);
+
+  verifier_ = std::make_unique<Verifier>(request.f);
+  verified_.assign(dag_.jobs.size(), false);
+  verified_path_.assign(dag_.jobs.size(), "");
+  first_complete_run_.assign(dag_.jobs.size(), std::nullopt);
+  job_timeout_s_.assign(dag_.jobs.size(), request.verifier_timeout_s);
+  job_by_output_.clear();
+  for (const MRJobSpec& j : dag_.jobs) {
+    job_by_output_[j.output_path] = j.job_index;
+  }
+
+  start_time_ = sim_.now();
+  audit_.record(sim_.now(), AuditEvent::Kind::kScriptSubmitted,
+                request.name + " (f=" + std::to_string(request.f) +
+                    ", r=" + std::to_string(request.r) +
+                    ", n=" + std::to_string(request.n) + ", " +
+                    std::to_string(dag_.jobs.size()) + " jobs)");
+
+  // Initial replication: r independent chains.
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, request.r); ++i) {
+    create_wave();
+  }
+
+  // ---- drive the simulation ----
+  while (!finished_ && sim_.step()) {
+  }
+  if (!finished_) {
+    // Queue drained without completing (e.g. everything stuck and no
+    // timeout pending): report failure.
+    finish(false);
+  }
+  // Let in-flight replicas and stale timeouts drain so their cost is
+  // accounted and the simulator is clean for the next script.
+  sim_.run();
+
+  // ---- collect results ----
+  ScriptResult result;
+  result.verified = success_;
+  result.metrics.latency_s = finish_time_ - start_time_;
+  result.metrics.waves = waves_.size();
+  for (std::size_t run : my_runs_) {
+    const auto& m = tracker_.run_metrics(run);
+    result.metrics.cpu_seconds += m.cpu_seconds;
+    result.metrics.file_read += m.file_read;
+    result.metrics.file_write += m.file_write;
+    result.metrics.hdfs_write += m.hdfs_write;
+    result.metrics.digested += m.digested;
+  }
+  result.metrics.runs = my_runs_.size();
+  result.metrics.digest_reports = digest_reports_;
+  result.commission_faults_seen = commission_seen_;
+  result.omission_faults_seen = omission_seen_;
+
+  if (success_) {
+    for (const MRJobSpec& j : dag_.jobs) {
+      if (!j.is_final_store) continue;
+      std::string from;
+      if (verified_[j.job_index]) {
+        from = verified_path_[j.job_index];
+      } else {
+        CBFT_CHECK(first_complete_run_[j.job_index].has_value());
+        from = tracker_.run_output_path(*first_complete_run_[j.job_index]);
+      }
+      dataflow::Relation rel = dfs_.read(from);
+      dfs_.write(j.output_path, rel);
+      result.outputs[j.output_path] = std::move(rel);
+    }
+  }
+  if (fault_analyzer_) {
+    for (NodeId n : fault_analyzer_->suspects()) {
+      result.suspects.push_back(n);
+    }
+  }
+  audit_.record(finish_time_, AuditEvent::Kind::kScriptCompleted,
+                request.name + (success_ ? " verified" : " FAILED") + " in " +
+                    std::to_string(result.metrics.latency_s) + "s, " +
+                    std::to_string(result.metrics.runs) + " job replicas");
+  return result;
+}
+
+std::vector<NodeId> ClusterBft::apply_suspicion_threshold(double threshold) {
+  auto evicted = tracker_.resources().apply_threshold(threshold);
+  for (NodeId n : evicted) {
+    audit_.record(sim_.now(), AuditEvent::Kind::kNodeEvicted,
+                  "node " + std::to_string(n) + " excluded (suspicion > " +
+                      std::to_string(threshold) + ")",
+                  "", {n});
+  }
+  return evicted;
+}
+
+ClusterBft::ProbeReport ClusterBft::probe_suspects(
+    const std::string& probe_input_path) {
+  ProbeReport report;
+  if (!fault_analyzer_) return report;
+  CBFT_CHECK_MSG(dfs_.exists(probe_input_path),
+                 "probe input missing from DFS: " + probe_input_path);
+
+  const FaultAnalyzer::NodeSet suspects = fault_analyzer_->suspects();
+  for (NodeId suspect : suspects) {
+    // Nodes already evicted from the inclusion list cannot run probes.
+    if (tracker_.resources().entry(suspect).excluded) continue;
+    ++probe_counter_;
+    // A minimal pass-through data-flow: LOAD -> STORE over the probe
+    // input. Any commission fault on the suspect corrupts its copy.
+    auto probe = std::make_unique<ProbeJob>();
+    probe->plan = std::make_unique<dataflow::LogicalPlan>();
+    dataflow::OpNode load;
+    load.kind = dataflow::OpKind::kLoad;
+    load.alias = "probe";
+    load.path = probe_input_path;
+    // Take the schema from the stored relation (arity is what matters).
+    {
+      const dataflow::Relation& rel = dfs_.read(probe_input_path);
+      load.schema = rel.schema();
+    }
+    const dataflow::OpId load_id = probe->plan->add(std::move(load));
+    dataflow::OpNode store;
+    store.kind = dataflow::OpKind::kStore;
+    store.inputs = {load_id};
+    store.schema = probe->plan->node(load_id).schema;
+    store.path = "probe/" + std::to_string(probe_counter_) + "/out";
+    probe->plan->add(std::move(store));
+
+    mapreduce::CompileOptions copts;
+    copts.sid_prefix = "probe#" + std::to_string(probe_counter_);
+    probe->dag = mapreduce::compile(*probe->plan, {}, copts);
+    CBFT_CHECK(probe->dag.jobs.size() == 1);
+    const mapreduce::MRJobSpec& spec = probe->dag.jobs[0];
+
+    // Replica 0 is pinned onto the suspect alone; replica 1 runs on nodes
+    // outside the whole suspect set (the honest control).
+    const std::size_t run_suspect = tracker_.submit(
+        *probe->plan, spec, 0, {probe_input_path},
+        "probe/" + std::to_string(probe_counter_) + "/suspect",
+        /*avoid=*/{}, /*restrict_to=*/{suspect});
+    const std::size_t run_control = tracker_.submit(
+        *probe->plan, spec, 1, {probe_input_path},
+        "probe/" + std::to_string(probe_counter_) + "/control", suspects);
+    probe_jobs_.push_back(std::move(probe));
+
+    sim_.run();  // probes are the only outstanding work
+    ++report.probes_run;
+
+    if (!tracker_.run_complete(run_control)) {
+      // The control could not be placed or finished — inconclusive.
+      continue;
+    }
+    if (!tracker_.run_complete(run_suspect)) {
+      // The suspect swallowed the probe: omission, attributable exactly.
+      report.confirmed_omission.insert(suspect);
+      tracker_.resources().record_fault(suspect);
+      continue;
+    }
+    const auto& got = dfs_.read(tracker_.run_output_path(run_suspect));
+    const auto& want = dfs_.read(tracker_.run_output_path(run_control));
+    if (got.sorted_rows() == want.sorted_rows()) {
+      report.cleared.insert(suspect);
+    } else {
+      report.confirmed_commission.insert(suspect);
+      tracker_.resources().record_fault(suspect);
+      audit_.record(sim_.now(), AuditEvent::Kind::kProbeConviction,
+                    "probe convicted node " + std::to_string(suspect) +
+                        " of commission",
+                    "", {suspect});
+      // The probe cluster is exactly {suspect}: the analyzer's set
+      // containing it collapses to a singleton.
+      fault_analyzer_->observe({suspect});
+    }
+  }
+  return report;
+}
+
+std::string ClusterBft::wave_scope(const Wave& w) const {
+  return request_->name + "#" + std::to_string(exec_counter_) + "/w" +
+         std::to_string(w.replica) + "/";
+}
+
+void ClusterBft::create_wave() {
+  Wave w;
+  w.replica = waves_.size();
+  w.created_at = sim_.now();
+  w.includes.resize(dag_.jobs.size());
+  for (std::size_t j = 0; j < dag_.jobs.size(); ++j) {
+    w.includes[j] = !verified_[j];
+  }
+  w.run_of.assign(dag_.jobs.size(), std::nullopt);
+  waves_.push_back(std::move(w));
+  CBFT_DEBUG("wave " << waves_.size() - 1 << " created at " << sim_.now());
+  pump();
+}
+
+bool ClusterBft::deps_ready(const Wave& w, std::size_t job) const {
+  for (std::size_t d : dag_.jobs[job].deps) {
+    if (request_->synchronous_verification) {
+      // Naive BFT: wait for the verified upstream output (synchronisation
+      // at every stage — the overhead C2 describes).
+      if (!verified_[d]) return false;
+      continue;
+    }
+    const bool wave_done =
+        w.includes[d] && w.run_of[d] && tracker_.run_complete(*w.run_of[d]);
+    if (wave_done || verified_[d]) continue;
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> ClusterBft::resolve_inputs(const Wave& w,
+                                                    std::size_t job) const {
+  const MRJobSpec& spec = dag_.jobs[job];
+  std::vector<std::string> paths;
+  for (const mapreduce::MapBranch& b : spec.branches) {
+    if (plan_.node(b.source_vertex).kind == dataflow::OpKind::kLoad) {
+      paths.push_back(b.input_path);  // original, trusted input
+      continue;
+    }
+    auto it = job_by_output_.find(b.input_path);
+    CBFT_CHECK_MSG(it != job_by_output_.end(),
+                   "unresolvable intermediate input: " + b.input_path);
+    const std::size_t dep = it->second;
+    if (request_->synchronous_verification) {
+      CBFT_CHECK_MSG(verified_[dep], "sync mode: dependency not verified");
+      paths.push_back(verified_path_[dep]);
+      continue;
+    }
+    const bool wave_done = w.includes[dep] && w.run_of[dep] &&
+                           tracker_.run_complete(*w.run_of[dep]);
+    if (wave_done) {
+      paths.push_back(tracker_.run_output_path(*w.run_of[dep]));
+    } else {
+      CBFT_CHECK_MSG(verified_[dep], "dependency neither done nor verified");
+      paths.push_back(verified_path_[dep]);
+    }
+  }
+  return paths;
+}
+
+void ClusterBft::pump() {
+  if (finished_) return;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t wi = 0; wi < waves_.size(); ++wi) {
+      Wave& w = waves_[wi];
+      for (std::size_t j = 0; j < dag_.jobs.size(); ++j) {
+        if (!w.includes[j] || w.run_of[j] || verified_[j]) continue;
+        if (!deps_ready(w, j)) continue;
+        const MRJobSpec& spec = dag_.jobs[j];
+        // Rerun waves steer away from the current suspects (§3.3 smart
+        // deployment): a node that corrupted one wave should not get the
+        // chance to corrupt its replacement.
+        std::set<NodeId> avoid;
+        if (w.replica >= std::max<std::size_t>(1, request_->r)) {
+          if (fault_analyzer_) avoid = fault_analyzer_->suspects();
+          // Nodes involved in timed-out (non-responding) replicas never
+          // reach the commission-fault analyzer; steer around them too.
+          avoid.insert(omission_suspects_.begin(), omission_suspects_.end());
+        }
+        // Bound each replica's footprint so the r initial replicas plus a
+        // rerun replica always fit on pairwise-disjoint node sets.
+        const std::size_t groups = std::max<std::size_t>(1, request_->r) + 1;
+        const std::size_t max_nodes = std::max<std::size_t>(
+            1, tracker_.resources().size() / groups);
+        const std::size_t run = tracker_.submit(
+            plan_, spec, w.replica, resolve_inputs(w, j),
+            wave_scope(w) + spec.output_path, std::move(avoid), {},
+            max_nodes);
+        w.run_of[j] = run;
+        run_info_[run] = RunInfo{wi, j};
+        my_runs_.push_back(run);
+        const bool gating = !spec.vps.empty();
+        verifier_->expect_run(spec.sid, run, gating);
+        if (gating) {
+          const double timeout = job_timeout_s_[j];
+          sim_.schedule_after(timeout, [this, j, wi] {
+            handle_timeout(j, wi);
+          });
+        }
+        progress = true;
+      }
+    }
+  }
+}
+
+void ClusterBft::handle_digest(const mapreduce::DigestReport& report,
+                               std::size_t run_id, NodeId /*node*/) {
+  auto it = run_info_.find(run_id);
+  if (it == run_info_.end()) return;  // a previous execution's straggler
+  ++digest_reports_;
+  const MRJobSpec& spec = dag_.jobs[it->second.job];
+  verifier_->add_report(spec.sid, run_id, report);
+}
+
+void ClusterBft::handle_run_complete(std::size_t run_id) {
+  auto it = run_info_.find(run_id);
+  if (it == run_info_.end()) return;
+  const std::size_t j = it->second.job;
+  const MRJobSpec& spec = dag_.jobs[j];
+  verifier_->mark_run_complete(spec.sid, run_id);
+  if (!first_complete_run_[j]) first_complete_run_[j] = run_id;
+  if (!finished_) {
+    try_verify(j);
+    pump();
+    check_completion();
+  }
+}
+
+void ClusterBft::try_verify(std::size_t j) {
+  if (verified_[j]) return;
+  const MRJobSpec& spec = dag_.jobs[j];
+  if (!verifier_->is_gating(spec.sid)) return;
+
+  const auto decision = verifier_->try_decide(spec.sid);
+  if (decision && decision->verified) {
+    if (request_->decision_latency_s > 0 && !decision_paid_.count(j)) {
+      // The decision itself costs a control-tier agreement round; commit
+      // its effects after that latency (scheduled once per job).
+      if (decision_pending_.insert(j).second) {
+        sim_.schedule_after(request_->decision_latency_s, [this, j] {
+          decision_paid_.insert(j);
+          if (finished_ || verified_[j]) return;
+          try_verify(j);
+          pump();
+          check_completion();
+        });
+      }
+      return;
+    }
+    verified_[j] = true;
+    verified_path_[j] =
+        tracker_.run_output_path(decision->majority_runs.front());
+    audit_.record(sim_.now(), AuditEvent::Kind::kJobVerified,
+                  spec.sid + " (" +
+                      std::to_string(decision->majority_runs.size()) +
+                      " agreeing replicas)",
+                  spec.sid);
+    attribute_commission(decision->deviant_runs);
+    CBFT_DEBUG("job " << spec.sid << " verified with "
+                      << decision->majority_runs.size() << " replicas");
+    return;
+  }
+  // No verdict yet. If every expected replica has reported and they still
+  // disagree, more replicas are needed (§4.2 step 6). Deviants are NOT
+  // attributed yet: without an f+1 majority there is no ground truth, and
+  // blaming the arbitrary loser of a 1-vs-1 tie would poison suspicion of
+  // honest nodes. Attribution happens when the pooled majority decides.
+  if (verifier_->completed_runs(spec.sid) >=
+      verifier_->expected_runs(spec.sid)) {
+    need_wave(j, /*force=*/false);
+  }
+}
+
+void ClusterBft::handle_timeout(std::size_t j, std::size_t wave_index) {
+  if (finished_ || verified_[j]) return;
+  // Stale if a newer wave already covers this job.
+  for (std::size_t wi = wave_index + 1; wi < waves_.size(); ++wi) {
+    if (waves_[wi].includes[j]) return;
+  }
+  const MRJobSpec& spec = dag_.jobs[j];
+  const auto incomplete = verifier_->incomplete_runs(spec.sid);
+  if (!incomplete.empty()) {
+    attribute_omission(incomplete);
+  }
+  // Escalate the timeout for the rerun (Table 3's "scheduled again with
+  // higher timeout value").
+  job_timeout_s_[j] *= 2;
+  CBFT_DEBUG("verifier timeout for " << spec.sid << ", rescheduling");
+  need_wave(j, /*force=*/true);
+}
+
+void ClusterBft::need_wave(std::size_t j, bool force) {
+  if (finished_) return;
+  if (!force) {
+    // A wave whose run for j is still pending or in flight will deliver
+    // more evidence; wait for it.
+    for (const Wave& w : waves_) {
+      if (!w.includes[j]) continue;
+      if (!w.run_of[j] || !tracker_.run_complete(*w.run_of[j])) return;
+    }
+  }
+  const std::size_t reruns = waves_.size() - std::max<std::size_t>(
+                                                 1, request_->r);
+  if (reruns >= request_->max_rerun_waves) {
+    CBFT_WARN("giving up after " << reruns << " rerun waves");
+    finish(false);
+    return;
+  }
+  create_wave();
+}
+
+FaultAnalyzer::NodeSet ClusterBft::cluster_of(std::size_t run_id) const {
+  FaultAnalyzer::NodeSet nodes;
+  const RunInfo info = run_info_.at(run_id);
+  const Wave& w = waves_[info.wave];
+
+  // BFS back through dependencies, stopping at gating jobs (their own
+  // verification points bound the corruption) and at verified inputs.
+  std::vector<std::size_t> stack{info.job};
+  std::set<std::size_t> seen{info.job};
+  while (!stack.empty()) {
+    const std::size_t j = stack.back();
+    stack.pop_back();
+    if (w.includes[j] && w.run_of[j]) {
+      const auto& run_nodes = tracker_.run_nodes(*w.run_of[j]);
+      nodes.insert(run_nodes.begin(), run_nodes.end());
+    }
+    for (std::size_t d : dag_.jobs[j].deps) {
+      if (seen.count(d)) continue;
+      if (verified_[d]) continue;
+      if (verifier_->is_gating(dag_.jobs[d].sid)) continue;
+      seen.insert(d);
+      stack.push_back(d);
+    }
+  }
+  return nodes;
+}
+
+void ClusterBft::attribute_commission(
+    const std::vector<std::size_t>& deviant_runs) {
+  for (std::size_t run : deviant_runs) {
+    if (!attributed_runs_.insert(run).second) continue;
+    ++commission_seen_;
+    const FaultAnalyzer::NodeSet nodes = cluster_of(run);
+    if (nodes.empty()) continue;
+    audit_.record(sim_.now(), AuditEvent::Kind::kCommissionFault,
+                  "deviant replica of " +
+                      dag_.jobs[run_info_.at(run).job].sid,
+                  dag_.jobs[run_info_.at(run).job].sid, nodes);
+    for (NodeId n : nodes) tracker_.resources().record_fault(n);
+    if (!fault_analyzer_) {
+      fault_analyzer_ = std::make_unique<FaultAnalyzer>(
+          std::max<std::size_t>(1, request_->f));
+    }
+    fault_analyzer_->set_f(std::max<std::size_t>(1, request_->f));
+    fault_analyzer_->observe(nodes);
+  }
+}
+
+void ClusterBft::attribute_omission(const std::vector<std::size_t>& runs) {
+  for (std::size_t run : runs) {
+    if (!attributed_runs_.insert(run).second) continue;
+    ++omission_seen_;
+    audit_.record(sim_.now(), AuditEvent::Kind::kOmissionFault,
+                  "replica of " + dag_.jobs[run_info_.at(run).job].sid +
+                      " missed the verifier timeout",
+                  dag_.jobs[run_info_.at(run).job].sid,
+                  {tracker_.run_nodes(run).begin(),
+                   tracker_.run_nodes(run).end()});
+    // Omission is detectable but not attributable to a specific node
+    // (§2.1): raise suspicion on all involved nodes, but do not feed the
+    // commission-fault analyzer.
+    for (NodeId n : tracker_.run_nodes(run)) {
+      tracker_.resources().record_fault(n);
+      omission_suspects_.insert(n);
+    }
+  }
+}
+
+void ClusterBft::check_completion() {
+  if (finished_) return;
+  for (const MRJobSpec& j : dag_.jobs) {
+    if (!j.is_final_store) continue;
+    // A final job must be verified when it is verifiable (it carries
+    // verification points) or when the client demanded output
+    // verification; otherwise one completed replica suffices.
+    const bool must_verify =
+        request_->verify_final_output || verifier_->is_gating(j.sid);
+    if (must_verify) {
+      if (!verified_[j.job_index]) return;
+    } else {
+      if (!first_complete_run_[j.job_index]) return;
+    }
+  }
+  finish(true);
+}
+
+void ClusterBft::finish(bool success) {
+  if (finished_) return;
+  finished_ = true;
+  success_ = success;
+  finish_time_ = sim_.now();
+}
+
+}  // namespace clusterbft::core

@@ -1,0 +1,155 @@
+// The ClusterBFT control tier (§4, Fig. 2): request handler (client
+// handler + graph analyzer + job initiator), verifier, and the rerun /
+// fault-isolation policy, driving the untrusted computation tier through
+// the execution tracker.
+//
+// Execution model per script:
+//  * the script is parsed, analysed (verification points) and compiled to
+//    a job DAG;
+//  * r replica *chains* ("waves") of the DAG execute independently — each
+//    chain's job reads its own chain's intermediates, so a Byzantine node
+//    taints at most the chains it served (replica pinning in the tracker);
+//  * digests stream to the verifier; a job is *verified* once f+1
+//    completed replicas agree on its whole digest vector; deviant replicas
+//    are commission faults (fault analyzer + suspicion); chains do NOT
+//    wait for verification (offline comparison);
+//  * if a job's replicas all complete without f+1 agreement, or its
+//    verifier timeout expires, a new wave re-executes exactly the
+//    still-unverified jobs — verified prefixes are reused, which is where
+//    ClusterBFT beats verify-only-the-final-output replication (Table 3);
+//  * the script is done when every final STORE job is verified; one
+//    verified replica's output is promoted to the plain store path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/tracker.hpp"
+#include "core/audit.hpp"
+#include "core/fault_analyzer.hpp"
+#include "core/request.hpp"
+#include "core/verifier.hpp"
+#include "dataflow/plan.hpp"
+#include "mapreduce/compiler.hpp"
+
+namespace clusterbft::core {
+
+class ClusterBft {
+ public:
+  ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
+             cluster::ExecutionTracker& tracker);
+
+  /// Execute one script to verified completion (synchronous: drives the
+  /// event simulation). Throws ParseError/CheckError on malformed input.
+  ScriptResult execute(const ClientRequest& request);
+
+  /// The fault analyzer persists across scripts so isolation sharpens
+  /// over a workload (§4.3). Null until the first fault was observed.
+  const FaultAnalyzer* fault_analyzer() const { return fault_analyzer_.get(); }
+
+  /// Exclude nodes whose suspicion exceeds `threshold` from scheduling.
+  std::vector<cluster::NodeId> apply_suspicion_threshold(double threshold);
+
+  struct ProbeReport {
+    std::size_t probes_run = 0;
+    std::set<cluster::NodeId> confirmed_commission;  ///< wrong output
+    std::set<cluster::NodeId> confirmed_omission;    ///< never answered
+    std::set<cluster::NodeId> cleared;               ///< matched the control
+  };
+
+  /// Chronological record of security-relevant events — §3.1's
+  /// "attribution as well as auditing". Persists across scripts.
+  const AuditLog& audit_log() const { return audit_; }
+
+  /// §3.3 fault isolation: run dummy probe jobs to narrow the suspect
+  /// set. For each currently suspected node, a tiny pass-through job over
+  /// `probe_input_path` runs twice — once pinned to the suspect, once on
+  /// nodes outside the suspect set — and the outputs are compared in the
+  /// trusted tier. A mismatch convicts exactly that node (the fault
+  /// analyzer's sets collapse to singletons); silence convicts it of
+  /// omission. Trades probe cost for attribution precision, exactly the
+  /// knob the paper describes.
+  ProbeReport probe_suspects(const std::string& probe_input_path);
+
+ private:
+  struct Wave {
+    std::size_t replica = 0;
+    cluster::SimTime created_at = 0;
+    std::vector<bool> includes;                       ///< per job
+    std::vector<std::optional<std::size_t>> run_of;   ///< per job
+  };
+  struct RunInfo {
+    std::size_t wave = 0;
+    std::size_t job = 0;
+  };
+
+  // Event-driven steps.
+  void handle_digest(const mapreduce::DigestReport& report,
+                     std::size_t run_id, cluster::NodeId node);
+  void handle_run_complete(std::size_t run_id);
+  void handle_timeout(std::size_t job, std::size_t wave_index);
+  void pump();  ///< submit every wave job whose dependencies are ready
+  void try_verify(std::size_t job);
+  void need_wave(std::size_t job, bool force);
+  void create_wave();
+  void check_completion();
+  void finish(bool success);
+
+  /// Nodes plausibly responsible for a deviant run: the run's own nodes
+  /// plus same-wave runs of unverified (non-gating) ancestors, whose
+  /// corruption would only surface at this job's verification points.
+  FaultAnalyzer::NodeSet cluster_of(std::size_t run_id) const;
+  void attribute_commission(const std::vector<std::size_t>& deviant_runs);
+  void attribute_omission(const std::vector<std::size_t>& runs);
+
+  std::string wave_scope(const Wave& w) const;
+  bool deps_ready(const Wave& w, std::size_t job) const;
+  std::vector<std::string> resolve_inputs(const Wave& w,
+                                          std::size_t job) const;
+
+  cluster::EventSim& sim_;
+  mapreduce::Dfs& dfs_;
+  cluster::ExecutionTracker& tracker_;
+  std::unique_ptr<FaultAnalyzer> fault_analyzer_;
+  AuditLog audit_;
+
+  /// Probe plans/specs must outlive their runs in the tracker.
+  struct ProbeJob {
+    std::unique_ptr<dataflow::LogicalPlan> plan;
+    mapreduce::JobDag dag;
+  };
+  std::vector<std::unique_ptr<ProbeJob>> probe_jobs_;
+  std::size_t probe_counter_ = 0;
+
+  // Per-execution state (reset by execute()).
+  const ClientRequest* request_ = nullptr;
+  dataflow::LogicalPlan plan_;
+  mapreduce::JobDag dag_;
+  std::unique_ptr<Verifier> verifier_;
+  std::vector<Wave> waves_;
+  std::map<std::size_t, RunInfo> run_info_;
+  std::vector<bool> verified_;                  ///< per job
+  std::vector<std::string> verified_path_;      ///< per job
+  std::vector<std::optional<std::size_t>> first_complete_run_;  ///< per job
+  std::map<std::string, std::size_t> job_by_output_;  ///< output path -> job
+  std::vector<std::size_t> my_runs_;
+  std::set<std::size_t> attributed_runs_;       ///< runs already blamed
+  std::set<std::size_t> decision_pending_;      ///< decision round in flight
+  std::set<std::size_t> decision_paid_;         ///< decision latency paid
+  std::set<cluster::NodeId> omission_suspects_; ///< nodes of hung replicas
+  std::vector<double> job_timeout_s_;           ///< per job, escalates
+  bool finished_ = false;
+  bool success_ = false;
+  cluster::SimTime start_time_ = 0;
+  cluster::SimTime finish_time_ = 0;
+  std::size_t commission_seen_ = 0;
+  std::size_t omission_seen_ = 0;
+  std::size_t digest_reports_ = 0;
+  std::size_t exec_counter_ = 0;  ///< distinguishes repeated executions
+};
+
+}  // namespace clusterbft::core

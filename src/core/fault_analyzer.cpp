@@ -1,0 +1,99 @@
+#include "core/fault_analyzer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace clusterbft::core {
+
+namespace {
+
+FaultAnalyzer::NodeSet intersect(const FaultAnalyzer::NodeSet& a,
+                                 const FaultAnalyzer::NodeSet& b) {
+  FaultAnalyzer::NodeSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+bool is_subset(const FaultAnalyzer::NodeSet& small,
+               const FaultAnalyzer::NodeSet& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+FaultAnalyzer::FaultAnalyzer(std::size_t f) : f_(f) {
+  CBFT_CHECK_MSG(f >= 1, "fault analyzer needs f >= 1");
+}
+
+void FaultAnalyzer::set_f(std::size_t f) { f_ = std::max(f_, f); }
+
+void FaultAnalyzer::observe(const NodeSet& faulty_cluster) {
+  if (faulty_cluster.empty()) return;
+  ++observations_;
+
+  if (!saturated()) {
+    // Stage 1: grow the disjoint family D.
+    bool disjoint_from_all = true;
+    for (const NodeSet& x : disjoint_) {
+      if (!intersect(x, faulty_cluster).empty()) {
+        disjoint_from_all = false;
+        break;
+      }
+    }
+    if (disjoint_from_all) {
+      disjoint_.push_back(faulty_cluster);
+    } else {
+      // If S is contained in some Y in D, S is the sharper evidence:
+      // demote Y to the overlapping family and keep S in D.
+      bool replaced = false;
+      for (std::size_t i = 0; i < disjoint_.size(); ++i) {
+        if (is_subset(faulty_cluster, disjoint_[i]) &&
+            faulty_cluster != disjoint_[i]) {
+          overlapping_.push_back(disjoint_[i]);
+          disjoint_[i] = faulty_cluster;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) overlapping_.push_back(faulty_cluster);
+    }
+    if (saturated()) {
+      // Stage 2 begins: retroactively refine D with everything seen so far.
+      const std::vector<NodeSet> seen = overlapping_;
+      for (const NodeSet& s : seen) refine_with(s);
+    }
+    return;
+  }
+
+  // Stage 2: shrink members of D.
+  overlapping_.push_back(faulty_cluster);
+  refine_with(faulty_cluster);
+}
+
+void FaultAnalyzer::refine_with(const NodeSet& s) {
+  // If s intersects exactly one member of D, the fault is in the
+  // intersection.
+  std::size_t hits = 0;
+  std::size_t hit_index = 0;
+  for (std::size_t i = 0; i < disjoint_.size(); ++i) {
+    if (!intersect(disjoint_[i], s).empty()) {
+      ++hits;
+      hit_index = i;
+    }
+  }
+  if (hits == 1) {
+    NodeSet refined = intersect(disjoint_[hit_index], s);
+    CBFT_CHECK(!refined.empty());
+    disjoint_[hit_index] = std::move(refined);
+  }
+}
+
+FaultAnalyzer::NodeSet FaultAnalyzer::suspects() const {
+  NodeSet out;
+  for (const NodeSet& x : disjoint_) out.insert(x.begin(), x.end());
+  return out;
+}
+
+}  // namespace clusterbft::core

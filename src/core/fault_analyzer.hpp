@@ -1,0 +1,57 @@
+// The fault analyzer (Fig. 7, §4.3): narrows commission faults down to
+// the smallest sets of nodes consistent with the observations.
+//
+// Stage 1 collects *disjoint* sets of suspicious nodes (each faulty job
+// cluster contains at least one faulty node; disjoint clusters therefore
+// pin down distinct faults) until their number reaches f — from then on
+// every disjoint set contains exactly one faulty node.
+// Stage 2 shrinks those sets: whenever a faulty cluster intersects exactly
+// one set in D, the fault must lie in the intersection.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cluster/resource_table.hpp"
+
+namespace clusterbft::core {
+
+class FaultAnalyzer {
+ public:
+  using NodeSet = std::set<cluster::NodeId>;
+
+  /// `f` is the number of expected failures; it may be raised later (the
+  /// paper tracks "the highest value of f the system has seen so far").
+  explicit FaultAnalyzer(std::size_t f);
+
+  /// Feed the set of nodes in a job cluster that just returned a
+  /// commission fault.
+  void observe(const NodeSet& faulty_cluster);
+
+  /// Raise f (never lowers).
+  void set_f(std::size_t f);
+  std::size_t f() const { return f_; }
+
+  /// True once |D| == f, i.e. each disjoint set holds exactly one fault.
+  bool saturated() const { return disjoint_.size() >= f_; }
+
+  const std::vector<NodeSet>& disjoint_sets() const { return disjoint_; }
+  const std::vector<NodeSet>& overlapping_sets() const { return overlapping_; }
+
+  /// Union of the disjoint sets: every node currently under suspicion.
+  NodeSet suspects() const;
+
+  /// Total observations fed so far.
+  std::size_t observations() const { return observations_; }
+
+ private:
+  void refine_with(const NodeSet& s);
+
+  std::size_t f_;
+  std::vector<NodeSet> disjoint_;     ///< D
+  std::vector<NodeSet> overlapping_;  ///< O
+  std::size_t observations_ = 0;
+};
+
+}  // namespace clusterbft::core

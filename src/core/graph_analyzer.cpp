@@ -1,0 +1,149 @@
+#include "core/graph_analyzer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace clusterbft::core {
+
+using dataflow::LogicalPlan;
+using dataflow::OpId;
+using dataflow::OpKind;
+
+std::vector<double> compute_input_ratios(
+    const LogicalPlan& plan,
+    const std::map<std::string, std::uint64_t>& input_sizes) {
+  std::vector<double> ir(plan.size(), 0.0);
+
+  double total_input = 0;
+  for (OpId v : plan.loads()) {
+    const auto it = input_sizes.find(plan.node(v).path);
+    const double sz =
+        it != input_sizes.end()
+            ? static_cast<double>(it->second)
+            : static_cast<double>(plan.node(v).declared_input_bytes);
+    total_input += sz;
+  }
+
+  const std::vector<std::size_t> level = plan.levels();
+
+  // Total ratio per level, filled as we sweep in topological order.
+  std::map<std::size_t, double> level_total;
+
+  for (const dataflow::OpNode& n : plan.nodes()) {
+    if (n.kind == OpKind::kLoad) {
+      const auto it = input_sizes.find(n.path);
+      const double sz = it != input_sizes.end()
+                            ? static_cast<double>(it->second)
+                            : static_cast<double>(n.declared_input_bytes);
+      ir[n.id] = total_input > 0 ? sz / total_input : 0.0;
+    } else {
+      double parent_sum = 0;
+      for (OpId p : n.inputs) parent_sum += ir[p];
+      const double denom = level_total.count(level[n.id] - 1)
+                               ? level_total[level[n.id] - 1]
+                               : 0.0;
+      ir[n.id] = denom > 0 ? parent_sum / denom : parent_sum;
+    }
+    level_total[level[n.id]] += ir[n.id];
+  }
+  return ir;
+}
+
+namespace {
+
+std::size_t min_distance_to_marked(const LogicalPlan& plan, OpId v,
+                                   const std::vector<OpId>& marked) {
+  std::size_t best = plan.size();
+  for (OpId m : marked) best = std::min(best, plan.distance(v, m));
+  return best;
+}
+
+bool is_job_boundary(const LogicalPlan& plan, OpId v) {
+  const OpKind k = plan.node(v).kind;
+  if (dataflow::is_blocking(k)) return true;
+  // The vertex feeding a STORE is materialised as a job output.
+  for (OpId c : plan.children(v)) {
+    if (plan.node(c).kind == OpKind::kStore) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<OpId> mark_verification_points(
+    const LogicalPlan& plan, const std::vector<double>& input_ratios,
+    std::size_t n, AdversaryModel adversary) {
+  CBFT_CHECK(input_ratios.size() == plan.size());
+
+  // M starts with the sinks: final outputs are always verified.
+  std::vector<OpId> marked = plan.stores();
+
+  std::vector<OpId> candidates;
+  for (const dataflow::OpNode& node : plan.nodes()) {
+    if (node.kind == OpKind::kLoad || node.kind == OpKind::kStore) continue;
+    if (adversary == AdversaryModel::kStrong &&
+        !is_job_boundary(plan, node.id)) {
+      continue;
+    }
+    candidates.push_back(node.id);
+  }
+
+  std::vector<OpId> picked;
+  for (std::size_t round = 0; round < n && !candidates.empty(); ++round) {
+    double max_score = -1;
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const OpId v = candidates[i];
+      const double score =
+          input_ratios[v] +
+          static_cast<double>(min_distance_to_marked(plan, v, marked));
+      if (score > max_score) {
+        max_score = score;
+        best_index = i;
+      }
+    }
+    const OpId m = candidates[best_index];
+    picked.push_back(m);
+    marked.push_back(m);
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(best_index));
+  }
+  return picked;
+}
+
+std::vector<mapreduce::VerificationPoint> analyze(
+    const LogicalPlan& plan,
+    const std::map<std::string, std::uint64_t>& input_sizes,
+    const ClientRequest& request) {
+  std::vector<OpId> internal;
+  if (!request.explicit_vp_aliases.empty()) {
+    for (const std::string& alias : request.explicit_vp_aliases) {
+      // The latest definition of an alias wins, matching the parser.
+      std::optional<OpId> found;
+      for (const dataflow::OpNode& n : plan.nodes()) {
+        if (n.alias == alias) found = n.id;
+      }
+      CBFT_CHECK_MSG(found.has_value(),
+                     "explicit verification point on unknown alias: " + alias);
+      internal.push_back(*found);
+    }
+  } else {
+    const std::vector<double> ir = compute_input_ratios(plan, input_sizes);
+    internal =
+        mark_verification_points(plan, ir, request.n, request.adversary);
+  }
+
+  std::vector<mapreduce::VerificationPoint> vps;
+  for (OpId v : internal) {
+    vps.push_back({v, request.records_per_digest});
+  }
+  if (request.verify_final_output) {
+    for (OpId s : plan.stores()) {
+      vps.push_back({s, request.records_per_digest});
+    }
+  }
+  return vps;
+}
+
+}  // namespace clusterbft::core

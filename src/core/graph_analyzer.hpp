@@ -1,0 +1,51 @@
+// The graph analyzer (§4.1): decides where in the data-flow graph to
+// verify, using input ratios (Fig. 5) and the marker function (Fig. 3).
+//
+// Interpretation notes (the paper leaves two details open):
+//  * min(v, M) with an empty M is undefined in Fig. 3. Final outputs are
+//    always verified (that is the baseline even for the "P" configuration),
+//    so we seed M with the STORE vertices: the marker then trades input
+//    ratio against distance from the already-verified sinks, which yields
+//    exactly the "mid point" behaviour the paper's Fig. 4 walkthrough
+//    describes.
+//  * LOAD vertices read trusted storage and STORE vertices are seeded, so
+//    neither is a candidate. Under the strong adversary model candidates
+//    are further restricted to vertices materialised at job boundaries
+//    (blocking operators), per §4.1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "dataflow/plan.hpp"
+#include "mapreduce/job.hpp"
+
+namespace clusterbft::core {
+
+/// Fig. 5: input ratios. Load vertices get their share of the total input
+/// bytes (`input_sizes` keyed by LOAD path); inner vertices get the sum of
+/// their parents' ratios normalised by the total ratio of the previous
+/// level. Indexed by vertex id.
+std::vector<double> compute_input_ratios(
+    const dataflow::LogicalPlan& plan,
+    const std::map<std::string, std::uint64_t>& input_sizes);
+
+/// Fig. 3: pick `n` verification vertices greedily by
+/// score(v) = ir[v] + min-edge-distance(v, M), M seeded with the sinks.
+/// Returns at most n vertices (fewer if the candidate set is smaller).
+std::vector<dataflow::OpId> mark_verification_points(
+    const dataflow::LogicalPlan& plan, const std::vector<double>& input_ratios,
+    std::size_t n, AdversaryModel adversary);
+
+/// Convenience: ratios + marking + digest granularity, ready for the
+/// compiler. Adds the final-output (STORE) points when
+/// `verify_final_output` is set.
+std::vector<mapreduce::VerificationPoint> analyze(
+    const dataflow::LogicalPlan& plan,
+    const std::map<std::string, std::uint64_t>& input_sizes,
+    const ClientRequest& request);
+
+}  // namespace clusterbft::core

@@ -1,0 +1,101 @@
+// Client-facing request and result types for ClusterBFT (§4.1: the client
+// submits a script together with f, a replication factor r, and the number
+// of verification points n, based on the perceived threat level).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_table.hpp"
+#include "dataflow/relation.hpp"
+
+namespace clusterbft::core {
+
+/// §2.3: a weak adversary may only cause omission/commission faults, so
+/// any vertex may carry a verification point; a strong adversary controls
+/// a node completely, so only data materialised at job boundaries can be
+/// meaningfully digested (§4.1 graph analyzer).
+enum class AdversaryModel { kWeak, kStrong };
+
+struct ClientRequest {
+  std::string script;            ///< PigLatin-subset source text
+  std::string name = "script";   ///< sid prefix / scoping name
+
+  std::size_t f = 1;             ///< expected failures
+  std::size_t r = 2;             ///< initial replication factor
+  std::size_t n = 2;             ///< internal verification points
+  AdversaryModel adversary = AdversaryModel::kWeak;
+
+  /// Records per digest (d in §6.4); 0 = one digest per stream.
+  std::uint64_t records_per_digest = 0;
+
+  /// Explicit verification points, named by operator alias. When
+  /// non-empty this overrides the marker function — used by the Fig. 10
+  /// benchmark, which places digests at specific operators (Join,
+  /// Project, Filter) rather than letting the graph analyzer choose.
+  std::vector<std::string> explicit_vp_aliases;
+
+  /// Verify the final outputs (always on for ClusterBFT and for the "P"
+  /// baseline; off reproduces unreplicated "Pure Pig").
+  bool verify_final_output = true;
+
+  /// Run the logical-plan optimizer (constant folding, filter merging /
+  /// pushdown, identity elimination) before analysis and compilation.
+  bool optimize_plan = false;
+
+  /// Naive BFT (Fig. 1 part ii / challenge C2): a job may only start once
+  /// every upstream job is *verified* — synchronisation after every
+  /// stage. ClusterBFT's offline comparison (false) lets each replica
+  /// chain proceed on its own outputs while digests are compared in the
+  /// background. Requires every job to carry verification points (pair
+  /// with the "individual" preset).
+  bool synchronous_verification = false;
+
+  /// Time the control tier needs to reach a verification decision (e.g.
+  /// one PBFT round among 3f+1 request-handler replicas, §6.4). Offline
+  /// comparison hides it off the critical path; synchronous verification
+  /// pays it at every job boundary.
+  double decision_latency_s = 0.0;
+
+  /// Simulated seconds the verifier waits for replicas of a job before
+  /// declaring omissions and rescheduling with a larger r.
+  double verifier_timeout_s = 300.0;
+
+  /// Give up (unverified) after this many rerun waves.
+  std::size_t max_rerun_waves = 6;
+
+  std::size_t reducers_per_job = 4;
+};
+
+/// Aggregated cost of executing one script, over all replicas and waves —
+/// the columns of Table 3.
+struct ScriptMetrics {
+  double latency_s = 0;          ///< submit -> final outputs verified
+  double cpu_seconds = 0;        ///< total task time across all replicas
+  std::uint64_t file_read = 0;
+  std::uint64_t file_write = 0;
+  std::uint64_t hdfs_write = 0;
+  std::uint64_t digested = 0;
+  std::size_t runs = 0;          ///< job-replica executions
+  std::size_t waves = 0;         ///< initial replicas + rerun waves
+  /// Digest messages the verifier processed — with a BFT-replicated
+  /// control tier (§6.4) each must be totally ordered among the request
+  /// handler replicas, so this scales the control-tier cost with the
+  /// digest granularity d.
+  std::size_t digest_reports = 0;
+};
+
+struct ScriptResult {
+  bool verified = false;
+  /// Verified output relations, keyed by STORE path.
+  std::map<std::string, dataflow::Relation> outputs;
+  ScriptMetrics metrics;
+  /// Nodes the fault analyzer currently narrows faults down to.
+  std::vector<cluster::NodeId> suspects;
+  std::size_t commission_faults_seen = 0;
+  std::size_t omission_faults_seen = 0;
+};
+
+}  // namespace clusterbft::core

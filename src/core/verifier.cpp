@@ -1,0 +1,127 @@
+#include "core/verifier.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace clusterbft::core {
+
+void Verifier::expect_run(const std::string& sid, std::size_t run_id,
+                          bool gating) {
+  JobState& job = jobs_[sid];
+  job.gating = job.gating || gating;
+  job.runs[run_id];  // default-construct
+}
+
+void Verifier::add_report(const std::string& sid, std::size_t run_id,
+                          const mapreduce::DigestReport& report) {
+  JobState& job = jobs_[sid];
+  auto it = job.runs.find(run_id);
+  CBFT_CHECK_MSG(it != job.runs.end(), "digest from an unexpected run");
+  CBFT_CHECK_MSG(!it->second.complete, "digest after run completion");
+  // A Byzantine task could double-report a key; last write wins, and the
+  // resulting vector simply won't match honest replicas.
+  it->second.digests[report.key] = report.digest;
+}
+
+void Verifier::mark_run_complete(const std::string& sid, std::size_t run_id) {
+  JobState& job = jobs_[sid];
+  auto it = job.runs.find(run_id);
+  CBFT_CHECK_MSG(it != job.runs.end(), "completion of an unexpected run");
+  it->second.complete = true;
+}
+
+const Verifier::JobState* Verifier::find(const std::string& sid) const {
+  auto it = jobs_.find(sid);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::vector<std::size_t>> Verifier::agreement_groups(
+    const JobState& job) const {
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<const RunState*> reps;
+  for (const auto& [run_id, state] : job.runs) {
+    if (!state.complete) continue;
+    bool placed = false;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (reps[g]->digests == state.digests) {
+        groups[g].push_back(run_id);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      groups.push_back({run_id});
+      reps.push_back(&state);
+    }
+  }
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() > b.size();
+                   });
+  return groups;
+}
+
+std::optional<Verifier::Decision> Verifier::try_decide(
+    const std::string& sid) const {
+  const JobState* job = find(sid);
+  CBFT_CHECK_MSG(job != nullptr, "deciding an unknown sid");
+  if (!job->gating) return std::nullopt;
+
+  const auto groups = agreement_groups(*job);
+  if (groups.empty() || groups.front().size() < f_ + 1) return std::nullopt;
+
+  Decision d;
+  d.verified = true;
+  d.majority_runs = groups.front();
+  for (std::size_t g = 1; g < groups.size(); ++g) {
+    d.deviant_runs.insert(d.deviant_runs.end(), groups[g].begin(),
+                          groups[g].end());
+  }
+  return d;
+}
+
+std::vector<std::size_t> Verifier::current_deviants(
+    const std::string& sid) const {
+  const JobState* job = find(sid);
+  CBFT_CHECK(job != nullptr);
+  const auto groups = agreement_groups(*job);
+  std::vector<std::size_t> out;
+  for (std::size_t g = 1; g < groups.size(); ++g) {
+    out.insert(out.end(), groups[g].begin(), groups[g].end());
+  }
+  return out;
+}
+
+bool Verifier::is_gating(const std::string& sid) const {
+  const JobState* job = find(sid);
+  return job != nullptr && job->gating;
+}
+
+std::size_t Verifier::expected_runs(const std::string& sid) const {
+  const JobState* job = find(sid);
+  return job ? job->runs.size() : 0;
+}
+
+std::size_t Verifier::completed_runs(const std::string& sid) const {
+  const JobState* job = find(sid);
+  if (!job) return 0;
+  std::size_t n = 0;
+  for (const auto& [run_id, state] : job->runs) {
+    if (state.complete) ++n;
+  }
+  return n;
+}
+
+std::vector<std::size_t> Verifier::incomplete_runs(
+    const std::string& sid) const {
+  const JobState* job = find(sid);
+  std::vector<std::size_t> out;
+  if (!job) return out;
+  for (const auto& [run_id, state] : job->runs) {
+    if (!state.complete) out.push_back(run_id);
+  }
+  return out;
+}
+
+}  // namespace clusterbft::core

@@ -1,0 +1,82 @@
+// The output verifier (§4.1/§4.2): collects digests streamed from tasks
+// at verification points and, per sub-graph, asserts that at least f+1
+// replicas produced byte-identical digest vectors.
+//
+// Comparison is *offline*: replicas report digests as their tasks run and
+// downstream jobs of a replica chain proceed without waiting; the verifier
+// decides as soon as enough complete, matching replicas exist.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "mapreduce/job.hpp"
+
+namespace clusterbft::core {
+
+class Verifier {
+ public:
+  explicit Verifier(std::size_t f) : f_(f) {}
+
+  std::size_t f() const { return f_; }
+
+  /// Announce that `run_id` executes a replica of sub-graph `sid` and
+  /// whether that job carries verification points ("gating": only gating
+  /// jobs can be declared verified — a job without digests offers no
+  /// evidence).
+  void expect_run(const std::string& sid, std::size_t run_id, bool gating);
+
+  /// Digest message from a task of `run_id`.
+  void add_report(const std::string& sid, std::size_t run_id,
+                  const mapreduce::DigestReport& report);
+
+  /// The run finished (its digest vector is complete).
+  void mark_run_complete(const std::string& sid, std::size_t run_id);
+
+  struct Decision {
+    bool verified = false;
+    std::vector<std::size_t> majority_runs;  ///< agreeing, completed runs
+    std::vector<std::size_t> deviant_runs;   ///< completed, disagreeing
+  };
+
+  /// Decide `sid` if possible: verified when >= f+1 completed runs agree
+  /// on the entire digest vector. Returns nullopt for non-gating jobs and
+  /// for jobs without enough agreement yet (deviants are still reported
+  /// through `current_deviants`).
+  std::optional<Decision> try_decide(const std::string& sid) const;
+
+  /// Completed runs that disagree with the (possibly not yet sufficient)
+  /// plurality — used for eager fault attribution.
+  std::vector<std::size_t> current_deviants(const std::string& sid) const;
+
+  bool is_gating(const std::string& sid) const;
+  std::size_t expected_runs(const std::string& sid) const;
+  std::size_t completed_runs(const std::string& sid) const;
+  std::vector<std::size_t> incomplete_runs(const std::string& sid) const;
+
+ private:
+  struct RunState {
+    std::map<mapreduce::DigestKey, crypto::Digest256> digests;
+    bool complete = false;
+  };
+  struct JobState {
+    bool gating = false;
+    std::map<std::size_t, RunState> runs;  ///< by run id
+  };
+
+  /// Group completed runs by identical digest vectors; returns groups of
+  /// run ids, largest first.
+  std::vector<std::vector<std::size_t>> agreement_groups(
+      const JobState& job) const;
+
+  const JobState* find(const std::string& sid) const;
+
+  std::size_t f_;
+  std::map<std::string, JobState> jobs_;
+};
+
+}  // namespace clusterbft::core

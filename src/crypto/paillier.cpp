@@ -1,0 +1,226 @@
+#include "crypto/paillier.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace clusterbft::crypto {
+
+U128 mul_mod_u128(U128 a, U128 b, U128 m) {
+  CBFT_CHECK(m != 0);
+  a %= m;
+  b %= m;
+  // Double-and-add: the product of two 128-bit residues needs 256 bits,
+  // which the platform lacks; O(128) additions keep everything in range.
+  U128 result = 0;
+  while (b > 0) {
+    if (b & 1) {
+      result = (result >= m - a) ? result - (m - a) : result + a;
+    }
+    a = (a >= m - a) ? a - (m - a) : a + a;
+    b >>= 1;
+  }
+  return result;
+}
+
+U128 pow_mod_u128(U128 base, U128 exp, U128 m) {
+  CBFT_CHECK(m != 0);
+  U128 result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod_u128(result, base, m);
+    base = mul_mod_u128(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+U128 inv_mod_u128(U128 a, U128 m) {
+  // Extended Euclid over signed 256-ish arithmetic is awkward; track the
+  // Bezout coefficient of `a` only, in the ring mod m.
+  CBFT_CHECK(m > 1);
+  U128 r0 = m, r1 = a % m;
+  // Coefficients stored as (value, negative?) to stay unsigned.
+  U128 t0 = 0, t1 = 1;
+  bool neg0 = false, neg1 = false;
+  while (r1 != 0) {
+    const U128 q = r0 / r1;
+    const U128 r2 = r0 % r1;
+    // t2 = t0 - q*t1 with sign tracking.
+    const U128 qt1 = mul_mod_u128(q % m, t1, m);
+    U128 t2;
+    bool neg2;
+    if (neg0 == neg1) {
+      // t0 and q*t1 carry the same sign: subtract magnitudes.
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        neg2 = neg0;
+      } else {
+        t2 = qt1 - t0;
+        neg2 = !neg0;
+      }
+    } else {
+      t2 = t0 + qt1;
+      if (t2 >= m) t2 -= m;
+      neg2 = neg0;
+    }
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    neg0 = neg1;
+    t1 = t2;
+    neg1 = neg2;
+  }
+  CBFT_CHECK_MSG(r0 == 1, "modular inverse does not exist");
+  U128 inv = t0 % m;
+  if (neg0 && inv != 0) inv = m - inv;
+  return inv;
+}
+
+namespace {
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller-Rabin for 64-bit integers with the standard
+  // witness set.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (a % n == 0) continue;
+    U128 x = pow_mod_u128(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mul_mod_u128(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::uint64_t random_prime(Rng& rng, unsigned bits) {
+  CBFT_CHECK(bits >= 8 && bits <= 32);
+  for (;;) {
+    std::uint64_t candidate =
+        (rng.next() >> (64 - bits)) | (1ull << (bits - 1)) | 1ull;
+    if (is_prime_u64(candidate)) return candidate;
+  }
+}
+
+/// L(x) = (x - 1) / n, defined on x ≡ 1 (mod n).
+U128 ell(U128 x, U128 n) { return (x - 1) / n; }
+
+}  // namespace
+
+PaillierKeyPair paillier_generate(Rng& rng, unsigned prime_bits) {
+  for (;;) {
+    const std::uint64_t p = random_prime(rng, prime_bits);
+    std::uint64_t q = p;
+    while (q == p) q = random_prime(rng, prime_bits);
+    // Paillier requires gcd(pq, (p-1)(q-1)) = 1, which for distinct
+    // primes reduces to p ∤ (q-1) and q ∤ (p-1).
+    if (gcd_u64(p, q - 1) != 1 || gcd_u64(q, p - 1) != 1) continue;
+
+    PaillierKeyPair kp;
+    kp.pub.n = U128{p} * q;
+    kp.pub.n2 = kp.pub.n * kp.pub.n;
+    kp.pub.g = kp.pub.n + 1;
+    const std::uint64_t l = (p - 1) / gcd_u64(p - 1, q - 1) * (q - 1);
+    kp.priv.lambda = l;
+    const U128 x = pow_mod_u128(kp.pub.g, kp.priv.lambda, kp.pub.n2);
+    const U128 lx = ell(x, kp.pub.n);
+    if (lx == 0) continue;  // degenerate; try fresh primes
+    kp.priv.mu = inv_mod_u128(lx, kp.pub.n);
+    return kp;
+  }
+}
+
+U128 paillier_encrypt(const PaillierPublicKey& pub, std::uint64_t m,
+                      Rng& rng) {
+  CBFT_CHECK_MSG(U128{m} < pub.n, "plaintext must be < n");
+  // r uniform in [1, n) with gcd(r, n) = 1.
+  U128 r;
+  do {
+    r = (U128{rng.next()} % (pub.n - 1)) + 1;
+  } while (r % pub.n == 0);
+  // c = g^m * r^n mod n^2; with g = n+1: g^m = 1 + m*n (mod n^2).
+  const U128 gm = (1 + mul_mod_u128(m, pub.n, pub.n2)) % pub.n2;
+  const U128 rn = pow_mod_u128(r, pub.n, pub.n2);
+  return mul_mod_u128(gm, rn, pub.n2);
+}
+
+std::uint64_t paillier_decrypt(const PaillierPublicKey& pub,
+                               const PaillierPrivateKey& priv, U128 cipher) {
+  const U128 x = pow_mod_u128(cipher, priv.lambda, pub.n2);
+  const U128 m = mul_mod_u128(ell(x, pub.n), priv.mu, pub.n);
+  return static_cast<std::uint64_t>(m);
+}
+
+U128 paillier_add(const PaillierPublicKey& pub, U128 ca, U128 cb) {
+  return mul_mod_u128(ca, cb, pub.n2);
+}
+
+U128 paillier_mul_plain(const PaillierPublicKey& pub, U128 c,
+                        std::uint64_t k) {
+  return pow_mod_u128(c, k, pub.n2);
+}
+
+U128 paillier_zero(const PaillierPublicKey& pub) {
+  return 1 % pub.n2;  // g^0 * 1^n
+}
+
+std::string u128_to_hex(U128 x) {
+  static const char* kHex = "0123456789abcdef";
+  if (x == 0) return "0";
+  std::string out;
+  while (x > 0) {
+    out.push_back(kHex[static_cast<unsigned>(x & 0xf)]);
+    x >>= 4;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+U128 u128_from_hex(const std::string& hex) {
+  CBFT_CHECK(!hex.empty() && hex.size() <= 32);
+  U128 x = 0;
+  for (char c : hex) {
+    x <<= 4;
+    if (c >= '0' && c <= '9') {
+      x |= static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      x |= static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      x |= static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      CBFT_CHECK_MSG(false, "invalid hex digit");
+    }
+  }
+  return x;
+}
+
+}  // namespace clusterbft::crypto

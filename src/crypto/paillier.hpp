@@ -1,0 +1,77 @@
+// Paillier partially homomorphic cryptosystem (additively homomorphic):
+// E(a) * E(b) mod n^2 = E(a + b), E(a)^k = E(k*a).
+//
+// The paper's conclusion names exactly this direction: "We are working
+// towards providing confidentiality by using ClusterBFT for analyzing
+// data encrypted using partially homomorphic cryptosystems." This module
+// provides the cryptosystem; the `confidential_weather` example runs an
+// aggregation over Paillier ciphertexts through the full ClusterBFT
+// pipeline (untrusted nodes only ever see ciphertexts, integrity still
+// comes from digest comparison).
+//
+// DEMO-GRADE PARAMETERS: the modulus n = p*q uses 32-bit primes so that
+// all arithmetic fits in unsigned __int128 (n^2 < 2^128). A 64-bit
+// modulus is trivially factorable — this demonstrates the mechanism, not
+// deployable confidentiality. The API is parameter-agnostic; swapping in
+// a bignum backend changes none of the call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace clusterbft::crypto {
+
+using U128 = unsigned __int128;
+
+struct PaillierPublicKey {
+  U128 n = 0;   ///< p*q
+  U128 n2 = 0;  ///< n^2, the ciphertext modulus
+  U128 g = 0;   ///< n+1 (standard simplified generator)
+};
+
+struct PaillierPrivateKey {
+  U128 lambda = 0;  ///< lcm(p-1, q-1)
+  U128 mu = 0;      ///< (L(g^lambda mod n^2))^-1 mod n
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+/// Generate a key pair from two random `prime_bits`-bit primes (<= 32).
+PaillierKeyPair paillier_generate(Rng& rng, unsigned prime_bits = 32);
+
+/// Encrypt plaintext m (< n). Randomised: repeated encryptions of the
+/// same plaintext differ (semantic security), but any fixed ciphertext
+/// flows deterministically through the dataflow engine.
+U128 paillier_encrypt(const PaillierPublicKey& pub, std::uint64_t m,
+                      Rng& rng);
+
+/// Decrypt a ciphertext.
+std::uint64_t paillier_decrypt(const PaillierPublicKey& pub,
+                               const PaillierPrivateKey& priv, U128 cipher);
+
+/// Homomorphic addition: E(a) (+) E(b) = E(a+b).
+U128 paillier_add(const PaillierPublicKey& pub, U128 ca, U128 cb);
+
+/// Homomorphic plaintext multiplication: E(a) (*) k = E(a*k).
+U128 paillier_mul_plain(const PaillierPublicKey& pub, U128 c,
+                        std::uint64_t k);
+
+/// E(0) with fixed randomness 1 — the neutral element for paillier_add.
+U128 paillier_zero(const PaillierPublicKey& pub);
+
+/// Hex round-trip for carrying ciphertexts through chararray fields.
+std::string u128_to_hex(U128 x);
+U128 u128_from_hex(const std::string& hex);
+
+// Exposed for tests: deterministic modular arithmetic on U128.
+U128 mul_mod_u128(U128 a, U128 b, U128 m);
+U128 pow_mod_u128(U128 base, U128 exp, U128 m);
+U128 inv_mod_u128(U128 a, U128 m);  ///< CHECKs that the inverse exists
+bool is_prime_u64(std::uint64_t n);
+
+}  // namespace clusterbft::crypto

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from scratch — the paper's verification
+// function computes SHA-256 digests of the data streaming through each
+// verification point (§4.1, §5.2).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace clusterbft::crypto {
+
+/// Streaming SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.update(bytes, len);
+///   auto digest = h.finalize();   // hasher must not be reused afterwards
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorb `len` bytes.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Pad, produce the digest, and invalidate the hasher.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// Lower-case hex encoding of a digest.
+std::string to_hex(const Sha256::Digest& d);
+
+}  // namespace clusterbft::crypto

@@ -1,0 +1,115 @@
+// Expression AST + evaluator for FILTER predicates and FOREACH/GENERATE
+// projections, including the aggregate functions applied after GROUP.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/schema.hpp"
+#include "dataflow/value.hpp"
+
+namespace clusterbft::dataflow {
+
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnOp { kNot, kNeg };
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* to_string(BinOp op);
+const char* to_string(AggFunc f);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One AST node. A closed sum type kept as a tagged struct (simpler to
+/// traverse than a class hierarchy, and the set of node kinds is fixed).
+struct Expr {
+  enum class Kind {
+    kColumn,    ///< input field reference
+    kLiteral,   ///< constant
+    kBinary,    ///< lhs op rhs
+    kUnary,     ///< op operand
+    kIsNull,    ///< operand IS [NOT] NULL
+    kAggregate, ///< COUNT/SUM/AVG/MIN/MAX over a bag column
+    kTrunc,     ///< TRUNC(x): double -> long toward zero (§5.4 determinism)
+    kUdfScalar,    ///< registered scalar UDF over argument expressions
+    kUdfAggregate, ///< registered aggregate UDF over a bag column
+    kRowHash,      ///< deterministic hash of the whole input tuple in
+                   ///< [0, 1e6) — the basis of SAMPLE (replica-identical)
+  };
+
+  Kind kind;
+
+  // kColumn
+  std::size_t column = 0;
+  std::string column_name;  // for diagnostics / plan printing
+
+  // kLiteral
+  Value literal;
+
+  // kBinary / kUnary / kIsNull / kTrunc
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNot;
+  bool negated = false;  // kIsNull: true for IS NOT NULL
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kAggregate / kUdfAggregate
+  AggFunc agg_func = AggFunc::kCount;
+  std::size_t bag_column = 0;               ///< which input field holds the bag
+  std::optional<std::size_t> inner_column;  ///< field within bag tuples
+
+  // kUdfScalar / kUdfAggregate
+  std::string udf_name;           ///< upper-case registry key
+  std::vector<ExprPtr> args;      ///< scalar UDF arguments
+
+  static ExprPtr column_ref(std::size_t index, std::string name);
+  static ExprPtr literal_of(Value v);
+  static ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr unary(UnOp op, ExprPtr operand);
+  static ExprPtr is_null(ExprPtr operand, bool negated);
+  static ExprPtr aggregate(AggFunc f, std::size_t bag_column,
+                           std::optional<std::size_t> inner_column);
+  static ExprPtr trunc(ExprPtr operand);
+  static ExprPtr udf_scalar(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr udf_aggregate(std::string name, std::size_t bag_column,
+                               std::optional<std::size_t> inner_column);
+  static ExprPtr row_hash();
+
+  /// True if the subtree contains an aggregate node.
+  bool contains_aggregate() const;
+
+  /// Pig-ish rendering for plan dumps.
+  std::string to_string() const;
+};
+
+/// Evaluate against one input tuple. Null propagates through arithmetic;
+/// comparisons involving null yield null (which filters treat as false).
+/// Booleans are longs (0/1).
+Value eval_expr(const Expr& e, const Tuple& input);
+
+/// True iff `v` is "truthy": a non-null, non-zero numeric.
+bool is_truthy(const Value& v);
+
+/// Static result type of an expression over `input` (best effort; kNull if
+/// the type depends on runtime nulls).
+ValueType result_type(const Expr& e, const Schema& input);
+
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,23 @@
+// Reference interpreter: evaluates a logical plan directly, in-process.
+//
+// This is the golden semantics. The distributed MapReduce execution (with
+// or without BFT replication) must produce the same multiset of rows at
+// every STORE — the integration tests assert exactly that.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dataflow/plan.hpp"
+#include "dataflow/relation.hpp"
+
+namespace clusterbft::dataflow {
+
+/// Evaluate `plan` against named input tables (keyed by LOAD path).
+/// Returns the relation stored at each STORE path.
+/// Throws CheckError if a LOAD path is missing from `inputs` or a LOAD
+/// schema does not match the table arity.
+std::map<std::string, Relation> interpret(
+    const LogicalPlan& plan, const std::map<std::string, Relation>& inputs);
+
+}  // namespace clusterbft::dataflow

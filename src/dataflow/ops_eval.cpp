@@ -1,0 +1,205 @@
+#include "dataflow/ops_eval.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace clusterbft::dataflow {
+
+Relation eval_filter(const OpNode& op, const Relation& in) {
+  Relation out(op.schema);
+  for (const Tuple& t : in.rows()) {
+    if (is_truthy(eval_expr(*op.predicate, t))) out.add(t);
+  }
+  return out;
+}
+
+Relation eval_foreach(const OpNode& op, const Relation& in) {
+  Relation out(op.schema);
+  for (const Tuple& t : in.rows()) {
+    Tuple o;
+    o.fields.reserve(op.schema.size());
+    for (const GenField& g : op.gen) {
+      Value v = eval_expr(*g.expr, t);
+      if (g.flatten && v.type() == ValueType::kTuple) {
+        for (const Value& f : v.as_tuple()->fields) o.fields.push_back(f);
+      } else {
+        o.fields.push_back(std::move(v));
+      }
+    }
+    CBFT_CHECK_MSG(o.size() == op.schema.size(),
+                   "FLATTEN arity mismatch at runtime");
+    out.add(std::move(o));
+  }
+  return out;
+}
+
+/// The GROUP/JOIN key of a tuple: the scalar itself for one key column,
+/// a nested tuple for several (Pig semantics).
+static Value extract_key(const Tuple& t, const std::vector<std::size_t>& keys) {
+  CBFT_CHECK(!keys.empty());
+  if (keys.size() == 1) return t.at(keys[0]);
+  std::vector<Value> fields;
+  fields.reserve(keys.size());
+  for (std::size_t k : keys) fields.push_back(t.at(k));
+  return Value::tuple_of(std::move(fields));
+}
+
+Relation eval_group(const OpNode& op, const Relation& in) {
+  // std::map keyed on Value gives deterministic group order; bags are
+  // sorted canonically below for replica determinism.
+  std::map<Value, std::vector<Tuple>> groups;
+  for (const Tuple& t : in.rows()) {
+    groups[extract_key(t, op.group_keys)].push_back(t);
+  }
+  Relation out(op.schema);
+  for (auto& [key, tuples] : groups) {
+    std::sort(tuples.begin(), tuples.end(),
+              [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
+    Tuple o;
+    o.fields.push_back(key);
+    o.fields.push_back(
+        Value(std::make_shared<const std::vector<Tuple>>(std::move(tuples))));
+    out.add(std::move(o));
+  }
+  return out;
+}
+
+Relation eval_join(const OpNode& op, const Relation& left,
+                   const Relation& right) {
+  // Deterministic hash join: bucket the right side by key (ordered map for
+  // stable iteration), then probe with the left side in input order.
+  auto any_null = [](const Tuple& t, const std::vector<std::size_t>& keys) {
+    for (std::size_t k : keys) {
+      if (t.at(k).is_null()) return true;
+    }
+    return false;
+  };
+  std::map<Value, std::vector<const Tuple*>> right_index;
+  for (const Tuple& t : right.rows()) {
+    if (any_null(t, op.right_keys)) continue;
+    right_index[extract_key(t, op.right_keys)].push_back(&t);
+  }
+  Relation out(op.schema);
+  for (const Tuple& lt : left.rows()) {
+    if (any_null(lt, op.left_keys)) continue;
+    const Value k = extract_key(lt, op.left_keys);
+    auto it = right_index.find(k);
+    if (it == right_index.end()) continue;
+    for (const Tuple* rt : it->second) {
+      Tuple o;
+      o.fields.reserve(lt.size() + rt->size());
+      o.fields.insert(o.fields.end(), lt.fields.begin(), lt.fields.end());
+      o.fields.insert(o.fields.end(), rt->fields.begin(), rt->fields.end());
+      out.add(std::move(o));
+    }
+  }
+  return out;
+}
+
+Relation eval_cogroup(const OpNode& op, const Relation& left,
+                      const Relation& right) {
+  std::map<Value, std::pair<std::vector<Tuple>, std::vector<Tuple>>> groups;
+  for (const Tuple& t : left.rows()) {
+    groups[extract_key(t, op.left_keys)].first.push_back(t);
+  }
+  for (const Tuple& t : right.rows()) {
+    groups[extract_key(t, op.right_keys)].second.push_back(t);
+  }
+  Relation out(op.schema);
+  for (auto& [key, pair] : groups) {
+    auto sort_rows = [](std::vector<Tuple>& rows) {
+      std::sort(rows.begin(), rows.end(),
+                [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
+    };
+    sort_rows(pair.first);
+    sort_rows(pair.second);
+    Tuple o;
+    o.fields.push_back(key);
+    o.fields.push_back(Value(
+        std::make_shared<const std::vector<Tuple>>(std::move(pair.first))));
+    o.fields.push_back(Value(
+        std::make_shared<const std::vector<Tuple>>(std::move(pair.second))));
+    out.add(std::move(o));
+  }
+  return out;
+}
+
+Relation eval_union(const OpNode& op,
+                    const std::vector<const Relation*>& ins) {
+  Relation out(op.schema);
+  for (const Relation* r : ins) {
+    CBFT_CHECK_MSG(r->schema().size() == op.schema.size(),
+                   "UNION inputs must have equal arity");
+    for (const Tuple& t : r->rows()) out.add(t);
+  }
+  return out;
+}
+
+Relation eval_distinct(const OpNode& op, const Relation& in) {
+  std::vector<Tuple> rows = in.sorted_rows();
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return Relation(op.schema, std::move(rows));
+}
+
+Relation eval_order(const OpNode& op, const Relation& in) {
+  std::vector<Tuple> rows = in.rows();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&op](const Tuple& a, const Tuple& b) {
+                     for (const SortKey& k : op.sort_keys) {
+                       const auto c = a.at(k.column) <=> b.at(k.column);
+                       if (c == std::strong_ordering::equal) continue;
+                       const bool less = c == std::strong_ordering::less;
+                       return k.ascending ? less : !less;
+                     }
+                     // Full-tuple tiebreak keeps the order deterministic
+                     // across replicas even for equal keys.
+                     return (a <=> b) < 0;
+                   });
+  return Relation(op.schema, std::move(rows));
+}
+
+Relation eval_limit(const OpNode& op, const Relation& in) {
+  Relation out(op.schema);
+  const auto n = static_cast<std::size_t>(op.limit);
+  for (std::size_t i = 0; i < in.size() && i < n; ++i) out.add(in.rows()[i]);
+  return out;
+}
+
+Relation eval_op(const OpNode& op, const std::vector<const Relation*>& ins) {
+  switch (op.kind) {
+    case OpKind::kFilter:
+      CBFT_CHECK(ins.size() == 1);
+      return eval_filter(op, *ins[0]);
+    case OpKind::kForeach:
+      CBFT_CHECK(ins.size() == 1);
+      return eval_foreach(op, *ins[0]);
+    case OpKind::kGroup:
+      CBFT_CHECK(ins.size() == 1);
+      return eval_group(op, *ins[0]);
+    case OpKind::kJoin:
+      CBFT_CHECK(ins.size() == 2);
+      return eval_join(op, *ins[0], *ins[1]);
+    case OpKind::kCogroup:
+      CBFT_CHECK(ins.size() == 2);
+      return eval_cogroup(op, *ins[0], *ins[1]);
+    case OpKind::kUnion:
+      return eval_union(op, ins);
+    case OpKind::kDistinct:
+      CBFT_CHECK(ins.size() == 1);
+      return eval_distinct(op, *ins[0]);
+    case OpKind::kOrder:
+      CBFT_CHECK(ins.size() == 1);
+      return eval_order(op, *ins[0]);
+    case OpKind::kLimit:
+      CBFT_CHECK(ins.size() == 1);
+      return eval_limit(op, *ins[0]);
+    case OpKind::kLoad:
+    case OpKind::kStore:
+      CBFT_CHECK_MSG(false, "Load/Store are storage ops, not data ops");
+  }
+  return Relation();
+}
+
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,45 @@
+// Operator semantics over materialised relations.
+//
+// These functions define the *meaning* of each logical operator once; both
+// the reference interpreter (golden semantics for tests) and the MapReduce
+// task runtime (which applies them to partitions) call into here, so the
+// distributed execution provably computes the same function as the local
+// one — modulo row order, which MapReduce does not define.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/plan.hpp"
+#include "dataflow/relation.hpp"
+
+namespace clusterbft::dataflow {
+
+Relation eval_filter(const OpNode& op, const Relation& in);
+Relation eval_foreach(const OpNode& op, const Relation& in);
+
+/// GROUP BY a single key column. Bags are sorted canonically so that every
+/// replica (regardless of the order tuples arrived from the shuffle)
+/// produces byte-identical groups — the determinism fix §5.4 defers to
+/// future work, implemented here.
+Relation eval_group(const OpNode& op, const Relation& in);
+
+/// Inner equi-join (null keys never match).
+Relation eval_join(const OpNode& op, const Relation& left,
+                   const Relation& right);
+
+/// Outer cogroup: (group, bag-of-left, bag-of-right) for every key in
+/// either input; bags are canonically sorted, absent sides yield empty
+/// bags. Null keys group together (Pig semantics for [co]grouping).
+Relation eval_cogroup(const OpNode& op, const Relation& left,
+                      const Relation& right);
+
+Relation eval_union(const OpNode& op, const std::vector<const Relation*>& ins);
+Relation eval_distinct(const OpNode& op, const Relation& in);
+Relation eval_order(const OpNode& op, const Relation& in);
+Relation eval_limit(const OpNode& op, const Relation& in);
+
+/// Dispatch on op.kind. Load/Store are handled by the caller (they touch
+/// storage, not data).
+Relation eval_op(const OpNode& op, const std::vector<const Relation*>& ins);
+
+}  // namespace clusterbft::dataflow

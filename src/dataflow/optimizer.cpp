@@ -1,0 +1,236 @@
+#include "dataflow/optimizer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace clusterbft::dataflow {
+
+namespace {
+
+bool is_literal(const ExprPtr& e) { return e->kind == Expr::Kind::kLiteral; }
+
+/// Can this node be evaluated at compile time if its children are
+/// literals? Aggregates/UDFs/row hashes stay runtime-only (UDFs may be
+/// re-registered between compile and run).
+bool foldable_kind(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kUnary:
+    case Expr::Kind::kIsNull:
+    case Expr::Kind::kTrunc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ExprPtr fold_constants(const ExprPtr& e, std::size_t* folds) {
+  CBFT_CHECK(e != nullptr);
+  Expr copy = *e;
+  bool changed = false;
+  if (copy.lhs) {
+    auto f = fold_constants(copy.lhs, folds);
+    changed |= f != copy.lhs;
+    copy.lhs = std::move(f);
+  }
+  if (copy.rhs) {
+    auto f = fold_constants(copy.rhs, folds);
+    changed |= f != copy.rhs;
+    copy.rhs = std::move(f);
+  }
+  for (ExprPtr& a : copy.args) {
+    auto f = fold_constants(a, folds);
+    changed |= f != a;
+    a = std::move(f);
+  }
+
+  const bool children_literal =
+      (!copy.lhs || is_literal(copy.lhs)) &&
+      (!copy.rhs || is_literal(copy.rhs));
+  if (foldable_kind(copy) && children_literal) {
+    // Evaluate against an empty tuple: no columns are referenced.
+    const Value v = eval_expr(copy, Tuple{});
+    if (folds) ++*folds;
+    return Expr::literal_of(v);
+  }
+  if (!changed) return e;
+  return std::make_shared<Expr>(std::move(copy));
+}
+
+ExprPtr substitute_columns(const ExprPtr& e,
+                           const std::vector<GenField>& gen) {
+  CBFT_CHECK(e != nullptr);
+  if (e->kind == Expr::Kind::kColumn) {
+    CBFT_CHECK_MSG(e->column < gen.size(),
+                   "substitution: column without a generator");
+    return gen[e->column].expr;
+  }
+  Expr copy = *e;
+  if (copy.lhs) copy.lhs = substitute_columns(copy.lhs, gen);
+  if (copy.rhs) copy.rhs = substitute_columns(copy.rhs, gen);
+  for (ExprPtr& a : copy.args) a = substitute_columns(a, gen);
+  return std::make_shared<Expr>(std::move(copy));
+}
+
+namespace {
+
+bool contains_volatile(const Expr& e) {
+  if (e.kind == Expr::Kind::kRowHash || e.kind == Expr::Kind::kUdfScalar ||
+      e.kind == Expr::Kind::kAggregate ||
+      e.kind == Expr::Kind::kUdfAggregate) {
+    return true;
+  }
+  if (e.lhs && contains_volatile(*e.lhs)) return true;
+  if (e.rhs && contains_volatile(*e.rhs)) return true;
+  for (const ExprPtr& a : e.args) {
+    if (contains_volatile(*a)) return true;
+  }
+  return false;
+}
+
+/// Pure column projection: every generated field is a plain column
+/// reference, no flattening — the cases where predicates substitute
+/// safely and cheaply.
+bool pure_projection(const OpNode& n) {
+  if (n.kind != OpKind::kForeach) return false;
+  for (const GenField& g : n.gen) {
+    if (g.flatten || g.expr->kind != Expr::Kind::kColumn) return false;
+  }
+  return true;
+}
+
+bool identity_projection(const OpNode& n, const Schema& input) {
+  if (!pure_projection(n)) return false;
+  if (n.gen.size() != input.size()) return false;
+  for (std::size_t i = 0; i < n.gen.size(); ++i) {
+    if (n.gen[i].expr->column != i) return false;
+    if (n.schema.at(i).name != input.at(i).name) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> consumer_counts(const LogicalPlan& plan) {
+  std::vector<std::size_t> counts(plan.size(), 0);
+  for (const OpNode& n : plan.nodes()) {
+    for (OpId in : n.inputs) ++counts[in];
+  }
+  return counts;
+}
+
+/// One rewrite round. Returns the new plan; `stats` accumulates.
+LogicalPlan rewrite_once(const LogicalPlan& plan, OptimizerStats& stats,
+                         bool& changed) {
+  const auto consumers = consumer_counts(plan);
+  LogicalPlan out;
+  // old id -> new id of the node that now produces that output.
+  std::map<OpId, OpId> remap;
+
+  for (const OpNode& old : plan.nodes()) {
+    OpNode n = old;
+    n.inputs.clear();
+    for (OpId in : old.inputs) n.inputs.push_back(remap.at(in));
+
+    // ---- constant folding in any expression the node carries ----
+    if (n.predicate) {
+      n.predicate = fold_constants(n.predicate, &stats.constants_folded);
+    }
+    for (GenField& g : n.gen) {
+      g.expr = fold_constants(g.expr, &stats.constants_folded);
+    }
+
+    if (n.kind == OpKind::kFilter) {
+      // Copy: the adds below may reallocate `out`'s node storage.
+      const OpNode parent = out.node(n.inputs[0]);
+      // ---- merge adjacent filters ----
+      if (parent.kind == OpKind::kFilter &&
+          consumers[old.inputs[0]] == 1) {
+        n.inputs = parent.inputs;
+        n.predicate =
+            Expr::binary(BinOp::kAnd, parent.predicate, n.predicate);
+        ++stats.filters_merged;
+        changed = true;
+        // The merged-away parent stays in `out` but loses its consumer;
+        // dead-node sweep below removes it.
+      } else if (pure_projection(parent) &&
+                 consumers[old.inputs[0]] == 1 &&
+                 !contains_volatile(*n.predicate)) {
+        // ---- push the filter below the projection ----
+        // FILTER(FOREACH(x, gen), p) => FOREACH(FILTER(x, p'), gen)
+        OpNode filt;
+        filt.kind = OpKind::kFilter;
+        filt.alias = n.alias + "_pushed";
+        filt.inputs = parent.inputs;
+        filt.schema = out.node(parent.inputs[0]).schema;
+        filt.predicate = substitute_columns(n.predicate, parent.gen);
+        const OpId filt_id = out.add(std::move(filt));
+
+        OpNode proj = parent;
+        proj.alias = n.alias;
+        proj.inputs = {filt_id};
+        const OpId proj_id = out.add(std::move(proj));
+        remap[old.id] = proj_id;
+        ++stats.filters_pushed;
+        changed = true;
+        continue;
+      }
+    }
+
+    // ---- drop identity projections ----
+    if (old.kind == OpKind::kForeach) {
+      const OpNode& parent = out.node(n.inputs[0]);  // no adds before use
+      if (identity_projection(n, parent.schema)) {
+        remap[old.id] = n.inputs[0];
+        ++stats.foreachs_elided;
+        changed = true;
+        continue;
+      }
+    }
+
+    remap[old.id] = out.add(std::move(n));
+  }
+  return out;
+}
+
+/// Remove nodes no STORE depends on (left over from merges).
+LogicalPlan sweep_dead(const LogicalPlan& plan) {
+  std::vector<bool> live(plan.size(), false);
+  // Walk backwards from the stores.
+  for (auto it = plan.nodes().rbegin(); it != plan.nodes().rend(); ++it) {
+    if (it->kind == OpKind::kStore) live[it->id] = true;
+    if (!live[it->id]) continue;
+    for (OpId in : it->inputs) live[in] = true;
+  }
+  LogicalPlan out;
+  std::map<OpId, OpId> remap;
+  for (const OpNode& old : plan.nodes()) {
+    if (!live[old.id]) continue;
+    OpNode n = old;
+    n.inputs.clear();
+    for (OpId in : old.inputs) n.inputs.push_back(remap.at(in));
+    remap[old.id] = out.add(std::move(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+LogicalPlan optimize(const LogicalPlan& plan, OptimizerStats* stats) {
+  OptimizerStats local;
+  LogicalPlan cur = plan;
+  // Fixpoint, bounded by plan size (each round removes or moves a node).
+  for (std::size_t round = 0; round < plan.size() + 2; ++round) {
+    bool changed = false;
+    cur = rewrite_once(cur, local, changed);
+    cur = sweep_dead(cur);
+    if (!changed) break;
+  }
+  cur.validate();
+  if (stats) *stats = local;
+  return cur;
+}
+
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,54 @@
+// Logical-plan optimizer: classic rewrite passes applied before the graph
+// analyzer and compiler.
+//
+//   * constant folding     — literal-only subexpressions evaluate at
+//                            compile time (safe: the expression language
+//                            is deterministic and side-effect free);
+//   * filter merging       — FILTER(FILTER(x, p), q) => FILTER(x, p AND q)
+//                            when the inner filter has no other consumer;
+//   * filter pushdown      — FILTER above a pure column-projection FOREACH
+//                            moves below it (predicate columns substituted
+//                            through the projection), shrinking the data
+//                            the projection touches;
+//   * identity elimination — a FOREACH that reproduces its input columns
+//                            exactly disappears.
+//
+// All passes preserve per-STORE semantics exactly (the optimizer tests
+// check random plans through the reference interpreter before/after).
+// Note that optimisation changes vertex identities, so it runs before
+// verification points are chosen.
+#pragma once
+
+#include <cstddef>
+
+#include "dataflow/expr.hpp"
+#include "dataflow/plan.hpp"
+
+namespace clusterbft::dataflow {
+
+struct OptimizerStats {
+  std::size_t constants_folded = 0;
+  std::size_t filters_merged = 0;
+  std::size_t filters_pushed = 0;
+  std::size_t foreachs_elided = 0;
+
+  std::size_t total() const {
+    return constants_folded + filters_merged + filters_pushed +
+           foreachs_elided;
+  }
+};
+
+/// Fold literal-only subtrees of `e` into literals. Division by zero and
+/// other null-producing cases fold to null literals (matching runtime
+/// semantics). Aggregates, UDFs and row hashes are never folded.
+ExprPtr fold_constants(const ExprPtr& e, std::size_t* folds = nullptr);
+
+/// Substitute column references in `e` by the generating expressions of a
+/// pure projection (used by filter pushdown). Requires every referenced
+/// column to have a generator.
+ExprPtr substitute_columns(const ExprPtr& e, const std::vector<GenField>& gen);
+
+/// Run all passes to a fixpoint (bounded). Returns the rewritten plan.
+LogicalPlan optimize(const LogicalPlan& plan, OptimizerStats* stats = nullptr);
+
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,52 @@
+// Parser for a PigLatin subset sufficient for the paper's four evaluation
+// scripts (Twitter follower counts, Twitter two-hop, airline top-20
+// multi-store, weather average temperature) and the examples.
+//
+// Grammar (case-insensitive keywords, `--` line comments):
+//
+//   alias = LOAD 'path' AS (name:type, ...);        type: long|double|chararray
+//   alias = FILTER  a BY <bool-expr>;
+//   alias = FOREACH a GENERATE <expr> [AS name], ...;
+//   alias = GROUP   a BY <column>;
+//   alias = JOIN    a BY <column>, b BY <column>;
+//   alias = UNION   a, b [, c ...];
+//   alias = DISTINCT a;
+//   alias = ORDER   a BY <column> [ASC|DESC], ...;
+//   alias = LIMIT   a <n>;
+//   STORE a INTO 'path';
+//
+// Expressions: arithmetic (+ - * / %), comparisons (== != < <= > >=),
+// AND/OR/NOT, IS [NOT] NULL, literals (long, double, 'chararray'), column
+// references (name, $i, join-qualified a::name), aggregates after GROUP
+// (COUNT(a), SUM(a.f), AVG(a.f), MIN(a.f), MAX(a.f)), and TRUNC(e).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "dataflow/plan.hpp"
+
+namespace clusterbft::dataflow {
+
+/// Error with 1-based line/column of the offending token.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string msg, std::size_t line, std::size_t col)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + std::move(msg)),
+        line_(line),
+        col_(col) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return col_; }
+
+ private:
+  std::size_t line_;
+  std::size_t col_;
+};
+
+/// Parse a script into a validated logical plan. Throws ParseError.
+LogicalPlan parse_script(std::string_view script);
+
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,135 @@
+// The logical data-flow plan: a DAG of relational operators.
+//
+// This is the structure the paper's graph analyzer works on (Fig. 4 shows
+// such an annotated plan): LOAD vertices at the top, STORE sinks at the
+// bottom, with FILTER / FOREACH (projection) / GROUP / JOIN / UNION /
+// DISTINCT / ORDER / LIMIT in between.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/expr.hpp"
+#include "dataflow/relation.hpp"
+#include "dataflow/schema.hpp"
+
+namespace clusterbft::dataflow {
+
+using OpId = std::size_t;
+
+enum class OpKind {
+  kLoad,
+  kFilter,
+  kForeach,
+  kGroup,
+  kCogroup,
+  kJoin,
+  kUnion,
+  kDistinct,
+  kOrder,
+  kLimit,
+  kStore,
+};
+
+const char* to_string(OpKind k);
+
+/// True for operators whose semantics are per-tuple and can therefore run
+/// map-side on any partition of their input (FILTER, FOREACH over flat
+/// tuples, LIMIT is *not* streaming — it needs a global cut).
+bool is_streaming(OpKind k);
+
+/// True for operators that force a shuffle boundary when compiling to
+/// MapReduce (GROUP, JOIN, DISTINCT, ORDER).
+bool is_blocking(OpKind k);
+
+/// One generated output item of a FOREACH. A flattened item must evaluate
+/// to a nested tuple (or scalar, which flattens to itself) and expands to
+/// `width` output fields.
+struct GenField {
+  ExprPtr expr;
+  std::string name;
+  bool flatten = false;
+  std::size_t width = 1;  ///< output fields this item contributes
+};
+
+/// Sort key for ORDER.
+struct SortKey {
+  std::size_t column = 0;
+  bool ascending = true;
+};
+
+/// One vertex of the plan. A tagged struct: only the members relevant to
+/// `kind` are populated (the parser establishes this invariant and
+/// LogicalPlan::validate re-checks it).
+struct OpNode {
+  OpId id = 0;
+  OpKind kind = OpKind::kLoad;
+  std::string alias;           ///< relation alias this vertex defines
+  std::vector<OpId> inputs;    ///< parent vertices (data sources)
+  Schema schema;               ///< output schema
+
+  // kLoad / kStore
+  std::string path;
+  std::uint64_t declared_input_bytes = 0;  ///< Load: size hint (Fig. 4 annotations)
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kForeach
+  std::vector<GenField> gen;
+
+  // kGroup: key columns (single-key groups emit the scalar key itself;
+  // multi-key groups pack the keys into a nested tuple, like Pig).
+  std::vector<std::size_t> group_keys;
+  // kJoin: positionally paired key columns of the two sides.
+  std::vector<std::size_t> left_keys;
+  std::vector<std::size_t> right_keys;
+
+  // kOrder
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  std::int64_t limit = 0;
+
+  std::string to_string() const;
+};
+
+/// An acyclic plan. Vertices are stored in construction order, which the
+/// parser guarantees to be a topological order (an operator can only refer
+/// to previously defined aliases).
+class LogicalPlan {
+ public:
+  OpId add(OpNode node);
+
+  std::size_t size() const { return nodes_.size(); }
+  const OpNode& node(OpId id) const;
+  OpNode& node(OpId id);
+  const std::vector<OpNode>& nodes() const { return nodes_; }
+
+  /// Children (consumers) of vertex `id`.
+  std::vector<OpId> children(OpId id) const;
+
+  std::vector<OpId> loads() const;
+  std::vector<OpId> stores() const;
+
+  /// Fig. 5's level(): 1 for LOAD, else 1 + max over parents.
+  std::vector<std::size_t> levels() const;
+
+  /// Edge-count distance between two vertices treating edges as undirected
+  /// (the marker function's min(v, M) measures graph proximity).
+  /// Returns size() (i.e. "infinite") if disconnected.
+  std::size_t distance(OpId a, OpId b) const;
+
+  /// Structural validation: ids consistent, inputs precede nodes, arity
+  /// matches kind, schemas present. Throws CheckError on violation.
+  void validate() const;
+
+  /// Multi-line plan dump.
+  std::string to_string() const;
+
+ private:
+  std::vector<OpNode> nodes_;
+};
+
+}  // namespace clusterbft::dataflow

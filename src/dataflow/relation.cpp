@@ -1,0 +1,33 @@
+#include "dataflow/relation.hpp"
+
+#include <algorithm>
+
+namespace clusterbft::dataflow {
+
+std::uint64_t Relation::byte_size() const {
+  std::uint64_t total = 0;
+  for (const Tuple& t : rows_) total += serialize_tuple(t).size();
+  return total;
+}
+
+std::vector<Tuple> Relation::sorted_rows() const {
+  std::vector<Tuple> out = rows_;
+  std::sort(out.begin(), out.end(),
+            [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
+  return out;
+}
+
+std::string Relation::to_tsv(std::size_t max_rows) const {
+  std::string out;
+  const std::size_t n = std::min(max_rows, rows_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+      if (j > 0) out += "\t";
+      out += rows_[i].at(j).to_string();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,40 @@
+#include "dataflow/schema.hpp"
+
+#include "common/check.hpp"
+
+namespace clusterbft::dataflow {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    for (std::size_t j = i + 1; j < fields_.size(); ++j) {
+      CBFT_CHECK_MSG(fields_[i].name != fields_[j].name,
+                     "duplicate field name in schema: " + fields_[i].name);
+    }
+  }
+}
+
+const Field& Schema::at(std::size_t i) const {
+  CBFT_CHECK_MSG(i < fields_.size(), "schema field index out of range");
+  return fields_[i];
+}
+
+std::optional<std::size_t> Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += clusterbft::dataflow::to_string(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace clusterbft::dataflow

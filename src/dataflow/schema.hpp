@@ -1,0 +1,47 @@
+// Relation schemas: ordered, named, typed fields.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/value.hpp"
+
+namespace clusterbft::dataflow {
+
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+/// Schema of a relation. Field names are unique within a schema; lookups
+/// by name are how the parser resolves identifiers to column indices.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  static Schema of(std::initializer_list<Field> fields) {
+    return Schema(std::vector<Field>(fields));
+  }
+
+  std::size_t size() const { return fields_.size(); }
+  const Field& at(std::size_t i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, if present.
+  std::optional<std::size_t> index_of(const std::string& name) const;
+
+  /// "(user:long, follower:long)"
+  std::string to_string() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace clusterbft::dataflow

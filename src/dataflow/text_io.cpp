@@ -1,0 +1,114 @@
+#include "dataflow/text_io.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace clusterbft::dataflow {
+
+namespace {
+
+Value parse_field(std::string_view field, ValueType type,
+                  const TsvOptions& opt, std::size_t line) {
+  if (field.empty() && opt.empty_is_null) return Value::null();
+  switch (type) {
+    case ValueType::kLong: {
+      std::int64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(field.data(), field.data() + field.size(), v);
+      if (ec != std::errc{} || ptr != field.data() + field.size()) {
+        if (opt.coerce_errors_to_null) return Value::null();
+        throw TextIoError("cannot parse long: '" + std::string(field) + "'",
+                          line);
+      }
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      // std::from_chars for doubles is not universally available; strtod
+      // on a bounded copy keeps this portable.
+      const std::string copy(field);
+      char* end = nullptr;
+      const double v = std::strtod(copy.c_str(), &end);
+      if (end != copy.c_str() + copy.size()) {
+        if (opt.coerce_errors_to_null) return Value::null();
+        throw TextIoError("cannot parse double: '" + copy + "'", line);
+      }
+      return Value(v);
+    }
+    case ValueType::kChararray:
+      return Value(std::string(field));
+    default:
+      throw TextIoError("TSV supports scalar column types only", line);
+  }
+}
+
+}  // namespace
+
+Relation parse_tsv(std::string_view text, const Schema& schema,
+                   const TsvOptions& opt) {
+  Relation rel(schema);
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() && pos > text.size()) break;  // trailing newline
+    if (line.empty()) continue;                    // skip blank lines
+
+    Tuple t;
+    t.fields.reserve(schema.size());
+    std::size_t field_start = 0;
+    std::size_t field_index = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i != line.size() && line[i] != opt.delimiter) continue;
+      const std::string_view field =
+          line.substr(field_start, i - field_start);
+      if (field_index < schema.size()) {
+        t.fields.push_back(
+            parse_field(field, schema.at(field_index).type, opt, line_no));
+      } else if (!opt.tolerate_ragged_rows) {
+        throw TextIoError("too many fields", line_no);
+      }
+      ++field_index;
+      field_start = i + 1;
+    }
+    if (field_index < schema.size()) {
+      if (!opt.tolerate_ragged_rows) {
+        throw TextIoError("too few fields", line_no);
+      }
+      while (t.fields.size() < schema.size()) {
+        t.fields.push_back(Value::null());
+      }
+    }
+    rel.add(std::move(t));
+  }
+  return rel;
+}
+
+std::string to_tsv_text(const Relation& rel, const TsvOptions& opt) {
+  std::string out;
+  for (const Tuple& t : rel.rows()) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out.push_back(opt.delimiter);
+      const Value& v = t.at(i);
+      if (v.is_null()) continue;  // empty field
+      if (v.type() == ValueType::kDouble) {
+        // Render round-trippably.
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.as_double());
+        out += buf;
+      } else {
+        out += v.to_string();
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,50 @@
+// Text (TSV) ingestion and rendering — the PigStorage equivalent.
+//
+// The paper's datasets arrive as tab/comma-separated text (Twitter edges,
+// RITA on-time records, GSOD summaries); this module converts between
+// that representation and typed relations, so real files can be loaded
+// into the trusted store.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "dataflow/relation.hpp"
+
+namespace clusterbft::dataflow {
+
+class TextIoError : public std::runtime_error {
+ public:
+  TextIoError(std::string msg, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " +
+                           std::move(msg)),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct TsvOptions {
+  char delimiter = '\t';
+  /// Empty fields parse as null (Pig semantics).
+  bool empty_is_null = true;
+  /// Rows whose field count differs from the schema: pad with nulls /
+  /// drop extras (true, Pig semantics) or throw (false).
+  bool tolerate_ragged_rows = true;
+  /// Unparseable numerics become null (true) or throw (false).
+  bool coerce_errors_to_null = true;
+};
+
+/// Parse delimiter-separated text into a relation with `schema`.
+/// Throws TextIoError with a 1-based line number on hard errors.
+Relation parse_tsv(std::string_view text, const Schema& schema,
+                   const TsvOptions& options = {});
+
+/// Render a relation as delimiter-separated text. Nulls render as empty
+/// fields; a round trip through parse_tsv reproduces the relation for
+/// flat (scalar-typed) schemas.
+std::string to_tsv_text(const Relation& rel, const TsvOptions& options = {});
+
+}  // namespace clusterbft::dataflow

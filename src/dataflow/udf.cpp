@@ -1,0 +1,95 @@
+#include "dataflow/udf.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace clusterbft::dataflow {
+
+UdfRegistry& UdfRegistry::instance() {
+  static UdfRegistry registry;
+  return registry;
+}
+
+void UdfRegistry::register_scalar(const std::string& name, ScalarUdf udf) {
+  CBFT_CHECK_MSG(udf.fn != nullptr, "scalar UDF needs a function");
+  scalars_[name] = std::move(udf);
+}
+
+void UdfRegistry::register_aggregate(const std::string& name,
+                                     AggregateUdf udf) {
+  CBFT_CHECK_MSG(udf.fn != nullptr, "aggregate UDF needs a function");
+  aggregates_[name] = std::move(udf);
+}
+
+const UdfRegistry::ScalarUdf* UdfRegistry::find_scalar(
+    const std::string& upper_name) const {
+  auto it = scalars_.find(upper_name);
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const UdfRegistry::AggregateUdf* UdfRegistry::find_aggregate(
+    const std::string& upper_name) const {
+  auto it = aggregates_.find(upper_name);
+  return it == aggregates_.end() ? nullptr : &it->second;
+}
+
+UdfRegistry::UdfRegistry() {
+  // --- the standard scalar library -------------------------------------
+  register_scalar("ABS", {1, ValueType::kNull, [](const auto& args) {
+                            const Value& v = args[0];
+                            if (v.is_null()) return Value::null();
+                            if (v.type() == ValueType::kLong) {
+                              return Value(std::abs(v.as_long()));
+                            }
+                            return Value(std::fabs(v.to_double()));
+                          }});
+  register_scalar("ROUND", {1, ValueType::kLong, [](const auto& args) {
+                              const Value& v = args[0];
+                              if (v.is_null()) return Value::null();
+                              if (v.type() == ValueType::kLong) return v;
+                              return Value(static_cast<std::int64_t>(
+                                  std::llround(v.to_double())));
+                            }});
+  register_scalar("SIZE", {1, ValueType::kLong, [](const auto& args) {
+                             const Value& v = args[0];
+                             switch (v.type()) {
+                               case ValueType::kNull:
+                                 return Value::null();
+                               case ValueType::kChararray:
+                                 return Value(static_cast<std::int64_t>(
+                                     v.as_string().size()));
+                               case ValueType::kBag:
+                                 return Value(static_cast<std::int64_t>(
+                                     v.as_bag()->size()));
+                               case ValueType::kTuple:
+                                 return Value(static_cast<std::int64_t>(
+                                     v.as_tuple()->size()));
+                               default:
+                                 return Value(std::int64_t{1});
+                             }
+                           }});
+  register_scalar("CONCAT", {2, ValueType::kChararray, [](const auto& args) {
+                               if (args[0].is_null() || args[1].is_null()) {
+                                 return Value::null();
+                               }
+                               return Value(args[0].to_string() +
+                                            args[1].to_string());
+                             }});
+  auto change_case = [](bool upper) {
+    return [upper](const std::vector<Value>& args) {
+      if (args[0].is_null()) return Value::null();
+      std::string s = args[0].as_string();
+      std::transform(s.begin(), s.end(), s.begin(), [upper](unsigned char c) {
+        return static_cast<char>(upper ? std::toupper(c) : std::tolower(c));
+      });
+      return Value(std::move(s));
+    };
+  };
+  register_scalar("UPPER", {1, ValueType::kChararray, change_case(true)});
+  register_scalar("LOWER", {1, ValueType::kChararray, change_case(false)});
+}
+
+}  // namespace clusterbft::dataflow

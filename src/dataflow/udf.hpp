@@ -1,0 +1,62 @@
+// User-defined functions: the extension point Pig exposes (and the
+// paper's §5.2 uses — Penny agents are UDFs) for scalar computations and
+// bag aggregations beyond the built-ins.
+//
+// UDFs MUST be deterministic functions of their inputs: ClusterBFT's
+// digest comparison across replicas breaks for any UDF that consults
+// randomness, time, or external state (§5.4). Registration is global and
+// intended to happen once at startup.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/value.hpp"
+
+namespace clusterbft::dataflow {
+
+class UdfRegistry {
+ public:
+  /// Scalar UDF: Value(args...). Called once per input tuple.
+  using ScalarFn = std::function<Value(const std::vector<Value>&)>;
+
+  /// Aggregate UDF: folds a grouped bag (optionally a single column of
+  /// it) into one value. Bags arrive canonically sorted, so order-
+  /// sensitive folds are still replica-deterministic.
+  using AggregateFn =
+      std::function<Value(const std::vector<Tuple>&, std::optional<std::size_t>)>;
+
+  struct ScalarUdf {
+    std::size_t arity = 1;
+    ValueType result_type = ValueType::kNull;
+    ScalarFn fn;
+  };
+  struct AggregateUdf {
+    bool needs_column = true;  ///< requires AGG(alias.field) vs AGG(alias)
+    ValueType result_type = ValueType::kNull;
+    AggregateFn fn;
+  };
+
+  /// The process-wide registry, pre-populated with the standard library
+  /// (ABS, ROUND, SIZE, CONCAT, UPPER, LOWER).
+  static UdfRegistry& instance();
+
+  /// Register under an upper-case name; replaces any previous binding.
+  void register_scalar(const std::string& name, ScalarUdf udf);
+  void register_aggregate(const std::string& name, AggregateUdf udf);
+
+  const ScalarUdf* find_scalar(const std::string& upper_name) const;
+  const AggregateUdf* find_aggregate(const std::string& upper_name) const;
+
+ private:
+  UdfRegistry();  // registers the standard library
+
+  std::map<std::string, ScalarUdf> scalars_;
+  std::map<std::string, AggregateUdf> aggregates_;
+};
+
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,44 @@
+#include "mapreduce/job.hpp"
+
+#include <algorithm>
+
+namespace clusterbft::mapreduce {
+
+bool MRJobSpec::is_map_side(dataflow::OpId vertex) const {
+  for (const MapBranch& b : branches) {
+    if (b.source_vertex == vertex) return true;
+    if (std::find(b.map_ops.begin(), b.map_ops.end(), vertex) !=
+        b.map_ops.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> JobDag::ready(const std::vector<bool>& done) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (done[i]) continue;
+    bool ok = true;
+    for (std::size_t d : jobs[i].deps) {
+      if (!done[d]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(i);
+  }
+  return out;
+}
+
+std::string DigestKey::to_string() const {
+  std::string out = sid;
+  out += "/v" + std::to_string(vertex);
+  out += reduce_side ? "/r" : "/m";
+  out += std::to_string(branch);
+  out += "/p" + std::to_string(partition);
+  out += "/c" + std::to_string(chunk);
+  return out;
+}
+
+}  // namespace clusterbft::mapreduce

@@ -1,0 +1,97 @@
+// MapReduce job specifications: the unit the ClusterBFT job initiator
+// replicates and the execution tracker schedules.
+//
+// A script compiles into a DAG of MRJobSpecs (the "job-chain" of challenge
+// C2 in the paper). Each job covers a contiguous region of the logical
+// plan: per-branch map-side streaming operators, at most one blocking
+// (shuffle) operator, and reduce-side streaming operators.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "dataflow/plan.hpp"
+
+namespace clusterbft::mapreduce {
+
+/// A verification point: digest the stream of tuples produced by `vertex`.
+/// `records_per_digest` is d from §6.4 (0 = one digest for the stream).
+struct VerificationPoint {
+  dataflow::OpId vertex = 0;
+  std::uint64_t records_per_digest = 0;
+};
+
+/// One map-side input branch (JOIN jobs have two, UNION jobs several).
+struct MapBranch {
+  std::string input_path;            ///< DFS path this branch reads
+  dataflow::OpId source_vertex = 0;  ///< plan vertex producing that data
+  std::vector<dataflow::OpId> map_ops;  ///< streaming vertices, in order
+  int tag = 0;  ///< 0 = left / only side, 1 = right side of a JOIN
+};
+
+struct MRJobSpec {
+  std::size_t job_index = 0;     ///< index within the script's job DAG
+  std::string sid;               ///< sub.graph.id — identical across replicas
+
+  std::vector<MapBranch> branches;
+
+  /// The shuffle-defining vertex (GROUP/JOIN/DISTINCT/ORDER, or LIMIT
+  /// compiled as a single-reducer global cut). Empty = map-only job.
+  std::optional<dataflow::OpId> blocking;
+
+  /// Streaming vertices applied reduce-side after `blocking`.
+  std::vector<dataflow::OpId> reduce_ops;
+
+  dataflow::OpId output_vertex = 0;  ///< vertex whose output the job writes
+  std::string output_path;
+  bool is_final_store = false;
+
+  std::size_t num_reducers = 1;
+
+  /// Verification points that fall inside this job (map- or reduce-side).
+  std::vector<VerificationPoint> vps;
+
+  /// Upstream jobs whose outputs this job reads.
+  std::vector<std::size_t> deps;
+
+  bool map_only() const { return !blocking.has_value(); }
+
+  /// True if `vertex` is computed map-side in this job.
+  bool is_map_side(dataflow::OpId vertex) const;
+};
+
+/// A compiled script: the job DAG plus the plan it refers to.
+struct JobDag {
+  std::vector<MRJobSpec> jobs;
+
+  /// Jobs with no unfinished dependencies among `done`.
+  std::vector<std::size_t> ready(const std::vector<bool>& done) const;
+};
+
+/// Identifies one digest stream for the verifier: all correct replicas of
+/// a sub-graph produce identical digest sequences per key.
+struct DigestKey {
+  std::string sid;
+  dataflow::OpId vertex = 0;
+  bool reduce_side = false;
+  std::size_t branch = 0;     ///< map-side: branch index; reduce-side: 0
+  std::size_t partition = 0;  ///< map split index or reduce partition
+  std::uint64_t chunk = 0;
+
+  friend auto operator<=>(const DigestKey&, const DigestKey&) = default;
+
+  std::string to_string() const;
+};
+
+/// One digest message sent from a task to the verifier in the control tier.
+struct DigestReport {
+  DigestKey key;
+  std::size_t replica = 0;
+  crypto::Digest256 digest;
+  std::uint64_t record_count = 0;
+};
+
+}  // namespace clusterbft::mapreduce

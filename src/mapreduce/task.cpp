@@ -1,0 +1,194 @@
+#include "mapreduce/task.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "crypto/digest.hpp"
+#include "dataflow/ops_eval.hpp"
+
+namespace clusterbft::mapreduce {
+
+using dataflow::LogicalPlan;
+using dataflow::OpId;
+using dataflow::OpKind;
+using dataflow::OpNode;
+using dataflow::Relation;
+using dataflow::Tuple;
+
+namespace {
+
+/// Digest the stream produced by `vertex` if the job marks it, appending
+/// reports keyed for this task.
+void digest_if_marked(const MRJobSpec& job, OpId vertex, bool reduce_side,
+                      std::size_t branch, std::size_t partition,
+                      const Relation& stream, TaskMetrics& metrics,
+                      std::vector<DigestReport>& out) {
+  for (const VerificationPoint& vp : job.vps) {
+    if (vp.vertex != vertex) continue;
+    crypto::ChunkedDigester digester(vp.records_per_digest);
+    for (const Tuple& t : stream.rows()) {
+      const std::string bytes = dataflow::serialize_tuple(t);
+      metrics.digested_bytes += bytes.size();
+      digester.add_record(bytes);
+    }
+    for (const crypto::ChunkDigest& cd : digester.finish()) {
+      DigestReport r;
+      r.key = DigestKey{job.sid, vertex, reduce_side, branch, partition,
+                        cd.chunk_index};
+      r.digest = cd.digest;
+      r.record_count = cd.record_count;
+      out.push_back(std::move(r));
+    }
+    break;  // at most one VP per vertex per job
+  }
+}
+
+std::vector<Tuple> sorted_canonical(const Relation& r) {
+  std::vector<Tuple> rows = r.rows();
+  std::sort(rows.begin(), rows.end(),
+            [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
+  return rows;
+}
+
+}  // namespace
+
+std::size_t shuffle_partition(const OpNode& blocking_op, int tag,
+                              const Tuple& t, std::size_t num_reducers) {
+  CBFT_CHECK(num_reducers > 0);
+  if (num_reducers == 1) return 0;
+  const std::vector<std::size_t>* key_cols = nullptr;
+  switch (blocking_op.kind) {
+    case OpKind::kGroup:
+      key_cols = &blocking_op.group_keys;
+      break;
+    case OpKind::kJoin:
+    case OpKind::kCogroup:
+      key_cols = (tag == 0) ? &blocking_op.left_keys
+                            : &blocking_op.right_keys;
+      break;
+    case OpKind::kDistinct: {
+      // Whole tuple is the key.
+      return static_cast<std::size_t>(dataflow::tuple_key_hash(t, 0) %
+                                      num_reducers);
+    }
+    case OpKind::kOrder:
+    case OpKind::kLimit:
+      return 0;  // global operators use a single reducer
+    default:
+      CBFT_CHECK_MSG(false, "not a blocking operator");
+  }
+  Tuple key;
+  for (std::size_t k : *key_cols) key.fields.push_back(t.at(k));
+  return static_cast<std::size_t>(dataflow::tuple_key_hash(key, 0) %
+                                  num_reducers);
+}
+
+MapTaskResult run_map_task(const LogicalPlan& plan, const MRJobSpec& job,
+                           std::size_t branch, std::size_t split_index,
+                           const Relation& split_rows) {
+  CBFT_CHECK(branch < job.branches.size());
+  const MapBranch& br = job.branches[branch];
+
+  MapTaskResult result;
+  result.metrics.input_bytes = split_rows.byte_size();
+  result.metrics.records_in = split_rows.size();
+
+  Relation cur = split_rows;
+  digest_if_marked(job, br.source_vertex, /*reduce_side=*/false, branch,
+                   split_index, cur, result.metrics, result.digests);
+
+  for (OpId op_id : br.map_ops) {
+    const OpNode& op = plan.node(op_id);
+    if (op.kind == OpKind::kUnion) {
+      // Union is concatenation: per-branch it is the identity. The vertex
+      // still exists as a digest position.
+    } else {
+      std::vector<const Relation*> ins{&cur};
+      cur = dataflow::eval_op(op, ins);
+    }
+    digest_if_marked(job, op_id, /*reduce_side=*/false, branch, split_index,
+                     cur, result.metrics, result.digests);
+  }
+
+  result.metrics.records_out = cur.size();
+
+  if (job.map_only()) {
+    result.metrics.output_bytes = cur.byte_size();
+    result.direct_output = std::move(cur);
+    return result;
+  }
+
+  const OpNode& blocking = plan.node(*job.blocking);
+  result.partitions.assign(job.num_reducers, Relation(cur.schema()));
+  for (Tuple& t : cur.rows()) {
+    const std::size_t p =
+        shuffle_partition(blocking, br.tag, t, job.num_reducers);
+    result.partitions[p].add(std::move(t));
+  }
+  for (const Relation& p : result.partitions) {
+    result.metrics.output_bytes += p.byte_size();
+  }
+  return result;
+}
+
+ReduceTaskResult run_reduce_task(
+    const LogicalPlan& plan, const MRJobSpec& job, std::size_t partition,
+    const std::vector<Relation>& inputs_by_tag) {
+  CBFT_CHECK(!job.map_only());
+  const OpNode& blocking = plan.node(*job.blocking);
+
+  ReduceTaskResult result;
+  for (const Relation& r : inputs_by_tag) {
+    result.metrics.input_bytes += r.byte_size();
+    result.metrics.records_in += r.size();
+  }
+
+  // Canonically sort shuffle input so the result is independent of map
+  // completion order (replica determinism).
+  Relation cur;
+  switch (blocking.kind) {
+    case OpKind::kGroup:
+    case OpKind::kDistinct:
+    case OpKind::kOrder:
+    case OpKind::kLimit: {
+      CBFT_CHECK(inputs_by_tag.size() == 1);
+      Relation in(inputs_by_tag[0].schema(),
+                  sorted_canonical(inputs_by_tag[0]));
+      std::vector<const Relation*> ins{&in};
+      cur = dataflow::eval_op(blocking, ins);
+      break;
+    }
+    case OpKind::kJoin:
+    case OpKind::kCogroup: {
+      CBFT_CHECK(inputs_by_tag.size() == 2);
+      Relation l(inputs_by_tag[0].schema(),
+                 sorted_canonical(inputs_by_tag[0]));
+      Relation r(inputs_by_tag[1].schema(),
+                 sorted_canonical(inputs_by_tag[1]));
+      cur = blocking.kind == OpKind::kJoin
+                ? dataflow::eval_join(blocking, l, r)
+                : dataflow::eval_cogroup(blocking, l, r);
+      break;
+    }
+    default:
+      CBFT_CHECK_MSG(false, "not a blocking operator");
+  }
+
+  digest_if_marked(job, blocking.id, /*reduce_side=*/true, 0, partition, cur,
+                   result.metrics, result.digests);
+
+  for (OpId op_id : job.reduce_ops) {
+    const OpNode& op = plan.node(op_id);
+    std::vector<const Relation*> ins{&cur};
+    cur = dataflow::eval_op(op, ins);
+    digest_if_marked(job, op_id, /*reduce_side=*/true, 0, partition, cur,
+                     result.metrics, result.digests);
+  }
+
+  result.metrics.records_out = cur.size();
+  result.metrics.output_bytes = cur.byte_size();
+  result.output = std::move(cur);
+  return result;
+}
+
+}  // namespace clusterbft::mapreduce

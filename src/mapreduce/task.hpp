@@ -1,0 +1,66 @@
+// Map/reduce task execution: the pure data-processing part of a task,
+// independent of which simulated node runs it or when.
+//
+// The cluster layer (execution tracker) decides placement and timing and
+// may let a Byzantine node corrupt the result afterwards; the functions
+// here define what an *honest* task computes. Determinism note: reduce
+// tasks canonically sort their shuffle input before applying the blocking
+// operator, so results do not depend on map-task completion order —
+// implementing the intermediate-output ordering §5.4 leaves to future work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/plan.hpp"
+#include "dataflow/relation.hpp"
+#include "mapreduce/job.hpp"
+
+namespace clusterbft::mapreduce {
+
+struct TaskMetrics {
+  std::uint64_t input_bytes = 0;   ///< bytes read (split or shuffle)
+  std::uint64_t output_bytes = 0;  ///< bytes produced (intermediate or final)
+  std::uint64_t digested_bytes = 0;  ///< bytes hashed at verification points
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+};
+
+struct MapTaskResult {
+  /// Shuffle jobs: rows destined to each reduce partition (size = R).
+  std::vector<dataflow::Relation> partitions;
+  /// Map-only jobs: the task's slice of the job output.
+  dataflow::Relation direct_output;
+  /// Digests for verification points evaluated map-side in this task
+  /// (replica number is filled in by the executor).
+  std::vector<DigestReport> digests;
+  TaskMetrics metrics;
+};
+
+struct ReduceTaskResult {
+  dataflow::Relation output;
+  std::vector<DigestReport> digests;
+  TaskMetrics metrics;
+};
+
+/// Run map task (`branch`, input split `split_rows`) of `job`.
+MapTaskResult run_map_task(const dataflow::LogicalPlan& plan,
+                           const MRJobSpec& job, std::size_t branch,
+                           std::size_t split_index,
+                           const dataflow::Relation& split_rows);
+
+/// Run reduce task `partition` of `job`. `inputs_by_tag[t]` holds the
+/// concatenated map outputs with branch tag `t` for this partition
+/// (size 1 for GROUP/DISTINCT/ORDER, 2 for JOIN).
+ReduceTaskResult run_reduce_task(
+    const dataflow::LogicalPlan& plan, const MRJobSpec& job,
+    std::size_t partition,
+    const std::vector<dataflow::Relation>& inputs_by_tag);
+
+/// Reduce partition a tuple belongs to, given the job's blocking operator.
+/// Deterministic across replicas and platforms.
+std::size_t shuffle_partition(const dataflow::OpNode& blocking_op, int tag,
+                              const dataflow::Tuple& t,
+                              std::size_t num_reducers);
+
+}  // namespace clusterbft::mapreduce

@@ -1,0 +1,64 @@
+#include "workloads/airline.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace clusterbft::workloads {
+
+using dataflow::Relation;
+using dataflow::Schema;
+using dataflow::Tuple;
+using dataflow::Value;
+using dataflow::ValueType;
+
+namespace {
+
+/// Three-letter IATA-style codes: AAA, AAB, ...
+std::string airport_code(std::size_t index) {
+  std::string code(3, 'A');
+  code[2] = static_cast<char>('A' + index % 26);
+  code[1] = static_cast<char>('A' + (index / 26) % 26);
+  code[0] = static_cast<char>('A' + (index / 676) % 26);
+  return code;
+}
+
+}  // namespace
+
+Relation generate_flights(const AirlineConfig& cfg) {
+  CBFT_CHECK(cfg.num_airports >= 2);
+  Rng rng(cfg.seed);
+  Relation rel(Schema::of({{"year", ValueType::kLong},
+                           {"month", ValueType::kLong},
+                           {"origin", ValueType::kChararray},
+                           {"dest", ValueType::kChararray},
+                           {"dep_delay", ValueType::kLong},
+                           {"arr_delay", ValueType::kLong}}));
+  for (std::uint64_t i = 0; i < cfg.num_flights; ++i) {
+    Tuple t;
+    t.fields.push_back(Value(static_cast<std::int64_t>(
+        2006 + rng.next_below(3))));
+    t.fields.push_back(Value(static_cast<std::int64_t>(
+        1 + rng.next_below(12))));
+    if (rng.chance(cfg.cancel_rate)) {
+      t.fields.push_back(Value::null());
+      t.fields.push_back(Value::null());
+    } else {
+      const std::size_t o = static_cast<std::size_t>(
+          rng.zipf(cfg.num_airports, cfg.hub_exponent) - 1);
+      std::size_t d = o;
+      while (d == o) {
+        d = static_cast<std::size_t>(
+            rng.zipf(cfg.num_airports, cfg.hub_exponent) - 1);
+      }
+      t.fields.push_back(Value(airport_code(o)));
+      t.fields.push_back(Value(airport_code(d)));
+    }
+    t.fields.push_back(Value(rng.uniform_int(-10, 120)));
+    t.fields.push_back(Value(rng.uniform_int(-20, 150)));
+    rel.add(std::move(t));
+  }
+  return rel;
+}
+
+}  // namespace clusterbft::workloads

@@ -1,0 +1,25 @@
+// Synthetic airline on-time data, standing in for the RITA dataset [2]
+// (the paper uses a 1.3 GB subset). Traffic concentrates on hub airports
+// (Zipf), which makes the top-20 queries meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "dataflow/relation.hpp"
+
+namespace clusterbft::workloads {
+
+struct AirlineConfig {
+  std::uint64_t num_flights = 40000;
+  std::size_t num_airports = 60;
+  double hub_exponent = 1.3;
+  double cancel_rate = 0.02;  ///< cancelled flights carry null airports
+  std::uint64_t seed = 7;
+};
+
+/// Schema: (year:long, month:long, origin:chararray, dest:chararray,
+///          dep_delay:long, arr_delay:long).
+dataflow::Relation generate_flights(const AirlineConfig& cfg);
+
+}  // namespace clusterbft::workloads

@@ -1,0 +1,67 @@
+#include "workloads/scripts.hpp"
+
+namespace clusterbft::workloads {
+
+std::string twitter_follower_analysis(const std::string& input,
+                                      const std::string& output) {
+  return "edges = LOAD '" + input + "' AS (user:long, follower:long);\n"
+         "clean = FILTER edges BY follower IS NOT NULL AND user IS NOT NULL;\n"
+         "grp = GROUP clean BY user;\n"
+         "counts = FOREACH grp GENERATE group AS user, COUNT(clean) AS followers;\n"
+         "STORE counts INTO '" + output + "';\n";
+}
+
+std::string twitter_two_hop_analysis(const std::string& input,
+                                     const std::string& output) {
+  return "a = LOAD '" + input + "' AS (user:long, follower:long);\n"
+         "b = LOAD '" + input + "' AS (user2:long, follower2:long);\n"
+         "fa = FILTER a BY follower IS NOT NULL;\n"
+         "fb = FILTER b BY follower2 IS NOT NULL;\n"
+         "-- a user's follower is user2 of the second copy: user is two\n"
+         "-- hops from follower2\n"
+         "j = JOIN fa BY follower, fb BY user2;\n"
+         "hops = FOREACH j GENERATE user AS src, follower2 AS twohop;\n"
+         "pairs = DISTINCT hops;\n"
+         "STORE pairs INTO '" + output + "';\n";
+}
+
+std::string airline_top20_analysis(const std::string& input,
+                                   const std::string& out_prefix) {
+  return "flights = LOAD '" + input + "' AS (year:long, month:long, "
+         "origin:chararray, dest:chararray, dep_delay:long, arr_delay:long);\n"
+         "good = FILTER flights BY origin IS NOT NULL AND dest IS NOT NULL;\n"
+         "-- outbound traffic\n"
+         "by_origin = GROUP good BY origin;\n"
+         "out_counts = FOREACH by_origin GENERATE group AS airport, COUNT(good) AS flights_out;\n"
+         "ord_out = ORDER out_counts BY flights_out DESC;\n"
+         "top_out = LIMIT ord_out 20;\n"
+         "STORE top_out INTO '" + out_prefix + "/top_outbound';\n"
+         "-- inbound traffic\n"
+         "by_dest = GROUP good BY dest;\n"
+         "in_counts = FOREACH by_dest GENERATE group AS airport, COUNT(good) AS flights_in;\n"
+         "ord_in = ORDER in_counts BY flights_in DESC;\n"
+         "top_in = LIMIT ord_in 20;\n"
+         "STORE top_in INTO '" + out_prefix + "/top_inbound';\n"
+         "-- overall traffic\n"
+         "po = FOREACH good GENERATE origin AS airport;\n"
+         "pd = FOREACH good GENERATE dest AS airport;\n"
+         "allp = UNION po, pd;\n"
+         "by_ap = GROUP allp BY airport;\n"
+         "tot = FOREACH by_ap GENERATE group AS airport, COUNT(allp) AS total;\n"
+         "ord_t = ORDER tot BY total DESC;\n"
+         "top_t = LIMIT ord_t 20;\n"
+         "STORE top_t INTO '" + out_prefix + "/top_overall';\n";
+}
+
+std::string weather_average_analysis(const std::string& input,
+                                     const std::string& output) {
+  return "readings = LOAD '" + input + "' AS (station:long, year:long, temp:double);\n"
+         "valid = FILTER readings BY temp IS NOT NULL;\n"
+         "by_station = GROUP valid BY station;\n"
+         "avgs = FOREACH by_station GENERATE group AS station, TRUNC(AVG(valid.temp)) AS avg_temp;\n"
+         "by_avg = GROUP avgs BY avg_temp;\n"
+         "hist = FOREACH by_avg GENERATE group AS avg_temp, COUNT(avgs) AS stations;\n"
+         "STORE hist INTO '" + output + "';\n";
+}
+
+}  // namespace clusterbft::workloads

@@ -1,0 +1,32 @@
+// The paper's four evaluation scripts (§6.1–§6.4) in our PigLatin subset,
+// mirroring the "Pig Lab" [6] scripts the authors ran. Data-flow shapes
+// correspond to Fig. 8 (i)-(iii) plus the weather script of §6.4.
+#pragma once
+
+#include <string>
+
+namespace clusterbft::workloads {
+
+/// §6.1, Fig. 8(i): count followers per user (load, filter empties,
+/// group by user, count, store).
+std::string twitter_follower_analysis(const std::string& input = "twitter/edges",
+                                      const std::string& output =
+                                          "out/follower_counts");
+
+/// §6.1, Fig. 8(ii): pairs of users two hops apart (self-join matching a
+/// user's followers with those followers' followers).
+std::string twitter_two_hop_analysis(const std::string& input = "twitter/edges",
+                                     const std::string& output = "out/two_hop");
+
+/// §6.2, Fig. 8(iii): multi-store query — top 20 airports by outbound,
+/// inbound and overall traffic.
+std::string airline_top20_analysis(const std::string& input = "airline/flights",
+                                   const std::string& out_prefix = "out");
+
+/// §6.4: per-station average temperature (truncated, §5.4 determinism),
+/// then a histogram of stations per average.
+std::string weather_average_analysis(const std::string& input = "weather/gsod",
+                                     const std::string& output =
+                                         "out/weather_hist");
+
+}  // namespace clusterbft::workloads

@@ -1,0 +1,33 @@
+#include "workloads/twitter.hpp"
+
+namespace clusterbft::workloads {
+
+using dataflow::Relation;
+using dataflow::Schema;
+using dataflow::Tuple;
+using dataflow::Value;
+using dataflow::ValueType;
+
+Relation generate_twitter_edges(const TwitterConfig& cfg) {
+  Rng rng(cfg.seed);
+  Relation rel(Schema::of({{"user", ValueType::kLong},
+                           {"follower", ValueType::kLong}}));
+  for (std::uint64_t i = 0; i < cfg.num_edges; ++i) {
+    // Popular accounts (low Zipf ranks) attract most follow edges.
+    const auto user = static_cast<std::int64_t>(
+        rng.zipf(cfg.num_users, cfg.zipf_exponent));
+    Tuple t;
+    t.fields.push_back(Value(user));
+    if (rng.chance(cfg.malformed_rate)) {
+      t.fields.push_back(Value::null());
+    } else {
+      const auto follower = static_cast<std::int64_t>(
+          1 + rng.next_below(cfg.num_users));
+      t.fields.push_back(Value(follower));
+    }
+    rel.add(std::move(t));
+  }
+  return rel;
+}
+
+}  // namespace clusterbft::workloads

@@ -1,0 +1,26 @@
+// Synthetic Twitter follower graph, standing in for the Kwak et al. [22]
+// dataset the paper uses (two numeric columns: user-id, follower-id).
+// Popularity is Zipf-skewed; a small fraction of records is malformed
+// (null follower) so the scripts' FILTER stage has real work, matching
+// the paper's "filters out empty records" step.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "dataflow/relation.hpp"
+
+namespace clusterbft::workloads {
+
+struct TwitterConfig {
+  std::uint64_t num_users = 5000;
+  std::uint64_t num_edges = 50000;
+  double zipf_exponent = 1.4;   ///< follower-count skew
+  double malformed_rate = 0.02; ///< records with a null follower id
+  std::uint64_t seed = 42;
+};
+
+/// Schema: (user:long, follower:long).
+dataflow::Relation generate_twitter_edges(const TwitterConfig& cfg);
+
+}  // namespace clusterbft::workloads

@@ -1,0 +1,40 @@
+#include "workloads/weather.hpp"
+
+#include <cmath>
+
+namespace clusterbft::workloads {
+
+using dataflow::Relation;
+using dataflow::Schema;
+using dataflow::Tuple;
+using dataflow::Value;
+using dataflow::ValueType;
+
+Relation generate_weather(const WeatherConfig& cfg) {
+  Rng rng(cfg.seed);
+  Relation rel(Schema::of({{"station", ValueType::kLong},
+                           {"year", ValueType::kLong},
+                           {"temp", ValueType::kDouble}}));
+  for (std::uint64_t s = 1; s <= cfg.num_stations; ++s) {
+    // Each station has a climate baseline; readings scatter around it.
+    const double base = rng.uniform(-10.0, 35.0);
+    for (std::uint64_t i = 0; i < cfg.readings_per_station; ++i) {
+      Tuple t;
+      t.fields.push_back(Value(static_cast<std::int64_t>(s)));
+      t.fields.push_back(Value(static_cast<std::int64_t>(
+          2005 + rng.next_below(5))));
+      if (rng.chance(cfg.missing_rate)) {
+        t.fields.push_back(Value::null());
+      } else {
+        // Two decimals, like GSOD; keeps serialisation compact.
+        const double temp =
+            std::round((base + rng.uniform(-15.0, 15.0)) * 100.0) / 100.0;
+        t.fields.push_back(Value(temp));
+      }
+      rel.add(std::move(t));
+    }
+  }
+  return rel;
+}
+
+}  // namespace clusterbft::workloads

@@ -1,0 +1,23 @@
+// Synthetic daily surface weather summaries, standing in for the NCDC
+// GSOD snapshot [26] (the paper uses a 640 MB subset): per-station daily
+// mean temperatures over several years.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "dataflow/relation.hpp"
+
+namespace clusterbft::workloads {
+
+struct WeatherConfig {
+  std::uint64_t num_stations = 800;
+  std::uint64_t readings_per_station = 40;
+  double missing_rate = 0.03;  ///< readings with a null temperature
+  std::uint64_t seed = 11;
+};
+
+/// Schema: (station:long, year:long, temp:double).
+dataflow::Relation generate_weather(const WeatherConfig& cfg);
+
+}  // namespace clusterbft::workloads

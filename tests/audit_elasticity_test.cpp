@@ -1,0 +1,135 @@
+// Audit-trail and cluster-elasticity tests.
+#include <gtest/gtest.h>
+
+#include "baseline/presets.hpp"
+#include "cluster/tracker.hpp"
+#include "core/audit.hpp"
+#include "core/controller.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/twitter.hpp"
+
+namespace clusterbft::core {
+namespace {
+
+using cluster::AdversaryPolicy;
+using cluster::EventSim;
+using cluster::ExecutionTracker;
+using cluster::NodeId;
+using cluster::TrackerConfig;
+
+struct World {
+  EventSim sim;
+  mapreduce::Dfs dfs{16384};
+  std::unique_ptr<ExecutionTracker> tracker;
+  std::unique_ptr<ClusterBft> controller;
+
+  explicit World(TrackerConfig cfg = {}) {
+    tracker = std::make_unique<ExecutionTracker>(sim, dfs, cfg);
+    controller = std::make_unique<ClusterBft>(sim, dfs, *tracker);
+    workloads::TwitterConfig tw;
+    tw.num_edges = 1500;
+    tw.num_users = 200;
+    dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+  }
+};
+
+TEST(AuditTest, CleanRunRecordsSubmissionVerificationCompletion) {
+  World w;
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "clean", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+
+  const AuditLog& log = w.controller->audit_log();
+  ASSERT_GE(log.events().size(), 3u);
+  EXPECT_EQ(log.events().front().kind, AuditEvent::Kind::kScriptSubmitted);
+  EXPECT_EQ(log.events().back().kind, AuditEvent::Kind::kScriptCompleted);
+  EXPECT_EQ(log.events_of(AuditEvent::Kind::kJobVerified).size(), 1u);
+  EXPECT_TRUE(log.events_of(AuditEvent::Kind::kCommissionFault).empty());
+  // Times are monotone.
+  for (std::size_t i = 1; i < log.events().size(); ++i) {
+    EXPECT_LE(log.events()[i - 1].time, log.events()[i].time);
+  }
+}
+
+TEST(AuditTest, CommissionFaultAttributedWithNodes) {
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.policies[1] = AdversaryPolicy{.commission_prob = 1.0};
+  World w(cfg);
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "faulty", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+
+  const auto faults =
+      w.controller->audit_log().events_of(AuditEvent::Kind::kCommissionFault);
+  ASSERT_FALSE(faults.empty());
+  EXPECT_TRUE(faults[0].nodes.count(1));
+  // Per-node query finds the event too.
+  EXPECT_FALSE(w.controller->audit_log().events_involving(1).empty());
+}
+
+TEST(AuditTest, PersistsAcrossScriptsAndRenders) {
+  World w;
+  w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "one", 1, 2, 1));
+  const std::size_t after_first = w.controller->audit_log().events().size();
+  w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "two", 1, 2, 1));
+  EXPECT_GT(w.controller->audit_log().events().size(), after_first);
+
+  const std::string text = w.controller->audit_log().to_string();
+  EXPECT_NE(text.find("script-submitted"), std::string::npos);
+  EXPECT_NE(text.find("job-verified"), std::string::npos);
+  // Truncated rendering keeps only the tail.
+  const std::string tail = w.controller->audit_log().to_string(1);
+  EXPECT_NE(tail.find("script-completed"), std::string::npos);
+  EXPECT_EQ(tail.find("script-submitted"), std::string::npos);
+}
+
+TEST(ElasticityTest, AddedNodesTakeWork) {
+  TrackerConfig cfg;
+  cfg.num_nodes = 2;  // deliberately too small for r=2 disjoint replicas
+  cfg.slots_per_node = 1;
+  World w(cfg);
+
+  // Grow the cluster, then run: the replicas spread across old and new
+  // nodes.
+  w.tracker->add_nodes(6);
+  EXPECT_EQ(w.tracker->resources().size(), 8u);
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "grown", 1, 2, 1));
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(ElasticityTest, AddedByzantineNodeIsCaught) {
+  TrackerConfig cfg;
+  cfg.num_nodes = 6;
+  World w(cfg);
+  const NodeId bad = w.tracker->add_nodes(
+      2, 0, AdversaryPolicy{.commission_prob = 1.0});
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "joined", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+  // If the newcomer got work, its corruption was detected and attributed.
+  if (res.commission_faults_seen > 0) {
+    bool newcomer_suspected = false;
+    for (NodeId n : res.suspects) newcomer_suspected |= n >= bad;
+    EXPECT_TRUE(newcomer_suspected);
+  }
+}
+
+TEST(ElasticityTest, DrainedNodeGetsNoNewTasks) {
+  TrackerConfig cfg;
+  cfg.num_nodes = 6;
+  World w(cfg);
+  w.tracker->drain_node(0);
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "drained", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+  for (std::size_t run = 0; run < res.metrics.runs; ++run) {
+    EXPECT_EQ(w.tracker->run_nodes(run).count(0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace clusterbft::core

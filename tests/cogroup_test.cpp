@@ -1,0 +1,156 @@
+// COGROUP operator tests: outer semantics, aggregates over either bag,
+// distributed-vs-interpreter agreement, and verification under a
+// Byzantine node.
+#include <gtest/gtest.h>
+
+#include "baseline/presets.hpp"
+#include "cluster/tracker.hpp"
+#include "core/controller.hpp"
+#include "dataflow/interpreter.hpp"
+#include "dataflow/parser.hpp"
+
+namespace clusterbft::dataflow {
+namespace {
+
+std::int64_t L(std::int64_t x) { return x; }
+
+Relation table(std::vector<std::vector<Value>> rows,
+               std::vector<Field> fields) {
+  Relation r(Schema(std::move(fields)));
+  for (auto& row : rows) r.add(Tuple(std::move(row)));
+  return r;
+}
+
+Relation orders() {
+  return table({{Value(L(1)), Value(L(10))},
+                {Value(L(1)), Value(L(20))},
+                {Value(L(2)), Value(L(5))}},
+               {{"cust", ValueType::kLong}, {"amount", ValueType::kLong}});
+}
+
+Relation payments() {
+  return table({{Value(L(1)), Value(L(25))},
+                {Value(L(3)), Value(L(7))}},
+               {{"cust2", ValueType::kLong}, {"paid", ValueType::kLong}});
+}
+
+TEST(CogroupTest, OuterSemanticsWithEmptyBags) {
+  const auto plan = parse_script(
+      "o = LOAD 'orders' AS (cust:long, amount:long);\n"
+      "p = LOAD 'payments' AS (cust2:long, paid:long);\n"
+      "cg = COGROUP o BY cust, p BY cust2;\n"
+      "r = FOREACH cg GENERATE group, COUNT(o) AS orders, COUNT(p) AS pays;\n"
+      "STORE r INTO 'out';\n");
+  const auto out = interpret(plan, {{"orders", orders()},
+                                    {"payments", payments()}});
+  const Relation& r = out.at("out");
+  // Keys 1, 2, 3 all appear (outer): counts (2,1), (1,0), (0,1).
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.rows()[0].at(0).as_long(), 1);
+  EXPECT_EQ(r.rows()[0].at(1).as_long(), 2);
+  EXPECT_EQ(r.rows()[0].at(2).as_long(), 1);
+  EXPECT_EQ(r.rows()[1].at(1).as_long(), 1);
+  EXPECT_EQ(r.rows()[1].at(2).as_long(), 0);
+  EXPECT_EQ(r.rows()[2].at(0).as_long(), 3);
+  EXPECT_EQ(r.rows()[2].at(1).as_long(), 0);
+  EXPECT_EQ(r.rows()[2].at(2).as_long(), 1);
+}
+
+TEST(CogroupTest, AggregatesOverBothBags) {
+  const auto plan = parse_script(
+      "o = LOAD 'orders' AS (cust:long, amount:long);\n"
+      "p = LOAD 'payments' AS (cust2:long, paid:long);\n"
+      "cg = COGROUP o BY cust, p BY cust2;\n"
+      "bal = FOREACH cg GENERATE group AS cust, SUM(o.amount) AS billed, "
+      "SUM(p.paid) AS paid;\n"
+      "STORE bal INTO 'out';\n");
+  const auto out = interpret(plan, {{"orders", orders()},
+                                    {"payments", payments()}});
+  const Relation& r = out.at("out");
+  EXPECT_EQ(r.rows()[0].at(1).as_long(), 30);  // cust 1 billed
+  EXPECT_EQ(r.rows()[0].at(2).as_long(), 25);  // cust 1 paid
+  EXPECT_TRUE(r.rows()[2].at(1).is_null());    // cust 3 never billed
+}
+
+TEST(CogroupTest, UnknownBagAliasRejected) {
+  EXPECT_THROW(parse_script(
+                   "o = LOAD 'l' AS (k:long);\n"
+                   "p = LOAD 'r' AS (k2:long);\n"
+                   "cg = COGROUP o BY k, p BY k2;\n"
+                   "x = FOREACH cg GENERATE COUNT(zzz);\n"
+                   "STORE x INTO 'out';\n"),
+               ParseError);
+}
+
+TEST(CogroupTest, SelfCogroupRejected) {
+  EXPECT_THROW(parse_script("o = LOAD 'l' AS (k:long);\n"
+                            "cg = COGROUP o BY k, o BY k;\n"
+                            "STORE cg INTO 'out';\n"),
+               ParseError);
+}
+
+TEST(CogroupTest, DistributedMatchesInterpreterAndVerifies) {
+  const std::string script =
+      "o = LOAD 'orders' AS (cust:long, amount:long);\n"
+      "p = LOAD 'payments' AS (cust2:long, paid:long);\n"
+      "cg = COGROUP o BY cust, p BY cust2;\n"
+      "r = FOREACH cg GENERATE group AS cust, COUNT(o) AS n, "
+      "SUM(p.paid) AS paid;\n"
+      "STORE r INTO 'out';\n";
+  // Scale up the inputs for a meaningful distributed run.
+  Rng rng(5);
+  Relation big_orders(orders().schema());
+  Relation big_payments(payments().schema());
+  for (int i = 0; i < 500; ++i) {
+    big_orders.add(Tuple({Value(rng.uniform_int(0, 40)),
+                          Value(rng.uniform_int(1, 100))}));
+    if (i % 2 == 0) {
+      big_payments.add(Tuple({Value(rng.uniform_int(0, 50)),
+                              Value(rng.uniform_int(1, 100))}));
+    }
+  }
+
+  const auto plan = parse_script(script);
+  const auto golden = interpret(
+      plan, {{"orders", big_orders}, {"payments", big_payments}});
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(2048);
+  cluster::TrackerConfig cfg;
+  cfg.num_nodes = 9;
+  cfg.policies[1] = cluster::AdversaryPolicy{.commission_prob = 1.0};
+  cluster::ExecutionTracker tracker(sim, dfs, cfg);
+  dfs.write("orders", big_orders);
+  dfs.write("payments", big_payments);
+  core::ClusterBft controller(sim, dfs, tracker);
+  const auto res = controller.execute(
+      baseline::cluster_bft(script, "cg", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+  EXPECT_EQ(res.outputs.at("out").sorted_rows(),
+            golden.at("out").sorted_rows());
+}
+
+TEST(CogroupTest, MultiKeyCogroup) {
+  const auto plan = parse_script(
+      "a = LOAD 'l' AS (x:long, y:long, v:long);\n"
+      "b = LOAD 'r' AS (x2:long, y2:long, w:long);\n"
+      "cg = COGROUP a BY (x, y), b BY (x2, y2);\n"
+      "r = FOREACH cg GENERATE group, COUNT(a) AS na, COUNT(b) AS nb;\n"
+      "STORE r INTO 'out';\n");
+  const Relation l = table({{Value(L(1)), Value(L(1)), Value(L(9))}},
+                           {{"x", ValueType::kLong}, {"y", ValueType::kLong},
+                            {"v", ValueType::kLong}});
+  const Relation r = table({{Value(L(1)), Value(L(1)), Value(L(8))},
+                            {Value(L(1)), Value(L(2)), Value(L(7))}},
+                           {{"x2", ValueType::kLong},
+                            {"y2", ValueType::kLong},
+                            {"w", ValueType::kLong}});
+  const auto out = interpret(plan, {{"l", l}, {"r", r}});
+  ASSERT_EQ(out.at("out").size(), 2u);
+  EXPECT_EQ(out.at("out").rows()[0].at(1).as_long(), 1);  // (1,1): 1 + 1
+  EXPECT_EQ(out.at("out").rows()[0].at(2).as_long(), 1);
+  EXPECT_EQ(out.at("out").rows()[1].at(1).as_long(), 0);  // (1,2): 0 + 1
+}
+
+}  // namespace
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,185 @@
+#include "mapreduce/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "dataflow/parser.hpp"
+#include "workloads/scripts.hpp"
+
+namespace clusterbft::mapreduce {
+namespace {
+
+using dataflow::OpKind;
+using dataflow::parse_script;
+
+JobDag compile_script(const std::string& script,
+                      std::vector<VerificationPoint> vps = {},
+                      std::size_t reducers = 4) {
+  const auto plan = parse_script(script);
+  CompileOptions opts;
+  opts.default_reducers = reducers;
+  opts.sid_prefix = "t";
+  return compile(plan, vps, opts);
+}
+
+TEST(CompilerTest, SingleGroupJobShape) {
+  const auto dag = compile_script(workloads::twitter_follower_analysis());
+  ASSERT_EQ(dag.jobs.size(), 1u);
+  const MRJobSpec& j = dag.jobs[0];
+  EXPECT_FALSE(j.map_only());
+  ASSERT_EQ(j.branches.size(), 1u);
+  EXPECT_EQ(j.branches[0].input_path, "twitter/edges");
+  EXPECT_EQ(j.branches[0].map_ops.size(), 1u);  // the filter
+  EXPECT_EQ(j.reduce_ops.size(), 1u);           // the foreach
+  EXPECT_TRUE(j.is_final_store);
+  EXPECT_EQ(j.output_path, "out/follower_counts");
+  EXPECT_EQ(j.num_reducers, 4u);
+  EXPECT_TRUE(j.deps.empty());
+}
+
+TEST(CompilerTest, TwoHopJoinThenDistinct) {
+  const auto dag = compile_script(workloads::twitter_two_hop_analysis());
+  // Job 0: join (two tagged branches) + projection; job 1: distinct.
+  ASSERT_EQ(dag.jobs.size(), 2u);
+  const MRJobSpec& join_job = dag.jobs[0];
+  ASSERT_EQ(join_job.branches.size(), 2u);
+  EXPECT_EQ(join_job.branches[0].tag, 0);
+  EXPECT_EQ(join_job.branches[1].tag, 1);
+  EXPECT_FALSE(join_job.is_final_store);
+
+  const MRJobSpec& distinct_job = dag.jobs[1];
+  EXPECT_EQ(distinct_job.deps, std::vector<std::size_t>{0});
+  EXPECT_TRUE(distinct_job.is_final_store);
+  // The dependent job reads the first job's output.
+  EXPECT_EQ(distinct_job.branches[0].input_path, join_job.output_path);
+}
+
+TEST(CompilerTest, AirlineMultiStoreChains) {
+  const auto dag = compile_script(workloads::airline_top20_analysis());
+  // The shared filtered scan materialises once; three group jobs; three
+  // order+limit jobs: 7 total.
+  ASSERT_EQ(dag.jobs.size(), 7u);
+  EXPECT_TRUE(dag.jobs[0].map_only());  // shared filter materialisation
+
+  std::size_t finals = 0;
+  std::set<std::string> outputs;
+  for (const MRJobSpec& j : dag.jobs) {
+    if (j.is_final_store) {
+      ++finals;
+      outputs.insert(j.output_path);
+      EXPECT_EQ(j.num_reducers, 1u);  // ORDER jobs are single-reducer
+    }
+  }
+  EXPECT_EQ(finals, 3u);
+  EXPECT_TRUE(outputs.count("out/top_outbound"));
+  EXPECT_TRUE(outputs.count("out/top_inbound"));
+  EXPECT_TRUE(outputs.count("out/top_overall"));
+
+  // The union feeds the "overall" group job through two branches.
+  bool union_job_found = false;
+  for (const MRJobSpec& j : dag.jobs) {
+    if (j.branches.size() == 2 && !j.map_only() &&
+        j.branches[0].tag == 0 && j.branches[1].tag == 0) {
+      union_job_found = true;
+    }
+  }
+  EXPECT_TRUE(union_job_found);
+}
+
+TEST(CompilerTest, WeatherTwoGroupChain) {
+  const auto dag = compile_script(workloads::weather_average_analysis());
+  ASSERT_EQ(dag.jobs.size(), 2u);
+  EXPECT_EQ(dag.jobs[1].deps, std::vector<std::size_t>{0});
+}
+
+TEST(CompilerTest, ReadyRespectsDependencies) {
+  const auto dag = compile_script(workloads::weather_average_analysis());
+  std::vector<bool> done(dag.jobs.size(), false);
+  EXPECT_EQ(dag.ready(done), std::vector<std::size_t>{0});
+  done[0] = true;
+  EXPECT_EQ(dag.ready(done), std::vector<std::size_t>{1});
+  done[1] = true;
+  EXPECT_TRUE(dag.ready(done).empty());
+}
+
+TEST(CompilerTest, OrderAndLimitShareASingleReducerJob) {
+  const auto dag = compile_script(
+      "a = LOAD 'in' AS (x:long);\n"
+      "g = GROUP a BY x;\n"
+      "c = FOREACH g GENERATE group, COUNT(a) AS n;\n"
+      "o = ORDER c BY n DESC;\n"
+      "t = LIMIT o 5;\n"
+      "STORE t INTO 'out';\n");
+  ASSERT_EQ(dag.jobs.size(), 2u);
+  const MRJobSpec& order_job = dag.jobs[1];
+  EXPECT_EQ(order_job.num_reducers, 1u);
+  ASSERT_TRUE(order_job.blocking.has_value());
+  EXPECT_EQ(order_job.reduce_ops.size(), 1u);  // LIMIT rides the reducer
+}
+
+TEST(CompilerTest, MapOnlyScriptGetsPassthroughJob) {
+  const auto dag = compile_script(
+      "a = LOAD 'in' AS (x:long);\n"
+      "f = FILTER a BY x > 0;\n"
+      "STORE f INTO 'out';\n");
+  ASSERT_EQ(dag.jobs.size(), 1u);
+  EXPECT_TRUE(dag.jobs[0].map_only());
+  EXPECT_TRUE(dag.jobs[0].is_final_store);
+}
+
+TEST(CompilerTest, LimitWithoutOrderGetsGlobalCutJob) {
+  const auto dag = compile_script(
+      "a = LOAD 'in' AS (x:long);\n"
+      "t = LIMIT a 3;\n"
+      "STORE t INTO 'out';\n");
+  ASSERT_EQ(dag.jobs.size(), 1u);
+  EXPECT_FALSE(dag.jobs[0].map_only());
+  EXPECT_EQ(dag.jobs[0].num_reducers, 1u);
+}
+
+TEST(CompilerTest, VerificationPointsLandInTheRightJobs) {
+  const auto plan = parse_script(workloads::weather_average_analysis());
+  // Vertex 2 is the first GROUP (reduce side of job 0); vertex 0 is the
+  // LOAD (map side of job 0).
+  ASSERT_EQ(plan.node(2).kind, OpKind::kGroup);
+  CompileOptions opts;
+  opts.sid_prefix = "t";
+  const auto dag = compile(plan, {{2, 100}, {0, 0}}, opts);
+  ASSERT_EQ(dag.jobs[0].vps.size(), 2u);
+  EXPECT_TRUE(dag.jobs[1].vps.empty());
+  EXPECT_EQ(dag.jobs[0].vps[0].records_per_digest, 100u);
+}
+
+TEST(CompilerTest, StorePointNormalisesToStoredVertex) {
+  const auto plan = parse_script(workloads::twitter_follower_analysis());
+  const auto stores = plan.stores();
+  ASSERT_EQ(stores.size(), 1u);
+  CompileOptions opts;
+  opts.sid_prefix = "t";
+  const auto dag = compile(plan, {{stores[0], 0}}, opts);
+  ASSERT_EQ(dag.jobs[0].vps.size(), 1u);
+  // Normalised to the FOREACH feeding the store, which is reduce-side.
+  EXPECT_EQ(dag.jobs[0].vps[0].vertex, dag.jobs[0].output_vertex);
+}
+
+TEST(CompilerTest, SidsAreUniqueAndPrefixed) {
+  const auto dag = compile_script(workloads::airline_top20_analysis());
+  std::set<std::string> sids;
+  for (const MRJobSpec& j : dag.jobs) {
+    EXPECT_EQ(j.sid.rfind("t:", 0), 0u);
+    EXPECT_TRUE(sids.insert(j.sid).second);
+  }
+}
+
+TEST(CompilerTest, IsMapSideClassification) {
+  const auto dag = compile_script(workloads::twitter_follower_analysis());
+  const MRJobSpec& j = dag.jobs[0];
+  EXPECT_TRUE(j.is_map_side(j.branches[0].source_vertex));
+  EXPECT_TRUE(j.is_map_side(j.branches[0].map_ops[0]));
+  EXPECT_FALSE(j.is_map_side(*j.blocking));
+}
+
+}  // namespace
+}  // namespace clusterbft::mapreduce

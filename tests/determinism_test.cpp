@@ -1,0 +1,85 @@
+// Whole-system determinism: identical seeds and configuration must yield
+// bit-identical results — metrics, outputs, suspects, audit timing. This
+// is the foundation replica digest comparison, the benchmarks, and every
+// other test stand on.
+#include <gtest/gtest.h>
+
+#include "baseline/presets.hpp"
+#include "cluster/tracker.hpp"
+#include "core/controller.hpp"
+#include "sim/isolation_sim.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/twitter.hpp"
+
+namespace clusterbft {
+namespace {
+
+core::ScriptResult run_world(std::uint64_t seed) {
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(8192);
+  cluster::TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = seed;
+  cfg.policies[2] = cluster::AdversaryPolicy{.commission_prob = 0.6};
+  cluster::ExecutionTracker tracker(sim, dfs, cfg);
+  workloads::TwitterConfig tw;
+  tw.num_edges = 1000;
+  tw.num_users = 150;
+  dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+  core::ClusterBft controller(sim, dfs, tracker);
+  return controller.execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "det", 1, 2, 1));
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  const auto a = run_world(7);
+  const auto b = run_world(7);
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_DOUBLE_EQ(a.metrics.latency_s, b.metrics.latency_s);
+  EXPECT_DOUBLE_EQ(a.metrics.cpu_seconds, b.metrics.cpu_seconds);
+  EXPECT_EQ(a.metrics.file_read, b.metrics.file_read);
+  EXPECT_EQ(a.metrics.hdfs_write, b.metrics.hdfs_write);
+  EXPECT_EQ(a.metrics.runs, b.metrics.runs);
+  EXPECT_EQ(a.metrics.digest_reports, b.metrics.digest_reports);
+  EXPECT_EQ(a.suspects, b.suspects);
+  EXPECT_EQ(a.commission_faults_seen, b.commission_faults_seen);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (const auto& [path, rel] : a.outputs) {
+    EXPECT_EQ(rel.rows(), b.outputs.at(path).rows()) << path;
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDifferentSchedules) {
+  const auto a = run_world(7);
+  const auto b = run_world(8);
+  // The data is the same (workload seed fixed) so outputs agree, but the
+  // adversary coin flips and thus the cost profile differ.
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  const bool identical_metrics =
+      a.metrics.cpu_seconds == b.metrics.cpu_seconds &&
+      a.metrics.runs == b.metrics.runs &&
+      a.commission_faults_seen == b.commission_faults_seen;
+  EXPECT_FALSE(identical_metrics);
+}
+
+TEST(DeterminismTest, IsolationSimulatorBitStable) {
+  sim::IsolationSimConfig cfg;
+  cfg.f = 2;
+  cfg.replicas = 7;
+  cfg.commission_prob = 0.4;
+  cfg.seed = 99;
+  const auto a = sim::run_isolation_sim(cfg);
+  const auto b = sim::run_isolation_sim(cfg);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.final_suspects, b.final_suspects);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].low, b.timeline[i].low);
+    EXPECT_EQ(a.timeline[i].high, b.timeline[i].high);
+    EXPECT_EQ(a.timeline[i].analyzer_suspects,
+              b.timeline[i].analyzer_suspects);
+  }
+}
+
+}  // namespace
+}  // namespace clusterbft

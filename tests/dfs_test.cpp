@@ -1,0 +1,114 @@
+#include "mapreduce/dfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace clusterbft::mapreduce {
+namespace {
+
+using dataflow::Relation;
+using dataflow::Schema;
+using dataflow::Tuple;
+using dataflow::Value;
+using dataflow::ValueType;
+
+Relation numbers(std::int64_t n) {
+  Relation r(Schema::of({{"x", ValueType::kLong}}));
+  for (std::int64_t i = 0; i < n; ++i) r.add(Tuple({Value(i)}));
+  return r;
+}
+
+TEST(DfsTest, WriteReadRoundTrip) {
+  Dfs dfs;
+  dfs.write("a", numbers(10));
+  EXPECT_TRUE(dfs.exists("a"));
+  EXPECT_FALSE(dfs.exists("b"));
+  EXPECT_EQ(dfs.read("a").size(), 10u);
+}
+
+TEST(DfsTest, ReadMissingThrows) {
+  Dfs dfs;
+  EXPECT_THROW(dfs.read("nope"), CheckError);
+  EXPECT_THROW(dfs.num_splits("nope"), CheckError);
+}
+
+TEST(DfsTest, OverwriteReplaces) {
+  Dfs dfs;
+  dfs.write("a", numbers(10));
+  dfs.write("a", numbers(3));
+  EXPECT_EQ(dfs.read("a").size(), 3u);
+}
+
+TEST(DfsTest, RemoveDeletes) {
+  Dfs dfs;
+  dfs.write("a", numbers(1));
+  dfs.remove("a");
+  EXPECT_FALSE(dfs.exists("a"));
+}
+
+TEST(DfsTest, SplitsCoverAllRowsExactlyOnce) {
+  Dfs dfs(/*block_size=*/64);  // tiny blocks force many splits
+  dfs.write("a", numbers(100));
+  const std::size_t n = dfs.num_splits("a");
+  EXPECT_GT(n, 1u);
+  std::size_t total = 0;
+  std::int64_t next_expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Relation split = dfs.read_split("a", i);
+    total += split.size();
+    for (const Tuple& t : split.rows()) {
+      EXPECT_EQ(t.at(0).as_long(), next_expected++);
+    }
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(DfsTest, SplitOutOfRangeThrows) {
+  Dfs dfs;
+  dfs.write("a", numbers(5));
+  EXPECT_THROW(dfs.read_split("a", dfs.num_splits("a")), CheckError);
+}
+
+TEST(DfsTest, EmptyFileHasOneEmptySplit) {
+  Dfs dfs;
+  dfs.write("a", numbers(0));
+  EXPECT_EQ(dfs.num_splits("a"), 1u);
+  EXPECT_EQ(dfs.read_split("a", 0).size(), 0u);
+}
+
+TEST(DfsTest, SplitsAreDeterministic) {
+  Dfs d1(256), d2(256);
+  d1.write("a", numbers(500));
+  d2.write("a", numbers(500));
+  ASSERT_EQ(d1.num_splits("a"), d2.num_splits("a"));
+  for (std::size_t i = 0; i < d1.num_splits("a"); ++i) {
+    EXPECT_EQ(d1.read_split("a", i).rows(), d2.read_split("a", i).rows());
+  }
+}
+
+TEST(DfsTest, ByteAccounting) {
+  Dfs dfs;
+  const Relation r = numbers(10);
+  const std::uint64_t bytes = r.byte_size();
+  dfs.write("a", r);
+  EXPECT_EQ(dfs.metrics().bytes_written, bytes);
+  dfs.read("a");
+  EXPECT_EQ(dfs.metrics().bytes_read, bytes);
+  EXPECT_EQ(dfs.size_of("a"), bytes);
+  dfs.reset_metrics();
+  EXPECT_EQ(dfs.metrics().bytes_read, 0u);
+}
+
+TEST(DfsTest, ListReturnsAllPaths) {
+  Dfs dfs;
+  dfs.write("b", numbers(1));
+  dfs.write("a", numbers(1));
+  const auto paths = dfs.list();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "a");  // map order
+  EXPECT_EQ(paths[1], "b");
+}
+
+}  // namespace
+}  // namespace clusterbft::mapreduce

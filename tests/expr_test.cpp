@@ -1,0 +1,187 @@
+#include "dataflow/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace clusterbft::dataflow {
+namespace {
+
+ExprPtr lit_l(std::int64_t x) { return Expr::literal_of(Value(x)); }
+ExprPtr lit_d(double x) { return Expr::literal_of(Value(x)); }
+ExprPtr lit_s(const char* s) { return Expr::literal_of(Value(s)); }
+ExprPtr lit_null() { return Expr::literal_of(Value::null()); }
+ExprPtr col(std::size_t i) { return Expr::column_ref(i, "c" + std::to_string(i)); }
+
+Value eval0(const ExprPtr& e) { return eval_expr(*e, Tuple{}); }
+
+TEST(ExprTest, LongArithmetic) {
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kAdd, lit_l(2), lit_l(3))).as_long(), 5);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kSub, lit_l(2), lit_l(3))).as_long(), -1);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kMul, lit_l(4), lit_l(3))).as_long(), 12);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kDiv, lit_l(7), lit_l(2))).as_long(), 3);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kMod, lit_l(7), lit_l(3))).as_long(), 1);
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToDouble) {
+  const Value v = eval0(Expr::binary(BinOp::kAdd, lit_l(1), lit_d(0.5)));
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.as_double(), 1.5);
+}
+
+TEST(ExprTest, DivisionByZeroYieldsNull) {
+  EXPECT_TRUE(eval0(Expr::binary(BinOp::kDiv, lit_l(1), lit_l(0))).is_null());
+  EXPECT_TRUE(eval0(Expr::binary(BinOp::kDiv, lit_d(1), lit_d(0))).is_null());
+  EXPECT_TRUE(eval0(Expr::binary(BinOp::kMod, lit_l(1), lit_l(0))).is_null());
+}
+
+TEST(ExprTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(eval0(Expr::binary(BinOp::kAdd, lit_null(), lit_l(1))).is_null());
+  EXPECT_TRUE(eval0(Expr::unary(UnOp::kNeg, lit_null())).is_null());
+}
+
+TEST(ExprTest, Comparisons) {
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kLt, lit_l(1), lit_l(2))).as_long(), 1);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kGe, lit_l(1), lit_l(2))).as_long(), 0);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kEq, lit_s("a"), lit_s("a"))).as_long(),
+            1);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kNe, lit_s("a"), lit_s("b"))).as_long(),
+            1);
+}
+
+TEST(ExprTest, ComparisonWithNullIsNullAndFalsy) {
+  const Value v = eval0(Expr::binary(BinOp::kEq, lit_null(), lit_l(1)));
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(is_truthy(v));
+}
+
+TEST(ExprTest, LogicalShortCircuit) {
+  // AND with falsy lhs never evaluates rhs — a null rhs is irrelevant.
+  EXPECT_EQ(
+      eval0(Expr::binary(BinOp::kAnd, lit_l(0), lit_null())).as_long(), 0);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kOr, lit_l(1), lit_null())).as_long(),
+            1);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kAnd, lit_l(1), lit_l(1))).as_long(), 1);
+  EXPECT_EQ(eval0(Expr::binary(BinOp::kOr, lit_l(0), lit_l(0))).as_long(), 0);
+}
+
+TEST(ExprTest, NotAndIsNull) {
+  EXPECT_EQ(eval0(Expr::unary(UnOp::kNot, lit_l(0))).as_long(), 1);
+  EXPECT_EQ(eval0(Expr::unary(UnOp::kNot, lit_l(7))).as_long(), 0);
+  EXPECT_EQ(eval0(Expr::is_null(lit_null(), false)).as_long(), 1);
+  EXPECT_EQ(eval0(Expr::is_null(lit_l(1), false)).as_long(), 0);
+  EXPECT_EQ(eval0(Expr::is_null(lit_null(), true)).as_long(), 0);
+}
+
+TEST(ExprTest, ColumnReference) {
+  const Tuple t({Value(std::int64_t{10}), Value("x")});
+  EXPECT_EQ(eval_expr(*col(0), t).as_long(), 10);
+  EXPECT_EQ(eval_expr(*col(1), t).as_string(), "x");
+}
+
+TEST(ExprTest, Trunc) {
+  EXPECT_EQ(eval0(Expr::trunc(lit_d(3.9))).as_long(), 3);
+  EXPECT_EQ(eval0(Expr::trunc(lit_d(-3.9))).as_long(), -3);
+  EXPECT_EQ(eval0(Expr::trunc(lit_l(5))).as_long(), 5);
+  EXPECT_TRUE(eval0(Expr::trunc(lit_null())).is_null());
+}
+
+// ---- aggregates ----
+
+Tuple grouped(std::vector<std::vector<Value>> rows) {
+  std::vector<Tuple> ts;
+  for (auto& r : rows) ts.emplace_back(std::move(r));
+  Tuple out;
+  out.fields.push_back(Value(std::int64_t{1}));  // group key
+  out.fields.push_back(
+      Value(std::make_shared<const std::vector<Tuple>>(std::move(ts))));
+  return out;
+}
+
+TEST(ExprTest, CountBag) {
+  const Tuple g = grouped({{Value(std::int64_t{1})}, {Value(std::int64_t{2})}});
+  EXPECT_EQ(eval_expr(*Expr::aggregate(AggFunc::kCount, 1, std::nullopt), g)
+                .as_long(),
+            2);
+}
+
+TEST(ExprTest, SumMinMaxAvg) {
+  const Tuple g = grouped({{Value(std::int64_t{4})},
+                           {Value(std::int64_t{1})},
+                           {Value(std::int64_t{7})}});
+  EXPECT_EQ(eval_expr(*Expr::aggregate(AggFunc::kSum, 1, 0), g).as_long(), 12);
+  EXPECT_EQ(eval_expr(*Expr::aggregate(AggFunc::kMin, 1, 0), g).as_long(), 1);
+  EXPECT_EQ(eval_expr(*Expr::aggregate(AggFunc::kMax, 1, 0), g).as_long(), 7);
+  EXPECT_DOUBLE_EQ(eval_expr(*Expr::aggregate(AggFunc::kAvg, 1, 0), g)
+                       .as_double(),
+                   4.0);
+}
+
+TEST(ExprTest, AggregatesSkipNulls) {
+  const Tuple g = grouped({{Value(std::int64_t{4})},
+                           {Value::null()},
+                           {Value(std::int64_t{2})}});
+  EXPECT_EQ(eval_expr(*Expr::aggregate(AggFunc::kSum, 1, 0), g).as_long(), 6);
+  EXPECT_DOUBLE_EQ(
+      eval_expr(*Expr::aggregate(AggFunc::kAvg, 1, 0), g).as_double(), 3.0);
+  // COUNT over the bag counts rows (Pig's COUNT(bag) counts tuples).
+  EXPECT_EQ(eval_expr(*Expr::aggregate(AggFunc::kCount, 1, std::nullopt), g)
+                .as_long(),
+            3);
+}
+
+TEST(ExprTest, AggregateOverEmptyOrAllNullBagIsNull) {
+  const Tuple g = grouped({{Value::null()}});
+  EXPECT_TRUE(eval_expr(*Expr::aggregate(AggFunc::kSum, 1, 0), g).is_null());
+  EXPECT_TRUE(eval_expr(*Expr::aggregate(AggFunc::kMin, 1, 0), g).is_null());
+  EXPECT_TRUE(eval_expr(*Expr::aggregate(AggFunc::kAvg, 1, 0), g).is_null());
+}
+
+TEST(ExprTest, DoubleSumPromotes) {
+  const Tuple g = grouped({{Value(1.5)}, {Value(std::int64_t{1})}});
+  const Value v = eval_expr(*Expr::aggregate(AggFunc::kSum, 1, 0), g);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.5);
+}
+
+TEST(ExprTest, AggregateOnNonBagThrows) {
+  Tuple t({Value(std::int64_t{1}), Value(std::int64_t{2})});
+  EXPECT_THROW(eval_expr(*Expr::aggregate(AggFunc::kCount, 1, std::nullopt), t),
+               CheckError);
+}
+
+TEST(ExprTest, ContainsAggregate) {
+  EXPECT_TRUE(Expr::aggregate(AggFunc::kCount, 1, std::nullopt)
+                  ->contains_aggregate());
+  EXPECT_TRUE(Expr::binary(BinOp::kAdd, lit_l(1),
+                           Expr::aggregate(AggFunc::kSum, 1, 0))
+                  ->contains_aggregate());
+  EXPECT_FALSE(Expr::binary(BinOp::kAdd, lit_l(1), col(0))
+                   ->contains_aggregate());
+}
+
+TEST(ExprTest, ResultTypes) {
+  const Schema s = Schema::of({{"a", ValueType::kLong},
+                               {"b", ValueType::kDouble}});
+  EXPECT_EQ(result_type(*col(0), s), ValueType::kLong);
+  EXPECT_EQ(result_type(*col(1), s), ValueType::kDouble);
+  EXPECT_EQ(result_type(*Expr::binary(BinOp::kAdd, col(0), col(1)), s),
+            ValueType::kDouble);
+  EXPECT_EQ(result_type(*Expr::binary(BinOp::kLt, col(0), col(1)), s),
+            ValueType::kLong);
+  EXPECT_EQ(result_type(*Expr::trunc(col(1)), s), ValueType::kLong);
+  EXPECT_EQ(result_type(*Expr::aggregate(AggFunc::kCount, 1, std::nullopt), s),
+            ValueType::kLong);
+  EXPECT_EQ(result_type(*Expr::aggregate(AggFunc::kAvg, 1, 0), s),
+            ValueType::kDouble);
+}
+
+TEST(ExprTest, ToStringRendersReadably) {
+  const ExprPtr e = Expr::binary(
+      BinOp::kAnd, Expr::is_null(col(0), true),
+      Expr::binary(BinOp::kGt, col(1), lit_l(5)));
+  EXPECT_EQ(e->to_string(), "(c0 IS NOT NULL AND (c1 > 5))");
+}
+
+}  // namespace
+}  // namespace clusterbft::dataflow

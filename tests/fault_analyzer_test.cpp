@@ -1,0 +1,178 @@
+// Fig. 7 fault-analyzer tests: the staged narrowing behaviour on
+// hand-crafted scenarios, plus randomized property sweeps asserting the
+// invariants the algorithm must preserve.
+#include "core/fault_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace clusterbft::core {
+namespace {
+
+using NodeSet = FaultAnalyzer::NodeSet;
+
+TEST(FaultAnalyzerTest, RequiresPositiveF) {
+  EXPECT_THROW(FaultAnalyzer(0), CheckError);
+}
+
+TEST(FaultAnalyzerTest, FirstObservationSaturatesForFOne) {
+  FaultAnalyzer fa(1);
+  EXPECT_FALSE(fa.saturated());
+  fa.observe({1, 2, 3});
+  EXPECT_TRUE(fa.saturated());
+  EXPECT_EQ(fa.disjoint_sets().size(), 1u);
+  EXPECT_EQ(fa.suspects(), (NodeSet{1, 2, 3}));
+}
+
+TEST(FaultAnalyzerTest, IntersectionNarrowsAfterSaturation) {
+  FaultAnalyzer fa(1);
+  fa.observe({1, 2, 3});
+  // A second faulty cluster overlapping only in node 2: the fault must be
+  // in the intersection.
+  fa.observe({2, 7, 8});
+  EXPECT_EQ(fa.suspects(), (NodeSet{2}));
+}
+
+TEST(FaultAnalyzerTest, SubsetSharpensDuringStageOne) {
+  FaultAnalyzer fa(2);
+  fa.observe({1, 2, 3, 4});
+  EXPECT_FALSE(fa.saturated());
+  // A subset of an existing disjoint set replaces it (sharper evidence).
+  fa.observe({2, 3});
+  EXPECT_FALSE(fa.saturated());
+  ASSERT_EQ(fa.disjoint_sets().size(), 1u);
+  EXPECT_EQ(fa.disjoint_sets()[0], (NodeSet{2, 3}));
+  EXPECT_EQ(fa.overlapping_sets().size(), 1u);
+}
+
+TEST(FaultAnalyzerTest, DisjointSetsAccumulateUpToF) {
+  FaultAnalyzer fa(2);
+  fa.observe({1, 2});
+  fa.observe({5, 6});
+  EXPECT_TRUE(fa.saturated());
+  EXPECT_EQ(fa.disjoint_sets().size(), 2u);
+  // A third disjoint set is NOT added (|D| stays at f) — it can only
+  // refine.
+  fa.observe({9, 10});
+  EXPECT_EQ(fa.disjoint_sets().size(), 2u);
+}
+
+TEST(FaultAnalyzerTest, RetroactiveRefinementAtSaturation) {
+  FaultAnalyzer fa(2);
+  // Overlapping evidence arrives before stage 1 saturates...
+  fa.observe({1, 2, 3});
+  fa.observe({2, 3, 4});  // overlaps -> O
+  fa.observe({7, 8});     // second disjoint set -> saturation
+  EXPECT_TRUE(fa.saturated());
+  // ...and is replayed: {2,3,4} ∩ {1,2,3} = {2,3} shrinks the first set.
+  EXPECT_EQ(fa.disjoint_sets()[0], (NodeSet{2, 3}));
+}
+
+TEST(FaultAnalyzerTest, AmbiguousIntersectionDoesNotRefine) {
+  FaultAnalyzer fa(2);
+  fa.observe({1, 2});
+  fa.observe({5, 6});
+  // Touches BOTH disjoint sets: no conclusion possible.
+  fa.observe({2, 5});
+  EXPECT_EQ(fa.disjoint_sets()[0], (NodeSet{1, 2}));
+  EXPECT_EQ(fa.disjoint_sets()[1], (NodeSet{5, 6}));
+}
+
+TEST(FaultAnalyzerTest, EmptyObservationIgnored) {
+  FaultAnalyzer fa(1);
+  fa.observe({});
+  EXPECT_FALSE(fa.saturated());
+  EXPECT_EQ(fa.observations(), 0u);
+}
+
+TEST(FaultAnalyzerTest, SetFOnlyRaises) {
+  FaultAnalyzer fa(2);
+  fa.set_f(1);
+  EXPECT_EQ(fa.f(), 2u);
+  fa.set_f(3);
+  EXPECT_EQ(fa.f(), 3u);
+}
+
+// ---- property sweep: a faulty node is never lost, and refinement
+// eventually isolates it -------------------------------------------------
+
+struct SweepParam {
+  std::size_t f;
+  std::size_t cluster_size;
+  std::uint64_t seed;
+};
+
+class FaultAnalyzerSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(FaultAnalyzerSweep, FaultyNodesStaySuspected) {
+  const SweepParam p = GetParam();
+  Rng rng(p.seed);
+  const std::size_t num_nodes = 100;
+
+  // Fix the truly faulty nodes.
+  NodeSet faulty;
+  while (faulty.size() < p.f) {
+    faulty.insert(rng.next_below(num_nodes));
+  }
+
+  FaultAnalyzer fa(p.f);
+  for (int round = 0; round < 200; ++round) {
+    // Build a faulty cluster: one (random) truly faulty node + random
+    // honest bystanders — exactly what a deviant job replica looks like.
+    NodeSet cluster;
+    auto it = faulty.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         rng.next_below(faulty.size())));
+    cluster.insert(*it);
+    while (cluster.size() < p.cluster_size) {
+      const auto n = rng.next_below(num_nodes);
+      if (!faulty.count(n)) cluster.insert(n);  // bystanders are honest
+    }
+    fa.observe(cluster);
+
+    // INVARIANT: every disjoint set contains at least one faulty node
+    // (an observed cluster always does, and intersection refinement only
+    // happens when the evidence pins the fault inside the intersection).
+    if (fa.saturated()) {
+      for (const NodeSet& d : fa.disjoint_sets()) {
+        bool has_faulty = false;
+        for (auto n : d) has_faulty |= faulty.count(n) > 0;
+        EXPECT_TRUE(has_faulty) << "round " << round;
+      }
+    }
+  }
+
+  // After many observations the suspect pool is a small superset of the
+  // faulty nodes.
+  EXPECT_TRUE(fa.saturated());
+  EXPECT_LE(fa.suspects().size(), p.f * p.cluster_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FaultAnalyzerSweep,
+    ::testing::Values(SweepParam{1, 3, 11}, SweepParam{1, 8, 12},
+                      SweepParam{2, 4, 13}, SweepParam{2, 10, 14},
+                      SweepParam{3, 5, 15}, SweepParam{3, 12, 16}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "f" + std::to_string(info.param.f) + "_c" +
+             std::to_string(info.param.cluster_size) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(FaultAnalyzerTest, HighCommissionProbabilityIsolatesQuickly) {
+  // With clusters always containing the single faulty node 42, repeated
+  // random bystanders shrink the suspect set to {42} fast.
+  Rng rng(99);
+  FaultAnalyzer fa(1);
+  for (int i = 0; i < 20; ++i) {
+    NodeSet cluster{42};
+    while (cluster.size() < 6) cluster.insert(rng.next_below(200));
+    fa.observe(cluster);
+  }
+  EXPECT_EQ(fa.suspects(), (NodeSet{42}));
+}
+
+}  // namespace
+}  // namespace clusterbft::core

@@ -1,0 +1,172 @@
+#include "dataflow/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "dataflow/parser.hpp"
+#include "workloads/airline.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/twitter.hpp"
+#include "workloads/weather.hpp"
+
+namespace clusterbft::dataflow {
+namespace {
+
+Relation table(std::vector<std::vector<Value>> rows,
+               std::vector<Field> fields) {
+  Relation r(Schema(std::move(fields)));
+  for (auto& row : rows) r.add(Tuple(std::move(row)));
+  return r;
+}
+
+std::int64_t L(std::int64_t x) { return x; }
+
+TEST(InterpreterTest, FilterGroupCountPipeline) {
+  const auto plan = parse_script(
+      "a = LOAD 'in' AS (k:long, v:long);\n"
+      "f = FILTER a BY v IS NOT NULL;\n"
+      "g = GROUP f BY k;\n"
+      "c = FOREACH g GENERATE group AS k, COUNT(f) AS n, SUM(f.v) AS total;\n"
+      "STORE c INTO 'out';\n");
+  const Relation in = table(
+      {{Value(L(1)), Value(L(10))},
+       {Value(L(1)), Value(L(20))},
+       {Value(L(2)), Value::null()},
+       {Value(L(2)), Value(L(5))}},
+      {{"k", ValueType::kLong}, {"v", ValueType::kLong}});
+  const auto out = interpret(plan, {{"in", in}});
+  const Relation& c = out.at("out");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.rows()[0].at(0).as_long(), 1);
+  EXPECT_EQ(c.rows()[0].at(1).as_long(), 2);
+  EXPECT_EQ(c.rows()[0].at(2).as_long(), 30);
+  EXPECT_EQ(c.rows()[1].at(0).as_long(), 2);
+  EXPECT_EQ(c.rows()[1].at(1).as_long(), 1);
+  EXPECT_EQ(c.rows()[1].at(2).as_long(), 5);
+}
+
+TEST(InterpreterTest, JoinProjectDistinct) {
+  const auto plan = parse_script(
+      "a = LOAD 'edges' AS (u:long, f:long);\n"
+      "b = LOAD 'edges' AS (u2:long, f2:long);\n"
+      "j = JOIN a BY f, b BY u2;\n"
+      "p = FOREACH j GENERATE u AS src, f2 AS dst;\n"
+      "d = DISTINCT p;\n"
+      "STORE d INTO 'out';\n");
+  // 1->2, 2->3, 2->4: two-hop pairs are (1,3) and (1,4).
+  const Relation edges = table(
+      {{Value(L(1)), Value(L(2))},
+       {Value(L(2)), Value(L(3))},
+       {Value(L(2)), Value(L(4))}},
+      {{"u", ValueType::kLong}, {"f", ValueType::kLong}});
+  const auto out = interpret(plan, {{"edges", edges}});
+  const Relation& d = out.at("out");
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.rows()[0].at(0).as_long(), 1);
+  EXPECT_EQ(d.rows()[0].at(1).as_long(), 3);
+  EXPECT_EQ(d.rows()[1].at(1).as_long(), 4);
+}
+
+TEST(InterpreterTest, UnionOrderLimit) {
+  const auto plan = parse_script(
+      "a = LOAD 'l' AS (x:long);\n"
+      "b = LOAD 'r' AS (x:long);\n"
+      "u = UNION a, b;\n"
+      "o = ORDER u BY x DESC;\n"
+      "t = LIMIT o 2;\n"
+      "STORE t INTO 'out';\n");
+  const auto out = interpret(
+      plan, {{"l", table({{Value(L(3))}, {Value(L(1))}},
+                         {{"x", ValueType::kLong}})},
+             {"r", table({{Value(L(2))}}, {{"x", ValueType::kLong}})}});
+  const Relation& t = out.at("out");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.rows()[0].at(0).as_long(), 3);
+  EXPECT_EQ(t.rows()[1].at(0).as_long(), 2);
+}
+
+TEST(InterpreterTest, MultiStoreSharesAScan) {
+  const auto plan = parse_script(
+      "a = LOAD 'in' AS (x:long);\n"
+      "p = FILTER a BY x > 0;\n"
+      "g = GROUP p BY x;\n"
+      "c = FOREACH g GENERATE group, COUNT(p);\n"
+      "STORE p INTO 'o1';\n"
+      "STORE c INTO 'o2';\n");
+  const auto out = interpret(
+      plan,
+      {{"in", table({{Value(L(1))}, {Value(L(1))}, {Value(L(-2))}},
+                    {{"x", ValueType::kLong}})}});
+  EXPECT_EQ(out.at("o1").size(), 2u);
+  EXPECT_EQ(out.at("o2").size(), 1u);
+  EXPECT_EQ(out.at("o2").rows()[0].at(1).as_long(), 2);
+}
+
+TEST(InterpreterTest, MissingInputThrows) {
+  const auto plan = parse_script(
+      "a = LOAD 'nope' AS (x:long);\nSTORE a INTO 'o';\n");
+  EXPECT_THROW(interpret(plan, {}), CheckError);
+}
+
+TEST(InterpreterTest, ArityMismatchThrows) {
+  const auto plan = parse_script(
+      "a = LOAD 'in' AS (x:long, y:long);\nSTORE a INTO 'o';\n");
+  EXPECT_THROW(
+      interpret(plan, {{"in", table({{Value(L(1))}},
+                                    {{"x", ValueType::kLong}})}}),
+      CheckError);
+}
+
+// ---- sanity of the paper scripts on synthetic workloads ----
+
+TEST(InterpreterTest, FollowerCountsConserveEdges) {
+  workloads::TwitterConfig cfg;
+  cfg.num_edges = 5000;
+  const Relation edges = workloads::generate_twitter_edges(cfg);
+  const auto plan = parse_script(workloads::twitter_follower_analysis());
+  const auto out = interpret(plan, {{"twitter/edges", edges}});
+  const Relation& counts = out.at("out/follower_counts");
+  std::int64_t total = 0;
+  for (const Tuple& t : counts.rows()) total += t.at(1).as_long();
+  // Total counted followers == number of well-formed edges.
+  std::int64_t well_formed = 0;
+  for (const Tuple& t : edges.rows()) {
+    if (!t.at(0).is_null() && !t.at(1).is_null()) ++well_formed;
+  }
+  EXPECT_EQ(total, well_formed);
+}
+
+TEST(InterpreterTest, AirlineTop20HasAtMost20Rows) {
+  workloads::AirlineConfig cfg;
+  cfg.num_flights = 3000;
+  const Relation flights = workloads::generate_flights(cfg);
+  const auto plan = parse_script(workloads::airline_top20_analysis());
+  const auto out = interpret(plan, {{"airline/flights", flights}});
+  for (const char* store :
+       {"out/top_outbound", "out/top_inbound", "out/top_overall"}) {
+    const Relation& top = out.at(store);
+    EXPECT_LE(top.size(), 20u);
+    EXPECT_GT(top.size(), 0u);
+    // Ordered by count descending.
+    for (std::size_t i = 1; i < top.size(); ++i) {
+      EXPECT_GE(top.rows()[i - 1].at(1).as_long(),
+                top.rows()[i].at(1).as_long());
+    }
+  }
+}
+
+TEST(InterpreterTest, WeatherHistogramCountsAllStations) {
+  workloads::WeatherConfig cfg;
+  cfg.num_stations = 100;
+  cfg.readings_per_station = 10;
+  const Relation readings = workloads::generate_weather(cfg);
+  const auto plan = parse_script(workloads::weather_average_analysis());
+  const auto out = interpret(plan, {{"weather/gsod", readings}});
+  const Relation& hist = out.at("out/weather_hist");
+  std::int64_t stations = 0;
+  for (const Tuple& t : hist.rows()) stations += t.at(1).as_long();
+  EXPECT_EQ(stations, 100);
+}
+
+}  // namespace
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,111 @@
+// §6.3 fault-isolation simulator tests.
+#include "sim/isolation_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clusterbft::sim {
+namespace {
+
+IsolationSimConfig base(std::size_t f, double p, std::uint64_t seed = 1) {
+  IsolationSimConfig cfg;
+  cfg.f = f;
+  cfg.replicas = (f == 1) ? 4 : 7;  // the paper's choices
+  cfg.commission_prob = p;
+  cfg.seed = seed;
+  cfg.max_completed_jobs = 200;
+  return cfg;
+}
+
+TEST(IsolationSimTest, AlwaysFaultyNodeIsolatesWithinFewJobs) {
+  const auto res = run_isolation_sim(base(1, 1.0));
+  ASSERT_TRUE(res.jobs_until_saturation.has_value());
+  EXPECT_LE(*res.jobs_until_saturation, 20u);
+  EXPECT_TRUE(res.suspects_cover_observed_faulty);
+}
+
+TEST(IsolationSimTest, NeverFaultyNodeNeverObserved) {
+  const auto res = run_isolation_sim(base(1, 0.0));
+  EXPECT_FALSE(res.jobs_until_saturation.has_value());
+  EXPECT_EQ(res.commission_observations, 0u);
+  EXPECT_TRUE(res.final_suspects.empty());
+}
+
+TEST(IsolationSimTest, HigherProbabilityIsolatesFaster) {
+  // Averaged over seeds, p = 0.9 saturates in no more jobs than p = 0.2
+  // (the Fig. 11 trend).
+  double slow_total = 0, fast_total = 0;
+  int slow_n = 0, fast_n = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto slow = run_isolation_sim(base(1, 0.2, seed));
+    const auto fast = run_isolation_sim(base(1, 0.9, seed));
+    if (slow.jobs_until_saturation) {
+      slow_total += static_cast<double>(*slow.jobs_until_saturation);
+      ++slow_n;
+    }
+    if (fast.jobs_until_saturation) {
+      fast_total += static_cast<double>(*fast.jobs_until_saturation);
+      ++fast_n;
+    }
+  }
+  ASSERT_GT(fast_n, 0);
+  ASSERT_GT(slow_n, 0);
+  EXPECT_LE(fast_total / fast_n, slow_total / slow_n);
+}
+
+TEST(IsolationSimTest, CoveragePropertyHoldsAcrossSeedsAndF) {
+  for (std::size_t f : {1u, 2u}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto res = run_isolation_sim(base(f, 0.6, seed));
+      EXPECT_TRUE(res.suspects_cover_observed_faulty)
+          << "f=" << f << " seed=" << seed;
+      EXPECT_EQ(res.true_faulty.size(), f);
+    }
+  }
+}
+
+TEST(IsolationSimTest, SuspicionTimelineConvergesToFaultyNodesOnly) {
+  const auto res = run_isolation_sim(base(1, 0.8));
+  ASSERT_FALSE(res.timeline.empty());
+  // Eventually the High band contains exactly the truly faulty node.
+  ASSERT_TRUE(res.high_band_exact_time.has_value());
+  // And stays that way at the end of the run: the last snapshot has
+  // exactly f High nodes.
+  const auto& last = res.timeline.back();
+  EXPECT_EQ(last.high, 1u);
+}
+
+TEST(IsolationSimTest, SaturationStopsSuspectGrowth) {
+  // After |D| = f the suspect pool can only shrink (the Fig. 12 plateau).
+  const auto res = run_isolation_sim(base(1, 0.7));
+  ASSERT_TRUE(res.jobs_until_saturation.has_value());
+  EXPECT_LE(res.final_suspects.size(), 30u);  // one job cluster at most
+}
+
+TEST(IsolationSimTest, DeterministicForFixedSeed) {
+  const auto a = run_isolation_sim(base(1, 0.5, 9));
+  const auto b = run_isolation_sim(base(1, 0.5, 9));
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.final_suspects, b.final_suspects);
+  EXPECT_EQ(a.commission_observations, b.commission_observations);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+}
+
+TEST(IsolationSimTest, JobMixRatiosRespectConfig) {
+  // Indirect check: with only small jobs, far more jobs complete in the
+  // same simulated horizon than with only large jobs.
+  IsolationSimConfig small = base(1, 0.5);
+  small.ratio_large = 0;
+  small.ratio_medium = 0;
+  small.ratio_small = 1;
+  small.max_time = 50;
+  small.max_completed_jobs = 100000;
+  IsolationSimConfig large = small;
+  large.ratio_large = 1;
+  large.ratio_small = 0;
+  const auto rs = run_isolation_sim(small);
+  const auto rl = run_isolation_sim(large);
+  EXPECT_GT(rs.jobs_completed, rl.jobs_completed * 2);
+}
+
+}  // namespace
+}  // namespace clusterbft::sim

@@ -1,0 +1,177 @@
+#include "dataflow/ops_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace clusterbft::dataflow {
+namespace {
+
+Relation table(std::vector<std::vector<Value>> rows,
+               std::vector<Field> fields) {
+  Relation r(Schema(std::move(fields)));
+  for (auto& row : rows) r.add(Tuple(std::move(row)));
+  return r;
+}
+
+std::int64_t L(std::int64_t x) { return x; }
+
+TEST(OpsEvalTest, Filter) {
+  const Relation in = table({{Value(L(1))}, {Value(L(5))}, {Value::null()}},
+                            {{"x", ValueType::kLong}});
+  OpNode op;
+  op.kind = OpKind::kFilter;
+  op.schema = in.schema();
+  op.predicate = Expr::binary(BinOp::kGt, Expr::column_ref(0, "x"),
+                              Expr::literal_of(Value(L(2))));
+  const Relation out = eval_filter(op, in);
+  ASSERT_EQ(out.size(), 1u);  // null comparison is falsy, 1 fails, 5 passes
+  EXPECT_EQ(out.rows()[0].at(0).as_long(), 5);
+}
+
+TEST(OpsEvalTest, ForeachProjects) {
+  const Relation in = table({{Value(L(2)), Value(L(3))}},
+                            {{"x", ValueType::kLong}, {"y", ValueType::kLong}});
+  OpNode op;
+  op.kind = OpKind::kForeach;
+  op.schema = Schema::of({{"s", ValueType::kLong}});
+  op.gen.push_back({Expr::binary(BinOp::kMul, Expr::column_ref(0, "x"),
+                                 Expr::column_ref(1, "y")),
+                    "s"});
+  const Relation out = eval_foreach(op, in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rows()[0].at(0).as_long(), 6);
+}
+
+OpNode group_op(const Relation& in, std::size_t key) {
+  OpNode op;
+  op.kind = OpKind::kGroup;
+  op.group_keys = {key};
+  op.schema = Schema::of({{"group", in.schema().at(key).type},
+                          {"bag", ValueType::kBag}});
+  return op;
+}
+
+TEST(OpsEvalTest, GroupCollectsAndSortsBags) {
+  const Relation in = table(
+      {{Value(L(1)), Value(L(9))}, {Value(L(2)), Value(L(5))},
+       {Value(L(1)), Value(L(3))}},
+      {{"k", ValueType::kLong}, {"v", ValueType::kLong}});
+  const Relation out = eval_group(group_op(in, 0), in);
+  ASSERT_EQ(out.size(), 2u);
+  // Groups come out in key order.
+  EXPECT_EQ(out.rows()[0].at(0).as_long(), 1);
+  const auto& bag = *out.rows()[0].at(1).as_bag();
+  ASSERT_EQ(bag.size(), 2u);
+  // Bags are canonically sorted (replica determinism): (1,3) before (1,9).
+  EXPECT_EQ(bag[0].at(1).as_long(), 3);
+  EXPECT_EQ(bag[1].at(1).as_long(), 9);
+}
+
+TEST(OpsEvalTest, GroupIsInputOrderInsensitive) {
+  const std::vector<std::vector<Value>> rows{
+      {Value(L(1)), Value(L(9))}, {Value(L(2)), Value(L(5))},
+      {Value(L(1)), Value(L(3))}};
+  auto make = [&](std::vector<std::size_t> order) {
+    Relation r(Schema::of({{"k", ValueType::kLong}, {"v", ValueType::kLong}}));
+    for (std::size_t i : order) r.add(Tuple(rows[i]));
+    return r;
+  };
+  const Relation a = make({0, 1, 2});
+  const Relation b = make({2, 0, 1});
+  EXPECT_EQ(eval_group(group_op(a, 0), a).rows(),
+            eval_group(group_op(b, 0), b).rows());
+}
+
+TEST(OpsEvalTest, JoinInnerEquiNullsNeverMatch) {
+  const Relation left = table(
+      {{Value(L(1)), Value("a")}, {Value(L(2)), Value("b")}, {Value::null(), Value("n")}},
+      {{"k", ValueType::kLong}, {"lv", ValueType::kChararray}});
+  const Relation right = table(
+      {{Value(L(1)), Value("x")}, {Value(L(1)), Value("y")}, {Value::null(), Value("m")}},
+      {{"k", ValueType::kLong}, {"rv", ValueType::kChararray}});
+  OpNode op;
+  op.kind = OpKind::kJoin;
+  op.left_keys = {0};
+  op.right_keys = {0};
+  op.schema = Schema::of({{"l::k", ValueType::kLong},
+                          {"l::lv", ValueType::kChararray},
+                          {"r::k", ValueType::kLong},
+                          {"r::rv", ValueType::kChararray}});
+  const Relation out = eval_join(op, left, right);
+  ASSERT_EQ(out.size(), 2u);  // key 1 matches twice; nulls never match
+  EXPECT_EQ(out.rows()[0].at(3).as_string(), "x");
+  EXPECT_EQ(out.rows()[1].at(3).as_string(), "y");
+}
+
+TEST(OpsEvalTest, UnionConcatenates) {
+  const Relation a = table({{Value(L(1))}}, {{"x", ValueType::kLong}});
+  const Relation b = table({{Value(L(2))}, {Value(L(3))}},
+                           {{"x", ValueType::kLong}});
+  OpNode op;
+  op.kind = OpKind::kUnion;
+  op.schema = a.schema();
+  const Relation out = eval_union(op, {&a, &b});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(OpsEvalTest, UnionChecksArity) {
+  const Relation a = table({{Value(L(1))}}, {{"x", ValueType::kLong}});
+  const Relation b = table({{Value(L(2)), Value(L(0))}},
+                           {{"x", ValueType::kLong}, {"y", ValueType::kLong}});
+  OpNode op;
+  op.kind = OpKind::kUnion;
+  op.schema = a.schema();
+  EXPECT_THROW(eval_union(op, {&a, &b}), CheckError);
+}
+
+TEST(OpsEvalTest, DistinctRemovesDuplicates) {
+  const Relation in = table({{Value(L(2))}, {Value(L(1))}, {Value(L(2))}},
+                            {{"x", ValueType::kLong}});
+  OpNode op;
+  op.kind = OpKind::kDistinct;
+  op.schema = in.schema();
+  const Relation out = eval_distinct(op, in);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.rows()[0].at(0).as_long(), 1);  // sorted output
+  EXPECT_EQ(out.rows()[1].at(0).as_long(), 2);
+}
+
+TEST(OpsEvalTest, OrderSortsWithTiebreak) {
+  const Relation in = table(
+      {{Value(L(1)), Value("b")}, {Value(L(2)), Value("a")}, {Value(L(1)), Value("a")}},
+      {{"k", ValueType::kLong}, {"v", ValueType::kChararray}});
+  OpNode op;
+  op.kind = OpKind::kOrder;
+  op.schema = in.schema();
+  op.sort_keys = {{0, false}};  // k DESC
+  const Relation out = eval_order(op, in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.rows()[0].at(0).as_long(), 2);
+  // Equal keys fall back to whole-tuple order: (1,"a") before (1,"b").
+  EXPECT_EQ(out.rows()[1].at(1).as_string(), "a");
+  EXPECT_EQ(out.rows()[2].at(1).as_string(), "b");
+}
+
+TEST(OpsEvalTest, LimitTruncates) {
+  const Relation in = table({{Value(L(1))}, {Value(L(2))}, {Value(L(3))}},
+                            {{"x", ValueType::kLong}});
+  OpNode op;
+  op.kind = OpKind::kLimit;
+  op.schema = in.schema();
+  op.limit = 2;
+  EXPECT_EQ(eval_limit(op, in).size(), 2u);
+  op.limit = 99;
+  EXPECT_EQ(eval_limit(op, in).size(), 3u);
+  op.limit = 0;
+  EXPECT_EQ(eval_limit(op, in).size(), 0u);
+}
+
+TEST(OpsEvalTest, EvalOpDispatchRejectsStorage) {
+  OpNode op;
+  op.kind = OpKind::kLoad;
+  EXPECT_THROW(eval_op(op, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,156 @@
+// Paillier cryptosystem tests: modular arithmetic primitives, key
+// generation, round trips, and the homomorphic properties the
+// confidential-analysis example relies on.
+#include "crypto/paillier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace clusterbft::crypto {
+namespace {
+
+TEST(U128MathTest, MulModAgainstSmallCases) {
+  EXPECT_EQ(mul_mod_u128(7, 8, 5), 56 % 5);
+  EXPECT_EQ(mul_mod_u128(0, 99, 7), 0u);
+  EXPECT_EQ(mul_mod_u128(123456789, 987654321, 1000000007),
+            U128{123456789} * 987654321 % 1000000007);
+}
+
+TEST(U128MathTest, MulModHandlesHugeOperands) {
+  // Residues close to a 127-bit modulus would overflow a naive multiply.
+  const U128 m = (U128{1} << 126) + 5;
+  const U128 a = m - 2;
+  const U128 b = m - 3;
+  // (m-2)(m-3) mod m = 6 mod m.
+  EXPECT_EQ(mul_mod_u128(a, b, m), U128{6});
+}
+
+TEST(U128MathTest, PowMod) {
+  EXPECT_EQ(pow_mod_u128(2, 10, 1000000), 1024u);
+  EXPECT_EQ(pow_mod_u128(5, 0, 7), 1u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(pow_mod_u128(123456, 1000000006, 1000000007), 1u);
+}
+
+TEST(U128MathTest, InvMod) {
+  for (std::uint64_t a : {2ull, 3ull, 10ull, 999999999ull}) {
+    const U128 inv = inv_mod_u128(a, 1000000007);
+    EXPECT_EQ(mul_mod_u128(a, inv, 1000000007), 1u) << a;
+  }
+  EXPECT_THROW(inv_mod_u128(6, 9), CheckError);  // gcd 3, no inverse
+}
+
+TEST(U128MathTest, PrimalityOnKnownCases) {
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_TRUE(is_prime_u64(1000000007));
+  EXPECT_TRUE(is_prime_u64(4294967291ull));  // largest 32-bit prime
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_FALSE(is_prime_u64(561));        // Carmichael
+  EXPECT_FALSE(is_prime_u64(4294967295ull));
+}
+
+TEST(U128MathTest, HexRoundTrip) {
+  for (U128 x : {U128{0}, U128{1}, U128{0xdeadbeef},
+                 (U128{0x0123456789abcdefULL} << 64) | 0xfedcba9876543210ULL}) {
+    EXPECT_EQ(u128_from_hex(u128_to_hex(x)), x);
+  }
+  EXPECT_THROW(u128_from_hex("xyz"), CheckError);
+  EXPECT_THROW(u128_from_hex(""), CheckError);
+}
+
+TEST(PaillierTest, EncryptDecryptRoundTrip) {
+  Rng rng(42);
+  const auto kp = paillier_generate(rng);
+  for (std::uint64_t m : {0ull, 1ull, 7ull, 123456ull, 99999999ull}) {
+    const U128 c = paillier_encrypt(kp.pub, m, rng);
+    EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, c), m) << m;
+  }
+}
+
+TEST(PaillierTest, EncryptionIsRandomised) {
+  Rng rng(43);
+  const auto kp = paillier_generate(rng);
+  const U128 c1 = paillier_encrypt(kp.pub, 5, rng);
+  const U128 c2 = paillier_encrypt(kp.pub, 5, rng);
+  EXPECT_NE(c1, c2);  // semantic security
+  EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, c1), 5u);
+  EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, c2), 5u);
+}
+
+TEST(PaillierTest, HomomorphicAddition) {
+  Rng rng(44);
+  const auto kp = paillier_generate(rng);
+  const U128 ca = paillier_encrypt(kp.pub, 1234, rng);
+  const U128 cb = paillier_encrypt(kp.pub, 8766, rng);
+  const U128 sum = paillier_add(kp.pub, ca, cb);
+  EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, sum), 10000u);
+}
+
+TEST(PaillierTest, HomomorphicAdditionSweep) {
+  Rng rng(45);
+  const auto kp = paillier_generate(rng);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t a = rng.next_below(1u << 20);
+    const std::uint64_t b = rng.next_below(1u << 20);
+    const U128 c = paillier_add(kp.pub, paillier_encrypt(kp.pub, a, rng),
+                                paillier_encrypt(kp.pub, b, rng));
+    EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, c), a + b);
+  }
+}
+
+TEST(PaillierTest, HomomorphicPlaintextMultiplication) {
+  Rng rng(46);
+  const auto kp = paillier_generate(rng);
+  const U128 c = paillier_encrypt(kp.pub, 111, rng);
+  const U128 c9 = paillier_mul_plain(kp.pub, c, 9);
+  EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, c9), 999u);
+}
+
+TEST(PaillierTest, ZeroIsNeutral) {
+  Rng rng(47);
+  const auto kp = paillier_generate(rng);
+  const U128 c = paillier_encrypt(kp.pub, 777, rng);
+  const U128 sum = paillier_add(kp.pub, c, paillier_zero(kp.pub));
+  EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, sum), 777u);
+}
+
+TEST(PaillierTest, ManyTermAggregation) {
+  // The shape the confidential-weather example uses: fold a whole bag of
+  // ciphertexts into one encrypted sum.
+  Rng rng(48);
+  const auto kp = paillier_generate(rng);
+  U128 acc = paillier_zero(kp.pub);
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.next_below(10000);
+    expected += v;
+    acc = paillier_add(kp.pub, acc, paillier_encrypt(kp.pub, v, rng));
+  }
+  EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, acc), expected);
+}
+
+TEST(PaillierTest, WrongKeyDecryptsGarbage) {
+  Rng rng(49);
+  const auto kp1 = paillier_generate(rng);
+  const auto kp2 = paillier_generate(rng);
+  ASSERT_NE(kp1.pub.n, kp2.pub.n);
+  const U128 c = paillier_encrypt(kp1.pub, 424242, rng);
+  EXPECT_NE(paillier_decrypt(kp2.pub, kp2.priv, c % kp2.pub.n2), 424242u);
+}
+
+TEST(PaillierTest, KeyGenerationIsSeedDeterministic) {
+  Rng a(50), b(50);
+  EXPECT_EQ(paillier_generate(a).pub.n, paillier_generate(b).pub.n);
+}
+
+TEST(PaillierTest, SmallPrimesAlsoWork) {
+  Rng rng(51);
+  const auto kp = paillier_generate(rng, /*prime_bits=*/16);
+  const U128 c = paillier_encrypt(kp.pub, 12345, rng);
+  EXPECT_EQ(paillier_decrypt(kp.pub, kp.priv, c), 12345u);
+}
+
+}  // namespace
+}  // namespace clusterbft::crypto

@@ -1,0 +1,135 @@
+#include "dataflow/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "dataflow/parser.hpp"
+#include "workloads/scripts.hpp"
+
+namespace clusterbft::dataflow {
+namespace {
+
+LogicalPlan diamond() {
+  // load -> filter -> (group-left, group-right) -> ... -> two stores
+  return parse_script(
+      "a = LOAD 'in' AS (x:long, y:long);\n"
+      "f = FILTER a BY x > 0;\n"
+      "g1 = GROUP f BY x;\n"
+      "c1 = FOREACH g1 GENERATE group, COUNT(f);\n"
+      "g2 = GROUP f BY y;\n"
+      "c2 = FOREACH g2 GENERATE group, COUNT(f);\n"
+      "STORE c1 INTO 'o1';\n"
+      "STORE c2 INTO 'o2';\n");
+}
+
+TEST(PlanTest, ChildrenAndParents) {
+  const auto plan = diamond();
+  // Vertex 1 is the filter; it feeds both groups.
+  const auto kids = plan.children(1);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(plan.node(kids[0]).kind, OpKind::kGroup);
+  EXPECT_EQ(plan.node(kids[1]).kind, OpKind::kGroup);
+}
+
+TEST(PlanTest, LoadsAndStores) {
+  const auto plan = diamond();
+  EXPECT_EQ(plan.loads().size(), 1u);
+  EXPECT_EQ(plan.stores().size(), 2u);
+}
+
+TEST(PlanTest, LevelsFollowFig5) {
+  const auto plan = diamond();
+  const auto lv = plan.levels();
+  EXPECT_EQ(lv[0], 1u);  // load
+  EXPECT_EQ(lv[1], 2u);  // filter
+  EXPECT_EQ(lv[2], 3u);  // group1
+  EXPECT_EQ(lv[3], 4u);  // foreach1
+}
+
+TEST(PlanTest, LevelsTakeMaxOverParents) {
+  const auto plan = parse_script(
+      "a = LOAD 'l' AS (x:long);\n"
+      "b = LOAD 'r' AS (x:long);\n"
+      "f = FILTER b BY x > 0;\n"
+      "j = JOIN a BY x, f BY x;\n"
+      "STORE j INTO 'o';\n");
+  const auto lv = plan.levels();
+  // join parents are at levels 1 (a) and 2 (f) -> join is max+1 = 3.
+  EXPECT_EQ(lv[3], 3u);
+}
+
+TEST(PlanTest, DistanceIsUndirectedEdgeCount) {
+  const auto plan = diamond();
+  EXPECT_EQ(plan.distance(0, 0), 0u);
+  EXPECT_EQ(plan.distance(0, 1), 1u);  // load -> filter
+  EXPECT_EQ(plan.distance(0, 3), 3u);  // load -> filter -> group -> foreach
+  // Two groups are siblings via the filter: distance 2.
+  EXPECT_EQ(plan.distance(2, 4), 2u);
+}
+
+TEST(PlanTest, ValidateAcceptsPaperPlans) {
+  for (const std::string& script :
+       {workloads::twitter_follower_analysis(),
+        workloads::twitter_two_hop_analysis(),
+        workloads::airline_top20_analysis(),
+        workloads::weather_average_analysis()}) {
+    EXPECT_NO_THROW(parse_script(script).validate());
+  }
+}
+
+TEST(PlanTest, ValidateRejectsMalformedNodes) {
+  LogicalPlan plan;
+  OpNode load;
+  load.kind = OpKind::kLoad;
+  load.path = "in";
+  load.schema = Schema::of({{"x", ValueType::kLong}});
+  plan.add(load);
+  // A store with no inputs is invalid.
+  OpNode store;
+  store.kind = OpKind::kStore;
+  store.path = "out";
+  plan.add(store);
+  EXPECT_THROW(plan.validate(), CheckError);
+}
+
+TEST(PlanTest, ValidateRequiresAStore) {
+  LogicalPlan plan;
+  OpNode load;
+  load.kind = OpKind::kLoad;
+  load.path = "in";
+  load.schema = Schema::of({{"x", ValueType::kLong}});
+  plan.add(load);
+  EXPECT_THROW(plan.validate(), CheckError);
+}
+
+TEST(PlanTest, AddRejectsForwardReferences) {
+  LogicalPlan plan;
+  OpNode bad;
+  bad.kind = OpKind::kFilter;
+  bad.inputs = {5};  // does not exist yet
+  EXPECT_THROW(plan.add(bad), CheckError);
+}
+
+TEST(PlanTest, ToStringMentionsEveryVertex) {
+  const auto plan = diamond();
+  const std::string dump = plan.to_string();
+  EXPECT_NE(dump.find("Load"), std::string::npos);
+  EXPECT_NE(dump.find("Filter"), std::string::npos);
+  EXPECT_NE(dump.find("Group"), std::string::npos);
+  EXPECT_NE(dump.find("Store"), std::string::npos);
+}
+
+TEST(PlanTest, StreamingAndBlockingClassification) {
+  EXPECT_TRUE(is_streaming(OpKind::kFilter));
+  EXPECT_TRUE(is_streaming(OpKind::kForeach));
+  EXPECT_TRUE(is_streaming(OpKind::kUnion));
+  EXPECT_FALSE(is_streaming(OpKind::kLimit));
+  EXPECT_TRUE(is_blocking(OpKind::kGroup));
+  EXPECT_TRUE(is_blocking(OpKind::kJoin));
+  EXPECT_TRUE(is_blocking(OpKind::kDistinct));
+  EXPECT_TRUE(is_blocking(OpKind::kOrder));
+  EXPECT_FALSE(is_blocking(OpKind::kFilter));
+}
+
+}  // namespace
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,114 @@
+// Dummy-job probing tests (§3.3): after a coarse commission fault leaves
+// a whole job cluster under suspicion, targeted probe jobs overlaid on
+// individual suspects collapse the suspect set to exactly the faulty
+// node.
+#include <gtest/gtest.h>
+
+#include "baseline/presets.hpp"
+#include "cluster/tracker.hpp"
+#include "core/controller.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/twitter.hpp"
+
+namespace clusterbft::core {
+namespace {
+
+using cluster::AdversaryPolicy;
+using cluster::EventSim;
+using cluster::ExecutionTracker;
+using cluster::NodeId;
+using cluster::TrackerConfig;
+
+struct World {
+  EventSim sim;
+  mapreduce::Dfs dfs{16384};
+  std::unique_ptr<ExecutionTracker> tracker;
+  std::unique_ptr<ClusterBft> controller;
+
+  explicit World(TrackerConfig cfg) {
+    tracker = std::make_unique<ExecutionTracker>(sim, dfs, cfg);
+    controller = std::make_unique<ClusterBft>(sim, dfs, *tracker);
+    workloads::TwitterConfig tw;
+    tw.num_edges = 1500;
+    tw.num_users = 200;
+    dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+  }
+};
+
+TEST(ProbeTest, ProbesCollapseSuspectSetToTheFaultyNode) {
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.policies[1] = AdversaryPolicy{.commission_prob = 1.0};
+  World w(cfg);
+
+  // One script with a Byzantine node: a whole job cluster gets suspected.
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "s", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+  ASSERT_NE(w.controller->fault_analyzer(), nullptr);
+  const auto before = w.controller->fault_analyzer()->suspects();
+  ASSERT_GT(before.size(), 1u);  // coarse: the faulty node + bystanders
+  ASSERT_TRUE(before.count(1));
+
+  const auto report = w.controller->probe_suspects("twitter/edges");
+  EXPECT_EQ(report.probes_run, before.size());
+  EXPECT_EQ(report.confirmed_commission, (std::set<NodeId>{1}));
+  EXPECT_TRUE(report.confirmed_omission.empty());
+  EXPECT_EQ(report.cleared.size(), before.size() - 1);
+
+  // The analyzer now suspects exactly the faulty node.
+  EXPECT_EQ(w.controller->fault_analyzer()->suspects(),
+            (std::set<NodeId>{1}));
+}
+
+TEST(ProbeTest, OmissionSuspectConvictedBySilence) {
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.policies[1] = AdversaryPolicy{.commission_prob = 1.0};
+  cfg.policies[2] = AdversaryPolicy{.omission_prob = 1.0};
+  World w(cfg);
+
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "s", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+  ASSERT_NE(w.controller->fault_analyzer(), nullptr);
+
+  const auto report = w.controller->probe_suspects("twitter/edges");
+  // If the omission node was among the suspects, the probe convicts it of
+  // omission; the commission node of commission.
+  if (w.controller->fault_analyzer()->suspects().count(1)) {
+    EXPECT_TRUE(report.confirmed_commission.count(1));
+  }
+  for (NodeId n : report.confirmed_omission) {
+    EXPECT_EQ(n, 2u);
+  }
+}
+
+TEST(ProbeTest, NoSuspectsNoProbes) {
+  TrackerConfig cfg;
+  cfg.num_nodes = 6;
+  World w(cfg);
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "s", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+  const auto report = w.controller->probe_suspects("twitter/edges");
+  EXPECT_EQ(report.probes_run, 0u);
+}
+
+TEST(ProbeTest, ProbingAfterProbingIsStable) {
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.policies[1] = AdversaryPolicy{.commission_prob = 1.0};
+  World w(cfg);
+  const auto res = w.controller->execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "s", 1, 2, 1));
+  ASSERT_TRUE(res.verified);
+  w.controller->probe_suspects("twitter/edges");
+  const auto report2 = w.controller->probe_suspects("twitter/edges");
+  // Second round probes only the singleton and re-convicts it.
+  EXPECT_EQ(report2.probes_run, 1u);
+  EXPECT_EQ(report2.confirmed_commission, (std::set<NodeId>{1}));
+}
+
+}  // namespace
+}  // namespace clusterbft::core

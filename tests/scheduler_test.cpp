@@ -1,0 +1,117 @@
+#include "cluster/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace clusterbft::cluster {
+namespace {
+
+ResourceEntry node_with_sids(std::initializer_list<const char*> sids) {
+  ResourceEntry e;
+  e.nid = 0;
+  e.total_ru = 3;
+  for (const char* s : sids) {
+    e.sids.insert(s);
+    ++e.used_ru;
+  }
+  return e;
+}
+
+std::vector<TaskCandidate> candidates(std::initializer_list<const char*> sids) {
+  std::vector<TaskCandidate> out;
+  std::size_t i = 0;
+  for (const char* s : sids) {
+    TaskCandidate c;
+    c.run_id = i++;
+    c.sid = s;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+TEST(SchedulerTest, FifoPicksFirst) {
+  FifoScheduler fifo;
+  const auto safe = candidates({"a", "b"});
+  EXPECT_EQ(fifo.pick(node_with_sids({}), safe), 0u);
+}
+
+TEST(SchedulerTest, FifoDeclinesNothing) {
+  FifoScheduler fifo;
+  EXPECT_EQ(fifo.pick(node_with_sids({}), {}), std::nullopt);
+}
+
+TEST(SchedulerTest, OverlapPrefersNewSid) {
+  OverlapScheduler ov;
+  // Node already runs "a": the scheduler should pick the "b" task to
+  // maximise job-cluster intersections.
+  const auto safe = candidates({"a", "b"});
+  EXPECT_EQ(ov.pick(node_with_sids({"a"}), safe), 1u);
+}
+
+TEST(SchedulerTest, OverlapFallsBackToFirstWhenAllSidsPresent) {
+  OverlapScheduler ov;
+  const auto safe = candidates({"a", "b"});
+  EXPECT_EQ(ov.pick(node_with_sids({"a", "b"}), safe), 0u);
+}
+
+TEST(SchedulerTest, OverlapOnEmptyNodeActsLikeFifo) {
+  OverlapScheduler ov;
+  const auto safe = candidates({"a", "b"});
+  EXPECT_EQ(ov.pick(node_with_sids({}), safe), 0u);
+}
+
+TEST(ResourceTableTest, AllocateReleaseLifecycle) {
+  ResourceTable rt;
+  rt.add_nodes(2, 3);
+  EXPECT_EQ(rt.size(), 2u);
+  rt.allocate(0, "a");
+  rt.allocate(0, "a");
+  EXPECT_EQ(rt.entry(0).free_ru(), 1u);
+  EXPECT_EQ(rt.entry(0).sids.count("a"), 2u);
+  rt.release(0, "a");
+  EXPECT_EQ(rt.entry(0).free_ru(), 2u);
+  EXPECT_EQ(rt.entry(0).sids.count("a"), 1u);
+}
+
+TEST(ResourceTableTest, OverAllocationThrows) {
+  ResourceTable rt;
+  rt.add_nodes(1, 1);
+  rt.allocate(0, "a");
+  EXPECT_THROW(rt.allocate(0, "b"), CheckError);
+}
+
+TEST(ResourceTableTest, ReleasingUnknownSidThrows) {
+  ResourceTable rt;
+  rt.add_nodes(1, 2);
+  rt.allocate(0, "a");
+  EXPECT_THROW(rt.release(0, "b"), CheckError);
+}
+
+TEST(ResourceTableTest, SuspicionIsFaultsOverJobs) {
+  ResourceTable rt;
+  rt.add_nodes(1, 1);
+  EXPECT_DOUBLE_EQ(rt.entry(0).suspicion(), 0.0);
+  rt.record_execution(0);
+  rt.record_execution(0);
+  rt.record_fault(0);
+  EXPECT_DOUBLE_EQ(rt.entry(0).suspicion(), 0.5);
+}
+
+TEST(ResourceTableTest, ThresholdExcludesOnce) {
+  ResourceTable rt;
+  rt.add_nodes(3, 1);
+  rt.record_execution(0);
+  rt.record_fault(0);  // s = 1.0
+  rt.record_execution(1);  // s = 0.0
+  auto excluded = rt.apply_threshold(0.8);
+  ASSERT_EQ(excluded.size(), 1u);
+  EXPECT_EQ(excluded[0], 0u);
+  EXPECT_TRUE(rt.entry(0).excluded);
+  EXPECT_EQ(rt.excluded_count(), 1u);
+  // Idempotent: already-excluded nodes are not reported again.
+  EXPECT_TRUE(rt.apply_threshold(0.8).empty());
+}
+
+}  // namespace
+}  // namespace clusterbft::cluster

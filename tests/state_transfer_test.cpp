@@ -1,0 +1,80 @@
+// PBFT state transfer: a replica that was partitioned away falls behind
+// the stable checkpoint (its missing slots are garbage-collected
+// cluster-wide), then catches up by fetching f+1 matching state
+// snapshots on reconnect.
+#include <gtest/gtest.h>
+
+#include "bftsmr/system.hpp"
+
+namespace clusterbft::bftsmr {
+namespace {
+
+using cluster::EventSim;
+
+TEST(StateTransferTest, DisconnectedReplicaCatchesUp) {
+  EventSim sim;
+  SystemConfig cfg;
+  cfg.f = 1;
+  cfg.seed = 3;
+  cfg.checkpoint_interval = 8;
+  BftSystem sys(sim, cfg, [] { return std::make_unique<LogService>(); });
+
+  sys.disconnect(3);
+  for (int i = 0; i < 40; ++i) {
+    sys.submit("op" + std::to_string(i), {});
+  }
+  sim.run();
+  EXPECT_EQ(sys.completed_requests(), 40u);
+  EXPECT_EQ(sys.replica(3).last_executed(), 0u);  // partitioned away
+
+  sys.reconnect(3);
+  for (int i = 40; i < 45; ++i) {
+    sys.submit("op" + std::to_string(i), {});
+  }
+  sim.run();
+  EXPECT_EQ(sys.completed_requests(), 45u);
+
+  // The reconnected replica transferred state and kept up from there.
+  EXPECT_GE(sys.replica(3).last_executed(), 40u);
+  EXPECT_GE(sys.replica(3).executed_ops().size(), 40u);
+  // Logs of all replicas are prefix-consistent.
+  const auto& ref = sys.replica(0).executed_ops();
+  const auto& caught_up = sys.replica(3).executed_ops();
+  for (std::size_t i = 0; i < std::min(ref.size(), caught_up.size()); ++i) {
+    EXPECT_EQ(ref[i], caught_up[i]) << "divergence at " << i;
+  }
+}
+
+TEST(StateTransferTest, ServiceSnapshotRoundTrip) {
+  LogService a;
+  a.apply("x");
+  a.apply("y");
+  LogService b;
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.state_fingerprint(), a.state_fingerprint());
+  // Continued execution stays aligned.
+  EXPECT_EQ(a.apply("z"), b.apply("z"));
+}
+
+TEST(StateTransferTest, ShortGapCatchesUpWithoutTransfer) {
+  // A briefly-partitioned replica whose gap is still within the window
+  // catches up through normal protocol messages (view-change
+  // re-affirmation), no snapshot needed.
+  EventSim sim;
+  SystemConfig cfg;
+  cfg.f = 1;
+  cfg.seed = 4;
+  cfg.checkpoint_interval = 64;  // no GC during this test
+  BftSystem sys(sim, cfg, [] { return std::make_unique<LogService>(); });
+  sys.disconnect(2);
+  for (int i = 0; i < 5; ++i) sys.submit("op" + std::to_string(i), {});
+  sim.run();
+  sys.reconnect(2);
+  for (int i = 5; i < 10; ++i) sys.submit("op" + std::to_string(i), {});
+  sim.run();
+  EXPECT_EQ(sys.completed_requests(), 10u);
+  EXPECT_GE(sys.replica(2).last_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace clusterbft::bftsmr

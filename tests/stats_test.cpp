@@ -1,0 +1,57 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace clusterbft {
+namespace {
+
+TEST(StatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean({}), CheckError);
+}
+
+TEST(StatsTest, VarianceAndStddev) {
+  EXPECT_DOUBLE_EQ(variance({5.0, 5.0, 5.0}), 0.0);
+  // Population variance of {1,3} is 1.
+  EXPECT_DOUBLE_EQ(variance({1.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0, 3.0}), 1.0);
+}
+
+TEST(StatsTest, Median) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(StatsTest, PercentileValidatesInput) {
+  EXPECT_THROW(percentile({}, 50), CheckError);
+  EXPECT_THROW(percentile({1.0}, -1), CheckError);
+  EXPECT_THROW(percentile({1.0}, 101), CheckError);
+}
+
+TEST(StatsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MiB");
+}
+
+TEST(StatsTest, FormatMultiplier) {
+  EXPECT_EQ(format_multiplier(3.456), "3.5x");
+  EXPECT_EQ(format_multiplier(1.0), "1.0x");
+}
+
+}  // namespace
+}  // namespace clusterbft

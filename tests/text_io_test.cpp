@@ -1,0 +1,82 @@
+#include "dataflow/text_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clusterbft::dataflow {
+namespace {
+
+const Schema kSchema = Schema::of({{"id", ValueType::kLong},
+                                   {"name", ValueType::kChararray},
+                                   {"score", ValueType::kDouble}});
+
+TEST(TextIoTest, ParsesWellFormedRows) {
+  const auto rel = parse_tsv("1\talice\t3.5\n2\tbob\t-1\n", kSchema);
+  ASSERT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.rows()[0].at(0).as_long(), 1);
+  EXPECT_EQ(rel.rows()[0].at(1).as_string(), "alice");
+  EXPECT_DOUBLE_EQ(rel.rows()[0].at(2).as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(rel.rows()[1].at(2).as_double(), -1.0);
+}
+
+TEST(TextIoTest, EmptyFieldsAreNull) {
+  const auto rel = parse_tsv("1\t\t2.0\n", kSchema);
+  EXPECT_TRUE(rel.rows()[0].at(1).is_null());
+}
+
+TEST(TextIoTest, HandlesCrLfAndBlankLinesAndNoTrailingNewline) {
+  const auto rel = parse_tsv("1\ta\t1.0\r\n\n2\tb\t2.0", kSchema);
+  ASSERT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.rows()[1].at(1).as_string(), "b");
+}
+
+TEST(TextIoTest, RaggedRowsPaddedOrRejected) {
+  const auto rel = parse_tsv("1\tonly-two\n", kSchema);
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.rows()[0].at(2).is_null());
+
+  TsvOptions strict;
+  strict.tolerate_ragged_rows = false;
+  EXPECT_THROW(parse_tsv("1\tonly-two\n", kSchema, strict), TextIoError);
+  EXPECT_THROW(parse_tsv("1\ta\t1.0\textra\n", kSchema, strict),
+               TextIoError);
+}
+
+TEST(TextIoTest, BadNumbersCoercedOrRejected) {
+  const auto rel = parse_tsv("xx\tname\t1.5\n", kSchema);
+  EXPECT_TRUE(rel.rows()[0].at(0).is_null());
+
+  TsvOptions strict;
+  strict.coerce_errors_to_null = false;
+  try {
+    parse_tsv("1\ta\t1.0\nxx\tb\t2.0\n", kSchema, strict);
+    FAIL() << "expected TextIoError";
+  } catch (const TextIoError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(TextIoTest, CustomDelimiter) {
+  TsvOptions csv;
+  csv.delimiter = ',';
+  const auto rel = parse_tsv("7,x,0.25\n", kSchema, csv);
+  EXPECT_EQ(rel.rows()[0].at(0).as_long(), 7);
+}
+
+TEST(TextIoTest, RoundTrip) {
+  const std::string text = "1\talice\t3.5\n2\t\t-0.25\n";
+  const auto rel = parse_tsv(text, kSchema);
+  const auto rel2 = parse_tsv(to_tsv_text(rel), kSchema);
+  EXPECT_EQ(rel.rows(), rel2.rows());
+}
+
+TEST(TextIoTest, DoubleRenderingRoundTrips) {
+  Relation rel(Schema::of({{"d", ValueType::kDouble}}));
+  rel.add(Tuple({Value(0.1)}));
+  rel.add(Tuple({Value(1.0 / 3.0)}));
+  const auto back =
+      parse_tsv(to_tsv_text(rel), Schema::of({{"d", ValueType::kDouble}}));
+  EXPECT_EQ(rel.rows(), back.rows());
+}
+
+}  // namespace
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,156 @@
+// User-defined function tests: the standard scalar library, custom
+// registrations, aggregate UDFs over grouped bags, and parser
+// integration.
+#include "dataflow/udf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "dataflow/interpreter.hpp"
+#include "dataflow/parser.hpp"
+
+namespace clusterbft::dataflow {
+namespace {
+
+std::int64_t L(std::int64_t x) { return x; }
+
+Relation table(std::vector<std::vector<Value>> rows,
+               std::vector<Field> fields) {
+  Relation r(Schema(std::move(fields)));
+  for (auto& row : rows) r.add(Tuple(std::move(row)));
+  return r;
+}
+
+TEST(UdfTest, StandardLibraryScalars) {
+  auto eval1 = [](const char* fn, Value arg) {
+    const auto* udf = UdfRegistry::instance().find_scalar(fn);
+    CBFT_CHECK(udf != nullptr);
+    return udf->fn({std::move(arg)});
+  };
+  EXPECT_EQ(eval1("ABS", Value(L(-5))).as_long(), 5);
+  EXPECT_DOUBLE_EQ(eval1("ABS", Value(-2.5)).as_double(), 2.5);
+  EXPECT_EQ(eval1("ROUND", Value(2.6)).as_long(), 3);
+  EXPECT_EQ(eval1("ROUND", Value(L(7))).as_long(), 7);
+  EXPECT_EQ(eval1("SIZE", Value("hello")).as_long(), 5);
+  EXPECT_EQ(eval1("UPPER", Value("aBc")).as_string(), "ABC");
+  EXPECT_EQ(eval1("LOWER", Value("AbC")).as_string(), "abc");
+  EXPECT_TRUE(eval1("ABS", Value::null()).is_null());
+}
+
+TEST(UdfTest, ConcatTakesTwoArguments) {
+  const auto* udf = UdfRegistry::instance().find_scalar("CONCAT");
+  ASSERT_NE(udf, nullptr);
+  EXPECT_EQ(udf->arity, 2u);
+  EXPECT_EQ(udf->fn({Value("a"), Value("b")}).as_string(), "ab");
+  EXPECT_EQ(udf->fn({Value("x"), Value(L(3))}).as_string(), "x3");
+}
+
+TEST(UdfTest, ScalarUdfsInScripts) {
+  const auto plan = parse_script(
+      "a = LOAD 'in' AS (x:long, s:chararray);\n"
+      "b = FOREACH a GENERATE ABS(x) AS ax, UPPER(s) AS us, "
+      "CONCAT(s, 'Z') AS sz;\n"
+      "STORE b INTO 'out';\n");
+  const Relation in = table({{Value(L(-3)), Value("hi")}},
+                            {{"x", ValueType::kLong},
+                             {"s", ValueType::kChararray}});
+  const auto out = interpret(plan, {{"in", in}});
+  const Tuple& row = out.at("out").rows()[0];
+  EXPECT_EQ(row.at(0).as_long(), 3);
+  EXPECT_EQ(row.at(1).as_string(), "HI");
+  EXPECT_EQ(row.at(2).as_string(), "hiZ");
+}
+
+TEST(UdfTest, ScalarUdfInFilterPredicate) {
+  const auto plan = parse_script(
+      "a = LOAD 'in' AS (x:long);\n"
+      "b = FILTER a BY ABS(x) > 2;\n"
+      "STORE b INTO 'out';\n");
+  const Relation in = table({{Value(L(-5))}, {Value(L(1))}, {Value(L(3))}},
+                            {{"x", ValueType::kLong}});
+  const auto out = interpret(plan, {{"in", in}});
+  EXPECT_EQ(out.at("out").size(), 2u);
+}
+
+TEST(UdfTest, WrongArityIsAParseError) {
+  EXPECT_THROW(parse_script("a = LOAD 'i' AS (x:long);\n"
+                            "b = FOREACH a GENERATE ABS(x, x);\n"
+                            "STORE b INTO 'o';\n"),
+               ParseError);
+  EXPECT_THROW(parse_script("a = LOAD 'i' AS (s:chararray);\n"
+                            "b = FOREACH a GENERATE CONCAT(s);\n"
+                            "STORE b INTO 'o';\n"),
+               ParseError);
+}
+
+TEST(UdfTest, UnknownFunctionStillAnError) {
+  EXPECT_THROW(parse_script("a = LOAD 'i' AS (x:long);\n"
+                            "b = FOREACH a GENERATE NO_SUCH_FN(x);\n"
+                            "STORE b INTO 'o';\n"),
+               ParseError);
+}
+
+TEST(UdfTest, CustomAggregateUdf) {
+  // Register a product aggregate, then use it after GROUP.
+  UdfRegistry::AggregateUdf prod;
+  prod.needs_column = true;
+  prod.result_type = ValueType::kLong;
+  prod.fn = [](const std::vector<Tuple>& bag,
+               std::optional<std::size_t> col) {
+    std::int64_t p = 1;
+    for (const Tuple& t : bag) {
+      const Value& v = t.at(*col);
+      if (!v.is_null()) p *= v.as_long();
+    }
+    return Value(p);
+  };
+  UdfRegistry::instance().register_aggregate("PRODUCT", prod);
+
+  const auto plan = parse_script(
+      "a = LOAD 'in' AS (k:long, v:long);\n"
+      "g = GROUP a BY k;\n"
+      "c = FOREACH g GENERATE group, PRODUCT(a.v) AS p;\n"
+      "STORE c INTO 'out';\n");
+  const Relation in = table(
+      {{Value(L(1)), Value(L(3))}, {Value(L(1)), Value(L(4))},
+       {Value(L(2)), Value(L(5))}},
+      {{"k", ValueType::kLong}, {"v", ValueType::kLong}});
+  const auto out = interpret(plan, {{"in", in}});
+  ASSERT_EQ(out.at("out").size(), 2u);
+  EXPECT_EQ(out.at("out").rows()[0].at(1).as_long(), 12);
+  EXPECT_EQ(out.at("out").rows()[1].at(1).as_long(), 5);
+}
+
+TEST(UdfTest, AggregateUdfOutsideGroupIsAnError) {
+  EXPECT_THROW(parse_script("a = LOAD 'i' AS (x:long);\n"
+                            "b = FOREACH a GENERATE PRODUCT(a.x);\n"
+                            "STORE b INTO 'o';\n"),
+               ParseError);
+}
+
+TEST(UdfTest, ResultTypesPropagateIntoSchemas) {
+  const auto plan = parse_script(
+      "a = LOAD 'in' AS (s:chararray);\n"
+      "b = FOREACH a GENERATE SIZE(s) AS n, UPPER(s) AS u;\n"
+      "STORE b INTO 'out';\n");
+  EXPECT_EQ(plan.node(1).schema.at(0).type, ValueType::kLong);
+  EXPECT_EQ(plan.node(1).schema.at(1).type, ValueType::kChararray);
+}
+
+TEST(UdfTest, RegistrationReplacesPrevious) {
+  UdfRegistry::ScalarUdf f;
+  f.arity = 1;
+  f.result_type = ValueType::kLong;
+  f.fn = [](const std::vector<Value>&) { return Value(L(1)); };
+  UdfRegistry::instance().register_scalar("TEST_REPLACE", f);
+  f.fn = [](const std::vector<Value>&) { return Value(L(2)); };
+  UdfRegistry::instance().register_scalar("TEST_REPLACE", f);
+  EXPECT_EQ(UdfRegistry::instance()
+                .find_scalar("TEST_REPLACE")
+                ->fn({Value::null()})
+                .as_long(),
+            2);
+}
+
+}  // namespace
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,134 @@
+#include "dataflow/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace clusterbft::dataflow {
+namespace {
+
+Bag make_bag(std::vector<Tuple> ts) {
+  return std::make_shared<const std::vector<Tuple>>(std::move(ts));
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::null().is_null());
+  EXPECT_EQ(Value(std::int64_t{5}).as_long(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(ValueTest, AccessorTypeMismatchThrows) {
+  EXPECT_THROW(Value("hi").as_long(), CheckError);
+  EXPECT_THROW(Value(std::int64_t{1}).as_string(), CheckError);
+  EXPECT_THROW(Value("hi").to_double(), CheckError);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(std::int64_t{2}), Value(2.0));
+  EXPECT_TRUE((Value(std::int64_t{1}) <=> Value(1.5)) < 0);
+  EXPECT_TRUE((Value(2.5) <=> Value(std::int64_t{2})) > 0);
+}
+
+TEST(ValueTest, OrderingAcrossTypes) {
+  // null < numeric < chararray < bag.
+  EXPECT_TRUE((Value::null() <=> Value(std::int64_t{0})) < 0);
+  EXPECT_TRUE((Value(std::int64_t{999}) <=> Value("a")) < 0);
+  EXPECT_TRUE((Value("zzz") <=> Value(make_bag({}))) < 0);
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_TRUE((Value("abc") <=> Value("abd")) < 0);
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, BagOrderingBySizeThenContent) {
+  const Bag small = make_bag({Tuple({Value(std::int64_t{9})})});
+  const Bag big = make_bag({Tuple({Value(std::int64_t{1})}),
+                            Tuple({Value(std::int64_t{1})})});
+  EXPECT_TRUE((Value(small) <=> Value(big)) < 0);
+
+  const Bag a = make_bag({Tuple({Value(std::int64_t{1})})});
+  const Bag b = make_bag({Tuple({Value(std::int64_t{2})})});
+  EXPECT_TRUE((Value(a) <=> Value(b)) < 0);
+  EXPECT_EQ(Value(a), Value(make_bag({Tuple({Value(std::int64_t{1})})})));
+}
+
+TEST(ValueTest, SerializationDistinguishesTypes) {
+  // The long 1 and the string "1" must not collide in digests.
+  std::string a, b;
+  Value(std::int64_t{1}).serialize(a);
+  Value("1").serialize(b);
+  EXPECT_NE(a, b);
+}
+
+TEST(ValueTest, SerializationDistinguishesNullFromZero) {
+  std::string a, b;
+  Value::null().serialize(a);
+  Value(std::int64_t{0}).serialize(b);
+  EXPECT_NE(a, b);
+}
+
+TEST(ValueTest, SerializationIsInjectiveOnSamples) {
+  std::vector<Value> values{
+      Value::null(),        Value(std::int64_t{0}),  Value(std::int64_t{1}),
+      Value(std::int64_t{-1}), Value(0.0),           Value(1.0),
+      Value(0.1),           Value(""),               Value("a"),
+      Value("ab"),          Value(make_bag({})),
+      Value(make_bag({Tuple({Value(std::int64_t{1})})}))};
+  std::set<std::string> seen;
+  for (const Value& v : values) {
+    std::string s;
+    v.serialize(s);
+    EXPECT_TRUE(seen.insert(s).second) << "collision for " << v.to_string();
+  }
+}
+
+TEST(ValueTest, DoubleSerializationRoundTrips) {
+  // %.17g must distinguish adjacent doubles.
+  std::string a, b;
+  Value(0.1).serialize(a);
+  Value(0.1 + 1e-17).serialize(b);  // same double after rounding
+  Value x(0.30000000000000004);     // 0.1+0.2
+  Value y(0.3);
+  std::string sx, sy;
+  x.serialize(sx);
+  y.serialize(sy);
+  EXPECT_NE(sx, sy);
+}
+
+TEST(TupleTest, ComparisonIsLexicographic) {
+  const Tuple a({Value(std::int64_t{1}), Value("b")});
+  const Tuple b({Value(std::int64_t{1}), Value("c")});
+  const Tuple c({Value(std::int64_t{1})});
+  EXPECT_TRUE((a <=> b) < 0);
+  EXPECT_TRUE((c <=> a) < 0);  // prefix sorts first
+  EXPECT_TRUE((a <=> Tuple({Value(std::int64_t{1}), Value("b")})) == 0);
+}
+
+TEST(TupleTest, AtBoundsChecked) {
+  Tuple t({Value(std::int64_t{1})});
+  EXPECT_THROW(t.at(1), CheckError);
+}
+
+TEST(TupleTest, KeyHashDeterministicAndPrefixSensitive) {
+  const Tuple t({Value(std::int64_t{42}), Value("x")});
+  EXPECT_EQ(tuple_key_hash(t, 1), tuple_key_hash(t, 1));
+  const Tuple u({Value(std::int64_t{42}), Value("y")});
+  EXPECT_EQ(tuple_key_hash(t, 1), tuple_key_hash(u, 1));  // same prefix
+  EXPECT_NE(tuple_key_hash(t, 0), tuple_key_hash(u, 0));  // whole tuple
+}
+
+TEST(TupleTest, SerializeTupleConcatenatesFields) {
+  const Tuple t({Value(std::int64_t{1}), Value("a")});
+  std::string expect;
+  t.at(0).serialize(expect);
+  t.at(1).serialize(expect);
+  EXPECT_EQ(serialize_tuple(t), expect);
+}
+
+}  // namespace
+}  // namespace clusterbft::dataflow

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/airline.hpp"
+#include "workloads/twitter.hpp"
+#include "workloads/weather.hpp"
+
+namespace clusterbft::workloads {
+namespace {
+
+using dataflow::Tuple;
+using dataflow::ValueType;
+
+TEST(TwitterGenTest, SchemaAndSize) {
+  TwitterConfig cfg;
+  cfg.num_edges = 1000;
+  const auto rel = generate_twitter_edges(cfg);
+  EXPECT_EQ(rel.size(), 1000u);
+  EXPECT_EQ(rel.schema().at(0).name, "user");
+  EXPECT_EQ(rel.schema().at(1).name, "follower");
+}
+
+TEST(TwitterGenTest, DeterministicPerSeed) {
+  TwitterConfig cfg;
+  cfg.num_edges = 500;
+  EXPECT_EQ(generate_twitter_edges(cfg).rows(),
+            generate_twitter_edges(cfg).rows());
+  TwitterConfig other = cfg;
+  other.seed = 43;
+  EXPECT_NE(generate_twitter_edges(cfg).rows(),
+            generate_twitter_edges(other).rows());
+}
+
+TEST(TwitterGenTest, MalformedRateApproximatelyRespected) {
+  TwitterConfig cfg;
+  cfg.num_edges = 10000;
+  cfg.malformed_rate = 0.1;
+  const auto rel = generate_twitter_edges(cfg);
+  std::size_t nulls = 0;
+  for (const Tuple& t : rel.rows()) nulls += t.at(1).is_null();
+  EXPECT_NEAR(static_cast<double>(nulls) / 10000.0, 0.1, 0.02);
+}
+
+TEST(TwitterGenTest, PopularityIsSkewed) {
+  TwitterConfig cfg;
+  cfg.num_edges = 10000;
+  cfg.num_users = 1000;
+  const auto rel = generate_twitter_edges(cfg);
+  std::map<std::int64_t, std::size_t> counts;
+  for (const Tuple& t : rel.rows()) ++counts[t.at(0).as_long()];
+  // User 1 (rank 1) has far more followers than the median user.
+  EXPECT_GT(counts[1], 1000u);
+}
+
+TEST(AirlineGenTest, SchemaAndHubs) {
+  AirlineConfig cfg;
+  cfg.num_flights = 5000;
+  const auto rel = generate_flights(cfg);
+  EXPECT_EQ(rel.size(), 5000u);
+  EXPECT_EQ(rel.schema().size(), 6u);
+  std::map<std::string, std::size_t> origins;
+  std::size_t cancelled = 0;
+  for (const Tuple& t : rel.rows()) {
+    if (t.at(2).is_null()) {
+      ++cancelled;
+      continue;
+    }
+    ++origins[t.at(2).as_string()];
+    // Origin and destination always differ.
+    EXPECT_NE(t.at(2).as_string(), t.at(3).as_string());
+  }
+  EXPECT_GT(cancelled, 0u);
+  // Hub concentration: the busiest airport has many times the median.
+  std::size_t busiest = 0;
+  for (const auto& [code, n] : origins) busiest = std::max(busiest, n);
+  EXPECT_GT(busiest, 5000u / cfg.num_airports * 3);
+}
+
+TEST(AirlineGenTest, Deterministic) {
+  AirlineConfig cfg;
+  cfg.num_flights = 300;
+  EXPECT_EQ(generate_flights(cfg).rows(), generate_flights(cfg).rows());
+}
+
+TEST(WeatherGenTest, SchemaStationsAndMissing) {
+  WeatherConfig cfg;
+  cfg.num_stations = 50;
+  cfg.readings_per_station = 20;
+  const auto rel = generate_weather(cfg);
+  EXPECT_EQ(rel.size(), 1000u);
+  std::set<std::int64_t> stations;
+  std::size_t missing = 0;
+  for (const Tuple& t : rel.rows()) {
+    stations.insert(t.at(0).as_long());
+    if (t.at(2).is_null()) {
+      ++missing;
+    } else {
+      const double temp = t.at(2).as_double();
+      EXPECT_GT(temp, -60.0);
+      EXPECT_LT(temp, 70.0);
+    }
+  }
+  EXPECT_EQ(stations.size(), 50u);
+  EXPECT_GT(missing, 0u);
+}
+
+TEST(WeatherGenTest, Deterministic) {
+  WeatherConfig cfg;
+  cfg.num_stations = 10;
+  EXPECT_EQ(generate_weather(cfg).rows(), generate_weather(cfg).rows());
+}
+
+}  // namespace
+}  // namespace clusterbft::workloads

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates every paper table/figure plus the ablations and
+# micro-benchmarks. Used to produce bench_output.txt.
+set -e
+cd "$(dirname "$0")/.."
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $b"
+  "$b"
+  echo
+done
