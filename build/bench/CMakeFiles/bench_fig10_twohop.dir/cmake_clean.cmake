@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_twohop.dir/bench_fig10_twohop.cpp.o"
+  "CMakeFiles/bench_fig10_twohop.dir/bench_fig10_twohop.cpp.o.d"
+  "bench_fig10_twohop"
+  "bench_fig10_twohop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_twohop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

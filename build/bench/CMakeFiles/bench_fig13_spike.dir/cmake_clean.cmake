@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_spike.dir/bench_fig13_spike.cpp.o"
+  "CMakeFiles/bench_fig13_spike.dir/bench_fig13_spike.cpp.o.d"
+  "bench_fig13_spike"
+  "bench_fig13_spike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_spike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_weather.dir/bench_fig14_weather.cpp.o"
+  "CMakeFiles/bench_fig14_weather.dir/bench_fig14_weather.cpp.o.d"
+  "bench_fig14_weather"
+  "bench_fig14_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_follower.dir/bench_fig9_follower.cpp.o"
+  "CMakeFiles/bench_fig9_follower.dir/bench_fig9_follower.cpp.o.d"
+  "bench_fig9_follower"
+  "bench_fig9_follower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_follower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_byzantine.dir/airline_byzantine.cpp.o"
+  "CMakeFiles/airline_byzantine.dir/airline_byzantine.cpp.o.d"
+  "airline_byzantine"
+  "airline_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_control_tier.dir/bft_control_tier.cpp.o"
+  "CMakeFiles/bft_control_tier.dir/bft_control_tier.cpp.o.d"
+  "bft_control_tier"
+  "bft_control_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_control_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

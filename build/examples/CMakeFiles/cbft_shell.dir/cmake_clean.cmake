@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_shell.dir/cbft_shell.cpp.o"
+  "CMakeFiles/cbft_shell.dir/cbft_shell.cpp.o.d"
+  "cbft_shell"
+  "cbft_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidential_weather.dir/confidential_weather.cpp.o"
+  "CMakeFiles/confidential_weather.dir/confidential_weather.cpp.o.d"
+  "confidential_weather"
+  "confidential_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidential_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

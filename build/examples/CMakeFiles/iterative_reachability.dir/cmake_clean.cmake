@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_reachability.dir/iterative_reachability.cpp.o"
+  "CMakeFiles/iterative_reachability.dir/iterative_reachability.cpp.o.d"
+  "iterative_reachability"
+  "iterative_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

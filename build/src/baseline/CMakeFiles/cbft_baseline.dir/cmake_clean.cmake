@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_baseline.dir/presets.cpp.o"
+  "CMakeFiles/cbft_baseline.dir/presets.cpp.o.d"
+  "libcbft_baseline.a"
+  "libcbft_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

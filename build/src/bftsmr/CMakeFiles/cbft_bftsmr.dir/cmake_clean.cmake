@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_bftsmr.dir/replica.cpp.o"
+  "CMakeFiles/cbft_bftsmr.dir/replica.cpp.o.d"
+  "CMakeFiles/cbft_bftsmr.dir/system.cpp.o"
+  "CMakeFiles/cbft_bftsmr.dir/system.cpp.o.d"
+  "libcbft_bftsmr.a"
+  "libcbft_bftsmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_bftsmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

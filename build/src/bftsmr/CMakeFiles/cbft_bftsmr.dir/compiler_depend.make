@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cbft_bftsmr.
+# This may be replaced when dependencies are built.

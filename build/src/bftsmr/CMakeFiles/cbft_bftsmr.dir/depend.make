@@ -1,0 +1,2 @@
+# Empty dependencies file for cbft_bftsmr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/adversary.cpp" "src/cluster/CMakeFiles/cbft_cluster.dir/adversary.cpp.o" "gcc" "src/cluster/CMakeFiles/cbft_cluster.dir/adversary.cpp.o.d"
+  "/root/repo/src/cluster/event_sim.cpp" "src/cluster/CMakeFiles/cbft_cluster.dir/event_sim.cpp.o" "gcc" "src/cluster/CMakeFiles/cbft_cluster.dir/event_sim.cpp.o.d"
+  "/root/repo/src/cluster/resource_table.cpp" "src/cluster/CMakeFiles/cbft_cluster.dir/resource_table.cpp.o" "gcc" "src/cluster/CMakeFiles/cbft_cluster.dir/resource_table.cpp.o.d"
+  "/root/repo/src/cluster/scheduler.cpp" "src/cluster/CMakeFiles/cbft_cluster.dir/scheduler.cpp.o" "gcc" "src/cluster/CMakeFiles/cbft_cluster.dir/scheduler.cpp.o.d"
+  "/root/repo/src/cluster/tracker.cpp" "src/cluster/CMakeFiles/cbft_cluster.dir/tracker.cpp.o" "gcc" "src/cluster/CMakeFiles/cbft_cluster.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/cbft_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/cbft_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cbft_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

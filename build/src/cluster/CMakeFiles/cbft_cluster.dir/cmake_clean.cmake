@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_cluster.dir/adversary.cpp.o"
+  "CMakeFiles/cbft_cluster.dir/adversary.cpp.o.d"
+  "CMakeFiles/cbft_cluster.dir/event_sim.cpp.o"
+  "CMakeFiles/cbft_cluster.dir/event_sim.cpp.o.d"
+  "CMakeFiles/cbft_cluster.dir/resource_table.cpp.o"
+  "CMakeFiles/cbft_cluster.dir/resource_table.cpp.o.d"
+  "CMakeFiles/cbft_cluster.dir/scheduler.cpp.o"
+  "CMakeFiles/cbft_cluster.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cbft_cluster.dir/tracker.cpp.o"
+  "CMakeFiles/cbft_cluster.dir/tracker.cpp.o.d"
+  "libcbft_cluster.a"
+  "libcbft_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

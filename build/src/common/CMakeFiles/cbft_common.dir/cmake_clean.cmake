@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_common.dir/check.cpp.o"
+  "CMakeFiles/cbft_common.dir/check.cpp.o.d"
+  "CMakeFiles/cbft_common.dir/logging.cpp.o"
+  "CMakeFiles/cbft_common.dir/logging.cpp.o.d"
+  "CMakeFiles/cbft_common.dir/rng.cpp.o"
+  "CMakeFiles/cbft_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cbft_common.dir/stats.cpp.o"
+  "CMakeFiles/cbft_common.dir/stats.cpp.o.d"
+  "libcbft_common.a"
+  "libcbft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

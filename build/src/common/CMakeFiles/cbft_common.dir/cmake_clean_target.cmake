@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbft_common.a"
+)

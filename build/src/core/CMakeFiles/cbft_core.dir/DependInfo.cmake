@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/cbft_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/cbft_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/cbft_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/cbft_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/fault_analyzer.cpp" "src/core/CMakeFiles/cbft_core.dir/fault_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/cbft_core.dir/fault_analyzer.cpp.o.d"
+  "/root/repo/src/core/graph_analyzer.cpp" "src/core/CMakeFiles/cbft_core.dir/graph_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/cbft_core.dir/graph_analyzer.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/core/CMakeFiles/cbft_core.dir/verifier.cpp.o" "gcc" "src/core/CMakeFiles/cbft_core.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/cbft_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/cbft_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/cbft_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cbft_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_core.dir/audit.cpp.o"
+  "CMakeFiles/cbft_core.dir/audit.cpp.o.d"
+  "CMakeFiles/cbft_core.dir/controller.cpp.o"
+  "CMakeFiles/cbft_core.dir/controller.cpp.o.d"
+  "CMakeFiles/cbft_core.dir/fault_analyzer.cpp.o"
+  "CMakeFiles/cbft_core.dir/fault_analyzer.cpp.o.d"
+  "CMakeFiles/cbft_core.dir/graph_analyzer.cpp.o"
+  "CMakeFiles/cbft_core.dir/graph_analyzer.cpp.o.d"
+  "CMakeFiles/cbft_core.dir/verifier.cpp.o"
+  "CMakeFiles/cbft_core.dir/verifier.cpp.o.d"
+  "libcbft_core.a"
+  "libcbft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_crypto.dir/digest.cpp.o"
+  "CMakeFiles/cbft_crypto.dir/digest.cpp.o.d"
+  "CMakeFiles/cbft_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/cbft_crypto.dir/paillier.cpp.o.d"
+  "CMakeFiles/cbft_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/cbft_crypto.dir/sha256.cpp.o.d"
+  "libcbft_crypto.a"
+  "libcbft_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/expr.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/expr.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/expr.cpp.o.d"
+  "/root/repo/src/dataflow/interpreter.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/interpreter.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/interpreter.cpp.o.d"
+  "/root/repo/src/dataflow/ops_eval.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/ops_eval.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/ops_eval.cpp.o.d"
+  "/root/repo/src/dataflow/optimizer.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/optimizer.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/optimizer.cpp.o.d"
+  "/root/repo/src/dataflow/parser.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/parser.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/parser.cpp.o.d"
+  "/root/repo/src/dataflow/plan.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/plan.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/plan.cpp.o.d"
+  "/root/repo/src/dataflow/relation.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/relation.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/relation.cpp.o.d"
+  "/root/repo/src/dataflow/schema.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/schema.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/schema.cpp.o.d"
+  "/root/repo/src/dataflow/text_io.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/text_io.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/text_io.cpp.o.d"
+  "/root/repo/src/dataflow/udf.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/udf.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/udf.cpp.o.d"
+  "/root/repo/src/dataflow/value.cpp" "src/dataflow/CMakeFiles/cbft_dataflow.dir/value.cpp.o" "gcc" "src/dataflow/CMakeFiles/cbft_dataflow.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cbft_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

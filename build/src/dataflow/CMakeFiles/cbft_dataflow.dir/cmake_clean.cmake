@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_dataflow.dir/expr.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/expr.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/interpreter.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/interpreter.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/ops_eval.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/ops_eval.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/optimizer.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/parser.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/parser.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/plan.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/plan.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/relation.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/relation.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/schema.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/schema.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/text_io.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/text_io.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/udf.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/udf.cpp.o.d"
+  "CMakeFiles/cbft_dataflow.dir/value.cpp.o"
+  "CMakeFiles/cbft_dataflow.dir/value.cpp.o.d"
+  "libcbft_dataflow.a"
+  "libcbft_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

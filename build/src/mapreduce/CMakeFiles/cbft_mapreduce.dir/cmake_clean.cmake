@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_mapreduce.dir/compiler.cpp.o"
+  "CMakeFiles/cbft_mapreduce.dir/compiler.cpp.o.d"
+  "CMakeFiles/cbft_mapreduce.dir/dfs.cpp.o"
+  "CMakeFiles/cbft_mapreduce.dir/dfs.cpp.o.d"
+  "CMakeFiles/cbft_mapreduce.dir/job.cpp.o"
+  "CMakeFiles/cbft_mapreduce.dir/job.cpp.o.d"
+  "CMakeFiles/cbft_mapreduce.dir/task.cpp.o"
+  "CMakeFiles/cbft_mapreduce.dir/task.cpp.o.d"
+  "libcbft_mapreduce.a"
+  "libcbft_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_sim.dir/isolation_sim.cpp.o"
+  "CMakeFiles/cbft_sim.dir/isolation_sim.cpp.o.d"
+  "libcbft_sim.a"
+  "libcbft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

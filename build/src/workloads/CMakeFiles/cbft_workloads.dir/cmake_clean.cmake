@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbft_workloads.dir/airline.cpp.o"
+  "CMakeFiles/cbft_workloads.dir/airline.cpp.o.d"
+  "CMakeFiles/cbft_workloads.dir/scripts.cpp.o"
+  "CMakeFiles/cbft_workloads.dir/scripts.cpp.o.d"
+  "CMakeFiles/cbft_workloads.dir/twitter.cpp.o"
+  "CMakeFiles/cbft_workloads.dir/twitter.cpp.o.d"
+  "CMakeFiles/cbft_workloads.dir/weather.cpp.o"
+  "CMakeFiles/cbft_workloads.dir/weather.cpp.o.d"
+  "libcbft_workloads.a"
+  "libcbft_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbft_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_elasticity_test.dir/audit_elasticity_test.cpp.o"
+  "CMakeFiles/audit_elasticity_test.dir/audit_elasticity_test.cpp.o.d"
+  "audit_elasticity_test"
+  "audit_elasticity_test.pdb"
+  "audit_elasticity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_elasticity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

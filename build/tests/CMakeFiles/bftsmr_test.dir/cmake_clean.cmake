@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bftsmr_test.dir/bftsmr_test.cpp.o"
+  "CMakeFiles/bftsmr_test.dir/bftsmr_test.cpp.o.d"
+  "bftsmr_test"
+  "bftsmr_test.pdb"
+  "bftsmr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bftsmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cogroup_test.dir/cogroup_test.cpp.o"
+  "CMakeFiles/cogroup_test.dir/cogroup_test.cpp.o.d"
+  "cogroup_test"
+  "cogroup_test.pdb"
+  "cogroup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cogroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/controller_test.cpp" "tests/CMakeFiles/controller_test.dir/controller_test.cpp.o" "gcc" "tests/CMakeFiles/controller_test.dir/controller_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cbft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cbft_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cbft_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cbft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bftsmr/CMakeFiles/cbft_bftsmr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cbft_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/cbft_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/cbft_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cbft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_analyzer_test.dir/graph_analyzer_test.cpp.o"
+  "CMakeFiles/graph_analyzer_test.dir/graph_analyzer_test.cpp.o.d"
+  "graph_analyzer_test"
+  "graph_analyzer_test.pdb"
+  "graph_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_sim_test.dir/isolation_sim_test.cpp.o"
+  "CMakeFiles/isolation_sim_test.dir/isolation_sim_test.cpp.o.d"
+  "isolation_sim_test"
+  "isolation_sim_test.pdb"
+  "isolation_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

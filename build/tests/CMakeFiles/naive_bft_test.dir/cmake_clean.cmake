@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_bft_test.dir/naive_bft_test.cpp.o"
+  "CMakeFiles/naive_bft_test.dir/naive_bft_test.cpp.o.d"
+  "naive_bft_test"
+  "naive_bft_test.pdb"
+  "naive_bft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_bft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

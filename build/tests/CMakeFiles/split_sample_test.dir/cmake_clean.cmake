@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_sample_test.dir/split_sample_test.cpp.o"
+  "CMakeFiles/split_sample_test.dir/split_sample_test.cpp.o.d"
+  "split_sample_test"
+  "split_sample_test.pdb"
+  "split_sample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strong_adversary_test.dir/strong_adversary_test.cpp.o"
+  "CMakeFiles/strong_adversary_test.dir/strong_adversary_test.cpp.o.d"
+  "strong_adversary_test"
+  "strong_adversary_test.pdb"
+  "strong_adversary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
