@@ -6,8 +6,8 @@
 //                [--byzantine NODE[:commission|omission|lie]] [--audit]
 //
 // Example:
-//   ./cbft_shell count.pig \
-//       --input twitter/edges=edges.tsv:user:long,follower:long \
+//   ./cbft_shell count.pig
+//       --input twitter/edges=edges.tsv:user:long,follower:long
 //       --f 1 --r 2 --byzantine 3:commission --audit
 //
 // Schemas are comma-separated name:type pairs (long|double|chararray).

@@ -23,7 +23,7 @@
 
 namespace clusterbft::crypto {
 
-using U128 = unsigned __int128;
+__extension__ using U128 = unsigned __int128;
 
 struct PaillierPublicKey {
   U128 n = 0;   ///< p*q

@@ -267,8 +267,8 @@ std::uint64_t tuple_key_hash(const Tuple& t, std::size_t num_fields) {
   for (std::size_t i = 0; i < n; ++i) t.at(i).serialize(buf);
   // FNV-1a, 64-bit.
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : buf) {
-    h ^= c;
+  for (const char c : buf) {
+    h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
   return h;

@@ -155,10 +155,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SweepParam{1, 3, 11}, SweepParam{1, 8, 12},
                       SweepParam{2, 4, 13}, SweepParam{2, 10, 14},
                       SweepParam{3, 5, 15}, SweepParam{3, 12, 16}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "f" + std::to_string(info.param.f) + "_c" +
-             std::to_string(info.param.cluster_size) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<SweepParam>& ti) {
+      return "f" + std::to_string(ti.param.f) + "_c" +
+             std::to_string(ti.param.cluster_size) + "_s" +
+             std::to_string(ti.param.seed);
     });
 
 TEST(FaultAnalyzerTest, HighCommissionProbabilityIsolatesQuickly) {

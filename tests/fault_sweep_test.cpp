@@ -94,8 +94,8 @@ std::vector<SweepParam> sweep_params() {
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, FaultSweep, ::testing::ValuesIn(sweep_params()),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      const SweepParam& p = info.param;
+    [](const ::testing::TestParamInfo<SweepParam>& ti) {
+      const SweepParam& p = ti.param;
       return "f" + std::to_string(p.f) + "_r" + std::to_string(p.r) + "_p" +
              std::to_string(static_cast<int>(p.commission_prob * 10)) +
              (p.lie_in_digest ? "_lie" : "_data") + "_s" +

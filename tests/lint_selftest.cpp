@@ -1,0 +1,114 @@
+// Self-test for the determinism lint (tools/lint/determinism_lint.py):
+// the fixture files under tools/lint/fixtures seed exactly one violation
+// per rule plus one lint:allow'ed occurrence per rule; the lint must
+// report each rule exactly once, honour every allow marker, and report
+// the real src/ tree as clean.
+//
+// The lint is a Python script; when no python3 is on PATH the tests skip
+// (the `determinism_lint` ctest target is likewise only registered when
+// CMake finds an interpreter).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+constexpr const char* kSourceDir = CBFT_SOURCE_DIR;
+
+bool python_available() {
+  return std::system("python3 -c 'pass' > /dev/null 2>&1") == 0;
+}
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Run the lint over `target` and capture stdout (JSON mode).
+LintRun run_lint(const std::string& target, const std::string& flags) {
+  const std::string cmd = std::string("python3 ") + kSourceDir +
+                          "/tools/lint/determinism_lint.py " + flags + " " +
+                          target + " 2>/dev/null";
+  LintRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+const std::array<const char*, 5> kRuleIds = {
+    "unordered-container", "unseeded-random", "wall-clock",
+    "pointer-keyed-container", "uninit-pod-member"};
+
+class LintSelfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!python_available()) GTEST_SKIP() << "python3 not on PATH";
+  }
+};
+
+TEST_F(LintSelfTest, FixtureTriggersEveryRuleExactlyOnce) {
+  const LintRun r = run_lint(
+      std::string(kSourceDir) + "/tools/lint/fixtures", "--json");
+  ASSERT_EQ(r.exit_code, 1) << r.output;  // violations found -> exit 1
+  for (const char* rule : kRuleIds) {
+    EXPECT_EQ(count_occurrences(r.output,
+                                std::string("\"rule\": \"") + rule + "\""),
+              1u)
+        << "rule " << rule << " did not fire exactly once:\n"
+        << r.output;
+  }
+  // Five rules, one violation each — nothing else.
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\": "), kRuleIds.size())
+      << r.output;
+}
+
+TEST_F(LintSelfTest, AllowMarkerSuppresses) {
+  const LintRun r = run_lint(
+      std::string(kSourceDir) + "/tools/lint/fixtures", "--json");
+  ASSERT_EQ(r.exit_code, 1) << r.output;
+  // Every allowed occurrence carries the marker on its line; none of the
+  // reported violation texts may contain it.
+  EXPECT_EQ(count_occurrences(r.output, "lint:allow"), 0u) << r.output;
+}
+
+TEST_F(LintSelfTest, SrcTreeIsClean) {
+  const LintRun r = run_lint(std::string(kSourceDir) + "/src", "--json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\": "), 0u) << r.output;
+}
+
+TEST_F(LintSelfTest, RuleTableIsMachineReadable) {
+  const LintRun r = run_lint("", "--list-rules");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  for (const char* rule : kRuleIds) {
+    EXPECT_EQ(count_occurrences(r.output,
+                                std::string("\"id\": \"") + rule + "\""),
+              1u)
+        << "rule " << rule << " missing from --list-rules:\n"
+        << r.output;
+  }
+}
+
+}  // namespace

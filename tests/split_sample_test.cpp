@@ -8,8 +8,6 @@
 namespace clusterbft::dataflow {
 namespace {
 
-std::int64_t L(std::int64_t x) { return x; }
-
 Relation numbers(std::int64_t n) {
   Relation r(Schema::of({{"x", ValueType::kLong}}));
   for (std::int64_t i = 0; i < n; ++i) r.add(Tuple({Value(i)}));

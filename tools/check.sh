@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# ClusterBFT analysis driver: configure -> build -> ctest -> lint, in both
+# the normal and the sanitizer presets. This is the command CI (and a
+# cautious human) should run before merging.
+#
+# Usage:
+#   tools/check.sh               full pass: normal build + tests + lint,
+#                                then the asan-ubsan preset + tests,
+#                                then a hardened (-Werror) build
+#   tools/check.sh --fast        normal build + tests + lint only
+#   tools/check.sh --asan-smoke  build & run only the asan_smoke target
+#                                under ASan+UBSan (used by the
+#                                `asan_ubsan_smoke` ctest)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+MODE="${1:-full}"
+
+run_lint() {
+  if command -v python3 >/dev/null 2>&1; then
+    echo "== determinism lint =="
+    python3 "$ROOT/tools/lint/determinism_lint.py" "$ROOT/src"
+  else
+    echo "== determinism lint skipped (python3 not found) =="
+  fi
+}
+
+case "$MODE" in
+  --asan-smoke)
+    # Minimal sanitized build: just the smoke target and the libraries it
+    # needs, in its own tree so it never disturbs a full preset build.
+    BUILD="$ROOT/build-asan-smoke"
+    cmake -S "$ROOT" -B "$BUILD" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUSTERBFT_SANITIZE=address \
+      >/dev/null
+    cmake --build "$BUILD" --target asan_smoke -j "$JOBS"
+    exec "$BUILD/tools/asan_smoke"
+    ;;
+
+  --fast|full)
+    echo "== normal preset: configure + build =="
+    cmake -S "$ROOT" -B "$ROOT/build"
+    cmake --build "$ROOT/build" -j "$JOBS"
+    echo "== normal preset: ctest =="
+    ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+    run_lint
+    if [ "$MODE" = "--fast" ]; then
+      echo "check.sh: fast pass OK"
+      exit 0
+    fi
+
+    echo "== asan-ubsan preset: configure + build =="
+    cmake --preset asan-ubsan -S "$ROOT"
+    cmake --build --preset asan-ubsan -j "$JOBS"
+    echo "== asan-ubsan preset: ctest =="
+    (cd "$ROOT" && ctest --preset asan-ubsan -j "$JOBS")
+
+    echo "== hardened preset: configure + build (-Werror) =="
+    cmake --preset hardened -S "$ROOT"
+    cmake --build --preset hardened -j "$JOBS"
+
+    echo "check.sh: full pass OK"
+    ;;
+
+  *)
+    echo "usage: tools/check.sh [--fast|--asan-smoke]" >&2
+    exit 2
+    ;;
+esac

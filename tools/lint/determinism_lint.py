@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""ClusterBFT determinism lint.
+
+Walks C++ sources and enforces the repo's determinism contract (see
+DESIGN.md, "Determinism contract"): replicas of a sub-graph must produce
+bit-identical digests at verification points, so sources of per-process
+nondeterminism -- unordered-container iteration, entropy-backed randomness,
+wall-clock reads, pointer-keyed ordered containers, uninitialized POD
+members in message/plan structs -- are banned.
+
+Rules live in a machine-readable table, rules.json, next to this script.
+A single line can be exempted with an inline marker:
+
+    std::unordered_map<int, int> cache_;  // lint:allow(unordered-container)
+
+Usage:
+    determinism_lint.py [--json] [--list-rules] [--rules FILE] PATH [PATH...]
+
+Exit status: 0 = clean, 1 = violations found, 2 = usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import re
+import sys
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"lint:allow\(\s*([A-Za-z0-9_,\s-]+?)\s*\)")
+
+# Member declaration candidate: "<type tokens> <name>;" with no initializer,
+# no parentheses (functions), no '=' / '{' (already initialized).
+MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+|volatile\s+)?"
+    r"(?P<type>[A-Za-z_][\w:]*(?:\s+(?:long|int|char|short|double|unsigned|signed))*)"
+    r"\s+(?P<name>[A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)?;"
+)
+
+STRUCT_OPEN_RE = re.compile(r"\b(struct|class)\s+([A-Za-z_]\w*)[^;{]*\{")
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comments and string/char literals, preserving line count
+    and column positions, so rule patterns never fire inside either. The
+    raw lines are still consulted for lint:allow markers."""
+    out: list[str] = []
+    in_block = False
+    for line in lines:
+        res: list[str] = []
+        i, n = 0, len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    res.append(" " * (n - i))
+                    i = n
+                else:
+                    res.append(" " * (end + 2 - i))
+                    i = end + 2
+                    in_block = False
+                continue
+            c = line[i]
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                res.append(" " * (n - i))
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                res.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                res.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\" and i + 1 < n:
+                        res.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        res.append(quote)
+                        i += 1
+                        break
+                    res.append(" ")
+                    i += 1
+                continue
+            res.append(c)
+            i += 1
+        out.append("".join(res))
+    return out
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",") if r.strip()}
+
+
+def path_is_exempt(rel: str, exempt_paths: list[str]) -> bool:
+    rel = rel.replace("\\", "/")
+    for ex in exempt_paths:
+        ex = ex.rstrip("/")
+        if rel == ex or rel.startswith(ex + "/") or ("/" + ex + "/") in rel or rel.endswith("/" + ex):
+            return True
+    return False
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str, text: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.text = text
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "text": self.text,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}\n    {self.text.strip()}"
+
+
+def check_regex_rule(rule: dict, rel: str, raw: list[str], clean: list[str],
+                     out: list[Violation]) -> None:
+    pattern = re.compile(rule["pattern"])
+    for idx, line in enumerate(clean):
+        if not pattern.search(line):
+            continue
+        if rule["id"] in allowed_rules(raw[idx]):
+            continue
+        out.append(Violation(rel, idx + 1, rule["id"], rule["message"], raw[idx]))
+
+
+def check_struct_member_rule(rule: dict, rel: str, raw: list[str],
+                             clean: list[str], pod_types: set[str],
+                             out: list[Violation]) -> None:
+    basename = Path(rel).name
+    if not any(fnmatch.fnmatch(basename, pat)
+               for pat in rule.get("applies_to_basenames", [])):
+        return
+    # Track brace depth and the depth at which each struct/class body sits,
+    # so members of nested function bodies / lambdas are not flagged.
+    depth = 0
+    struct_depths: list[int] = []
+    for idx, line in enumerate(clean):
+        opens_struct = STRUCT_OPEN_RE.search(line)
+        if (not struct_depths or depth != struct_depths[-1]) and not opens_struct:
+            depth += line.count("{") - line.count("}")
+            while struct_depths and depth < struct_depths[-1]:
+                struct_depths.pop()
+            continue
+        in_member_scope = struct_depths and depth == struct_depths[-1]
+        if in_member_scope and not opens_struct:
+            m = MEMBER_RE.match(line)
+            if m:
+                type_tok = m.group("type").strip()
+                head = type_tok.split()[0]
+                if (type_tok in pod_types or head in pod_types) and \
+                        rule["id"] not in allowed_rules(raw[idx]):
+                    out.append(Violation(rel, idx + 1, rule["id"],
+                                         rule["message"], raw[idx]))
+        depth += line.count("{") - line.count("}")
+        if opens_struct:
+            struct_depths.append(depth)
+        while struct_depths and depth < struct_depths[-1]:
+            struct_depths.pop()
+
+
+def lint_file(path: Path, rel: str, rules: dict) -> list[Violation]:
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    clean = strip_comments_and_strings(raw)
+    pod_types = set(rules.get("pod_types", []))
+    out: list[Violation] = []
+    for rule in rules["rules"]:
+        if path_is_exempt(rel, rule.get("exempt_paths", [])):
+            continue
+        if rule.get("kind") == "struct-member":
+            check_struct_member_rule(rule, rel, raw, clean, pod_types, out)
+        else:
+            check_regex_rule(rule, rel, raw, clean, out)
+    return out
+
+
+def collect_files(roots: list[Path], extensions: list[str]) -> list[tuple[Path, str]]:
+    files: list[tuple[Path, str]] = []
+    for root in roots:
+        if root.is_file():
+            files.append((root, str(root)))
+            continue
+        if not root.is_dir():
+            print(f"error: no such path: {root}", file=sys.stderr)
+            sys.exit(2)
+        for p in sorted(root.rglob("*")):
+            if p.is_file() and p.suffix in extensions:
+                files.append((p, str(p)))
+    # Report paths relative to the repo root when possible, for stable output.
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    rel_files = []
+    for p, shown in files:
+        try:
+            shown = str(p.resolve().relative_to(repo_root))
+        except ValueError:
+            pass
+        rel_files.append((p, shown))
+    return rel_files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--json", action="store_true",
+                    help="emit violations as a JSON array on stdout")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule table as JSON and exit")
+    ap.add_argument("--rules", type=Path,
+                    default=Path(__file__).resolve().parent / "rules.json",
+                    help="rule table to use (default: rules.json beside this script)")
+    args = ap.parse_args(argv)
+
+    try:
+        rules = json.loads(args.rules.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load rules from {args.rules}: {e}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        json.dump(rules["rules"], sys.stdout, indent=2)
+        print()
+        return 0
+
+    if not args.paths:
+        ap.error("no paths given (try: determinism_lint.py src)")
+
+    extensions = rules.get("source_extensions", [".cpp", ".hpp", ".h"])
+    violations: list[Violation] = []
+    nfiles = 0
+    for path, rel in collect_files([Path(p) for p in args.paths], extensions):
+        nfiles += 1
+        violations.extend(lint_file(path, rel, rules))
+
+    if args.json:
+        json.dump([v.as_dict() for v in violations], sys.stdout, indent=2)
+        print()
+    else:
+        for v in violations:
+            print(v.render())
+        status = "FAIL" if violations else "OK"
+        print(f"determinism-lint: {status}: {len(violations)} violation(s) "
+              f"in {nfiles} file(s)", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,39 @@
+// Determinism-lint self-test fixture for the uninit-pod-member rule. The
+// rule applies to message/plan-style headers by basename, which is why
+// this file is named message.hpp. Exactly one violation must fire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct WireMessage {
+  // Rule uninit-pod-member: must fire on the next line.
+  std::uint64_t sequence;
+  // ...and must NOT fire here:
+  int view;  // lint:allow(uninit-pod-member)
+
+  // Negative controls: initialized PODs and non-PODs must not fire.
+  std::uint32_t epoch = 0;
+  bool committed{false};
+  std::string payload;
+  std::vector<int> acks;
+
+  // Members of a nested function body must not fire.
+  int total() const {
+    int sum;  // local variable, not a member
+    sum = view + static_cast<int>(epoch);
+    return sum;
+  }
+};
+
+// A free function with a local POD must not fire (not a struct member).
+inline int free_helper() {
+  int local;
+  local = 3;
+  return local;
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Determinism-lint self-test fixture: every regex rule must fire exactly
+// once on this file, and every lint:allow line must be suppressed. The
+// lint self-test (tests/lint_selftest.cpp) asserts both. This file is
+// never compiled; it only needs to look like C++.
+//
+// NOTE for maintainers: keep one live violation per rule and one allowed
+// occurrence per rule, or the self-test will fail.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Record {
+  int id = 0;
+};
+
+// Rule unordered-container: must fire on the next line.
+std::unordered_map<int, int> bad_cache;
+// ...and must NOT fire here:
+std::unordered_set<int> scratch_set;  // lint:allow(unordered-container)
+
+// Rule unseeded-random: must fire on the next line.
+int bad_entropy() { return static_cast<int>(std::random_device{}()); }
+// ...and must NOT fire here:
+int allowed_entropy() { return rand(); }  // lint:allow(unseeded-random)
+
+// Rule wall-clock: must fire on the next line.
+long bad_now() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+// ...and must NOT fire here:
+const char* allowed_env() { return std::getenv("HOME"); }  // lint:allow(wall-clock)
+
+// Rule pointer-keyed-container: must fire on the next line.
+std::map<Record*, int> bad_by_pointer;
+// ...and must NOT fire here:
+std::set<const Record*> allowed_by_pointer;  // lint:allow(pointer-keyed-container)
+
+// Negative controls: none of these may fire.
+std::map<int, Record> fine_by_id;          // ordered, value-keyed
+long fine_sim_time(long t) { return t; }   // 'time(' only as a suffix
+// A comment mentioning std::unordered_map must not fire.
+const char* fine_string = "std::random_device in a string must not fire";
+
+}  // namespace fixture

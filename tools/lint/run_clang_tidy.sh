@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over src/ using the
+# compile_commands.json of an existing build tree.
+#
+# Degrades gracefully: exits 0 with a notice when clang-tidy is not
+# installed, so CI recipes can call it unconditionally.
+#
+# Usage: tools/lint/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+if [ "$BUILD" = "--" ]; then BUILD="$ROOT/build"; fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (not a failure)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD/compile_commands.json missing; configuring with" \
+       "CMAKE_EXPORT_COMPILE_COMMANDS=ON"
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+FILES=$(find "$ROOT/src" -name '*.cpp' | sort)
+STATUS=0
+for f in $FILES; do
+  clang-tidy -p "$BUILD" "$@" "$f" || STATUS=1
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "run_clang_tidy: findings reported (see above)"
+fi
+exit "$STATUS"
