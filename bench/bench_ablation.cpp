@@ -51,6 +51,7 @@ Outcome run_weather(core::ClientRequest req, cluster::TrackerConfig cfg) {
 
 int main() {
   print_header("Design-choice ablations", "DESIGN.md ablation index");
+  BenchJson sink("ablation");
 
   const std::string airline = workloads::airline_top20_analysis();
   const std::string weather = workloads::weather_average_analysis();
@@ -67,6 +68,8 @@ int main() {
                 marker.latency, marker.runs);
     std::printf("    naive (top)   : latency %6.1fs, %2zu job replicas\n",
                 naive.latency, naive.runs);
+    sink.add("A_marker_latency", marker.latency, "sim_s");
+    sink.add("A_naive_latency", naive.latency, "sim_s");
   }
 
   // ---- B: digest granularity ------------------------------------------
@@ -79,6 +82,8 @@ int main() {
         baseline::cluster_bft(weather, "gran", 1, 2, 2, d), paper_cluster());
     std::printf("    d=%-6llu digest reports %6zu   latency %6.2fs\n",
                 static_cast<unsigned long long>(d), o.reports, o.latency);
+    sink.add("B_d" + std::to_string(d) + "_reports",
+             static_cast<double>(o.reports), "reports");
   }
 
   // ---- D: offline vs synchronous verification (challenge C2) ----------
@@ -106,6 +111,10 @@ int main() {
     }
     std::printf("    decision=%4.0fs  naive %7.1fs   offline %7.1fs\n",
                 decision, naive_lat, offline_lat);
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "D_dec%.0f", decision);
+    sink.add(std::string(prefix) + "_naive_latency", naive_lat, "sim_s");
+    sink.add(std::string(prefix) + "_offline_latency", offline_lat, "sim_s");
   }
 
   // ---- C: segment rerun vs whole-script rerun -------------------------
@@ -121,6 +130,9 @@ int main() {
                 c.latency, c.runs, c.verified);
     std::printf("    P         : %7.1fs, %2zu replicas (verified=%d)\n",
                 p.latency, p.runs, p.verified);
+    const std::string pre = lie ? "C_lie" : "C_corrupt";
+    sink.add(pre + "_cbft_latency", c.latency, "sim_s");
+    sink.add(pre + "_p_latency", p.latency, "sim_s");
   }
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace clusterbft::bench;
 
 int main() {
   print_header("Twitter Two Hop Analysis digest overhead", "Fig. 10");
+  BenchJson sink("fig10");
 
   const std::string script = workloads::twitter_two_hop_analysis();
 
@@ -42,6 +43,7 @@ int main() {
     pure_latency = res.metrics.latency_s;
     std::printf("%-10s Pure Pig latency %7.2f s (baseline)\n", "",
                 pure_latency);
+    sink.add("pure_pig_latency", pure_latency, "sim_s");
   }
 
   std::printf("%-10s %14s %14s %16s\n", "placement", "single(s)", "bft(s)",
@@ -68,6 +70,10 @@ int main() {
     }
     std::printf("%-10s %14.2f %14.2f %16llu\n", p.label, single_lat, bft_lat,
                 static_cast<unsigned long long>(digested));
+    sink.add(std::string(p.label) + "_single_latency", single_lat, "sim_s");
+    sink.add(std::string(p.label) + "_bft_latency", bft_lat, "sim_s");
+    sink.add(std::string(p.label) + "_digested",
+             static_cast<double>(digested), "bytes");
   }
   std::printf(
       "\npaper: digesting at the Join costs most (largest stream), Filter\n"

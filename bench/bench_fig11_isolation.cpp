@@ -18,6 +18,7 @@ using namespace clusterbft::bench;
 
 int main() {
   print_header("Jobs required to identify disjoint fault sets", "Fig. 11");
+  BenchJson sink("fig11");
 
   struct Series {
     const char* label;
@@ -61,6 +62,9 @@ int main() {
         }
       }
       std::printf(" %10.1f", total / counted);
+      char metric[64];
+      std::snprintf(metric, sizeof(metric), "%s_p%.1f_jobs", s.label, p);
+      sink.add(metric, total / counted, "jobs");
     }
     std::printf("\n");
   }

@@ -16,6 +16,7 @@ using namespace clusterbft::bench;
 
 int main() {
   print_header("Suspicion level changes over time", "Fig. 12");
+  BenchJson sink("fig12");
 
   sim::IsolationSimConfig cfg;
   cfg.f = 1;
@@ -45,5 +46,15 @@ int main() {
   std::printf(
       "\npaper: suspected nodes appear after the first fault, stop growing\n"
       "once |D| = f, and by t~50 only the truly faulty nodes remain High.\n");
+  sink.add("jobs_until_saturation",
+           res.jobs_until_saturation
+               ? static_cast<double>(*res.jobs_until_saturation)
+               : -1.0,
+           "jobs", cfg.seed);
+  sink.add("high_band_exact_time",
+           res.high_band_exact_time
+               ? static_cast<double>(*res.high_band_exact_time)
+               : -1.0,
+           "sim_steps", cfg.seed);
   return 0;
 }

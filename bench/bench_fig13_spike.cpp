@@ -16,6 +16,7 @@ using namespace clusterbft::bench;
 
 int main() {
   print_header("Suspicion spikes from large faulty clusters", "Fig. 13");
+  BenchJson sink("fig13");
 
   sim::IsolationSimConfig cfg;
   cfg.f = 2;
@@ -44,6 +45,10 @@ int main() {
   std::printf("final analyzer suspects: %zu\n", final_suspects);
   std::printf("analyzer suspect set : %zu node(s)\n",
               res.final_suspects.size());
+  sink.add("peak_analyzer_suspects", static_cast<double>(peak), "nodes",
+           cfg.seed);
+  sink.add("final_analyzer_suspects", static_cast<double>(final_suspects),
+           "nodes", cfg.seed);
   std::printf(
       "\npaper: spikes of dozens of suspected nodes appear when two large\n"
       "faulty clusters overlap before |D| = f; within a few more runs the\n"

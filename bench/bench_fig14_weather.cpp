@@ -97,6 +97,7 @@ double run_one(const core::ClientRequest& req, const PbftCosts& pbft) {
 int main() {
   print_header("Weather average temperature with a replicated control tier",
                "Fig. 14");
+  BenchJson sink("fig14");
 
   const std::string script = workloads::weather_average_analysis();
 
@@ -115,6 +116,12 @@ int main() {
       std::printf("%zu,%-6llu %10.2f %12.2f %12.2f   (cbft vs full: %+.1f%%)\n",
                   f, static_cast<unsigned long long>(d), full, cbft, indiv,
                   100.0 * (cbft / full - 1.0));
+      char prefix[32];
+      std::snprintf(prefix, sizeof(prefix), "f%zu_d%llu", f,
+                    static_cast<unsigned long long>(d));
+      sink.add(std::string(prefix) + "_full_latency", full, "sim_s");
+      sink.add(std::string(prefix) + "_cbft_latency", cbft, "sim_s");
+      sink.add(std::string(prefix) + "_individual_latency", indiv, "sim_s");
     }
   }
   std::printf(

@@ -4,12 +4,15 @@
 // and a full PBFT agreement round.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "bftsmr/system.hpp"
 #include "common/rng.hpp"
 #include "crypto/digest.hpp"
 #include "crypto/sha256.hpp"
 #include "dataflow/ops_eval.hpp"
 #include "dataflow/parser.hpp"
+#include "mapreduce/compiler.hpp"
+#include "mapreduce/dfs.hpp"
 #include "mapreduce/task.hpp"
 #include "workloads/scripts.hpp"
 #include "workloads/twitter.hpp"
@@ -48,6 +51,68 @@ void BM_TupleSerialize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TupleSerialize);
+
+// --- Map-task hot paths (ISSUE 2): split ingestion (the input Relation
+// hand-off into run_map_task) and the per-tuple serialise+digest stream
+// at a verification point. Both ride on the compiled Twitter follower
+// job so they measure the real call pattern, dfs.read_split included.
+
+struct MapTaskBench {
+  mapreduce::Dfs dfs{256 << 10};
+  dataflow::LogicalPlan plan;
+  mapreduce::JobDag dag;
+
+  explicit MapTaskBench(std::uint64_t records_per_digest) {
+    workloads::TwitterConfig tw;
+    tw.num_edges = 20000;
+    tw.num_users = 2000;
+    dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+    plan = dataflow::parse_script(workloads::twitter_follower_analysis());
+    std::vector<mapreduce::VerificationPoint> vps;
+    if (records_per_digest > 0) {
+      const auto probe = mapreduce::compile(plan, {}, {.sid_prefix = "b"});
+      vps.push_back(
+          {probe.jobs[0].branches[0].source_vertex, records_per_digest});
+    }
+    dag = mapreduce::compile(plan, vps, {.sid_prefix = "b"});
+  }
+};
+
+void BM_MapTaskSplitIngest(benchmark::State& state) {
+  MapTaskBench b(/*records_per_digest=*/0);
+  const mapreduce::MRJobSpec& job = b.dag.jobs[0];
+  const std::string& input = job.branches[0].input_path;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto r = mapreduce::run_map_task(b.plan, job, 0, 0,
+                                     b.dfs.read_split(input, 0));
+    bytes = r.metrics.input_bytes;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MapTaskSplitIngest);
+
+void BM_MapTaskDigestStream(benchmark::State& state) {
+  MapTaskBench b(/*records_per_digest=*/64);
+  const mapreduce::MRJobSpec& job = b.dag.jobs[0];
+  const std::string& input = job.branches[0].input_path;
+  std::uint64_t records = 0;
+  std::uint64_t digested = 0;
+  for (auto _ : state) {
+    auto r = mapreduce::run_map_task(b.plan, job, 0, 0,
+                                     b.dfs.read_split(input, 0));
+    records = r.metrics.records_in;
+    digested = r.metrics.digested_bytes;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+  state.counters["digested_bytes"] =
+      benchmark::Counter(static_cast<double>(digested));
+}
+BENCHMARK(BM_MapTaskDigestStream);
 
 void BM_ShufflePartition(benchmark::State& state) {
   dataflow::OpNode group;
@@ -135,6 +200,36 @@ void BM_PbftAgreementRound(benchmark::State& state) {
 }
 BENCHMARK(BM_PbftAgreementRound)->Arg(1)->Arg(2)->Arg(3);
 
+/// Forwards every finished run into the shared BenchJson sink (so
+/// bench_micro emits BENCH_micro.json like the simulation benches) while
+/// keeping the normal console table.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRowReporter(bench::BenchJson& sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      sink_.add(r.benchmark_name(), r.GetAdjustedRealTime(),
+                benchmark::GetTimeUnitString(r.time_unit));
+      for (const auto& [name, counter] : r.counters) {
+        sink_.add(r.benchmark_name() + "/" + name, counter.value, "counter");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJson& sink_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  clusterbft::bench::BenchJson sink("micro");
+  JsonRowReporter reporter(sink);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  sink.write();
+  return 0;
+}

@@ -79,6 +79,7 @@ int main() {
   print_header("ClusterBFT vs final-output verification under Byzantine "
                "failures (airline top-20)",
                "Table 3");
+  BenchJson sink("table3");
 
   const std::string script = workloads::airline_top20_analysis();
 
@@ -112,6 +113,14 @@ int main() {
   for (int i = 0; i < 4; ++i) {
     c_rows[i] = run_config(true, scenarios[i], script, base.latency);
     p_rows[i] = run_config(false, scenarios[i], script, base.latency);
+    sink.add(std::string(scenarios[i].name) + "_C_latency_x",
+             c_rows[i].latency / base.latency, "x");
+    sink.add(std::string(scenarios[i].name) + "_P_latency_x",
+             p_rows[i].latency / base.latency, "x");
+    sink.add(std::string(scenarios[i].name) + "_C_cpu_x",
+             c_rows[i].cpu / base.cpu, "x");
+    sink.add(std::string(scenarios[i].name) + "_P_cpu_x",
+             p_rows[i].cpu / base.cpu, "x");
   }
 
   auto print_measure = [&](const char* name, double Row::*field,

@@ -3,10 +3,12 @@
 // synthetic workload.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baseline/presets.hpp"
 #include "cluster/event_sim.hpp"
@@ -73,6 +75,64 @@ inline void load_weather(World& w, std::uint64_t stations = 1500,
   cfg.readings_per_station = readings;
   w.dfs.write("weather/gsod", workloads::generate_weather(cfg));
 }
+
+/// Machine-readable result sink: collects (metric, value, unit, seed,
+/// threads) rows and writes them as `BENCH_<name>.json` in the working
+/// directory when destroyed (or on an explicit write()). Every bench_*
+/// target funnels its headline numbers through one of these so CI and
+/// later PRs can diff the perf trajectory without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson() { write(); }
+
+  void add(std::string metric, double value, std::string unit,
+           std::uint64_t seed = 0, std::size_t threads = 0) {
+    rows_.push_back(Row{std::move(metric), value, std::move(unit), seed,
+                        threads});
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %.17g, \"unit\": \"%s\", "
+                   "\"seed\": %llu, \"threads\": %zu}%s\n",
+                   name_.c_str(), r.metric.c_str(), r.value, r.unit.c_str(),
+                   static_cast<unsigned long long>(r.seed), r.threads,
+                   i + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double value = 0;
+    std::string unit;
+    std::uint64_t seed = 0;
+    std::size_t threads = 0;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("\n================================================================\n");

@@ -1,9 +1,11 @@
 #include "cluster/tracker.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 
 namespace clusterbft::cluster {
 
@@ -20,7 +22,12 @@ ExecutionTracker::ExecutionTracker(EventSim& sim, mapreduce::Dfs& dfs,
   for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
     node_rngs_.emplace(n, rng_seeder_.fork());
   }
+  if (cfg_.threads > 0) {
+    pool_ = std::make_unique<common::ThreadPool>(cfg_.threads);
+  }
 }
+
+ExecutionTracker::~ExecutionTracker() = default;
 
 NodeId ExecutionTracker::add_nodes(std::size_t count, std::size_t slots,
                                    AdversaryPolicy policy) {
@@ -142,6 +149,9 @@ void ExecutionTracker::dispatch() {
       if (assign_one(node)) progress = true;
     }
   }
+  // Every payload started this sweep commits before dispatch returns, so
+  // no simulator event is ever scheduled against an uncommitted task.
+  commit_in_flight();
 }
 
 bool ExecutionTracker::assign_one(ResourceEntry& node) {
@@ -205,62 +215,115 @@ void ExecutionTracker::start_task(NodeId nid, const TaskRef& ref) {
     return;
   }
   const bool commission = rng.chance(pol.commission_prob);
+  // Digest-lying corruption draws from the node RNG once per digest
+  // *after* the payload runs, so its draw count depends on the result.
+  // Such payloads must execute inline at submission to keep every node's
+  // RNG stream identical across pool sizes.
+  const bool lies = commission && pol.lie_in_digest;
 
-  const CostModel& cm = cfg_.cost;
-  const double speed = node_speed(nid);
+  InFlightTask fl;
+  fl.nid = nid;
+  fl.ref = ref;
 
   if (!ref.reduce) {
     const MapTaskDesc& desc = run.map_tasks[ref.index];
+    // DFS reads, adversary draws and all other engine-state access stay
+    // on this thread; only the pure payload goes to the pool.
     Relation split =
         dfs_.read_split(run.branch_inputs[desc.branch], desc.split);
     if (commission && !pol.lie_in_digest) corrupt_relation(split, rng);
-    mapreduce::MapTaskResult result = mapreduce::run_map_task(
-        *run.plan, spec, desc.branch, desc.split, split);
-    const mapreduce::TaskMetrics& m = result.metrics;
-    const double duration =
-        (cm.task_overhead_s + static_cast<double>(m.input_bytes) * cm.input_byte_s +
-         static_cast<double>(m.output_bytes) * cm.output_byte_s +
-         static_cast<double>(m.records_in) * cm.record_s +
-         static_cast<double>(m.digested_bytes) * cm.digest_byte_s) /
-        speed;
-    account_task(run, m, duration, /*reduce=*/false, spec.map_only());
-    if (commission && pol.lie_in_digest) {
-      for (mapreduce::DigestReport& r : result.digests) {
-        r.digest.bytes[0] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    auto payload = [plan = run.plan, spec = run.spec, desc,
+                    split = std::move(split)]() mutable {
+      return mapreduce::run_map_task(*plan, *spec, desc.branch, desc.split,
+                                     std::move(split));
+    };
+    if (pool_ != nullptr && !lies) {
+      fl.map_future = pool_->submit(std::move(payload));
+    } else {
+      fl.map_ready = payload();
+      if (lies) {
+        for (mapreduce::DigestReport& r : fl.map_ready->digests) {
+          r.digest.bytes[0] ^=
+              static_cast<std::uint8_t>(1 + rng.next_below(255));
+        }
       }
     }
-    sim_.schedule_after(
-        duration, [this, nid, ref, result = std::move(result)]() mutable {
-          complete_map_task(nid, ref, std::move(result));
-        });
   } else {
     const std::size_t partition = ref.index;
+    // Copied (not referenced): runs_ may grow while the payload is in
+    // flight, and the corruption below must not touch the shuffle buffer.
     std::vector<Relation> inputs = run.shuffle[partition];
     if (commission && !pol.lie_in_digest) {
       corrupt_relation(inputs[0], rng);
     }
-    mapreduce::ReduceTaskResult result =
-        mapreduce::run_reduce_task(*run.plan, spec, partition, inputs);
-    const mapreduce::TaskMetrics& m = result.metrics;
-    const double duration =
-        (cm.task_overhead_s +
-         static_cast<double>(m.input_bytes) *
-             (cm.input_byte_s + cm.shuffle_fetch_byte_s) +
-         static_cast<double>(m.output_bytes) * cm.output_byte_s +
-         static_cast<double>(m.records_in) * cm.record_s +
-         static_cast<double>(m.digested_bytes) * cm.digest_byte_s) /
-        speed;
-    account_task(run, m, duration, /*reduce=*/true, false);
-    if (commission && pol.lie_in_digest) {
-      for (mapreduce::DigestReport& r : result.digests) {
-        r.digest.bytes[0] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    auto payload = [plan = run.plan, spec = run.spec, partition,
+                    inputs = std::move(inputs)]() {
+      return mapreduce::run_reduce_task(*plan, *spec, partition, inputs);
+    };
+    if (pool_ != nullptr && !lies) {
+      fl.reduce_future = pool_->submit(std::move(payload));
+    } else {
+      fl.reduce_ready = payload();
+      if (lies) {
+        for (mapreduce::DigestReport& r : fl.reduce_ready->digests) {
+          r.digest.bytes[0] ^=
+              static_cast<std::uint8_t>(1 + rng.next_below(255));
+        }
       }
     }
-    sim_.schedule_after(
-        duration, [this, nid, ref, result = std::move(result)]() mutable {
-          complete_reduce_task(nid, ref, std::move(result));
-        });
   }
+  in_flight_.push_back(std::move(fl));
+}
+
+void ExecutionTracker::commit_in_flight() {
+  // Submission order == the order the sequential engine would have
+  // finished each payload in, so draining in order reproduces its
+  // duration computations, metric accumulation (float addition order
+  // included) and event sequence numbers exactly. Nothing else schedules
+  // simulator events between a submission and its commit, and simulated
+  // time does not advance inside a dispatch sweep.
+  for (InFlightTask& fl : in_flight_) {
+    JobRun& run = runs_[fl.ref.run];
+    const CostModel& cm = cfg_.cost;
+    const double speed = node_speed(fl.nid);
+    if (!fl.ref.reduce) {
+      mapreduce::MapTaskResult result = fl.map_ready.has_value()
+                                            ? std::move(*fl.map_ready)
+                                            : fl.map_future.get();
+      const mapreduce::TaskMetrics& m = result.metrics;
+      const double duration =
+          (cm.task_overhead_s +
+           static_cast<double>(m.input_bytes) * cm.input_byte_s +
+           static_cast<double>(m.output_bytes) * cm.output_byte_s +
+           static_cast<double>(m.records_in) * cm.record_s +
+           static_cast<double>(m.digested_bytes) * cm.digest_byte_s) /
+          speed;
+      account_task(run, m, duration, /*reduce=*/false, run.spec->map_only());
+      sim_.schedule_after(duration, [this, nid = fl.nid, ref = fl.ref,
+                                     result = std::move(result)]() mutable {
+        complete_map_task(nid, ref, std::move(result));
+      });
+    } else {
+      mapreduce::ReduceTaskResult result = fl.reduce_ready.has_value()
+                                               ? std::move(*fl.reduce_ready)
+                                               : fl.reduce_future.get();
+      const mapreduce::TaskMetrics& m = result.metrics;
+      const double duration =
+          (cm.task_overhead_s +
+           static_cast<double>(m.input_bytes) *
+               (cm.input_byte_s + cm.shuffle_fetch_byte_s) +
+           static_cast<double>(m.output_bytes) * cm.output_byte_s +
+           static_cast<double>(m.records_in) * cm.record_s +
+           static_cast<double>(m.digested_bytes) * cm.digest_byte_s) /
+          speed;
+      account_task(run, m, duration, /*reduce=*/true, false);
+      sim_.schedule_after(duration, [this, nid = fl.nid, ref = fl.ref,
+                                     result = std::move(result)]() mutable {
+        complete_reduce_task(nid, ref, std::move(result));
+      });
+    }
+  }
+  in_flight_.clear();
 }
 
 void ExecutionTracker::account_task(JobRun& run,

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <optional>
@@ -28,6 +29,10 @@
 #include "mapreduce/dfs.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/task.hpp"
+
+namespace clusterbft::common {
+class ThreadPool;
+}  // namespace clusterbft::common
 
 namespace clusterbft::cluster {
 
@@ -58,6 +63,10 @@ struct TrackerConfig {
   std::map<NodeId, AdversaryPolicy> policies;
   /// Per-node speed factors; missing entries are 1.0 (heterogeneity knob).
   std::map<NodeId, double> speeds;
+  /// Worker threads executing task payloads (0 = run payloads inline).
+  /// Any value yields bit-identical digests, metrics and schedules — see
+  /// DESIGN.md "Parallel execution engine"; only wall-clock time changes.
+  std::size_t threads = 0;
 };
 
 struct JobRunMetrics {
@@ -74,6 +83,7 @@ struct JobRunMetrics {
 class ExecutionTracker {
  public:
   ExecutionTracker(EventSim& sim, mapreduce::Dfs& dfs, TrackerConfig cfg);
+  ~ExecutionTracker();  // out of line: ThreadPool is incomplete here
 
   /// Digest message from a task to the verifier (control tier). The node
   /// id lets the verifier update suspicion levels on mismatch.
@@ -181,9 +191,28 @@ class ExecutionTracker {
     std::size_t index = 0;
   };
 
+  /// A task whose payload has been started (inline or handed to the
+  /// worker pool) during the current dispatch sweep but whose result has
+  /// not yet been committed. Exactly one of the four slots is engaged:
+  /// futures for pooled payloads, ready results for inline ones.
+  struct InFlightTask {
+    NodeId nid = 0;
+    TaskRef ref;
+    std::future<mapreduce::MapTaskResult> map_future;
+    std::future<mapreduce::ReduceTaskResult> reduce_future;
+    std::optional<mapreduce::MapTaskResult> map_ready;
+    std::optional<mapreduce::ReduceTaskResult> reduce_ready;
+  };
+
   void dispatch();
   bool assign_one(ResourceEntry& node);
   void start_task(NodeId nid, const TaskRef& ref);
+  /// Drain `in_flight_` in submission order: compute each task's
+  /// simulated duration, account its metrics and schedule its completion
+  /// event. Running this at the end of every dispatch sweep (instead of
+  /// inside start_task) is what makes worker-pool execution bit-identical
+  /// to the sequential engine — see DESIGN.md "Parallel execution engine".
+  void commit_in_flight();
   void complete_map_task(NodeId nid, const TaskRef& ref,
                          mapreduce::MapTaskResult result);
   void complete_reduce_task(NodeId nid, const TaskRef& ref,
@@ -210,6 +239,9 @@ class ExecutionTracker {
   Rng rng_seeder_{1};
   std::size_t stuck_tasks_ = 0;
   bool dispatch_scheduled_ = false;
+  /// Payload workers (null when cfg_.threads == 0).
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::vector<InFlightTask> in_flight_;
 };
 
 }  // namespace clusterbft::cluster

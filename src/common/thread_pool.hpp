@@ -1,0 +1,70 @@
+// Fixed-size worker pool for parallel task-payload execution.
+//
+// This is the ONLY place in src/ allowed to touch raw threading
+// primitives (std::thread / std::mutex / std::condition_variable — the
+// determinism lint's `raw-threading` rule enforces the confinement).
+// The determinism contract (DESIGN.md, "Parallel execution engine")
+// survives parallelism because callers never act on wall-clock completion
+// order: they submit payloads, hold the returned futures in submission
+// order, and drain them in that same order. Workers only compute pure
+// functions of their inputs; every engine-visible side effect (metrics,
+// event scheduling, digest emission) happens on the caller's thread at
+// drain time.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace clusterbft::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (must be >= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains nothing: outstanding tasks are completed before the workers
+  /// join, but futures not yet consumed are simply abandoned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue `fn` and return a future for its result. Exceptions thrown
+  /// by `fn` (e.g. CheckError) are rethrown on the draining thread by
+  /// `future::get()`.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace clusterbft::common

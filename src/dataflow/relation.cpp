@@ -6,7 +6,11 @@ namespace clusterbft::dataflow {
 
 std::uint64_t Relation::byte_size() const {
   std::uint64_t total = 0;
-  for (const Tuple& t : rows_) total += serialize_tuple(t).size();
+  std::string buf;
+  for (const Tuple& t : rows_) {
+    serialize_tuple_into(t, buf);
+    total += buf.size();
+  }
   return total;
 }
 

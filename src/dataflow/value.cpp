@@ -260,6 +260,11 @@ std::string serialize_tuple(const Tuple& t) {
   return out;
 }
 
+void serialize_tuple_into(const Tuple& t, std::string& out) {
+  out.clear();
+  for (const Value& v : t.fields) v.serialize(out);
+}
+
 std::uint64_t tuple_key_hash(const Tuple& t, std::size_t num_fields) {
   const std::size_t n =
       (num_fields == 0) ? t.size() : std::min(num_fields, t.size());

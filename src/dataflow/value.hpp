@@ -111,6 +111,11 @@ class Value {
 /// Canonical serialisation of a whole tuple.
 std::string serialize_tuple(const Tuple& t);
 
+/// Streaming variant: clears `out` and serialises into it, so hot loops
+/// (digesting, split sizing) reuse one buffer instead of allocating a
+/// fresh std::string per tuple.
+void serialize_tuple_into(const Tuple& t, std::string& out);
+
 /// Deterministic (FNV-1a over canonical serialisation) hash of a tuple
 /// prefix — used for shuffle partitioning, so it must be identical across
 /// replicas and platforms. `num_fields == 0` hashes the whole tuple.

@@ -16,9 +16,10 @@ void Dfs::write(const std::string& path, dataflow::Relation rel) {
   // same splits — a precondition for comparable per-split digests.
   f.split_starts.push_back(0);
   std::uint64_t in_block = 0;
+  std::string row_buf;
   for (std::size_t i = 0; i < rel.rows().size(); ++i) {
-    const std::uint64_t row_bytes =
-        dataflow::serialize_tuple(rel.rows()[i]).size();
+    dataflow::serialize_tuple_into(rel.rows()[i], row_buf);
+    const std::uint64_t row_bytes = row_buf.size();
     if (in_block > 0 && in_block + row_bytes > block_size_) {
       f.split_starts.push_back(i);
       in_block = 0;

@@ -1,8 +1,12 @@
 #include "mapreduce/local_runner.hpp"
 
+#include <future>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace clusterbft::mapreduce {
 
@@ -19,8 +23,20 @@ void accumulate(TaskMetrics& into, const TaskMetrics& m) {
   into.records_out += m.records_out;
 }
 
+/// A payload either executed inline (`ready`) or handed to the worker
+/// pool (`future`). take() blocks until the result is available.
+template <typename Result>
+struct PendingTask {
+  std::optional<Result> ready;
+  std::future<Result> future;
+
+  Result take() {
+    return ready.has_value() ? std::move(*ready) : future.get();
+  }
+};
+
 void run_one_job(const dataflow::LogicalPlan& plan, const MRJobSpec& spec,
-                 Dfs& dfs, LocalRunResult& out) {
+                 Dfs& dfs, common::ThreadPool* pool, LocalRunResult& out) {
   const int max_tag = [&spec] {
     int t = 0;
     for (const MapBranch& b : spec.branches) t = std::max(t, b.tag);
@@ -36,28 +52,45 @@ void run_one_job(const dataflow::LogicalPlan& plan, const MRJobSpec& spec,
   }
   std::vector<Relation> direct_slices;
 
+  // Launch every map payload in (branch, split) order; splits are read on
+  // this thread (the DFS is not shared with workers).
+  std::vector<std::pair<std::size_t, PendingTask<MapTaskResult>>> maps;
   for (std::size_t b = 0; b < spec.branches.size(); ++b) {
     const std::string& input = spec.branches[b].input_path;
     CBFT_CHECK_MSG(dfs.exists(input),
                    "local run: job input missing: " + input);
     const std::size_t splits = dfs.num_splits(input);
     for (std::size_t s = 0; s < splits; ++s) {
-      MapTaskResult r =
-          run_map_task(plan, spec, b, s, dfs.read_split(input, s));
-      accumulate(out.totals, r.metrics);
-      for (DigestReport& d : r.digests) out.digests.push_back(std::move(d));
-      if (spec.map_only()) {
-        direct_slices.push_back(std::move(r.direct_output));
-        continue;
+      PendingTask<MapTaskResult> task;
+      if (pool != nullptr) {
+        task.future = pool->submit(
+            [&plan, &spec, b, s, split = dfs.read_split(input, s)]() mutable {
+              return run_map_task(plan, spec, b, s, std::move(split));
+            });
+      } else {
+        task.ready = run_map_task(plan, spec, b, s, dfs.read_split(input, s));
       }
-      const auto tag = static_cast<std::size_t>(spec.branches[b].tag);
-      for (std::size_t p = 0; p < r.partitions.size(); ++p) {
-        Relation& bucket = shuffle[p][tag];
-        if (bucket.schema().size() == 0) {
-          bucket = Relation(r.partitions[p].schema());
-        }
-        for (Tuple& t : r.partitions[p].rows()) bucket.add(std::move(t));
+      maps.emplace_back(b, std::move(task));
+    }
+  }
+
+  // Drain in launch order: digests, metrics and shuffle buckets come out
+  // exactly as the sequential runner produces them.
+  for (auto& [b, task] : maps) {
+    MapTaskResult r = task.take();
+    accumulate(out.totals, r.metrics);
+    for (DigestReport& d : r.digests) out.digests.push_back(std::move(d));
+    if (spec.map_only()) {
+      direct_slices.push_back(std::move(r.direct_output));
+      continue;
+    }
+    const auto tag = static_cast<std::size_t>(spec.branches[b].tag);
+    for (std::size_t p = 0; p < r.partitions.size(); ++p) {
+      Relation& bucket = shuffle[p][tag];
+      if (bucket.schema().size() == 0) {
+        bucket = Relation(r.partitions[p].schema());
       }
+      for (Tuple& t : r.partitions[p].rows()) bucket.add(std::move(t));
     }
   }
 
@@ -77,8 +110,20 @@ void run_one_job(const dataflow::LogicalPlan& plan, const MRJobSpec& spec,
       }
     }
     direct_slices.resize(spec.num_reducers);
+    // The shuffle is complete and read-only from here on, so reduce
+    // payloads borrow their partitions by reference even on the pool.
+    std::vector<PendingTask<ReduceTaskResult>> reduces(spec.num_reducers);
     for (std::size_t p = 0; p < spec.num_reducers; ++p) {
-      ReduceTaskResult r = run_reduce_task(plan, spec, p, shuffle[p]);
+      if (pool != nullptr) {
+        reduces[p].future = pool->submit([&plan, &spec, p, &shuffle]() {
+          return run_reduce_task(plan, spec, p, shuffle[p]);
+        });
+      } else {
+        reduces[p].ready = run_reduce_task(plan, spec, p, shuffle[p]);
+      }
+    }
+    for (std::size_t p = 0; p < spec.num_reducers; ++p) {
+      ReduceTaskResult r = reduces[p].take();
       accumulate(out.totals, r.metrics);
       for (DigestReport& d : r.digests) out.digests.push_back(std::move(d));
       direct_slices[p] = std::move(r.output);
@@ -103,7 +148,12 @@ void run_one_job(const dataflow::LogicalPlan& plan, const MRJobSpec& spec,
 }  // namespace
 
 LocalRunResult run_job_dag_local(const dataflow::LogicalPlan& plan,
-                                 const JobDag& dag, Dfs& dfs) {
+                                 const JobDag& dag, Dfs& dfs,
+                                 const LocalRunOptions& opts) {
+  std::unique_ptr<common::ThreadPool> pool;
+  if (opts.threads > 0) {
+    pool = std::make_unique<common::ThreadPool>(opts.threads);
+  }
   LocalRunResult out;
   std::vector<bool> done(dag.jobs.size(), false);
   std::size_t completed = 0;
@@ -111,7 +161,7 @@ LocalRunResult run_job_dag_local(const dataflow::LogicalPlan& plan,
     const std::vector<std::size_t> ready = dag.ready(done);
     CBFT_CHECK_MSG(!ready.empty(), "local run: job DAG has a cycle");
     for (std::size_t j : ready) {
-      run_one_job(plan, dag.jobs[j], dfs, out);
+      run_one_job(plan, dag.jobs[j], dfs, pool.get(), out);
       done[j] = true;
       ++completed;
     }

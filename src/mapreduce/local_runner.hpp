@@ -11,8 +11,15 @@
 // byte-identical digest vectors) and by the sanitizer smoke binary
 // (tools/analysis/asan_smoke.cpp), and usable as a reference executor when
 // debugging divergence between the tracker and the interpreter.
+//
+// Task payloads may run on a worker pool (LocalRunOptions::threads); the
+// runner still reads splits, assembles shuffle buckets and emits digests
+// in (branch, split) / partition order, so every byte of the result is
+// independent of the pool size — see DESIGN.md "Parallel execution
+// engine".
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,10 +44,17 @@ struct LocalRunResult {
   TaskMetrics totals;
 };
 
+struct LocalRunOptions {
+  /// Worker threads executing map/reduce payloads (0 = run inline). The
+  /// result is bit-identical for every value; only wall-clock changes.
+  std::size_t threads = 0;
+};
+
 /// Execute `dag` against the inputs already present in `dfs`. Jobs run in
 /// dependency order; each job's output is written back to the DFS so
 /// downstream jobs can read it. Throws CheckError if an input is missing.
 LocalRunResult run_job_dag_local(const dataflow::LogicalPlan& plan,
-                                 const JobDag& dag, Dfs& dfs);
+                                 const JobDag& dag, Dfs& dfs,
+                                 const LocalRunOptions& opts = {});
 
 }  // namespace clusterbft::mapreduce

@@ -1,6 +1,7 @@
 #include "mapreduce/task.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 #include "crypto/digest.hpp"
@@ -26,8 +27,9 @@ void digest_if_marked(const MRJobSpec& job, OpId vertex, bool reduce_side,
   for (const VerificationPoint& vp : job.vps) {
     if (vp.vertex != vertex) continue;
     crypto::ChunkedDigester digester(vp.records_per_digest);
+    std::string bytes;  // one buffer for the whole stream, not one per tuple
     for (const Tuple& t : stream.rows()) {
-      const std::string bytes = dataflow::serialize_tuple(t);
+      dataflow::serialize_tuple_into(t, bytes);
       metrics.digested_bytes += bytes.size();
       digester.add_record(bytes);
     }
@@ -44,10 +46,19 @@ void digest_if_marked(const MRJobSpec& job, OpId vertex, bool reduce_side,
 }
 
 std::vector<Tuple> sorted_canonical(const Relation& r) {
-  std::vector<Tuple> rows = r.rows();
-  std::sort(rows.begin(), rows.end(),
-            [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
-  return rows;
+  // Sort an index vector and gather once: tuples are deep (strings, bags),
+  // so moving them O(n log n) times inside std::sort costs far more than
+  // the extra level of indirection in the comparator.
+  const std::vector<Tuple>& rows = r.rows();
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&rows](std::size_t a, std::size_t b) {
+    return (rows[a] <=> rows[b]) < 0;
+  });
+  std::vector<Tuple> out;
+  out.reserve(rows.size());
+  for (const std::size_t i : order) out.push_back(rows[i]);
+  return out;
 }
 
 }  // namespace
@@ -85,7 +96,7 @@ std::size_t shuffle_partition(const OpNode& blocking_op, int tag,
 
 MapTaskResult run_map_task(const LogicalPlan& plan, const MRJobSpec& job,
                            std::size_t branch, std::size_t split_index,
-                           const Relation& split_rows) {
+                           Relation split_rows) {
   CBFT_CHECK(branch < job.branches.size());
   const MapBranch& br = job.branches[branch];
 
@@ -93,7 +104,7 @@ MapTaskResult run_map_task(const LogicalPlan& plan, const MRJobSpec& job,
   result.metrics.input_bytes = split_rows.byte_size();
   result.metrics.records_in = split_rows.size();
 
-  Relation cur = split_rows;
+  Relation cur = std::move(split_rows);
   digest_if_marked(job, br.source_vertex, /*reduce_side=*/false, branch,
                    split_index, cur, result.metrics, result.digests);
 

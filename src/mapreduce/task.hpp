@@ -43,11 +43,14 @@ struct ReduceTaskResult {
   TaskMetrics metrics;
 };
 
-/// Run map task (`branch`, input split `split_rows`) of `job`.
+/// Run map task (`branch`, input split `split_rows`) of `job`. The split
+/// is taken by value so callers handing over a freshly read split (the
+/// common case: `dfs.read_split(...)` rvalues) move it in instead of
+/// paying a second deep copy inside the task.
 MapTaskResult run_map_task(const dataflow::LogicalPlan& plan,
                            const MRJobSpec& job, std::size_t branch,
                            std::size_t split_index,
-                           const dataflow::Relation& split_rows);
+                           dataflow::Relation split_rows);
 
 /// Run reduce task `partition` of `job`. `inputs_by_tag[t]` holds the
 /// concatenated map outputs with branch tag `t` for this partition

@@ -1,0 +1,302 @@
+// The 1-thread-vs-N-thread determinism property (ISSUE 2 tentpole): the
+// parallel task-execution backend must be invisible in every engine
+// output. For pool sizes {1, 2, 8} and many seeds, verification-point
+// digest streams, final outputs, task metrics, simulated-time accounting
+// and scheduler decisions are asserted byte-identical to the sequential
+// engine (threads = 0). A replica pair that diverged here would make an
+// honest node look Byzantine, so any failure is a correctness bug, not a
+// flaky test.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/presets.hpp"
+#include "cluster/tracker.hpp"
+#include "common/rng.hpp"
+#include "core/controller.hpp"
+#include "core/graph_analyzer.hpp"
+#include "dataflow/parser.hpp"
+#include "mapreduce/compiler.hpp"
+#include "mapreduce/local_runner.hpp"
+#include "random_script.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/twitter.hpp"
+
+namespace clusterbft {
+namespace {
+
+using cluster::ExecutionTracker;
+using cluster::NodeId;
+using cluster::TrackerConfig;
+using mapreduce::MRJobSpec;
+
+class ParallelExecTest : public ::testing::TestWithParam<std::size_t> {};
+
+// ---------------------------------------------------------------------
+// Local runner: random plans, swept seeds.
+
+struct LocalPass {
+  std::vector<mapreduce::DigestReport> digests;
+  std::map<std::string, dataflow::Relation> outputs;
+  mapreduce::TaskMetrics totals;
+};
+
+LocalPass local_pass(std::uint64_t seed, std::size_t threads) {
+  Rng rng(seed);
+  const dataflow::Relation input = testgen::random_table(rng, 250);
+  const std::string script = testgen::random_script(rng);
+
+  const auto plan = dataflow::parse_script(script);
+  const auto ratios =
+      core::compute_input_ratios(plan, {{"ta", input.byte_size()}});
+  const auto marks = core::mark_verification_points(
+      plan, ratios, 2, core::AdversaryModel::kWeak);
+  std::vector<mapreduce::VerificationPoint> vps;
+  for (const dataflow::OpId v : marks) vps.push_back({v, 32});
+  const auto dag = mapreduce::compile(plan, vps, {.sid_prefix = "par"});
+
+  mapreduce::Dfs dfs(2048);
+  dfs.write("ta", input);
+  auto run =
+      mapreduce::run_job_dag_local(plan, dag, dfs, {.threads = threads});
+  LocalPass pass;
+  pass.digests = std::move(run.digests);
+  pass.outputs = std::move(run.outputs);
+  pass.totals = run.totals;
+  return pass;
+}
+
+TEST_P(ParallelExecTest, LocalRunnerBitIdenticalToSequentialEngine) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + ", threads " +
+                 std::to_string(GetParam()));
+    const LocalPass seq = local_pass(seed, 0);
+    const LocalPass par = local_pass(seed, GetParam());
+
+    ASSERT_FALSE(seq.digests.empty());
+    ASSERT_EQ(seq.digests.size(), par.digests.size());
+    for (std::size_t i = 0; i < seq.digests.size(); ++i) {
+      EXPECT_EQ(seq.digests[i].key, par.digests[i].key)
+          << seq.digests[i].key.to_string();
+      EXPECT_EQ(seq.digests[i].digest, par.digests[i].digest)
+          << seq.digests[i].key.to_string();
+      EXPECT_EQ(seq.digests[i].record_count, par.digests[i].record_count);
+    }
+
+    // Outputs byte-identical *including row order* — the parallel runner
+    // must reproduce the sequential task order exactly, not merely the
+    // same set of rows.
+    ASSERT_EQ(seq.outputs.size(), par.outputs.size());
+    for (const auto& [path, rel] : seq.outputs) {
+      ASSERT_TRUE(par.outputs.contains(path)) << path;
+      EXPECT_EQ(rel.rows(), par.outputs.at(path).rows()) << path;
+    }
+
+    EXPECT_EQ(seq.totals.input_bytes, par.totals.input_bytes);
+    EXPECT_EQ(seq.totals.output_bytes, par.totals.output_bytes);
+    EXPECT_EQ(seq.totals.digested_bytes, par.totals.digested_bytes);
+    EXPECT_EQ(seq.totals.records_in, par.totals.records_in);
+    EXPECT_EQ(seq.totals.records_out, par.totals.records_out);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Execution tracker: digest stream, metrics and schedule under an
+// adversarial cluster (commission faults on one node, digest lying on
+// another — the lying path executes inline even under a pool, and the
+// node RNG streams must stay aligned across pool sizes).
+
+struct TrackerPass {
+  std::vector<mapreduce::DigestReport> digest_log;
+  std::vector<std::size_t> digest_run_ids;
+  std::vector<NodeId> digest_nodes;
+  std::vector<cluster::JobRunMetrics> metrics;
+  std::vector<std::vector<dataflow::Tuple>> outputs;
+};
+
+TrackerPass tracker_pass(std::uint64_t seed, std::size_t threads) {
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(4096);
+  workloads::TwitterConfig tw;
+  tw.num_edges = 2000;
+  tw.num_users = 300;
+  dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+
+  const auto plan =
+      dataflow::parse_script(workloads::twitter_follower_analysis());
+  const auto probe = mapreduce::compile(plan, {}, {.sid_prefix = "p"});
+  const std::vector<mapreduce::VerificationPoint> vps{
+      {probe.jobs[0].branches[0].source_vertex, 64}};
+  const auto dag = mapreduce::compile(plan, vps, {.sid_prefix = "p"});
+
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.policies[2] = cluster::AdversaryPolicy{.commission_prob = 0.5};
+  cfg.policies[4] = cluster::AdversaryPolicy{.commission_prob = 0.5,
+                                             .lie_in_digest = true};
+  ExecutionTracker tracker(sim, dfs, cfg);
+
+  TrackerPass pass;
+  tracker.on_digest = [&pass](const mapreduce::DigestReport& r,
+                              std::size_t run_id, NodeId nid) {
+    pass.digest_log.push_back(r);
+    pass.digest_run_ids.push_back(run_id);
+    pass.digest_nodes.push_back(nid);
+  };
+
+  std::vector<std::size_t> runs;
+  for (std::size_t replica = 0; replica < 2; ++replica) {
+    const std::string scope = "w" + std::to_string(replica) + "/";
+    for (const MRJobSpec& spec : dag.jobs) {
+      std::vector<std::string> inputs;
+      for (const auto& b : spec.branches) {
+        const bool load =
+            plan.node(b.source_vertex).kind == dataflow::OpKind::kLoad;
+        inputs.push_back(load ? b.input_path : scope + b.input_path);
+      }
+      runs.push_back(tracker.submit(plan, spec, replica, inputs,
+                                    scope + spec.output_path));
+      sim.run();
+    }
+  }
+  for (const std::size_t r : runs) {
+    pass.metrics.push_back(tracker.run_metrics(r));
+    pass.outputs.push_back(dfs.read(tracker.run_output_path(r)).rows());
+  }
+  return pass;
+}
+
+TEST_P(ParallelExecTest, TrackerBitIdenticalToSequentialEngine) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + ", threads " +
+                 std::to_string(GetParam()));
+    const TrackerPass seq = tracker_pass(seed, 0);
+    const TrackerPass par = tracker_pass(seed, GetParam());
+
+    ASSERT_FALSE(seq.digest_log.empty());
+    ASSERT_EQ(seq.digest_log.size(), par.digest_log.size());
+    for (std::size_t i = 0; i < seq.digest_log.size(); ++i) {
+      EXPECT_EQ(seq.digest_log[i].key, par.digest_log[i].key);
+      EXPECT_EQ(seq.digest_log[i].digest, par.digest_log[i].digest);
+      EXPECT_EQ(seq.digest_log[i].replica, par.digest_log[i].replica);
+      EXPECT_EQ(seq.digest_log[i].record_count, par.digest_log[i].record_count);
+    }
+    EXPECT_EQ(seq.digest_run_ids, par.digest_run_ids);
+    EXPECT_EQ(seq.digest_nodes, par.digest_nodes);
+
+    ASSERT_EQ(seq.metrics.size(), par.metrics.size());
+    for (std::size_t i = 0; i < seq.metrics.size(); ++i) {
+      // Exact equality on doubles on purpose: the simulated-time
+      // accounting (float addition order included) must not drift.
+      EXPECT_EQ(seq.metrics[i].submit_time, par.metrics[i].submit_time);
+      EXPECT_EQ(seq.metrics[i].finish_time, par.metrics[i].finish_time);
+      EXPECT_EQ(seq.metrics[i].cpu_seconds, par.metrics[i].cpu_seconds);
+      EXPECT_EQ(seq.metrics[i].file_read, par.metrics[i].file_read);
+      EXPECT_EQ(seq.metrics[i].file_write, par.metrics[i].file_write);
+      EXPECT_EQ(seq.metrics[i].hdfs_write, par.metrics[i].hdfs_write);
+      EXPECT_EQ(seq.metrics[i].digested, par.metrics[i].digested);
+      EXPECT_EQ(seq.metrics[i].tasks_run, par.metrics[i].tasks_run);
+    }
+    EXPECT_EQ(seq.outputs, par.outputs);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Full control tier (job initiator + verifier + fault analyzer) on top
+// of the parallel backend: suspicion and verification decisions must not
+// depend on the pool size either.
+
+core::ScriptResult controller_pass(std::uint64_t seed, std::size_t threads) {
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(8192);
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.policies[2] = cluster::AdversaryPolicy{.commission_prob = 0.6};
+  ExecutionTracker tracker(sim, dfs, cfg);
+  workloads::TwitterConfig tw;
+  tw.num_edges = 1000;
+  tw.num_users = 150;
+  dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+  core::ClusterBft controller(sim, dfs, tracker);
+  return controller.execute(baseline::cluster_bft(
+      workloads::twitter_follower_analysis(), "det", 1, 2, 1));
+}
+
+TEST_P(ParallelExecTest, ControlTierBitIdenticalToSequentialEngine) {
+  const auto seq = controller_pass(7, 0);
+  const auto par = controller_pass(7, GetParam());
+  EXPECT_EQ(seq.verified, par.verified);
+  EXPECT_EQ(seq.metrics.latency_s, par.metrics.latency_s);
+  EXPECT_EQ(seq.metrics.cpu_seconds, par.metrics.cpu_seconds);
+  EXPECT_EQ(seq.metrics.file_read, par.metrics.file_read);
+  EXPECT_EQ(seq.metrics.hdfs_write, par.metrics.hdfs_write);
+  EXPECT_EQ(seq.metrics.runs, par.metrics.runs);
+  EXPECT_EQ(seq.metrics.digest_reports, par.metrics.digest_reports);
+  EXPECT_EQ(seq.suspects, par.suspects);
+  EXPECT_EQ(seq.commission_faults_seen, par.commission_faults_seen);
+  ASSERT_EQ(seq.outputs.size(), par.outputs.size());
+  for (const auto& [path, rel] : seq.outputs) {
+    EXPECT_EQ(rel.rows(), par.outputs.at(path).rows()) << path;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler safety re-check (mirrors TrackerTest.ReplicaPinningNever-
+// MixesReplicasOnANode): the pinning invariant must hold when payloads
+// run on the pool, since scheduling state is only mutated at submission
+// time on the tracker thread.
+
+TEST_P(ParallelExecTest, ReplicaPinningHoldsUnderParallelBackend) {
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(8192);
+  workloads::TwitterConfig tw;
+  tw.num_edges = 2000;
+  tw.num_users = 300;
+  dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+  const auto plan =
+      dataflow::parse_script(workloads::twitter_follower_analysis());
+  const auto dag = mapreduce::compile(plan, {}, {.sid_prefix = "p"});
+
+  TrackerConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.slots_per_node = 2;
+  cfg.threads = GetParam();
+  ExecutionTracker tracker(sim, dfs, cfg);
+
+  const MRJobSpec& spec = dag.jobs[0];
+  std::vector<std::size_t> runs;
+  for (std::size_t replica = 0; replica < 3; ++replica) {
+    const std::string scope = std::string(1, static_cast<char>('a' + replica)) + "/";
+    std::vector<std::string> inputs;
+    for (const auto& b : spec.branches) inputs.push_back(b.input_path);
+    runs.push_back(tracker.submit(plan, spec, replica, inputs,
+                                  scope + spec.output_path));
+  }
+  sim.run();
+  for (const std::size_t r : runs) EXPECT_TRUE(tracker.run_complete(r));
+
+  for (const std::size_t a : runs) {
+    for (const std::size_t b : runs) {
+      if (a >= b) continue;
+      for (const NodeId n : tracker.run_nodes(a)) {
+        EXPECT_EQ(tracker.run_nodes(b).count(n), 0u)
+            << "node " << n << " served two replicas of the same sid";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, ParallelExecTest,
+                         ::testing::Values<std::size_t>(1, 2, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace clusterbft

@@ -11,6 +11,10 @@
 #   tools/check.sh --asan-smoke  build & run only the asan_smoke target
 #                                under ASan+UBSan (used by the
 #                                `asan_ubsan_smoke` ctest)
+#   tools/check.sh --tsan-smoke  build & run only the tsan_smoke target
+#                                (parallel task-execution engine) under
+#                                ThreadSanitizer (used by the `tsan_smoke`
+#                                ctest)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -36,6 +40,17 @@ case "$MODE" in
       >/dev/null
     cmake --build "$BUILD" --target asan_smoke -j "$JOBS"
     exec "$BUILD/tools/asan_smoke"
+    ;;
+
+  --tsan-smoke)
+    # Same idea for the worker pool: build only the parallel-engine smoke
+    # under TSan in a dedicated tree and run it.
+    BUILD="$ROOT/build-tsan-smoke"
+    cmake -S "$ROOT" -B "$BUILD" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUSTERBFT_SANITIZE=thread \
+      >/dev/null
+    cmake --build "$BUILD" --target tsan_smoke -j "$JOBS"
+    exec "$BUILD/tools/tsan_smoke"
     ;;
 
   --fast|full)
@@ -64,7 +79,7 @@ case "$MODE" in
     ;;
 
   *)
-    echo "usage: tools/check.sh [--fast|--asan-smoke]" >&2
+    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke]" >&2
     exit 2
     ;;
 esac

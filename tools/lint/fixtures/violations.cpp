@@ -38,6 +38,11 @@ std::map<Record*, int> bad_by_pointer;
 // ...and must NOT fire here:
 std::set<const Record*> allowed_by_pointer;  // lint:allow(pointer-keyed-container)
 
+// Rule raw-threading: must fire on the next line.
+struct BadWorker { std::thread t; std::size_t n = 0; };
+// ...and must NOT fire here:
+struct AllowedWorker { std::mutex mu; };  // lint:allow(raw-threading)
+
 // Negative controls: none of these may fire.
 std::map<int, Record> fine_by_id;          // ordered, value-keyed
 long fine_sim_time(long t) { return t; }   // 'time(' only as a suffix
