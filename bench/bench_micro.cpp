@@ -14,6 +14,8 @@
 #include "mapreduce/compiler.hpp"
 #include "mapreduce/dfs.hpp"
 #include "mapreduce/task.hpp"
+#include "protocol/codec.hpp"
+#include "protocol/loopback.hpp"
 #include "workloads/scripts.hpp"
 #include "workloads/twitter.hpp"
 
@@ -199,6 +201,91 @@ void BM_PbftAgreementRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PbftAgreementRound)->Arg(1)->Arg(2)->Arg(3);
+
+// --- Control-plane seam (ISSUE 3): the codec and the loopback dispatch
+// are on the digest hot path — every verification-point report crosses
+// the trust boundary as a protocol message, so their per-message cost
+// bounds how much the seam can add to Fig. 9 latency.
+
+protocol::DigestBatch make_digest_batch(std::size_t reports) {
+  Rng rng(11);
+  protocol::DigestBatch batch;
+  batch.run = 7;
+  batch.node = 3;
+  batch.reports.resize(reports);
+  for (std::size_t i = 0; i < reports; ++i) {
+    mapreduce::DigestReport& r = batch.reports[i];
+    r.key.sid = "bench#0:job0";
+    r.key.vertex = i % 8;
+    r.key.reduce_side = (i % 2) != 0;
+    r.key.partition = i % 4;
+    r.key.chunk = i;
+    r.replica = i % 3;
+    for (auto& b : r.digest.bytes) b = static_cast<std::uint8_t>(rng.next());
+    r.record_count = 1000 + i;
+  }
+  return batch;
+}
+
+void BM_CodecEncodeDigestBatch(benchmark::State& state) {
+  const protocol::Message msg =
+      make_digest_batch(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::encode(msg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CodecEncodeDigestBatch)->Arg(64);
+
+void BM_CodecDecodeDigestBatch(benchmark::State& state) {
+  const auto bytes = protocol::encode(
+      protocol::Message{make_digest_batch(static_cast<std::size_t>(state.range(0)))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::decode(bytes));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_CodecDecodeDigestBatch)->Arg(64);
+
+void BM_CodecRoundTripSubmitRun(benchmark::State& state) {
+  protocol::SubmitRun cmd;
+  cmd.run = 42;
+  cmd.program = 1;
+  cmd.job_index = 2;
+  cmd.replica = 1;
+  cmd.input_paths = {"twitter/edges", "w1/tmp/job0"};
+  cmd.output_path = "w1/out/follower_counts";
+  cmd.avoid = {3, 5, 9};
+  cmd.max_nodes = 4;
+  const protocol::Message msg = cmd;
+  for (auto _ : state) {
+    const auto bytes = protocol::encode(msg);
+    auto back = protocol::decode(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_CodecRoundTripSubmitRun);
+
+void BM_LoopbackDispatchDigestBatch(benchmark::State& state) {
+  // What a DigestBatch costs to cross the seam in-process: one variant
+  // move through the loopback transport plus the handler visit. The
+  // codec is deliberately skipped (that is the loopback's point).
+  protocol::LoopbackTransport transport;
+  std::size_t seen = 0;
+  transport.bind_control([&seen](const protocol::Message& m) {
+    seen += std::get<protocol::DigestBatch>(m).reports.size();
+  });
+  const protocol::DigestBatch batch =
+      make_digest_batch(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    transport.to_control(batch);
+    benchmark::DoNotOptimize(seen);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LoopbackDispatchDigestBatch)->Arg(64);
 
 /// Forwards every finished run into the shared BenchJson sink (so
 /// bench_micro emits BENCH_micro.json like the simulation benches) while

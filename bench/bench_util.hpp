@@ -14,6 +14,7 @@
 #include "cluster/event_sim.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "mapreduce/dfs.hpp"
 #include "workloads/airline.hpp"
 #include "workloads/scripts.hpp"
@@ -28,6 +29,7 @@ struct World {
   cluster::EventSim sim;
   mapreduce::Dfs dfs;
   std::unique_ptr<cluster::ExecutionTracker> tracker;
+  std::unique_ptr<protocol::LoopbackSeam> seam;
   std::unique_ptr<core::ClusterBft> controller;
 
   /// 256 KiB blocks keep map-task fan-out (and with it each replica's
@@ -36,7 +38,9 @@ struct World {
                  std::uint64_t block_size = 256 << 10)
       : dfs(block_size) {
     tracker = std::make_unique<cluster::ExecutionTracker>(sim, dfs, cfg);
-    controller = std::make_unique<core::ClusterBft>(sim, dfs, *tracker);
+    seam = std::make_unique<protocol::LoopbackSeam>(*tracker);
+    controller = std::make_unique<core::ClusterBft>(sim, dfs, seam->transport,
+                                                    seam->programs);
   }
 
   core::ScriptResult run(const core::ClientRequest& req) {

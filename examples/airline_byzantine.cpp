@@ -11,6 +11,7 @@
 #include "cluster/event_sim.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "mapreduce/dfs.hpp"
 #include "workloads/airline.hpp"
 #include "workloads/scripts.hpp"
@@ -37,7 +38,8 @@ Outcome run(const core::ClientRequest& req) {
   a.num_flights = 20000;
   dfs.write("airline/flights", workloads::generate_flights(a));
 
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
 
   // Baseline single run first (fault-free shape, for the multipliers).
   const auto base = controller.execute(

@@ -23,6 +23,7 @@
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "dataflow/text_io.hpp"
 #include "mapreduce/dfs.hpp"
 
@@ -162,7 +163,8 @@ int main(int argc, char** argv) {
                   in.file.c_str(), dfs.read(in.dfs_path).size());
     }
 
-    core::ClusterBft controller(sim, dfs, tracker);
+    protocol::LoopbackSeam seam(tracker);
+    core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
     const auto res = controller.execute(baseline::cluster_bft(
         read_file(script_file), "shell", f, r, points));
 

@@ -20,6 +20,7 @@
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "crypto/paillier.hpp"
 #include "dataflow/udf.hpp"
 #include "workloads/weather.hpp"
@@ -99,7 +100,8 @@ int main() {
   cluster::ExecutionTracker tracker(sim, dfs, cfg);
   dfs.write("weather/encrypted", enc);
 
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
   const std::string script =
       "r = LOAD 'weather/encrypted' AS (station:long, enc_temp:chararray);\n"
       "g = GROUP r BY station;\n"

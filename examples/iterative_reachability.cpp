@@ -16,6 +16,7 @@
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
 #include "workloads/twitter.hpp"
@@ -38,7 +39,8 @@ int main() {
   // Round 0: the closure starts as the edge list itself.
   dfs.write("closure/0", dfs.read("graph/edges"));
 
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
 
   const int kRounds = 3;
   std::size_t prev_size = dfs.read("closure/0").size();

@@ -15,6 +15,7 @@
 #include "cluster/event_sim.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
 #include "mapreduce/dfs.hpp"
@@ -52,7 +53,8 @@ int main(int argc, char** argv) {
 
   // 3. Submit the script with f=1, r=2 replicas, 1 internal verification
   //    point (plus the always-verified final output).
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
   core::ClientRequest req = baseline::cluster_bft(
       workloads::twitter_follower_analysis(), "quickstart",
       /*f=*/1, /*r=*/2, /*n=*/1);

@@ -1,0 +1,37 @@
+// LinkModel: the message-level behaviour of one simulated network link —
+// loss, duplication, and uniformly-jittered latency. Factored out of
+// BftSystem so the control-plane protocol's lossy transport shares the
+// exact same network semantics as the agreement cluster instead of
+// inventing a second model.
+//
+// Every method draws from the caller-supplied Rng; callers that need a
+// reproducible run (everything in this repo) must keep their call order
+// fixed. Each method consumes draws even when its probability is zero, so
+// adding or removing a call changes the downstream stream — BftSystem
+// deliberately calls only drop() and delay(), matching its pre-LinkModel
+// draw order bit-for-bit.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace clusterbft::bftsmr {
+
+struct LinkModel {
+  double base_delay_s = 0.002;  ///< one-way latency floor
+  double jitter_s = 0.001;      ///< uniform extra latency
+  double drop_prob = 0.0;       ///< per-message loss
+  double dup_prob = 0.0;        ///< per-message duplication
+
+  /// True if this message is lost. One Bernoulli draw.
+  bool drop(Rng& rng) const { return rng.chance(drop_prob); }
+
+  /// True if this message arrives twice. One Bernoulli draw.
+  bool duplicate(Rng& rng) const { return rng.chance(dup_prob); }
+
+  /// One-way delivery latency. One uniform draw.
+  double delay(Rng& rng) const {
+    return base_delay_s + rng.uniform() * jitter_s;
+  }
+};
+
+}  // namespace clusterbft::bftsmr

@@ -10,6 +10,9 @@ namespace clusterbft::bftsmr {
 BftSystem::BftSystem(cluster::EventSim& sim, SystemConfig cfg,
                      ServiceFactory factory)
     : sim_(sim), cfg_(cfg), rng_(cfg.seed) {
+  link_.base_delay_s = cfg_.base_delay_s;
+  link_.jitter_s = cfg_.jitter_s;
+  link_.drop_prob = cfg_.drop_prob;
   CBFT_CHECK(cfg_.f >= 1);
   const std::size_t n = 3 * cfg_.f + 1;
   busy_until_.assign(n, 0.0);
@@ -25,13 +28,13 @@ BftSystem::BftSystem(cluster::EventSim& sim, SystemConfig cfg,
     auto send = [this, i](std::size_t to, Message msg) {
       if (crashed_.count(i) || crashed_.count(to)) return;
       if (disconnected_.count(i) || disconnected_.count(to)) return;
-      if (rng_.chance(cfg_.drop_prob)) return;
+      if (link_.drop(rng_)) return;
       msg.sender = i;
       schedule_replica_delivery(to, std::move(msg));
     };
     auto reply = [this, i](std::size_t /*client*/, Message msg) {
       if (crashed_.count(i) || disconnected_.count(i)) return;
-      if (rng_.chance(cfg_.drop_prob)) return;
+      if (link_.drop(rng_)) return;
       msg.sender = i;
       if (malicious_.count(i)) {
         msg.result += "#corrupt";  // lies to the client
@@ -50,9 +53,7 @@ BftSystem::BftSystem(cluster::EventSim& sim, SystemConfig cfg,
   }
 }
 
-double BftSystem::delay() {
-  return cfg_.base_delay_s + rng_.uniform() * cfg_.jitter_s;
-}
+double BftSystem::delay() { return link_.delay(rng_); }
 
 void BftSystem::schedule_replica_delivery(std::size_t to, Message msg) {
   // A replica handles one message at a time: delivery completes when the

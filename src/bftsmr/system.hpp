@@ -13,6 +13,7 @@
 
 #include "bftsmr/replica.hpp"
 #include "bftsmr/service.hpp"
+#include "bftsmr/simnet.hpp"
 #include "cluster/event_sim.hpp"
 #include "common/rng.hpp"
 
@@ -86,6 +87,7 @@ class BftSystem {
 
   cluster::EventSim& sim_;
   SystemConfig cfg_;
+  LinkModel link_;
   Rng rng_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<double> busy_until_;  ///< per-replica CPU occupancy

@@ -37,12 +37,14 @@ NodeId ExecutionTracker::add_nodes(std::size_t count, std::size_t slots,
     node_rngs_.emplace(n, rng_seeder_.fork());
     if (!policy.honest()) cfg_.policies[n] = policy;
   }
+  if (on_nodes_added) on_nodes_added(first, count);
   dispatch();  // fresh capacity may unblock pending tasks immediately
   return first;
 }
 
 void ExecutionTracker::drain_node(NodeId nid) {
   resources_.entry(nid).excluded = true;
+  if (on_node_drained) on_node_drained(nid);
 }
 
 void ExecutionTracker::set_scheduler(std::unique_ptr<TaskScheduler> s) {
@@ -115,6 +117,15 @@ std::size_t ExecutionTracker::submit(const dataflow::LogicalPlan& plan,
   }
   dispatch();
   return run_id;
+}
+
+void ExecutionTracker::cancel_run(std::size_t run_id) {
+  CBFT_CHECK(run_id < runs_.size());
+  JobRun& run = runs_[run_id];
+  if (run.complete || run.cancelled) return;
+  run.cancelled = true;
+  std::erase_if(pending_,
+                [run_id](const TaskRef& ref) { return ref.run == run_id; });
 }
 
 bool ExecutionTracker::run_complete(std::size_t run_id) const {
@@ -197,6 +208,7 @@ void ExecutionTracker::start_task(NodeId nid, const TaskRef& ref) {
     // completed — a node that hangs everything it touches must still
     // accumulate a meaningful ratio.
     resources_.record_execution(nid);
+    if (on_node_assigned) on_node_assigned(ref.run, nid);
   }
   (ref.reduce ? run.reduce_status : run.map_status)[ref.index] =
       TaskStatus::kRunning;
@@ -298,7 +310,8 @@ void ExecutionTracker::commit_in_flight() {
            static_cast<double>(m.records_in) * cm.record_s +
            static_cast<double>(m.digested_bytes) * cm.digest_byte_s) /
           speed;
-      account_task(run, m, duration, /*reduce=*/false, run.spec->map_only());
+      account_task(fl.ref.run, fl.nid, m, duration, /*reduce=*/false,
+                   run.spec->map_only());
       sim_.schedule_after(duration, [this, nid = fl.nid, ref = fl.ref,
                                      result = std::move(result)]() mutable {
         complete_map_task(nid, ref, std::move(result));
@@ -316,7 +329,7 @@ void ExecutionTracker::commit_in_flight() {
            static_cast<double>(m.records_in) * cm.record_s +
            static_cast<double>(m.digested_bytes) * cm.digest_byte_s) /
           speed;
-      account_task(run, m, duration, /*reduce=*/true, false);
+      account_task(fl.ref.run, fl.nid, m, duration, /*reduce=*/true, false);
       sim_.schedule_after(duration, [this, nid = fl.nid, ref = fl.ref,
                                      result = std::move(result)]() mutable {
         complete_reduce_task(nid, ref, std::move(result));
@@ -326,25 +339,32 @@ void ExecutionTracker::commit_in_flight() {
   in_flight_.clear();
 }
 
-void ExecutionTracker::account_task(JobRun& run,
+void ExecutionTracker::account_task(std::size_t run_id, NodeId nid,
                                     const mapreduce::TaskMetrics& m,
                                     double duration, bool reduce,
                                     bool map_only) {
+  JobRun& run = runs_[run_id];
   run.metrics.cpu_seconds += duration;
   run.metrics.file_read += m.input_bytes;
   if (!reduce && !map_only) run.metrics.file_write += m.output_bytes;
   run.metrics.digested += m.digested_bytes;
   ++run.metrics.tasks_run;
+  if (on_task_accounted) {
+    TaskAccounting acct;
+    acct.cpu_seconds = duration;
+    acct.file_read = m.input_bytes;
+    acct.file_write = (!reduce && !map_only) ? m.output_bytes : 0;
+    acct.digested = m.digested_bytes;
+    on_task_accounted(run_id, nid, reduce, acct);
+  }
 }
 
 void ExecutionTracker::emit_digests(
     const JobRun& run, std::size_t run_id, NodeId nid,
     std::vector<mapreduce::DigestReport> digests) {
-  if (!on_digest) return;
-  for (mapreduce::DigestReport& r : digests) {
-    r.replica = run.replica;
-    on_digest(r, run_id, nid);
-  }
+  if (!on_digests || digests.empty()) return;
+  for (mapreduce::DigestReport& r : digests) r.replica = run.replica;
+  on_digests(std::move(digests), run_id, nid);
 }
 
 void ExecutionTracker::complete_map_task(NodeId nid, const TaskRef& ref,
@@ -354,6 +374,10 @@ void ExecutionTracker::complete_map_task(NodeId nid, const TaskRef& ref,
   resources_.release(nid, spec.sid);
   run.map_status[ref.index] = TaskStatus::kDone;
   ++run.maps_done;
+  if (run.cancelled) {
+    dispatch();
+    return;
+  }
 
   emit_digests(run, ref.run, nid, std::move(result.digests));
 
@@ -416,6 +440,10 @@ void ExecutionTracker::complete_reduce_task(
   resources_.release(nid, run.spec->sid);
   run.reduce_status[ref.index] = TaskStatus::kDone;
   ++run.reduces_done;
+  if (run.cancelled) {
+    dispatch();
+    return;
+  }
 
   emit_digests(run, ref.run, nid, std::move(result.digests));
   run.direct_slices[ref.index] = std::move(result.output);

@@ -85,14 +85,45 @@ class ExecutionTracker {
   ExecutionTracker(EventSim& sim, mapreduce::Dfs& dfs, TrackerConfig cfg);
   ~ExecutionTracker();  // out of line: ThreadPool is incomplete here
 
-  /// Digest message from a task to the verifier (control tier). The node
-  /// id lets the verifier update suspicion levels on mismatch.
-  std::function<void(const mapreduce::DigestReport&, std::size_t run_id,
-                     NodeId node)>
-      on_digest;
+  /// Resource deltas one committed task contributed to its run — the
+  /// payload of a protocol Heartbeat. `file_write` already excludes
+  /// reduce/map-only output (which is DFS output, not intermediate).
+  struct TaskAccounting {
+    double cpu_seconds = 0;
+    std::uint64_t file_read = 0;
+    std::uint64_t file_write = 0;
+    std::uint64_t digested = 0;
+  };
+
+  // ---- outbound events (the computation tier's side of the protocol) ----
+  // The computation service translates these into protocol messages; no
+  // control-tier code binds them directly.
+
+  /// Digest messages from one task to the verifier (control tier),
+  /// batched per task. The node id lets the verifier update suspicion
+  /// levels on mismatch.
+  std::function<void(std::vector<mapreduce::DigestReport>&&,
+                     std::size_t run_id, NodeId node)>
+      on_digests;
 
   /// A job replica finished writing its output.
   std::function<void(std::size_t run_id)> on_run_complete;
+
+  /// `node` joined the run (first task scheduled there) — fires even when
+  /// the task is then swallowed by an omission adversary, because the
+  /// control tier's omission attribution needs the full node set.
+  std::function<void(std::size_t run_id, NodeId node)> on_node_assigned;
+
+  /// One task committed; `acct` holds its metric deltas.
+  std::function<void(std::size_t run_id, NodeId node, bool reduce,
+                     const TaskAccounting& acct)>
+      on_task_accounted;
+
+  /// Nodes [first, first+count) registered (elasticity).
+  std::function<void(NodeId first, std::size_t count)> on_nodes_added;
+
+  /// A node stopped accepting tasks.
+  std::function<void(NodeId node)> on_node_drained;
 
   /// Submit one replica of `spec` with fully resolved DFS paths:
   /// `input_paths[i]` is where branch i reads (the original trusted input,
@@ -117,6 +148,16 @@ class ExecutionTracker {
                      std::string output_path, std::set<NodeId> avoid = {},
                      std::set<NodeId> restrict_to = {},
                      std::size_t max_nodes = 0);
+
+  /// The id the next submit() will return — lets a submitting service map
+  /// its own run identifiers *before* submit dispatches inline (tracker
+  /// hooks fire before submit returns).
+  std::size_t next_run_id() const { return runs_.size(); }
+
+  /// Abandon a run: pending tasks are dropped, in-flight task results are
+  /// discarded on completion, and the run never reports complete. Slots
+  /// of running tasks are still released normally.
+  void cancel_run(std::size_t run_id);
 
   bool run_complete(std::size_t run_id) const;
   const JobRunMetrics& run_metrics(std::size_t run_id) const;
@@ -169,6 +210,7 @@ class ExecutionTracker {
     std::size_t reduces_done = 0;
     bool reduce_phase = false;
     bool complete = false;
+    bool cancelled = false;
 
     /// Shuffle buffers: [partition][tag] accumulated rows.
     std::vector<std::vector<dataflow::Relation>> shuffle;
@@ -217,8 +259,9 @@ class ExecutionTracker {
                          mapreduce::MapTaskResult result);
   void complete_reduce_task(NodeId nid, const TaskRef& ref,
                             mapreduce::ReduceTaskResult result);
-  void account_task(JobRun& run, const mapreduce::TaskMetrics& m,
-                    double duration, bool reduce, bool map_only);
+  void account_task(std::size_t run_id, NodeId nid,
+                    const mapreduce::TaskMetrics& m, double duration,
+                    bool reduce, bool map_only);
   void begin_reduce_phase(std::size_t run_id);
   void finish_run(std::size_t run_id);
   void emit_digests(const JobRun& run, std::size_t run_id, NodeId nid,

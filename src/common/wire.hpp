@@ -1,0 +1,107 @@
+// Deterministic little-endian wire primitives for the control-plane
+// protocol: fixed-width integers, bit-cast doubles and length-prefixed
+// strings, written and read without any host-endianness or padding
+// dependence. WireReader is fully bounds-checked — a truncated or
+// corrupted buffer flips ok() to false and every subsequent read returns
+// a zero value instead of touching memory out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace clusterbft::common {
+
+class WireWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+ private:
+  void le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!take(len)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_ - len), len);
+    return s;
+  }
+  void raw(void* out, std::size_t n) {
+    if (!take(n)) {
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_ - n, n);
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  std::uint64_t le(int n) {
+    if (!take(static_cast<std::size_t>(n))) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(
+               data_[pos_ - static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    return v;
+  }
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace clusterbft::common

@@ -15,13 +15,15 @@ using cluster::NodeId;
 using mapreduce::MRJobSpec;
 
 ClusterBft::ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
-                       cluster::ExecutionTracker& tracker)
-    : sim_(sim), dfs_(dfs), tracker_(tracker) {
-  tracker_.on_digest = [this](const mapreduce::DigestReport& r,
-                              std::size_t run_id, NodeId node) {
-    handle_digest(r, run_id, node);
+                       protocol::Transport& transport,
+                       protocol::ProgramRegistry& programs)
+    : sim_(sim), dfs_(dfs), cp_(transport), programs_(programs) {
+  cp_.on_digest_batch = [this](const protocol::DigestBatch& batch) {
+    for (const mapreduce::DigestReport& r : batch.reports) {
+      handle_digest(r, batch.run, batch.node);
+    }
   };
-  tracker_.on_run_complete = [this](std::size_t run_id) {
+  cp_.on_run_complete = [this](std::size_t run_id) {
     handle_run_complete(run_id);
   };
 }
@@ -61,6 +63,9 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   copts.sid_prefix =
       request.name + "#" + std::to_string(exec_counter_);
   dag_ = mapreduce::compile(plan_, vps, copts);
+  // "Deploy the job bundle": runs reference the compiled program by
+  // handle; only the handle crosses the trust boundary.
+  program_id_ = programs_.deploy(&plan_, &dag_);
 
   verifier_ = std::make_unique<Verifier>(request.f);
   verified_.assign(dag_.jobs.size(), false);
@@ -102,7 +107,7 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   result.metrics.latency_s = finish_time_ - start_time_;
   result.metrics.waves = waves_.size();
   for (std::size_t run : my_runs_) {
-    const auto& m = tracker_.run_metrics(run);
+    const auto& m = cp_.run_metrics(run);
     result.metrics.cpu_seconds += m.cpu_seconds;
     result.metrics.file_read += m.file_read;
     result.metrics.file_write += m.file_write;
@@ -122,7 +127,7 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
         from = verified_path_[j.job_index];
       } else {
         CBFT_CHECK(first_complete_run_[j.job_index].has_value());
-        from = tracker_.run_output_path(*first_complete_run_[j.job_index]);
+        from = cp_.run_output_path(*first_complete_run_[j.job_index]);
       }
       dataflow::Relation rel = dfs_.read(from);
       dfs_.write(j.output_path, rel);
@@ -142,7 +147,8 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
 }
 
 std::vector<NodeId> ClusterBft::apply_suspicion_threshold(double threshold) {
-  auto evicted = tracker_.resources().apply_threshold(threshold);
+  const auto drained = cp_.apply_suspicion_threshold(threshold);
+  const std::vector<NodeId> evicted(drained.begin(), drained.end());
   for (NodeId n : evicted) {
     audit_.record(sim_.now(), AuditEvent::Kind::kNodeEvicted,
                   "node " + std::to_string(n) + " excluded (suspicion > " +
@@ -162,66 +168,40 @@ ClusterBft::ProbeReport ClusterBft::probe_suspects(
   const FaultAnalyzer::NodeSet suspects = fault_analyzer_->suspects();
   for (NodeId suspect : suspects) {
     // Nodes already evicted from the inclusion list cannot run probes.
-    if (tracker_.resources().entry(suspect).excluded) continue;
+    if (cp_.node_excluded(suspect)) continue;
     ++probe_counter_;
-    // A minimal pass-through data-flow: LOAD -> STORE over the probe
-    // input. Any commission fault on the suspect corrupts its copy.
-    auto probe = std::make_unique<ProbeJob>();
-    probe->plan = std::make_unique<dataflow::LogicalPlan>();
-    dataflow::OpNode load;
-    load.kind = dataflow::OpKind::kLoad;
-    load.alias = "probe";
-    load.path = probe_input_path;
-    // Take the schema from the stored relation (arity is what matters).
-    {
-      const dataflow::Relation& rel = dfs_.read(probe_input_path);
-      load.schema = rel.schema();
-    }
-    const dataflow::OpId load_id = probe->plan->add(std::move(load));
-    dataflow::OpNode store;
-    store.kind = dataflow::OpKind::kStore;
-    store.inputs = {load_id};
-    store.schema = probe->plan->node(load_id).schema;
-    store.path = "probe/" + std::to_string(probe_counter_) + "/out";
-    probe->plan->add(std::move(store));
-
-    mapreduce::CompileOptions copts;
-    copts.sid_prefix = "probe#" + std::to_string(probe_counter_);
-    probe->dag = mapreduce::compile(*probe->plan, {}, copts);
-    CBFT_CHECK(probe->dag.jobs.size() == 1);
-    const mapreduce::MRJobSpec& spec = probe->dag.jobs[0];
-
-    // Replica 0 is pinned onto the suspect alone; replica 1 runs on nodes
-    // outside the whole suspect set (the honest control).
-    const std::size_t run_suspect = tracker_.submit(
-        *probe->plan, spec, 0, {probe_input_path},
-        "probe/" + std::to_string(probe_counter_) + "/suspect",
-        /*avoid=*/{}, /*restrict_to=*/{suspect});
-    const std::size_t run_control = tracker_.submit(
-        *probe->plan, spec, 1, {probe_input_path},
-        "probe/" + std::to_string(probe_counter_) + "/control", suspects);
-    probe_jobs_.push_back(std::move(probe));
+    // The computation tier builds the pass-through probe job itself; the
+    // request only names the input, the two output paths, the pinned
+    // suspect, and the nodes the honest control replica must avoid.
+    protocol::ProbeRequest msg;
+    msg.probe = probe_counter_;
+    msg.input_path = probe_input_path;
+    msg.suspect_path = "probe/" + std::to_string(probe_counter_) + "/suspect";
+    msg.control_path = "probe/" + std::to_string(probe_counter_) + "/control";
+    msg.suspect = suspect;
+    msg.avoid.assign(suspects.begin(), suspects.end());
+    const auto [run_suspect, run_control] = cp_.submit_probe(std::move(msg));
 
     sim_.run();  // probes are the only outstanding work
     ++report.probes_run;
 
-    if (!tracker_.run_complete(run_control)) {
+    if (!cp_.run_complete(run_control)) {
       // The control could not be placed or finished — inconclusive.
       continue;
     }
-    if (!tracker_.run_complete(run_suspect)) {
+    if (!cp_.run_complete(run_suspect)) {
       // The suspect swallowed the probe: omission, attributable exactly.
       report.confirmed_omission.insert(suspect);
-      tracker_.resources().record_fault(suspect);
+      cp_.record_fault(suspect);
       continue;
     }
-    const auto& got = dfs_.read(tracker_.run_output_path(run_suspect));
-    const auto& want = dfs_.read(tracker_.run_output_path(run_control));
+    const auto& got = dfs_.read(cp_.run_output_path(run_suspect));
+    const auto& want = dfs_.read(cp_.run_output_path(run_control));
     if (got.sorted_rows() == want.sorted_rows()) {
       report.cleared.insert(suspect);
     } else {
       report.confirmed_commission.insert(suspect);
-      tracker_.resources().record_fault(suspect);
+      cp_.record_fault(suspect);
       audit_.record(sim_.now(), AuditEvent::Kind::kProbeConviction,
                     "probe convicted node " + std::to_string(suspect) +
                         " of commission",
@@ -262,7 +242,7 @@ bool ClusterBft::deps_ready(const Wave& w, std::size_t job) const {
       continue;
     }
     const bool wave_done =
-        w.includes[d] && w.run_of[d] && tracker_.run_complete(*w.run_of[d]);
+        w.includes[d] && w.run_of[d] && cp_.run_complete(*w.run_of[d]);
     if (wave_done || verified_[d]) continue;
     return false;
   }
@@ -288,9 +268,9 @@ std::vector<std::string> ClusterBft::resolve_inputs(const Wave& w,
       continue;
     }
     const bool wave_done = w.includes[dep] && w.run_of[dep] &&
-                           tracker_.run_complete(*w.run_of[dep]);
+                           cp_.run_complete(*w.run_of[dep]);
     if (wave_done) {
-      paths.push_back(tracker_.run_output_path(*w.run_of[dep]));
+      paths.push_back(cp_.run_output_path(*w.run_of[dep]));
     } else {
       CBFT_CHECK_MSG(verified_[dep], "dependency neither done nor verified");
       paths.push_back(verified_path_[dep]);
@@ -323,12 +303,17 @@ void ClusterBft::pump() {
         // Bound each replica's footprint so the r initial replicas plus a
         // rerun replica always fit on pairwise-disjoint node sets.
         const std::size_t groups = std::max<std::size_t>(1, request_->r) + 1;
-        const std::size_t max_nodes = std::max<std::size_t>(
-            1, tracker_.resources().size() / groups);
-        const std::size_t run = tracker_.submit(
-            plan_, spec, w.replica, resolve_inputs(w, j),
-            wave_scope(w) + spec.output_path, std::move(avoid), {},
-            max_nodes);
+        const std::size_t max_nodes =
+            std::max<std::size_t>(1, cp_.cluster_size() / groups);
+        protocol::SubmitRun msg;
+        msg.program = program_id_;
+        msg.job_index = j;
+        msg.replica = w.replica;
+        msg.input_paths = resolve_inputs(w, j);
+        msg.output_path = wave_scope(w) + spec.output_path;
+        msg.avoid.assign(avoid.begin(), avoid.end());
+        msg.max_nodes = max_nodes;
+        const std::size_t run = cp_.submit_run(std::move(msg));
         w.run_of[j] = run;
         run_info_[run] = RunInfo{wi, j};
         my_runs_.push_back(run);
@@ -391,8 +376,7 @@ void ClusterBft::try_verify(std::size_t j) {
       return;
     }
     verified_[j] = true;
-    verified_path_[j] =
-        tracker_.run_output_path(decision->majority_runs.front());
+    verified_path_[j] = cp_.run_output_path(decision->majority_runs.front());
     audit_.record(sim_.now(), AuditEvent::Kind::kJobVerified,
                   spec.sid + " (" +
                       std::to_string(decision->majority_runs.size()) +
@@ -439,7 +423,7 @@ void ClusterBft::need_wave(std::size_t j, bool force) {
     // more evidence; wait for it.
     for (const Wave& w : waves_) {
       if (!w.includes[j]) continue;
-      if (!w.run_of[j] || !tracker_.run_complete(*w.run_of[j])) return;
+      if (!w.run_of[j] || !cp_.run_complete(*w.run_of[j])) return;
     }
   }
   const std::size_t reruns = waves_.size() - std::max<std::size_t>(
@@ -465,7 +449,7 @@ FaultAnalyzer::NodeSet ClusterBft::cluster_of(std::size_t run_id) const {
     const std::size_t j = stack.back();
     stack.pop_back();
     if (w.includes[j] && w.run_of[j]) {
-      const auto& run_nodes = tracker_.run_nodes(*w.run_of[j]);
+      const auto& run_nodes = cp_.run_nodes(*w.run_of[j]);
       nodes.insert(run_nodes.begin(), run_nodes.end());
     }
     for (std::size_t d : dag_.jobs[j].deps) {
@@ -490,7 +474,7 @@ void ClusterBft::attribute_commission(
                   "deviant replica of " +
                       dag_.jobs[run_info_.at(run).job].sid,
                   dag_.jobs[run_info_.at(run).job].sid, nodes);
-    for (NodeId n : nodes) tracker_.resources().record_fault(n);
+    for (NodeId n : nodes) cp_.record_fault(n);
     if (!fault_analyzer_) {
       fault_analyzer_ = std::make_unique<FaultAnalyzer>(
           std::max<std::size_t>(1, request_->f));
@@ -508,13 +492,12 @@ void ClusterBft::attribute_omission(const std::vector<std::size_t>& runs) {
                   "replica of " + dag_.jobs[run_info_.at(run).job].sid +
                       " missed the verifier timeout",
                   dag_.jobs[run_info_.at(run).job].sid,
-                  {tracker_.run_nodes(run).begin(),
-                   tracker_.run_nodes(run).end()});
+                  {cp_.run_nodes(run).begin(), cp_.run_nodes(run).end()});
     // Omission is detectable but not attributable to a specific node
     // (§2.1): raise suspicion on all involved nodes, but do not feed the
     // commission-fault analyzer.
-    for (NodeId n : tracker_.run_nodes(run)) {
-      tracker_.resources().record_fault(n);
+    for (NodeId n : cp_.run_nodes(run)) {
+      cp_.record_fault(n);
       omission_suspects_.insert(n);
     }
   }

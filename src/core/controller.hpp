@@ -1,7 +1,8 @@
 // The ClusterBFT control tier (§4, Fig. 2): request handler (client
 // handler + graph analyzer + job initiator), verifier, and the rerun /
 // fault-isolation policy, driving the untrusted computation tier through
-// the execution tracker.
+// typed control-plane protocol messages over a pluggable transport — the
+// trust boundary of the paper is exactly that seam.
 //
 // Execution model per script:
 //  * the script is parsed, analysed (verification points) and compiled to
@@ -28,20 +29,30 @@
 #include <string>
 #include <vector>
 
-#include "cluster/tracker.hpp"
+#include "cluster/event_sim.hpp"
 #include "core/audit.hpp"
 #include "core/fault_analyzer.hpp"
 #include "core/request.hpp"
 #include "core/verifier.hpp"
 #include "dataflow/plan.hpp"
 #include "mapreduce/compiler.hpp"
+#include "mapreduce/dfs.hpp"
+#include "protocol/control_plane.hpp"
+#include "protocol/registry.hpp"
 
 namespace clusterbft::core {
 
 class ClusterBft {
  public:
+  /// The controller is the trusted control tier: it drives the untrusted
+  /// computation tier exclusively through protocol messages over
+  /// `transport`, and publishes compiled programs through `programs` (the
+  /// stand-in for the shared job-bundle store). It never holds a
+  /// reference to the execution machinery itself — the trust boundary of
+  /// §4 is the transport seam.
   ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
-             cluster::ExecutionTracker& tracker);
+             protocol::Transport& transport,
+             protocol::ProgramRegistry& programs);
 
   /// Execute one script to verified completion (synchronous: drives the
   /// event simulation). Throws ParseError/CheckError on malformed input.
@@ -113,22 +124,18 @@ class ClusterBft {
 
   cluster::EventSim& sim_;
   mapreduce::Dfs& dfs_;
-  cluster::ExecutionTracker& tracker_;
+  protocol::ControlPlane cp_;
+  protocol::ProgramRegistry& programs_;
   std::unique_ptr<FaultAnalyzer> fault_analyzer_;
   AuditLog audit_;
 
-  /// Probe plans/specs must outlive their runs in the tracker.
-  struct ProbeJob {
-    std::unique_ptr<dataflow::LogicalPlan> plan;
-    mapreduce::JobDag dag;
-  };
-  std::vector<std::unique_ptr<ProbeJob>> probe_jobs_;
   std::size_t probe_counter_ = 0;
 
   // Per-execution state (reset by execute()).
   const ClientRequest* request_ = nullptr;
   dataflow::LogicalPlan plan_;
   mapreduce::JobDag dag_;
+  std::uint64_t program_id_ = 0;  ///< registry handle for plan_/dag_
   std::unique_ptr<Verifier> verifier_;
   std::vector<Wave> waves_;
   std::map<std::size_t, RunInfo> run_info_;

@@ -41,4 +41,38 @@ std::string DigestKey::to_string() const {
   return out;
 }
 
+void encode(common::WireWriter& w, const DigestKey& key) {
+  w.str(key.sid);
+  w.u64(key.vertex);
+  w.u8(key.reduce_side ? 1 : 0);
+  w.u64(key.branch);
+  w.u64(key.partition);
+  w.u64(key.chunk);
+}
+
+bool decode(common::WireReader& r, DigestKey& key) {
+  key.sid = r.str();
+  key.vertex = static_cast<dataflow::OpId>(r.u64());
+  key.reduce_side = r.u8() != 0;
+  key.branch = static_cast<std::size_t>(r.u64());
+  key.partition = static_cast<std::size_t>(r.u64());
+  key.chunk = r.u64();
+  return r.ok();
+}
+
+void encode(common::WireWriter& w, const DigestReport& report) {
+  encode(w, report.key);
+  w.u64(report.replica);
+  w.raw(report.digest.bytes.data(), report.digest.bytes.size());
+  w.u64(report.record_count);
+}
+
+bool decode(common::WireReader& r, DigestReport& report) {
+  if (!decode(r, report.key)) return false;
+  report.replica = static_cast<std::size_t>(r.u64());
+  r.raw(report.digest.bytes.data(), report.digest.bytes.size());
+  report.record_count = r.u64();
+  return r.ok();
+}
+
 }  // namespace clusterbft::mapreduce

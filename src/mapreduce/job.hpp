@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/wire.hpp"
 #include "crypto/digest.hpp"
 #include "dataflow/plan.hpp"
 
@@ -92,6 +93,17 @@ struct DigestReport {
   std::size_t replica = 0;
   crypto::Digest256 digest;
   std::uint64_t record_count = 0;
+
+  friend auto operator<=>(const DigestReport&, const DigestReport&) = default;
 };
+
+/// Deterministic wire encoding of digest reports — the payload the
+/// control-plane protocol ships across the trust boundary. Decoding is
+/// bounds-checked; it returns false (and leaves the output unspecified)
+/// on a truncated or corrupted buffer.
+void encode(common::WireWriter& w, const DigestKey& key);
+bool decode(common::WireReader& r, DigestKey& key);
+void encode(common::WireWriter& w, const DigestReport& report);
+bool decode(common::WireReader& r, DigestReport& report);
 
 }  // namespace clusterbft::mapreduce

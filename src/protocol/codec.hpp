@@ -1,0 +1,44 @@
+// Deterministic binary codec for the control-plane protocol.
+//
+// Every message travels in a versioned, length-prefixed envelope:
+//
+//   u32 magic   = 0x43424654 ("CBFT")
+//   u16 version = 1
+//   u16 type    = variant index of the payload + 1 (0 is reserved)
+//   u32 length  = payload byte count
+//   ...payload  (little-endian fields, see encode_payload per struct)
+//
+// Encoding is a pure function of the message value — two equal messages
+// always produce identical bytes, which is what lets the lossy transport
+// ship them through the simulated network while the loopback transport
+// skips the codec entirely and still behaves observably the same.
+// `decode` rejects (returns nullopt) anything that is not a complete,
+// well-formed frame: bad magic/version/type, truncated payload, trailing
+// bytes, or length fields pointing past the end of the buffer. It never
+// reads out of bounds and never aborts, so a byzantine computation tier
+// cannot crash the control tier with a malformed frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "protocol/messages.hpp"
+
+namespace clusterbft::protocol {
+
+inline constexpr std::uint32_t kWireMagic = 0x43424654;  // "CBFT"
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Serialize `m` into one self-delimiting frame.
+std::vector<std::uint8_t> encode(const Message& m);
+
+/// Parse exactly one frame occupying the whole buffer. Returns nullopt on
+/// any malformation; never exhibits UB on hostile input.
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size);
+
+inline std::optional<Message> decode(const std::vector<std::uint8_t>& buf) {
+  return decode(buf.data(), buf.size());
+}
+
+}  // namespace clusterbft::protocol

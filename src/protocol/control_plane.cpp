@@ -1,0 +1,173 @@
+#include "protocol/control_plane.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace clusterbft::protocol {
+
+namespace {
+template <class... Ts>
+struct Overload : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overload(Ts...) -> Overload<Ts...>;
+}  // namespace
+
+ControlPlane::ControlPlane(Transport& transport) : transport_(transport) {
+  transport_.bind_control([this](const Message& m) { handle(m); });
+}
+
+std::size_t ControlPlane::submit_run(SubmitRun msg) {
+  const std::size_t run = runs_.size();
+  msg.run = run;
+  runs_.emplace_back();
+  transport_.to_computation(std::move(msg));
+  return run;
+}
+
+std::pair<std::size_t, std::size_t> ControlPlane::submit_probe(
+    ProbeRequest msg) {
+  const std::size_t run_suspect = runs_.size();
+  const std::size_t run_control = run_suspect + 1;
+  msg.run_suspect = run_suspect;
+  msg.run_control = run_control;
+  runs_.emplace_back();
+  runs_.emplace_back();
+  transport_.to_computation(std::move(msg));
+  return {run_suspect, run_control};
+}
+
+void ControlPlane::cancel_run(std::size_t run) {
+  CBFT_CHECK(run < runs_.size());
+  transport_.to_computation(CancelRun{run});
+}
+
+void ControlPlane::add_nodes(std::uint64_t count, std::uint64_t slots) {
+  transport_.to_computation(AddNodes{count, slots});
+}
+
+void ControlPlane::drain_node(std::uint64_t nid) {
+  transport_.to_computation(DrainNode{nid});
+}
+
+bool ControlPlane::run_complete(std::size_t run) const {
+  CBFT_CHECK(run < runs_.size());
+  return runs_[run].complete;
+}
+
+std::string ControlPlane::run_output_path(std::size_t run) const {
+  CBFT_CHECK(run < runs_.size());
+  return runs_[run].output_path;
+}
+
+const ControlPlane::RunMetrics& ControlPlane::run_metrics(
+    std::size_t run) const {
+  CBFT_CHECK(run < runs_.size());
+  return runs_[run].metrics;
+}
+
+const std::set<std::uint64_t>& ControlPlane::run_nodes(std::size_t run) const {
+  CBFT_CHECK(run < runs_.size());
+  return runs_[run].nodes;
+}
+
+bool ControlPlane::node_excluded(std::uint64_t nid) const {
+  return nid < nodes_.size() && nodes_[nid].excluded;
+}
+
+void ControlPlane::record_fault(std::uint64_t nid) { ++node(nid).faults; }
+
+std::vector<std::uint64_t> ControlPlane::apply_suspicion_threshold(
+    double threshold) {
+  // Collect first, drain after: each DrainNode echoes a NodeDrained that
+  // mutates nodes_, which must not happen mid-iteration.
+  std::vector<std::uint64_t> newly;
+  for (std::uint64_t nid = 0; nid < nodes_.size(); ++nid) {
+    const NodeView& n = nodes_[nid];
+    if (n.excluded || n.jobs == 0) continue;
+    const double s =
+        static_cast<double>(n.faults) / static_cast<double>(n.jobs);
+    if (s > threshold) newly.push_back(nid);
+  }
+  for (std::uint64_t nid : newly) drain_node(nid);
+  return newly;
+}
+
+ControlPlane::NodeView& ControlPlane::node(std::uint64_t id) {
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  return nodes_[id];
+}
+
+void ControlPlane::maybe_complete(std::size_t run) {
+  RunView& r = runs_[run];
+  if (r.complete || !r.completion_pending || !r.expected_known) return;
+  if (r.digest_reports_seen < r.digest_reports_expected) return;
+  r.complete = true;
+  r.metrics.hdfs_write += r.hdfs_pending;
+  r.hdfs_pending = 0;
+  if (on_run_complete) on_run_complete(run);
+}
+
+void ControlPlane::handle(const Message& m) {
+  std::visit(
+      Overload{
+          [this](const NodeAnnounce& e) {
+            cluster_size_ = std::max<std::size_t>(cluster_size_,
+                                                  e.first + e.count);
+            if (cluster_size_ > nodes_.size()) nodes_.resize(cluster_size_);
+          },
+          [this](const NodeDrained& e) { node(e.node).excluded = true; },
+          [this](const NodeStatus& e) {
+            if (e.run >= runs_.size()) return;
+            // Set-insert guard: duplicated NodeStatus must not inflate
+            // the suspicion denominator.
+            if (runs_[e.run].nodes.insert(e.node).second) ++node(e.node).jobs;
+          },
+          [this](const Heartbeat& e) {
+            if (e.run >= runs_.size()) return;
+            RunMetrics& met = runs_[e.run].metrics;
+            met.cpu_seconds += e.cpu_seconds;
+            met.file_read += e.file_read;
+            met.file_write += e.file_write;
+            met.digested += e.digested;
+            ++met.tasks_run;
+          },
+          [this](const DigestBatch& e) {
+            if (e.run >= runs_.size()) return;
+            RunView& r = runs_[e.run];
+            // A batch straggling in after the run was declared complete
+            // (duplication, extreme delay) carries no usable evidence —
+            // the verifier already decided on this run's record.
+            if (r.complete) return;
+            r.digest_reports_seen += e.reports.size();
+            if (on_digest_batch) on_digest_batch(e);
+            maybe_complete(e.run);
+          },
+          [this](const RunComplete& e) {
+            if (e.run >= runs_.size()) return;
+            RunView& r = runs_[e.run];
+            if (r.complete || r.completion_pending) return;
+            r.completion_pending = true;
+            r.expected_known = true;
+            r.digest_reports_expected = e.digest_reports;
+            r.output_path = e.output_path;
+            r.hdfs_pending = e.hdfs_write;
+            maybe_complete(e.run);
+          },
+          [this](const ProbeReply& e) {
+            if (e.run >= runs_.size()) return;
+            RunView& r = runs_[e.run];
+            if (r.complete) return;
+            r.output_path = e.output_path;
+            r.complete = true;
+          },
+          [](const auto& /*command echoed to the wrong side*/) {
+            CBFT_CHECK(!"control tier received a control-tier command");
+          },
+      },
+      m);
+}
+
+}  // namespace clusterbft::protocol

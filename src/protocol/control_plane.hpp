@@ -1,0 +1,105 @@
+// ControlPlane: the control tier's only window onto the computation tier.
+//
+// It owns the control side of the protocol seam: it assigns run ids,
+// sends commands (SubmitRun, ProbeRequest, CancelRun, AddNodes,
+// DrainNode) and *mirrors* the computation tier's observable state —
+// run completion, output paths, per-run metrics, run node sets, cluster
+// membership and per-node suspicion — from the event messages streaming
+// back. The controller never touches the execution tracker; everything
+// it used to read from tracker state it now reads from this mirror,
+// which is kept bit-identical under the loopback transport because
+// messages arrive in exactly the order the tracker's hooks fired.
+//
+// Completion gating: a run is complete only once its RunComplete arrived
+// AND the mirror saw as many digest reports as the run claims to have
+// emitted. Over a lossy transport this makes a run with dropped digests
+// indistinguishable from a silent replica — the §5.4 timeout/rerun path
+// engages instead of a false verification on partial digest evidence —
+// and it keeps reordered digests from reaching the verifier after the
+// run was already declared complete.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "protocol/transport.hpp"
+
+namespace clusterbft::protocol {
+
+class ControlPlane {
+ public:
+  explicit ControlPlane(Transport& transport);
+
+  // ---- upcalls into the controller ----
+  /// Digest batch from a still-incomplete run, in arrival order.
+  std::function<void(const DigestBatch&)> on_digest_batch;
+  /// A run completed (RunComplete arrived and all its digests were seen).
+  std::function<void(std::size_t run)> on_run_complete;
+
+  // ---- commands ----
+  /// Assigns the run id (returned) and ships the submission.
+  std::size_t submit_run(SubmitRun msg);
+  /// Assigns ids for both probe runs: {run_suspect, run_control}.
+  std::pair<std::size_t, std::size_t> submit_probe(ProbeRequest msg);
+  void cancel_run(std::size_t run);
+  void add_nodes(std::uint64_t count, std::uint64_t slots = 0);
+  void drain_node(std::uint64_t node);
+
+  // ---- mirror queries (what the controller used to ask the tracker) ----
+  struct RunMetrics {
+    double cpu_seconds = 0;
+    std::uint64_t file_read = 0;
+    std::uint64_t file_write = 0;
+    std::uint64_t hdfs_write = 0;
+    std::uint64_t digested = 0;
+    std::size_t tasks_run = 0;
+  };
+
+  bool run_complete(std::size_t run) const;
+  std::string run_output_path(std::size_t run) const;
+  const RunMetrics& run_metrics(std::size_t run) const;
+  const std::set<std::uint64_t>& run_nodes(std::size_t run) const;
+
+  std::size_t cluster_size() const { return cluster_size_; }
+  bool node_excluded(std::uint64_t node) const;
+
+  // ---- suspicion (§4.1: s = faults / jobs executed, control-tier data) ----
+  void record_fault(std::uint64_t node);
+  /// Drain every node whose suspicion exceeds `threshold`; returns the
+  /// newly drained nodes. Mirrors ResourceTable::apply_threshold
+  /// semantics (nodes with zero executed jobs are never drained).
+  std::vector<std::uint64_t> apply_suspicion_threshold(double threshold);
+
+ private:
+  struct RunView {
+    bool complete = false;
+    bool completion_pending = false;  ///< RunComplete arrived
+    bool expected_known = false;
+    std::uint64_t digest_reports_expected = 0;
+    std::uint64_t digest_reports_seen = 0;
+    std::string output_path;
+    std::uint64_t hdfs_pending = 0;  ///< credited to metrics on completion
+    std::set<std::uint64_t> nodes;
+    RunMetrics metrics;
+  };
+  struct NodeView {
+    std::uint64_t jobs = 0;
+    std::uint64_t faults = 0;
+    bool excluded = false;
+  };
+
+  void handle(const Message& m);
+  void maybe_complete(std::size_t run);
+  NodeView& node(std::uint64_t id);
+
+  Transport& transport_;
+  std::vector<RunView> runs_;
+  std::vector<NodeView> nodes_;
+  std::size_t cluster_size_ = 0;
+};
+
+}  // namespace clusterbft::protocol

@@ -1,0 +1,20 @@
+// Deterministic in-process transport: sends dispatch synchronously on the
+// caller's stack, in call order, with no serialization. This is the
+// determinism-contract transport — swapping the old direct tracker calls
+// for a loopback seam changes nothing observable: digests, metrics sums
+// (double addition order), schedules and run ids stay bit-identical.
+#pragma once
+
+#include "protocol/transport.hpp"
+
+namespace clusterbft::protocol {
+
+class LoopbackTransport final : public Transport {
+ public:
+  void to_control(Message m) override { deliver_control(std::move(m)); }
+  void to_computation(Message m) override {
+    deliver_computation(std::move(m));
+  }
+};
+
+}  // namespace clusterbft::protocol

@@ -1,0 +1,55 @@
+#include "protocol/lossy.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "protocol/codec.hpp"
+
+namespace clusterbft::protocol {
+
+void LossyTransport::send(Message m, bool up) {
+  const bool is_digest = std::holds_alternative<DigestBatch>(m);
+
+  if (link_drop_or_blackout(is_digest)) {
+    ++dropped_;
+    return;
+  }
+
+  double delay = cfg_.link.delay(rng_);
+  if (is_digest) delay += cfg_.digest_delay_s;
+
+  std::vector<std::uint8_t> frame = encode(m);
+  if (cfg_.link.duplicate(rng_)) {
+    ship(frame, cfg_.link.delay(rng_) + (is_digest ? cfg_.digest_delay_s : 0.0),
+         up);
+  }
+  ship(std::move(frame), delay, up);
+}
+
+bool LossyTransport::link_drop_or_blackout(bool is_digest) {
+  // The plain-link drop draw happens for every message so digest knobs
+  // never shift the stream other messages see.
+  bool lost = cfg_.link.drop(rng_);
+  if (is_digest) {
+    if (sim_.now() < cfg_.digest_blackout_until_s) lost = true;
+    if (rng_.chance(cfg_.digest_drop_prob)) lost = true;
+  }
+  return lost;
+}
+
+void LossyTransport::ship(std::vector<std::uint8_t> frame, double delay,
+                          bool up) {
+  sim_.schedule_after(delay, [this, frame = std::move(frame), up] {
+    std::optional<Message> m = decode(frame);
+    // Both endpoints are our own codec; a decode failure here is a bug,
+    // not byzantine input.
+    CBFT_CHECK(m.has_value());
+    if (up) {
+      deliver_control(std::move(*m));
+    } else {
+      deliver_computation(std::move(*m));
+    }
+  });
+}
+
+}  // namespace clusterbft::protocol

@@ -1,0 +1,149 @@
+// The control-plane protocol: the complete message vocabulary crossing
+// the trust boundary between the trusted control tier (request handler,
+// verifier, fault analyzer — src/core) and the untrusted computation tier
+// (execution tracker on simulated nodes — src/cluster).
+//
+// Everything the two tiers exchange is one of these typed structs; the
+// codec (protocol/codec.hpp) gives each a deterministic length-prefixed
+// binary encoding so the seam can run over a real network. Node ids and
+// run ids travel as u64; run ids are *control-assigned* (the control tier
+// allocates them before submission) so the protocol works over an
+// asynchronous transport where the computation tier's answer arrives
+// later or never.
+//
+// Control -> computation: SubmitRun, CancelRun, ProbeRequest, AddNodes,
+// DrainNode. Computation -> control: NodeAnnounce, NodeDrained,
+// NodeStatus, Heartbeat, DigestBatch, RunComplete, ProbeReply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+
+namespace clusterbft::protocol {
+
+// ---------------------------------------------------------------- commands
+
+/// Submit one replica of one compiled job. `program` is a ProgramRegistry
+/// handle standing in for the deployed job bundle (the "job jar" both
+/// tiers fetch from the shared store); `run` is the control-assigned id
+/// every later message about this run refers to. `avoid`/`restrict_to`
+/// are sorted node-id lists (§3.3 smart deployment / probe overlay).
+struct SubmitRun {
+  std::uint64_t run = 0;
+  std::uint64_t program = 0;
+  std::uint64_t job_index = 0;
+  std::uint64_t replica = 0;
+  std::vector<std::string> input_paths;
+  std::string output_path;
+  std::vector<std::uint64_t> avoid;
+  std::vector<std::uint64_t> restrict_to;
+  std::uint64_t max_nodes = 0;
+};
+
+/// Abandon a run: queued tasks are forgotten, in-flight task results are
+/// discarded, and the run never reports completion.
+struct CancelRun {
+  std::uint64_t run = 0;
+};
+
+/// §3.3 fault isolation: run one pass-through probe job twice — replica 0
+/// pinned to exactly `suspect`, replica 1 on nodes outside `avoid`. The
+/// computation tier answers each completing probe run with a ProbeReply.
+struct ProbeRequest {
+  std::uint64_t probe = 0;
+  std::uint64_t run_suspect = 0;
+  std::uint64_t run_control = 0;
+  std::string input_path;
+  std::string suspect_path;
+  std::string control_path;
+  std::uint64_t suspect = 0;
+  std::vector<std::uint64_t> avoid;
+};
+
+/// Elasticity (§3.3): register fresh worker nodes (slots = 0 uses the
+/// deployment default). Answered by a NodeAnnounce.
+struct AddNodes {
+  std::uint64_t count = 0;
+  std::uint64_t slots = 0;
+};
+
+/// Stop scheduling onto a node (running tasks finish normally). Answered
+/// by a NodeDrained — the control tier's membership mirror is updated by
+/// the echo, not by the send, so it stays correct over a lossy transport.
+struct DrainNode {
+  std::uint64_t node = 0;
+};
+
+// ----------------------------------------------------------------- events
+
+/// Membership report: nodes [first, first+count) exist. Sent once at
+/// service start for the initial cluster and after every AddNodes.
+struct NodeAnnounce {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+};
+
+/// A node stopped accepting tasks (DrainNode acknowledgement).
+struct NodeDrained {
+  std::uint64_t node = 0;
+};
+
+/// `node` joined `run` (first task scheduled there). Drives the control
+/// tier's run->nodes mirror and the suspicion denominator: scheduling
+/// counts, not completion, so a node that hangs everything it touches
+/// still accumulates a meaningful ratio.
+struct NodeStatus {
+  std::uint64_t run = 0;
+  std::uint64_t node = 0;
+};
+
+/// Per-task accounting heartbeat: the resource deltas one committed task
+/// contributed to its run. Streamed as tasks commit so the control tier
+/// can account partially-completed (hung) runs, exactly like the
+/// pre-protocol in-process metrics did.
+struct Heartbeat {
+  std::uint64_t run = 0;
+  std::uint64_t node = 0;
+  std::uint8_t reduce = 0;
+  double cpu_seconds = 0;
+  std::uint64_t file_read = 0;
+  std::uint64_t file_write = 0;
+  std::uint64_t digested = 0;
+};
+
+/// Verification-point digests from one task of `run`, batched per task.
+struct DigestBatch {
+  std::uint64_t run = 0;
+  std::uint64_t node = 0;
+  std::vector<mapreduce::DigestReport> reports;
+};
+
+/// The run finished writing its output. `digest_reports` is the total
+/// number of digest reports the run emitted: the control tier treats the
+/// run as complete only once that many reports arrived, so a run whose
+/// digests were dropped in transit looks exactly like a silent replica
+/// (verifier timeout -> rerun) instead of a deviant one.
+struct RunComplete {
+  std::uint64_t run = 0;
+  std::string output_path;
+  std::uint64_t hdfs_write = 0;
+  std::uint64_t digest_reports = 0;
+};
+
+/// One probe run of a ProbeRequest finished (at most two per request; a
+/// swallowed probe simply never answers).
+struct ProbeReply {
+  std::uint64_t probe = 0;
+  std::uint64_t run = 0;
+  std::string output_path;
+};
+
+using Message = std::variant<SubmitRun, CancelRun, ProbeRequest, AddNodes,
+                             DrainNode, NodeAnnounce, NodeDrained, NodeStatus,
+                             Heartbeat, DigestBatch, RunComplete, ProbeReply>;
+
+}  // namespace clusterbft::protocol

@@ -1,0 +1,45 @@
+// ProgramRegistry: stands in for the deployed job bundle ("job jar")
+// both tiers fetch from the shared store. The control tier compiles a
+// script, deploys the plan + job DAG here, and ships only the opaque
+// program handle in SubmitRun; the computation tier resolves the handle
+// back to the compiled artifacts. In a distributed deployment this is a
+// content-addressed blob store — the protocol already treats it as one
+// by never putting plan structure on the wire.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dataflow/plan.hpp"
+#include "mapreduce/job.hpp"
+
+namespace clusterbft::protocol {
+
+class ProgramRegistry {
+ public:
+  struct Program {
+    const dataflow::LogicalPlan* plan = nullptr;
+    const mapreduce::JobDag* dag = nullptr;
+  };
+
+  /// Register a compiled program; the caller keeps plan/dag alive for as
+  /// long as runs referencing the handle may execute.
+  std::uint64_t deploy(const dataflow::LogicalPlan* plan,
+                       const mapreduce::JobDag* dag) {
+    const std::uint64_t id = next_id_++;
+    programs_[id] = Program{plan, dag};
+    return id;
+  }
+
+  /// nullptr if the handle was never deployed.
+  const Program* find(std::uint64_t id) const {
+    const auto it = programs_.find(id);
+    return it == programs_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Program> programs_;
+};
+
+}  // namespace clusterbft::protocol

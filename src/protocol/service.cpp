@@ -1,0 +1,175 @@
+#include "protocol/service.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "mapreduce/compiler.hpp"
+
+namespace clusterbft::protocol {
+
+namespace {
+template <class... Ts>
+struct Overload : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overload(Ts...) -> Overload<Ts...>;
+}  // namespace
+
+ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
+                                       Transport& transport,
+                                       const ProgramRegistry& programs)
+    : tracker_(tracker), transport_(transport), programs_(programs) {
+  transport_.bind_computation([this](const Message& m) { handle(m); });
+
+  tracker_.on_node_assigned = [this](std::size_t run, cluster::NodeId nid) {
+    const auto it = ctl_of_.find(run);
+    if (it == ctl_of_.end()) return;
+    transport_.to_control(NodeStatus{it->second, nid});
+  };
+  tracker_.on_task_accounted =
+      [this](std::size_t run, cluster::NodeId nid, bool reduce,
+             const cluster::ExecutionTracker::TaskAccounting& acct) {
+        const auto it = ctl_of_.find(run);
+        if (it == ctl_of_.end()) return;
+        Heartbeat hb;
+        hb.run = it->second;
+        hb.node = nid;
+        hb.reduce = reduce ? 1 : 0;
+        hb.cpu_seconds = acct.cpu_seconds;
+        hb.file_read = acct.file_read;
+        hb.file_write = acct.file_write;
+        hb.digested = acct.digested;
+        transport_.to_control(std::move(hb));
+      };
+  tracker_.on_digests = [this](std::vector<mapreduce::DigestReport>&& reports,
+                               std::size_t run, cluster::NodeId nid) {
+    const auto it = ctl_of_.find(run);
+    if (it == ctl_of_.end()) return;
+    digests_sent_[it->second] += reports.size();
+    transport_.to_control(DigestBatch{it->second, nid, std::move(reports)});
+  };
+  tracker_.on_run_complete = [this](std::size_t run) {
+    const auto it = ctl_of_.find(run);
+    if (it == ctl_of_.end()) return;
+    const std::uint64_t ctl = it->second;
+    const auto probe = probe_of_.find(ctl);
+    if (probe != probe_of_.end()) {
+      transport_.to_control(
+          ProbeReply{probe->second, ctl, tracker_.run_output_path(run)});
+      return;
+    }
+    RunComplete rc;
+    rc.run = ctl;
+    rc.output_path = tracker_.run_output_path(run);
+    rc.hdfs_write = tracker_.run_metrics(run).hdfs_write;
+    rc.digest_reports = digests_sent_[ctl];
+    transport_.to_control(std::move(rc));
+  };
+  tracker_.on_nodes_added = [this](cluster::NodeId first, std::size_t count) {
+    transport_.to_control(NodeAnnounce{first, count});
+  };
+  tracker_.on_node_drained = [this](cluster::NodeId nid) {
+    transport_.to_control(NodeDrained{nid});
+  };
+
+  // Announce the initial cluster; the transport buffers this until the
+  // control tier binds its handler.
+  transport_.to_control(NodeAnnounce{0, tracker_.resources().size()});
+}
+
+void ComputationService::on_submit(const SubmitRun& m) {
+  if (!accepted_.insert(m.run).second) return;  // duplicated command
+  const ProgramRegistry::Program* prog = programs_.find(m.program);
+  if (prog == nullptr) {
+    CBFT_WARN("SubmitRun " << m.run << " references unknown program "
+                           << m.program << "; dropped");
+    return;
+  }
+  CBFT_CHECK(m.job_index < prog->dag->jobs.size());
+  const mapreduce::MRJobSpec& spec = prog->dag->jobs[m.job_index];
+  // Map before submitting: submit dispatches inline and the hooks above
+  // need the control id for the events they emit during it.
+  ctl_of_[tracker_.next_run_id()] = m.run;
+  const std::size_t run = tracker_.submit(
+      *prog->plan, spec, m.replica, m.input_paths, m.output_path,
+      std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()),
+      std::set<cluster::NodeId>(m.restrict_to.begin(), m.restrict_to.end()),
+      m.max_nodes);
+  CBFT_CHECK(ctl_of_.at(run) == m.run);
+}
+
+void ComputationService::on_probe(const ProbeRequest& m) {
+  if (!accepted_.insert(m.run_suspect).second) return;
+  accepted_.insert(m.run_control);
+  CBFT_CHECK_MSG(tracker_.dfs().exists(m.input_path),
+                 "probe input missing from DFS: " + m.input_path);
+
+  // A minimal pass-through data-flow: LOAD -> STORE over the probe
+  // input. Any commission fault on the suspect corrupts its copy.
+  auto probe = std::make_unique<ProbeJob>();
+  probe->plan = std::make_unique<dataflow::LogicalPlan>();
+  dataflow::OpNode load;
+  load.kind = dataflow::OpKind::kLoad;
+  load.alias = "probe";
+  load.path = m.input_path;
+  // Take the schema from the stored relation (arity is what matters).
+  {
+    const dataflow::Relation& rel = tracker_.dfs().read(m.input_path);
+    load.schema = rel.schema();
+  }
+  const dataflow::OpId load_id = probe->plan->add(std::move(load));
+  dataflow::OpNode store;
+  store.kind = dataflow::OpKind::kStore;
+  store.inputs = {load_id};
+  store.schema = probe->plan->node(load_id).schema;
+  store.path = "probe/" + std::to_string(m.probe) + "/out";
+  probe->plan->add(std::move(store));
+
+  mapreduce::CompileOptions copts;
+  copts.sid_prefix = "probe#" + std::to_string(m.probe);
+  probe->dag = mapreduce::compile(*probe->plan, {}, copts);
+  CBFT_CHECK(probe->dag.jobs.size() == 1);
+  const mapreduce::MRJobSpec& spec = probe->dag.jobs[0];
+
+  probe_of_[m.run_suspect] = m.probe;
+  probe_of_[m.run_control] = m.probe;
+
+  // Replica 0 is pinned onto the suspect alone; replica 1 runs on nodes
+  // outside the whole suspect set (the honest control).
+  ctl_of_[tracker_.next_run_id()] = m.run_suspect;
+  tracker_.submit(*probe->plan, spec, 0, {m.input_path}, m.suspect_path,
+                  /*avoid=*/{}, /*restrict_to=*/{m.suspect});
+  ctl_of_[tracker_.next_run_id()] = m.run_control;
+  tracker_.submit(*probe->plan, spec, 1, {m.input_path}, m.control_path,
+                  std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()));
+  probe_jobs_.push_back(std::move(probe));
+}
+
+void ComputationService::handle(const Message& m) {
+  std::visit(
+      Overload{
+          [this](const SubmitRun& c) { on_submit(c); },
+          [this](const ProbeRequest& c) { on_probe(c); },
+          [this](const CancelRun& c) {
+            for (const auto& [tracker_run, ctl] : ctl_of_) {
+              if (ctl == c.run) {
+                tracker_.cancel_run(tracker_run);
+                return;
+              }
+            }
+          },
+          [this](const AddNodes& c) {
+            tracker_.add_nodes(c.count, c.slots);
+          },
+          [this](const DrainNode& c) { tracker_.drain_node(c.node); },
+          [](const auto& /*event echoed to the wrong side*/) {
+            CBFT_CHECK(!"computation tier received a computation-tier event");
+          },
+      },
+      m);
+}
+
+}  // namespace clusterbft::protocol

@@ -1,0 +1,62 @@
+// ComputationService: the computation tier's end of the protocol seam.
+//
+// It is the only code that speaks both protocol messages and the
+// execution tracker's native interface: inbound commands are translated
+// into tracker calls (resolving program handles through the registry),
+// and the tracker's outbound hooks are translated into protocol events.
+// Control-tier code (src/core) never includes this header — it lives on
+// the computation side of the trust boundary, together with the tracker.
+//
+// Run-id mapping: run ids are control-assigned, so the service maps each
+// control id to the tracker id *before* calling submit (tracker hooks
+// fire inline during submission, and their events must already carry the
+// control id). Because the control tier is the sole submitter, the two
+// id spaces coincide in practice; the mapping keeps the protocol honest
+// about which tier owns which identifier.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/tracker.hpp"
+#include "protocol/registry.hpp"
+#include "protocol/transport.hpp"
+
+namespace clusterbft::protocol {
+
+class ComputationService {
+ public:
+  ComputationService(cluster::ExecutionTracker& tracker, Transport& transport,
+                     const ProgramRegistry& programs);
+
+ private:
+  void handle(const Message& m);
+  void on_submit(const SubmitRun& m);
+  void on_probe(const ProbeRequest& m);
+
+  cluster::ExecutionTracker& tracker_;
+  Transport& transport_;
+  const ProgramRegistry& programs_;
+
+  /// tracker run id -> control run id.
+  std::map<std::size_t, std::uint64_t> ctl_of_;
+  /// Control run ids already accepted (a duplicated SubmitRun is ignored).
+  std::set<std::uint64_t> accepted_;
+  /// Digest reports forwarded per control run — RunComplete carries the
+  /// total so the control tier can detect in-flight digest loss.
+  std::map<std::uint64_t, std::uint64_t> digests_sent_;
+  /// Control run id -> probe id, for runs that answer with ProbeReply.
+  std::map<std::uint64_t, std::uint64_t> probe_of_;
+
+  /// Probe plans/specs must outlive their runs in the tracker.
+  struct ProbeJob {
+    std::unique_ptr<dataflow::LogicalPlan> plan;
+    mapreduce::JobDag dag;
+  };
+  std::vector<std::unique_ptr<ProbeJob>> probe_jobs_;
+};
+
+}  // namespace clusterbft::protocol

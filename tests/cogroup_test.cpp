@@ -6,6 +6,7 @@
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
 
@@ -122,7 +123,8 @@ TEST(CogroupTest, DistributedMatchesInterpreterAndVerifies) {
   cluster::ExecutionTracker tracker(sim, dfs, cfg);
   dfs.write("orders", big_orders);
   dfs.write("payments", big_payments);
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
   const auto res = controller.execute(
       baseline::cluster_bft(script, "cg", 1, 2, 1));
   ASSERT_TRUE(res.verified);

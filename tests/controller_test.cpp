@@ -3,6 +3,7 @@
 // with and without Byzantine nodes — and the verified outputs are checked
 // against the reference interpreter.
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 
 #include <gtest/gtest.h>
 
@@ -28,13 +29,16 @@ struct World {
   EventSim sim;
   mapreduce::Dfs dfs{16384};
   std::unique_ptr<ExecutionTracker> tracker;
+  std::unique_ptr<protocol::LoopbackSeam> seam;
   std::unique_ptr<ClusterBft> controller;
   std::map<std::string, Relation> inputs;
 
   explicit World(TrackerConfig cfg = {}) {
     cfg.num_nodes = cfg.num_nodes == 16 ? 16 : cfg.num_nodes;
     tracker = std::make_unique<ExecutionTracker>(sim, dfs, cfg);
-    controller = std::make_unique<ClusterBft>(sim, dfs, *tracker);
+    seam = std::make_unique<protocol::LoopbackSeam>(*tracker);
+    controller = std::make_unique<ClusterBft>(sim, dfs, seam->transport,
+                                              seam->programs);
   }
 
   void load_twitter(std::uint64_t edges = 2000) {

@@ -12,6 +12,7 @@
 #include "cluster/tracker.hpp"
 #include "common/rng.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "core/graph_analyzer.hpp"
 #include "crypto/digest.hpp"
 #include "dataflow/interpreter.hpp"
@@ -38,7 +39,8 @@ core::ScriptResult run_world(std::uint64_t seed) {
   tw.num_edges = 1000;
   tw.num_users = 150;
   dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
   return controller.execute(baseline::cluster_bft(
       workloads::twitter_follower_analysis(), "det", 1, 2, 1));
 }

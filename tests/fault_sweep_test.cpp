@@ -9,6 +9,7 @@
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
 #include "workloads/scripts.hpp"
@@ -58,7 +59,8 @@ TEST_P(FaultSweep, VerifiedImpliesCorrect) {
   tw.seed = p.seed;
   const auto edges = workloads::generate_twitter_edges(tw);
   dfs.write("twitter/edges", edges);
-  ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
 
   const std::string script = workloads::twitter_follower_analysis();
   const auto res = controller.execute(
@@ -117,7 +119,8 @@ TEST(FaultSweepTest, WeatherChainUnderTwoFaultFlavours) {
   w.readings_per_station = 8;
   const auto readings = workloads::generate_weather(w);
   dfs.write("weather/gsod", readings);
-  ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
 
   const std::string script = workloads::weather_average_analysis();
   const auto res = controller.execute(

@@ -57,9 +57,10 @@ std::size_t count_occurrences(const std::string& haystack,
   return count;
 }
 
-const std::array<const char*, 6> kRuleIds = {
+const std::array<const char*, 7> kRuleIds = {
     "unordered-container", "unseeded-random",  "wall-clock",
-    "pointer-keyed-container", "raw-threading", "uninit-pod-member"};
+    "pointer-keyed-container", "raw-threading", "uninit-pod-member",
+    "trust-boundary-include"};
 
 class LintSelfTest : public ::testing::Test {
  protected:

@@ -6,6 +6,7 @@
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
 #include "workloads/scripts.hpp"
@@ -21,12 +22,15 @@ struct World {
   cluster::EventSim sim;
   mapreduce::Dfs dfs{16384};
   std::unique_ptr<cluster::ExecutionTracker> tracker;
+  std::unique_ptr<protocol::LoopbackSeam> seam;
   std::unique_ptr<ClusterBft> controller;
 
   explicit World(TrackerConfig cfg = {}) {
     cfg.num_nodes = 16;
     tracker = std::make_unique<cluster::ExecutionTracker>(sim, dfs, cfg);
-    controller = std::make_unique<ClusterBft>(sim, dfs, *tracker);
+    seam = std::make_unique<protocol::LoopbackSeam>(*tracker);
+    controller = std::make_unique<ClusterBft>(sim, dfs, seam->transport,
+                                              seam->programs);
     workloads::WeatherConfig w;
     w.num_stations = 150;
     w.readings_per_station = 10;

@@ -20,6 +20,7 @@
 #include "dataflow/parser.hpp"
 #include "mapreduce/compiler.hpp"
 #include "mapreduce/local_runner.hpp"
+#include "protocol/seam.hpp"
 #include "random_script.hpp"
 #include "workloads/scripts.hpp"
 #include "workloads/twitter.hpp"
@@ -141,11 +142,13 @@ TrackerPass tracker_pass(std::uint64_t seed, std::size_t threads) {
   ExecutionTracker tracker(sim, dfs, cfg);
 
   TrackerPass pass;
-  tracker.on_digest = [&pass](const mapreduce::DigestReport& r,
-                              std::size_t run_id, NodeId nid) {
-    pass.digest_log.push_back(r);
-    pass.digest_run_ids.push_back(run_id);
-    pass.digest_nodes.push_back(nid);
+  tracker.on_digests = [&pass](std::vector<mapreduce::DigestReport>&& reports,
+                               std::size_t run_id, NodeId nid) {
+    for (const mapreduce::DigestReport& r : reports) {
+      pass.digest_log.push_back(r);
+      pass.digest_run_ids.push_back(run_id);
+      pass.digest_nodes.push_back(nid);
+    }
   };
 
   std::vector<std::size_t> runs;
@@ -223,7 +226,8 @@ core::ScriptResult controller_pass(std::uint64_t seed, std::size_t threads) {
   tw.num_edges = 1000;
   tw.num_users = 150;
   dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
   return controller.execute(baseline::cluster_bft(
       workloads::twitter_follower_analysis(), "det", 1, 2, 1));
 }

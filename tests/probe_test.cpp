@@ -7,6 +7,7 @@
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "workloads/scripts.hpp"
 #include "workloads/twitter.hpp"
 
@@ -23,11 +24,14 @@ struct World {
   EventSim sim;
   mapreduce::Dfs dfs{16384};
   std::unique_ptr<ExecutionTracker> tracker;
+  std::unique_ptr<protocol::LoopbackSeam> seam;
   std::unique_ptr<ClusterBft> controller;
 
   explicit World(TrackerConfig cfg) {
     tracker = std::make_unique<ExecutionTracker>(sim, dfs, cfg);
-    controller = std::make_unique<ClusterBft>(sim, dfs, *tracker);
+    seam = std::make_unique<protocol::LoopbackSeam>(*tracker);
+    controller = std::make_unique<ClusterBft>(sim, dfs, seam->transport,
+                                              seam->programs);
     workloads::TwitterConfig tw;
     tw.num_edges = 1500;
     tw.num_users = 200;

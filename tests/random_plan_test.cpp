@@ -8,6 +8,7 @@
 #include "cluster/tracker.hpp"
 #include "common/rng.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
 #include "random_script.hpp"
@@ -36,7 +37,8 @@ TEST_P(RandomPlanSweep, DistributedMatchesInterpreter) {
   cfg.num_nodes = 8;
   cluster::ExecutionTracker tracker(sim, dfs, cfg);
   dfs.write("ta", input);
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
 
   const auto res = controller.execute(
       baseline::cluster_bft(script, "rand", 1, 2, 1));

@@ -9,6 +9,7 @@
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "core/graph_analyzer.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
@@ -69,7 +70,8 @@ TEST(StrongAdversaryTest, StrongModelVerifiesUnderDataAndDigestCorruption) {
   tw.num_edges = 1500;
   tw.num_users = 200;
   dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
-  ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
 
   auto req = baseline::cluster_bft(workloads::twitter_follower_analysis(),
                                    "strong", /*f=*/2, /*r=*/3, /*n=*/1);

@@ -151,10 +151,12 @@ TEST(TrackerTest, DigestsReportedOncePerTaskAtVerificationPoints) {
   Fixture fx(workloads::twitter_follower_analysis(), {{out_vertex, 0}});
   ExecutionTracker tracker(fx.sim, fx.dfs, small_cluster());
   std::size_t digest_count = 0;
-  tracker.on_digest = [&](const mapreduce::DigestReport& r, std::size_t,
-                          NodeId) {
-    EXPECT_EQ(r.key.vertex, out_vertex);
-    ++digest_count;
+  tracker.on_digests = [&](std::vector<mapreduce::DigestReport>&& reports,
+                           std::size_t, NodeId) {
+    for (const mapreduce::DigestReport& r : reports) {
+      EXPECT_EQ(r.key.vertex, out_vertex);
+      ++digest_count;
+    }
   };
   fx.run_chain(tracker, 0);
   // Reduce-side point: one digest per reduce partition.

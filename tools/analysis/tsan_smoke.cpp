@@ -16,6 +16,7 @@
 #include "cluster/tracker.hpp"
 #include "common/thread_pool.hpp"
 #include "core/controller.hpp"
+#include "protocol/seam.hpp"
 #include "dataflow/parser.hpp"
 #include "mapreduce/compiler.hpp"
 #include "mapreduce/local_runner.hpp"
@@ -98,7 +99,8 @@ core::ScriptResult tracker_run(std::size_t threads) {
   tw.num_edges = 1500;
   tw.num_users = 200;
   dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
-  core::ClusterBft controller(sim, dfs, tracker);
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
   return controller.execute(baseline::cluster_bft(
       workloads::twitter_follower_analysis(), "smoke", 1, 2, 1));
 }

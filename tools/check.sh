@@ -12,9 +12,10 @@
 #                                under ASan+UBSan (used by the
 #                                `asan_ubsan_smoke` ctest)
 #   tools/check.sh --tsan-smoke  build & run only the tsan_smoke target
-#                                (parallel task-execution engine) under
-#                                ThreadSanitizer (used by the `tsan_smoke`
-#                                ctest)
+#                                (parallel task-execution engine, plus a
+#                                full script driven through the loopback
+#                                control-plane seam) under ThreadSanitizer
+#                                (used by the `tsan_smoke` ctest)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -44,7 +45,10 @@ case "$MODE" in
 
   --tsan-smoke)
     # Same idea for the worker pool: build only the parallel-engine smoke
-    # under TSan in a dedicated tree and run it.
+    # under TSan in a dedicated tree and run it. The smoke includes an
+    # end-to-end controller run over the loopback transport, so a data
+    # race anywhere on the protocol seam (tracker hooks firing from pool
+    # payload commits included) is caught here.
     BUILD="$ROOT/build-tsan-smoke"
     cmake -S "$ROOT" -B "$BUILD" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUSTERBFT_SANITIZE=thread \

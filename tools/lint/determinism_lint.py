@@ -99,6 +99,19 @@ def allowed_rules(raw_line: str) -> set[str]:
     return {r.strip() for r in m.group(1).split(",") if r.strip()}
 
 
+def path_applies(rel: str, applies_to_paths: list[str] | None) -> bool:
+    """None means the rule applies everywhere; otherwise the file must sit
+    under one of the listed directories (matched loosely, like exemption)."""
+    if applies_to_paths is None:
+        return True
+    rel = rel.replace("\\", "/")
+    for base in applies_to_paths:
+        base = base.rstrip("/")
+        if rel == base or rel.startswith(base + "/") or ("/" + base + "/") in rel:
+            return True
+    return False
+
+
 def path_is_exempt(rel: str, exempt_paths: list[str]) -> bool:
     rel = rel.replace("\\", "/")
     for ex in exempt_paths:
@@ -138,6 +151,25 @@ def check_regex_rule(rule: dict, rel: str, raw: list[str], clean: list[str],
         if rule["id"] in allowed_rules(raw[idx]):
             continue
         out.append(Violation(rel, idx + 1, rule["id"], rule["message"], raw[idx]))
+
+
+INCLUDE_RE = re.compile(r"^\s*#\s*include")
+
+
+def check_include_rule(rule: dict, rel: str, raw: list[str],
+                       out: list[Violation]) -> None:
+    """Include rules match RAW lines (the comment/string stripper blanks
+    the quoted header name) but only on lines that are #include directives,
+    so the pattern cannot fire inside ordinary code or comments."""
+    pattern = re.compile(rule["pattern"])
+    for idx, line in enumerate(raw):
+        if not INCLUDE_RE.match(line):
+            continue
+        if not pattern.search(line):
+            continue
+        if rule["id"] in allowed_rules(line):
+            continue
+        out.append(Violation(rel, idx + 1, rule["id"], rule["message"], line))
 
 
 def check_struct_member_rule(rule: dict, rel: str, raw: list[str],
@@ -187,8 +219,12 @@ def lint_file(path: Path, rel: str, rules: dict) -> list[Violation]:
     for rule in rules["rules"]:
         if path_is_exempt(rel, rule.get("exempt_paths", [])):
             continue
+        if not path_applies(rel, rule.get("applies_to_paths")):
+            continue
         if rule.get("kind") == "struct-member":
             check_struct_member_rule(rule, rel, raw, clean, pod_types, out)
+        elif rule.get("kind") == "include":
+            check_include_rule(rule, rel, raw, out)
         else:
             check_regex_rule(rule, rel, raw, clean, out)
     return out

@@ -1,0 +1,10 @@
+// Fixture for the trust-boundary-include rule: this file pretends to be
+// control-tier code (the rule's applies_to_paths lists this directory
+// alongside src/core). One barred include fires, one is suppressed.
+#include "cluster/tracker.hpp"
+#include "mapreduce/task.hpp"  // lint:allow(trust-boundary-include)
+#include "protocol/messages.hpp"
+
+// Mentioning cluster/tracker.hpp in a comment, or in a string literal
+// like "cluster/tracker.hpp", must not fire: only #include lines count.
+const char* not_an_include = "#include \"cluster/tracker.hpp\"";

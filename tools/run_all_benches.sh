@@ -1,6 +1,11 @@
 #!/bin/sh
 # Regenerates every paper table/figure plus the ablations and
 # micro-benchmarks. Used to produce bench_output.txt.
+#
+# Each bench drops a BENCH_<name>.json next to the binary's working
+# directory; after the sweep they are merged into one bench_results.json
+# (keyed by <name>, keys sorted) so a single artifact carries the whole
+# reproduction run.
 set -e
 cd "$(dirname "$0")/.."
 for b in build/bench/*; do
@@ -9,3 +14,22 @@ for b in build/bench/*; do
   "$b"
   echo
 done
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF'
+import glob
+import json
+
+merged = {}
+for path in sorted(glob.glob("BENCH_*.json")):
+    name = path[len("BENCH_"):-len(".json")]
+    with open(path, encoding="utf-8") as f:
+        merged[name] = json.load(f)
+with open("bench_results.json", "w", encoding="utf-8") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"merged {len(merged)} BENCH_*.json file(s) into bench_results.json")
+EOF
+else
+  echo "python3 not found; skipping the bench_results.json merge" >&2
+fi
