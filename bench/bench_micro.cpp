@@ -154,6 +154,47 @@ void BM_EvalGroup(benchmark::State& state) {
 }
 BENCHMARK(BM_EvalGroup)->Arg(1000)->Arg(10000);
 
+// --- Shuffle hot path (ISSUE 4): the reduce boundary used to sort the
+// whole partition canonically before grouping; the hash-partitioned path
+// feeds the unsorted partition straight into the order-insensitive
+// KeyIndex grouping and sorts only per-key bags. Both emit bit-identical
+// canonical bytes; the delta is the digest-hot-path saving.
+
+void BM_ReduceGroup_SortBased(benchmark::State& state) {
+  workloads::TwitterConfig cfg;
+  cfg.num_edges = static_cast<std::uint64_t>(state.range(0));
+  const auto rel = workloads::generate_twitter_edges(cfg);
+  dataflow::OpNode op;
+  op.kind = dataflow::OpKind::kGroup;
+  op.group_keys = {0};
+  op.schema = dataflow::Schema::of(
+      {{"group", dataflow::ValueType::kLong},
+       {"bag", dataflow::ValueType::kBag}});
+  for (auto _ : state) {
+    dataflow::Relation sorted(rel.schema(), rel.sorted_rows());
+    benchmark::DoNotOptimize(dataflow::eval_group(op, sorted));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceGroup_SortBased)->Arg(10000)->Arg(50000);
+
+void BM_ReduceGroup_HashPartitioned(benchmark::State& state) {
+  workloads::TwitterConfig cfg;
+  cfg.num_edges = static_cast<std::uint64_t>(state.range(0));
+  const auto rel = workloads::generate_twitter_edges(cfg);
+  dataflow::OpNode op;
+  op.kind = dataflow::OpKind::kGroup;
+  op.group_keys = {0};
+  op.schema = dataflow::Schema::of(
+      {{"group", dataflow::ValueType::kLong},
+       {"bag", dataflow::ValueType::kBag}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataflow::eval_group(op, rel));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceGroup_HashPartitioned)->Arg(10000)->Arg(50000);
+
 void BM_ParseScript(benchmark::State& state) {
   const std::string script = workloads::airline_top20_analysis();
   for (auto _ : state) {

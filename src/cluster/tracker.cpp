@@ -393,6 +393,7 @@ void ExecutionTracker::complete_map_task(NodeId nid, const TaskRef& ref,
       if (bucket.schema().size() == 0) {
         bucket = Relation(result.partitions[p].schema());
       }
+      bucket.reserve(bucket.size() + result.partitions[p].size());
       for (dataflow::Tuple& t : result.partitions[p].rows()) {
         bucket.add(std::move(t));
       }

@@ -20,6 +20,8 @@ const char* to_string(AuditEvent::Kind kind) {
       return "probe-conviction";
     case AuditEvent::Kind::kNodeEvicted:
       return "node-evicted";
+    case AuditEvent::Kind::kRollback:
+      return "rollback";
   }
   return "?";
 }

@@ -26,6 +26,7 @@ struct AuditEvent {
     kOmissionFault,
     kProbeConviction,
     kNodeEvicted,
+    kRollback,
   };
 
   double time = 0;  ///< simulated seconds

@@ -38,6 +38,7 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   run_info_.clear();
   my_runs_.clear();
   attributed_runs_.clear();
+  rolled_back_runs_.clear();
   decision_pending_.clear();
   decision_paid_.clear();
   finished_ = false;
@@ -45,6 +46,7 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   commission_seen_ = 0;
   omission_seen_ = 0;
   digest_reports_ = 0;
+  rollbacks_ = 0;
 
   // Input sizes annotate the plan (Fig. 4) and feed the input ratios.
   std::map<std::string, std::uint64_t> input_sizes;
@@ -67,9 +69,18 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   // handle; only the handle crosses the trust boundary.
   program_id_ = programs_.deploy(&plan_, &dag_);
 
-  verifier_ = std::make_unique<Verifier>(request.f);
+  // The previous execution's verifier borrows the previous pool: tear it
+  // down before swapping the pool out under it.
+  verifier_.reset();
+  verifier_pool_ = request.verifier_threads > 0
+                       ? std::make_unique<common::ThreadPool>(
+                             request.verifier_threads)
+                       : nullptr;
+  verifier_ = std::make_unique<Verifier>(request.f, verifier_pool_.get());
+  pipeline_depth_ = pipeline_depths(dag_);
   verified_.assign(dag_.jobs.size(), false);
   verified_path_.assign(dag_.jobs.size(), "");
+  verified_ref_run_.assign(dag_.jobs.size(), std::nullopt);
   first_complete_run_.assign(dag_.jobs.size(), std::nullopt);
   job_timeout_s_.assign(dag_.jobs.size(), request.verifier_timeout_s);
   job_by_output_.clear();
@@ -116,6 +127,7 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   }
   result.metrics.runs = my_runs_.size();
   result.metrics.digest_reports = digest_reports_;
+  result.metrics.rollbacks = rollbacks_;
   result.commission_faults_seen = commission_seen_;
   result.omission_faults_seen = omission_seen_;
 
@@ -249,8 +261,8 @@ bool ClusterBft::deps_ready(const Wave& w, std::size_t job) const {
   return true;
 }
 
-std::vector<std::string> ClusterBft::resolve_inputs(const Wave& w,
-                                                    std::size_t job) const {
+std::vector<std::string> ClusterBft::resolve_inputs(
+    const Wave& w, std::size_t job, std::vector<std::size_t>* upstream) const {
   const MRJobSpec& spec = dag_.jobs[job];
   std::vector<std::string> paths;
   for (const mapreduce::MapBranch& b : spec.branches) {
@@ -271,6 +283,10 @@ std::vector<std::string> ClusterBft::resolve_inputs(const Wave& w,
                            cp_.run_complete(*w.run_of[dep]);
     if (wave_done) {
       paths.push_back(cp_.run_output_path(*w.run_of[dep]));
+      // An unverified materialised input is a taint edge: if that run
+      // later turns out deviant, this job's run is tainted too. A
+      // verified input is ground truth and records no edge.
+      if (upstream != nullptr) upstream->push_back(*w.run_of[dep]);
     } else {
       CBFT_CHECK_MSG(verified_[dep], "dependency neither done nor verified");
       paths.push_back(verified_path_[dep]);
@@ -285,49 +301,80 @@ void ClusterBft::pump() {
   while (progress) {
     progress = false;
     for (std::size_t wi = 0; wi < waves_.size(); ++wi) {
-      Wave& w = waves_[wi];
+      const Wave& w = waves_[wi];
+      // The pipeline budget counts runs submitted but not yet complete.
+      std::size_t in_flight = 0;
+      if (request_->pipeline_width > 0) {
+        for (std::size_t j = 0; j < dag_.jobs.size(); ++j) {
+          if (w.run_of[j] && !cp_.run_complete(*w.run_of[j])) ++in_flight;
+        }
+      }
+      // Every job whose inputs are materialised, deepest remaining chain
+      // first: a bounded width is spent on the critical path, and with
+      // unbounded width the order is still fixed — dispatch order (and
+      // with it run-id assignment) never depends on timing.
+      std::vector<std::size_t> ready;
       for (std::size_t j = 0; j < dag_.jobs.size(); ++j) {
         if (!w.includes[j] || w.run_of[j] || verified_[j]) continue;
         if (!deps_ready(w, j)) continue;
-        const MRJobSpec& spec = dag_.jobs[j];
-        // Rerun waves steer away from the current suspects (§3.3 smart
-        // deployment): a node that corrupted one wave should not get the
-        // chance to corrupt its replacement.
-        std::set<NodeId> avoid;
-        if (w.replica >= std::max<std::size_t>(1, request_->r)) {
-          if (fault_analyzer_) avoid = fault_analyzer_->suspects();
-          // Nodes involved in timed-out (non-responding) replicas never
-          // reach the commission-fault analyzer; steer around them too.
-          avoid.insert(omission_suspects_.begin(), omission_suspects_.end());
+        ready.push_back(j);
+      }
+      std::stable_sort(ready.begin(), ready.end(),
+                       [this](std::size_t a, std::size_t b) {
+                         return pipeline_depth_[a] > pipeline_depth_[b];
+                       });
+      for (const std::size_t j : ready) {
+        if (request_->pipeline_width > 0 &&
+            in_flight >= request_->pipeline_width) {
+          break;
         }
-        // Bound each replica's footprint so the r initial replicas plus a
-        // rerun replica always fit on pairwise-disjoint node sets.
-        const std::size_t groups = std::max<std::size_t>(1, request_->r) + 1;
-        const std::size_t max_nodes =
-            std::max<std::size_t>(1, cp_.cluster_size() / groups);
-        protocol::SubmitRun msg;
-        msg.program = program_id_;
-        msg.job_index = j;
-        msg.replica = w.replica;
-        msg.input_paths = resolve_inputs(w, j);
-        msg.output_path = wave_scope(w) + spec.output_path;
-        msg.avoid.assign(avoid.begin(), avoid.end());
-        msg.max_nodes = max_nodes;
-        const std::size_t run = cp_.submit_run(std::move(msg));
-        w.run_of[j] = run;
-        run_info_[run] = RunInfo{wi, j};
-        my_runs_.push_back(run);
-        const bool gating = !spec.vps.empty();
-        verifier_->expect_run(spec.sid, run, gating);
-        if (gating) {
-          const double timeout = job_timeout_s_[j];
-          sim_.schedule_after(timeout, [this, j, wi] {
-            handle_timeout(j, wi);
-          });
-        }
+        submit_job(wi, j);
+        ++in_flight;
         progress = true;
       }
     }
+  }
+}
+
+void ClusterBft::submit_job(std::size_t wave_index, std::size_t job) {
+  Wave& w = waves_[wave_index];
+  const std::size_t j = job;
+  const MRJobSpec& spec = dag_.jobs[j];
+  // Rerun waves steer away from the current suspects (§3.3 smart
+  // deployment): a node that corrupted one wave should not get the
+  // chance to corrupt its replacement.
+  std::set<NodeId> avoid;
+  if (w.replica >= std::max<std::size_t>(1, request_->r)) {
+    if (fault_analyzer_) avoid = fault_analyzer_->suspects();
+    // Nodes involved in timed-out (non-responding) replicas never
+    // reach the commission-fault analyzer; steer around them too.
+    avoid.insert(omission_suspects_.begin(), omission_suspects_.end());
+  }
+  // Bound each replica's footprint so the r initial replicas plus a
+  // rerun replica always fit on pairwise-disjoint node sets.
+  const std::size_t groups = std::max<std::size_t>(1, request_->r) + 1;
+  const std::size_t max_nodes =
+      std::max<std::size_t>(1, cp_.cluster_size() / groups);
+  RunInfo info{wave_index, j, {}};
+  protocol::SubmitRun msg;
+  msg.program = program_id_;
+  msg.job_index = j;
+  msg.replica = w.replica;
+  msg.input_paths = resolve_inputs(w, j, &info.upstream_runs);
+  msg.output_path = wave_scope(w) + spec.output_path;
+  msg.avoid.assign(avoid.begin(), avoid.end());
+  msg.max_nodes = max_nodes;
+  const std::size_t run = cp_.submit_run(std::move(msg));
+  w.run_of[j] = run;
+  run_info_[run] = std::move(info);
+  my_runs_.push_back(run);
+  const bool gating = !spec.vps.empty();
+  verifier_->expect_run(spec.sid, run, gating);
+  if (gating) {
+    const double timeout = job_timeout_s_[j];
+    sim_.schedule_after(timeout, [this, j, wave_index, run] {
+      handle_timeout(j, wave_index, run);
+    });
   }
 }
 
@@ -335,6 +382,7 @@ void ClusterBft::handle_digest(const mapreduce::DigestReport& report,
                                std::size_t run_id, NodeId /*node*/) {
   auto it = run_info_.find(run_id);
   if (it == run_info_.end()) return;  // a previous execution's straggler
+  if (rolled_back_runs_.count(run_id)) return;  // forgotten by the verifier
   ++digest_reports_;
   const MRJobSpec& spec = dag_.jobs[it->second.job];
   verifier_->add_report(spec.sid, run_id, report);
@@ -343,15 +391,29 @@ void ClusterBft::handle_digest(const mapreduce::DigestReport& report,
 void ClusterBft::handle_run_complete(std::size_t run_id) {
   auto it = run_info_.find(run_id);
   if (it == run_info_.end()) return;
+  if (rolled_back_runs_.count(run_id)) return;
   const std::size_t j = it->second.job;
   const MRJobSpec& spec = dag_.jobs[j];
   verifier_->mark_run_complete(spec.sid, run_id);
   if (!first_complete_run_[j]) first_complete_run_[j] = run_id;
-  if (!finished_) {
-    try_verify(j);
-    pump();
-    check_completion();
+  if (finished_) return;
+  if (verified_[j]) {
+    // A replica completing after its job already verified: the decision
+    // did not cover it, so compare against the verified reference now. A
+    // mismatch is a commission fault discovered late — attribute it and
+    // roll back whatever downstream work consumed this run's output.
+    if (verified_ref_run_[j] && verifier_->is_gating(spec.sid) &&
+        !verifier_->run_agrees(spec.sid, *verified_ref_run_[j], run_id)) {
+      attribute_commission({run_id});
+      rollback_tainted({run_id});
+      pump();
+      check_completion();
+    }
+    return;
   }
+  try_verify(j);
+  pump();
+  check_completion();
 }
 
 void ClusterBft::try_verify(std::size_t j) {
@@ -377,12 +439,17 @@ void ClusterBft::try_verify(std::size_t j) {
     }
     verified_[j] = true;
     verified_path_[j] = cp_.run_output_path(decision->majority_runs.front());
+    verified_ref_run_[j] = decision->majority_runs.front();
     audit_.record(sim_.now(), AuditEvent::Kind::kJobVerified,
                   spec.sid + " (" +
                       std::to_string(decision->majority_runs.size()) +
                       " agreeing replicas)",
                   spec.sid);
     attribute_commission(decision->deviant_runs);
+    // Downstream jobs of a deviant chain may already be running on (or
+    // have finished with) the corrupted output — the price of pipelining.
+    // Cancel exactly those, leaving every untainted chain untouched.
+    rollback_tainted(decision->deviant_runs);
     CBFT_DEBUG("job " << spec.sid << " verified with "
                       << decision->majority_runs.size() << " replicas");
     return;
@@ -398,9 +465,16 @@ void ClusterBft::try_verify(std::size_t j) {
   }
 }
 
-void ClusterBft::handle_timeout(std::size_t j, std::size_t wave_index) {
+void ClusterBft::handle_timeout(std::size_t j, std::size_t wave_index,
+                                std::size_t run_id) {
   if (finished_ || verified_[j]) return;
-  // Stale if a newer wave already covers this job.
+  // Stale if the run this timeout was armed for is no longer the wave's
+  // run for j (rolled back and re-dispatched: the fresh submission armed
+  // a fresh timeout), or if a newer wave already covers the job.
+  if (!waves_[wave_index].run_of[j] ||
+      *waves_[wave_index].run_of[j] != run_id) {
+    return;
+  }
   for (std::size_t wi = wave_index + 1; wi < waves_.size(); ++wi) {
     if (waves_[wi].includes[j]) return;
   }
@@ -500,6 +574,74 @@ void ClusterBft::attribute_omission(const std::vector<std::size_t>& runs) {
       cp_.record_fault(n);
       omission_suspects_.insert(n);
     }
+  }
+}
+
+void ClusterBft::rollback_tainted(
+    const std::vector<std::size_t>& deviant_runs) {
+  if (deviant_runs.empty()) return;
+  // Transitive downstream closure over the recorded taint edges: a run is
+  // tainted when it read the materialised output of a deviant or tainted
+  // run. Edges only exist for unverified inputs, so verified prefixes
+  // bound the blast radius exactly like they bound reruns.
+  std::set<std::size_t> tainted(deviant_runs.begin(), deviant_runs.end());
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [run, info] : run_info_) {
+      if (tainted.count(run)) continue;
+      for (const std::size_t up : info.upstream_runs) {
+        if (tainted.count(up)) {
+          tainted.insert(run);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  const std::set<std::size_t> sources(deviant_runs.begin(),
+                                      deviant_runs.end());
+  for (const std::size_t run : tainted) {
+    const RunInfo& info = run_info_.at(run);
+    const std::size_t j = info.job;
+    // A tainted run whose completed digest vector agrees with its job's
+    // verified majority provably produced the correct output despite the
+    // tainted input — keep it (and everything built on it).
+    if (!sources.count(run) && verified_[j] && verified_ref_run_[j] &&
+        *verified_ref_run_[j] != run && cp_.run_complete(run) &&
+        verifier_->run_agrees(dag_.jobs[j].sid, *verified_ref_run_[j], run)) {
+      continue;
+    }
+    // Unhook the run from its wave slot so downstream dispatches in that
+    // wave resolve the dependency from the verified output — and, for a
+    // cancelled run, so pump() re-dispatches the job itself.
+    Wave& w = waves_[info.wave];
+    if (w.run_of[j] && *w.run_of[j] == run) w.run_of[j] = std::nullopt;
+    if (sources.count(run)) {
+      // The deviant itself is complete and already attributed; its record
+      // stays with the verifier as evidence. Only downstream victims are
+      // cancelled.
+      continue;
+    }
+    if (!rolled_back_runs_.insert(run).second) continue;
+    ++rollbacks_;
+    cp_.cancel_run(run);
+    verifier_->forget_run(dag_.jobs[j].sid, run);
+    if (first_complete_run_[j] && *first_complete_run_[j] == run) {
+      // Rescan: another (non-rolled-back) completed replica may exist.
+      first_complete_run_[j] = std::nullopt;
+      for (const auto& [other, other_info] : run_info_) {
+        if (other_info.job != j || rolled_back_runs_.count(other)) continue;
+        if (!cp_.run_complete(other)) continue;
+        first_complete_run_[j] = other;
+        break;
+      }
+    }
+    audit_.record(sim_.now(), AuditEvent::Kind::kRollback,
+                  "rolled back replica of " + dag_.jobs[j].sid +
+                      " tainted by a deviant upstream run",
+                  dag_.jobs[j].sid,
+                  {cp_.run_nodes(run).begin(), cp_.run_nodes(run).end()});
   }
 }
 

@@ -13,7 +13,15 @@
 //  * digests stream to the verifier; a job is *verified* once f+1
 //    completed replicas agree on its whole digest vector; deviant replicas
 //    are commission faults (fault analyzer + suspicion); chains do NOT
-//    wait for verification (offline comparison);
+//    wait for verification (offline comparison) — the scheduler walks the
+//    DAG in dependency order and dispatches every job whose inputs are
+//    materialised, critical-path-first under an optional per-chain
+//    pipeline-width cap, while digest comparison runs on a thread pool;
+//  * a mismatch discovered only after downstream jobs consumed the
+//    deviant output triggers a *targeted rollback*: exactly the runs
+//    downstream-tainted through recorded run-to-run input edges are
+//    cancelled, forgotten by the verifier, and re-dispatched from the
+//    verified upstream outputs — untainted chains keep running;
 //  * if a job's replicas all complete without f+1 agreement, or its
 //    verifier timeout expires, a new wave re-executes exactly the
 //    still-unverified jobs — verified prefixes are reused, which is where
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "cluster/event_sim.hpp"
+#include "common/thread_pool.hpp"
 #include "core/audit.hpp"
 #include "core/fault_analyzer.hpp"
 #include "core/request.hpp"
@@ -96,19 +105,33 @@ class ClusterBft {
   struct RunInfo {
     std::size_t wave = 0;
     std::size_t job = 0;
+    /// Runs whose materialised (unverified) outputs this run read —
+    /// the taint edges rollback propagates along. Verified inputs are
+    /// trusted and record no edge.
+    std::vector<std::size_t> upstream_runs;
   };
 
   // Event-driven steps.
   void handle_digest(const mapreduce::DigestReport& report,
                      std::size_t run_id, cluster::NodeId node);
   void handle_run_complete(std::size_t run_id);
-  void handle_timeout(std::size_t job, std::size_t wave_index);
-  void pump();  ///< submit every wave job whose dependencies are ready
+  void handle_timeout(std::size_t job, std::size_t wave_index,
+                      std::size_t run_id);
+  void pump();  ///< dispatch ready wave jobs, critical-path-first
+  void submit_job(std::size_t wave_index, std::size_t job);
   void try_verify(std::size_t job);
   void need_wave(std::size_t job, bool force);
   void create_wave();
   void check_completion();
   void finish(bool success);
+
+  /// Cancel and forget every run transitively tainted by the given
+  /// deviant runs (downstream along recorded `upstream_runs` edges),
+  /// except runs whose completed digests agree with their job's verified
+  /// majority — a tainted input that provably produced the correct
+  /// output needs no rerun. The affected wave slots are cleared so pump()
+  /// re-dispatches them from verified outputs.
+  void rollback_tainted(const std::vector<std::size_t>& deviant_runs);
 
   /// Nodes plausibly responsible for a deviant run: the run's own nodes
   /// plus same-wave runs of unverified (non-gating) ancestors, whose
@@ -119,8 +142,12 @@ class ClusterBft {
 
   std::string wave_scope(const Wave& w) const;
   bool deps_ready(const Wave& w, std::size_t job) const;
-  std::vector<std::string> resolve_inputs(const Wave& w,
-                                          std::size_t job) const;
+  /// Input paths for `job` in wave `w`; when `upstream` is non-null, the
+  /// run ids behind every unverified materialised input are appended (the
+  /// taint edges for rollback).
+  std::vector<std::string> resolve_inputs(
+      const Wave& w, std::size_t job,
+      std::vector<std::size_t>* upstream = nullptr) const;
 
   cluster::EventSim& sim_;
   mapreduce::Dfs& dfs_;
@@ -141,10 +168,20 @@ class ClusterBft {
   std::map<std::size_t, RunInfo> run_info_;
   std::vector<bool> verified_;                  ///< per job
   std::vector<std::string> verified_path_;      ///< per job
+  /// Per job: one member of the verified majority — the reference a
+  /// late-completing replica is compared against.
+  std::vector<std::optional<std::size_t>> verified_ref_run_;
   std::vector<std::optional<std::size_t>> first_complete_run_;  ///< per job
   std::map<std::string, std::size_t> job_by_output_;  ///< output path -> job
   std::vector<std::size_t> my_runs_;
   std::set<std::size_t> attributed_runs_;       ///< runs already blamed
+  std::set<std::size_t> rolled_back_runs_;      ///< cancelled as tainted
+  std::size_t rollbacks_ = 0;
+  std::vector<std::size_t> pipeline_depth_;     ///< per job, dispatch prio
+  /// Offline digest-comparison pool (request.verifier_threads > 0); the
+  /// verifier borrows it, so execute() must reset verifier_ before
+  /// replacing the pool.
+  std::unique_ptr<common::ThreadPool> verifier_pool_;
   std::set<std::size_t> decision_pending_;      ///< decision round in flight
   std::set<std::size_t> decision_paid_;         ///< decision latency paid
   std::set<cluster::NodeId> omission_suspects_; ///< nodes of hung replicas

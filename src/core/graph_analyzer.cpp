@@ -146,4 +146,24 @@ std::vector<mapreduce::VerificationPoint> analyze(
   return vps;
 }
 
+std::vector<std::size_t> pipeline_depths(const mapreduce::JobDag& dag) {
+  // Fixpoint over the (acyclic, tiny) dependency relation: every job
+  // starts at depth 1; a job's dependency is at least one deeper than the
+  // job itself, so a larger depth == a longer chain still ahead.
+  std::vector<std::size_t> depth(dag.jobs.size(), 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const mapreduce::MRJobSpec& j : dag.jobs) {
+      for (std::size_t d : j.deps) {
+        if (depth[d] < depth[j.job_index] + 1) {
+          depth[d] = depth[j.job_index] + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  return depth;
+}
+
 }  // namespace clusterbft::core

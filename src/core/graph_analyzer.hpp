@@ -48,4 +48,10 @@ std::vector<mapreduce::VerificationPoint> analyze(
     const std::map<std::string, std::uint64_t>& input_sizes,
     const ClientRequest& request);
 
+/// Per-job length of the longest downstream job chain (sinks = 1). The
+/// pipelined scheduler dispatches ready jobs deepest-first so a bounded
+/// pipeline width is spent on the critical path, not on short side
+/// branches. Indexed by job index.
+std::vector<std::size_t> pipeline_depths(const mapreduce::JobDag& dag);
+
 }  // namespace clusterbft::core

@@ -59,6 +59,20 @@ struct ClientRequest {
   /// pays it at every job boundary.
   double decision_latency_s = 0.0;
 
+  /// Pipelined DAG execution: at most this many runs of one replica
+  /// chain may be in flight (submitted, not yet complete) at once; the
+  /// scheduler dispatches ready jobs critical-path-first under the cap.
+  /// 0 = unbounded (dispatch every ready job immediately); 1 = one job
+  /// at a time per chain. Purely a scheduling knob: digests, outputs and
+  /// suspicion decisions are identical for every width.
+  std::size_t pipeline_width = 0;
+
+  /// Worker threads for offline digest comparison: the verifier folds
+  /// each completed run's digest vector into a fingerprint on a control-
+  /// tier thread pool instead of deep-comparing maps on the scheduler
+  /// thread. 0 = compare inline.
+  std::size_t verifier_threads = 0;
+
   /// Simulated seconds the verifier waits for replicas of a job before
   /// declaring omissions and rescheduling with a larger r.
   double verifier_timeout_s = 300.0;
@@ -80,6 +94,9 @@ struct ScriptMetrics {
   std::uint64_t digested = 0;
   std::size_t runs = 0;          ///< job-replica executions
   std::size_t waves = 0;         ///< initial replicas + rerun waves
+  /// Runs cancelled because a late-verified upstream mismatch tainted
+  /// their inputs (targeted rollback under pipelined execution).
+  std::size_t rollbacks = 0;
   /// Digest messages the verifier processed — with a BFT-replicated
   /// control tier (§6.4) each must be totally ordered among the request
   /// handler replicas, so this scales the control-tier cost with the

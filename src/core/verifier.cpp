@@ -1,10 +1,32 @@
 #include "core/verifier.hpp"
 
 #include <algorithm>
+#include <string_view>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/wire.hpp"
 
 namespace clusterbft::core {
+
+namespace {
+
+/// SHA-256 over the canonical encoding of a complete digest vector. Two
+/// runs have equal fingerprints iff their digest maps are equal: the map
+/// iterates in DigestKey order and the wire encoding of (key, digest) is
+/// injective, so the byte stream determines the map.
+crypto::Digest256 fingerprint_of(
+    const std::map<mapreduce::DigestKey, crypto::Digest256>& digests) {
+  common::WireWriter w;
+  for (const auto& [key, digest] : digests) {
+    mapreduce::encode(w, key);
+    w.raw(digest.bytes.data(), digest.bytes.size());
+  }
+  return crypto::Digest256::of(std::string_view(
+      reinterpret_cast<const char*>(w.bytes().data()), w.bytes().size()));
+}
+
+}  // namespace
 
 void Verifier::expect_run(const std::string& sid, std::size_t run_id,
                           bool gating) {
@@ -28,7 +50,29 @@ void Verifier::mark_run_complete(const std::string& sid, std::size_t run_id) {
   JobState& job = jobs_[sid];
   auto it = job.runs.find(run_id);
   CBFT_CHECK_MSG(it != job.runs.end(), "completion of an unexpected run");
-  it->second.complete = true;
+  RunState& run = it->second;
+  run.complete = true;
+  if (pool_ != nullptr) {
+    // Snapshot the digest vector into the payload: the RunState may be
+    // erased (forget_run) while the computation is still in flight.
+    run.pending = pool_->submit(
+        [digests = run.digests] { return fingerprint_of(digests); });
+  }
+}
+
+void Verifier::forget_run(const std::string& sid, std::size_t run_id) {
+  JobState* job = find(sid);
+  if (job == nullptr) return;
+  job->runs.erase(run_id);
+}
+
+const crypto::Digest256& Verifier::fingerprint(RunState& run) {
+  CBFT_CHECK_MSG(run.complete, "fingerprint of an incomplete run");
+  if (!run.fingerprint) {
+    run.fingerprint = run.pending.valid() ? run.pending.get()
+                                          : fingerprint_of(run.digests);
+  }
+  return *run.fingerprint;
 }
 
 const Verifier::JobState* Verifier::find(const std::string& sid) const {
@@ -36,15 +80,21 @@ const Verifier::JobState* Verifier::find(const std::string& sid) const {
   return it == jobs_.end() ? nullptr : &it->second;
 }
 
+Verifier::JobState* Verifier::find(const std::string& sid) {
+  auto it = jobs_.find(sid);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
 std::vector<std::vector<std::size_t>> Verifier::agreement_groups(
-    const JobState& job) const {
+    JobState& job) {
   std::vector<std::vector<std::size_t>> groups;
-  std::vector<const RunState*> reps;
-  for (const auto& [run_id, state] : job.runs) {
+  std::vector<crypto::Digest256> reps;
+  for (auto& [run_id, state] : job.runs) {
     if (!state.complete) continue;
+    const crypto::Digest256& fp = fingerprint(state);
     bool placed = false;
     for (std::size_t g = 0; g < groups.size(); ++g) {
-      if (reps[g]->digests == state.digests) {
+      if (reps[g] == fp) {
         groups[g].push_back(run_id);
         placed = true;
         break;
@@ -52,7 +102,7 @@ std::vector<std::vector<std::size_t>> Verifier::agreement_groups(
     }
     if (!placed) {
       groups.push_back({run_id});
-      reps.push_back(&state);
+      reps.push_back(fp);
     }
   }
   std::stable_sort(groups.begin(), groups.end(),
@@ -63,8 +113,8 @@ std::vector<std::vector<std::size_t>> Verifier::agreement_groups(
 }
 
 std::optional<Verifier::Decision> Verifier::try_decide(
-    const std::string& sid) const {
-  const JobState* job = find(sid);
+    const std::string& sid) {
+  JobState* job = find(sid);
   CBFT_CHECK_MSG(job != nullptr, "deciding an unknown sid");
   if (!job->gating) return std::nullopt;
 
@@ -81,9 +131,8 @@ std::optional<Verifier::Decision> Verifier::try_decide(
   return d;
 }
 
-std::vector<std::size_t> Verifier::current_deviants(
-    const std::string& sid) const {
-  const JobState* job = find(sid);
+std::vector<std::size_t> Verifier::current_deviants(const std::string& sid) {
+  JobState* job = find(sid);
   CBFT_CHECK(job != nullptr);
   const auto groups = agreement_groups(*job);
   std::vector<std::size_t> out;
@@ -91,6 +140,17 @@ std::vector<std::size_t> Verifier::current_deviants(
     out.insert(out.end(), groups[g].begin(), groups[g].end());
   }
   return out;
+}
+
+bool Verifier::run_agrees(const std::string& sid, std::size_t a,
+                          std::size_t b) {
+  JobState* job = find(sid);
+  CBFT_CHECK(job != nullptr);
+  auto ia = job->runs.find(a);
+  auto ib = job->runs.find(b);
+  CBFT_CHECK_MSG(ia != job->runs.end() && ib != job->runs.end(),
+                 "agreement query for an unknown run");
+  return fingerprint(ia->second) == fingerprint(ib->second);
 }
 
 bool Verifier::is_gating(const std::string& sid) const {

@@ -4,15 +4,22 @@
 //
 // Comparison is *offline*: replicas report digests as their tasks run and
 // downstream jobs of a replica chain proceed without waiting; the verifier
-// decides as soon as enough complete, matching replicas exist.
+// decides as soon as enough complete, matching replicas exist. With a
+// thread pool, the comparison is offloaded too: each completed run's
+// digest vector is folded into a single SHA-256 fingerprint on a worker
+// thread, and decision time only compares fingerprints. The fingerprint
+// is a pure function of the (frozen) digest vector, so pooling changes
+// wall-clock only — never which runs agree.
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "crypto/digest.hpp"
 #include "mapreduce/job.hpp"
 
@@ -20,7 +27,10 @@ namespace clusterbft::core {
 
 class Verifier {
  public:
-  explicit Verifier(std::size_t f) : f_(f) {}
+  /// `pool` (optional, not owned, must outlive the verifier) runs the
+  /// per-run digest-vector fingerprinting off the scheduler thread.
+  explicit Verifier(std::size_t f, common::ThreadPool* pool = nullptr)
+      : f_(f), pool_(pool) {}
 
   std::size_t f() const { return f_; }
 
@@ -34,8 +44,14 @@ class Verifier {
   void add_report(const std::string& sid, std::size_t run_id,
                   const mapreduce::DigestReport& report);
 
-  /// The run finished (its digest vector is complete).
+  /// The run finished (its digest vector is complete). Kicks off the
+  /// offline fingerprint computation when a pool is attached.
   void mark_run_complete(const std::string& sid, std::size_t run_id);
+
+  /// Drop every record of `run_id` (it was rolled back: its inputs were
+  /// tainted, so its digests are not evidence about `sid`). No-op for
+  /// unknown runs.
+  void forget_run(const std::string& sid, std::size_t run_id);
 
   struct Decision {
     bool verified = false;
@@ -47,11 +63,16 @@ class Verifier {
   /// on the entire digest vector. Returns nullopt for non-gating jobs and
   /// for jobs without enough agreement yet (deviants are still reported
   /// through `current_deviants`).
-  std::optional<Decision> try_decide(const std::string& sid) const;
+  std::optional<Decision> try_decide(const std::string& sid);
 
   /// Completed runs that disagree with the (possibly not yet sufficient)
   /// plurality — used for eager fault attribution.
-  std::vector<std::size_t> current_deviants(const std::string& sid) const;
+  std::vector<std::size_t> current_deviants(const std::string& sid);
+
+  /// Whether two completed runs of `sid` produced identical digest
+  /// vectors — used to classify a replica that completes only after its
+  /// job was already verified.
+  bool run_agrees(const std::string& sid, std::size_t a, std::size_t b);
 
   bool is_gating(const std::string& sid) const;
   std::size_t expected_runs(const std::string& sid) const;
@@ -62,20 +83,30 @@ class Verifier {
   struct RunState {
     std::map<mapreduce::DigestKey, crypto::Digest256> digests;
     bool complete = false;
+    /// Fingerprint of `digests`, once computed (drained from `pending`
+    /// or computed inline on first use).
+    std::optional<crypto::Digest256> fingerprint;
+    /// In-flight pool computation of the fingerprint.
+    std::future<crypto::Digest256> pending;
   };
   struct JobState {
     bool gating = false;
     std::map<std::size_t, RunState> runs;  ///< by run id
   };
 
-  /// Group completed runs by identical digest vectors; returns groups of
-  /// run ids, largest first.
-  std::vector<std::vector<std::size_t>> agreement_groups(
-      const JobState& job) const;
+  /// The run's fingerprint, draining the pool future or computing inline.
+  /// Requires a complete run (digest vector frozen).
+  const crypto::Digest256& fingerprint(RunState& run);
+
+  /// Group completed runs by identical digest vectors (fingerprint
+  /// equality); returns groups of run ids, largest first.
+  std::vector<std::vector<std::size_t>> agreement_groups(JobState& job);
 
   const JobState* find(const std::string& sid) const;
+  JobState* find(const std::string& sid);
 
   std::size_t f_;
+  common::ThreadPool* pool_;
   std::map<std::string, JobState> jobs_;
 };
 

@@ -1,0 +1,58 @@
+#include "dataflow/key_index.hpp"
+
+namespace clusterbft::dataflow {
+
+namespace {
+
+std::size_t next_pow2_at_least(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+KeyIndex::KeyIndex(std::size_t expected_keys) {
+  rehash(next_pow2_at_least(expected_keys * 2));
+  entries_.reserve(expected_keys);
+}
+
+void KeyIndex::rehash(std::size_t bucket_count) {
+  buckets_.assign(bucket_count, 0);
+  mask_ = bucket_count - 1;
+  for (std::size_t id = 0; id < entries_.size(); ++id) {
+    std::size_t b = entries_[id].hash & mask_;
+    while (buckets_[b] != 0) b = (b + 1) & mask_;
+    buckets_[b] = id + 1;
+  }
+}
+
+std::size_t KeyIndex::intern(std::string_view key_bytes, std::uint64_t hash) {
+  // Keep the load factor under 1/2 so probe chains stay short.
+  if ((entries_.size() + 1) * 2 > buckets_.size()) {
+    rehash(buckets_.size() * 2);
+  }
+  std::size_t b = hash & mask_;
+  while (buckets_[b] != 0) {
+    const Entry& e = entries_[buckets_[b] - 1];
+    if (e.hash == hash && e.bytes == key_bytes) return buckets_[b] - 1;
+    b = (b + 1) & mask_;
+  }
+  const std::size_t id = entries_.size();
+  entries_.push_back(Entry{std::string(key_bytes), hash});
+  buckets_[b] = id + 1;
+  return id;
+}
+
+std::size_t KeyIndex::find(std::string_view key_bytes,
+                           std::uint64_t hash) const {
+  std::size_t b = hash & mask_;
+  while (buckets_[b] != 0) {
+    const Entry& e = entries_[buckets_[b] - 1];
+    if (e.hash == hash && e.bytes == key_bytes) return buckets_[b] - 1;
+    b = (b + 1) & mask_;
+  }
+  return npos;
+}
+
+}  // namespace clusterbft::dataflow

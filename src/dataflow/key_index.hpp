@@ -1,0 +1,55 @@
+// Deterministic hash index over canonical key bytes — the shuffle/group
+// hot path shared by GROUP, COGROUP and the JOIN build side.
+//
+// Keys are identified by their canonical serialisation (dataflow::Value
+// serialisation is self-delimiting and injective, so byte equality of the
+// concatenated key columns is exactly key equality). Entry ids are dense
+// and assigned in first-occurrence order; callers that must emit in the
+// canonical key *order* (replica determinism) sort the distinct entries
+// afterwards — g·log(g) over distinct keys instead of the n·log(n) full
+// input sort the reduce path used to pay.
+//
+// Determinism note: the table layout depends only on the FNV-1a hash of
+// the key bytes and the insertion sequence — no pointers, no seeding —
+// so identical inputs produce identical entry ids on every replica.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clusterbft::dataflow {
+
+class KeyIndex {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// `expected_keys` sizes the initial bucket array (a hint, not a cap).
+  explicit KeyIndex(std::size_t expected_keys);
+
+  /// Entry id for `key_bytes` (whose FNV-1a hash is `hash`), inserting a
+  /// new entry on first sight. A fresh id always equals the previous
+  /// size(), so callers can grow side arrays in lockstep.
+  std::size_t intern(std::string_view key_bytes, std::uint64_t hash);
+
+  /// Entry id for `key_bytes`, or npos when absent (probe-only lookup).
+  std::size_t find(std::string_view key_bytes, std::uint64_t hash) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string bytes;
+    std::uint64_t hash = 0;
+  };
+
+  void rehash(std::size_t bucket_count);
+
+  std::vector<Entry> entries_;
+  /// Open addressing, linear probing; stores entry id + 1 (0 = empty).
+  std::vector<std::size_t> buckets_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace clusterbft::dataflow

@@ -1,9 +1,11 @@
 #include "dataflow/ops_eval.hpp"
 
 #include <algorithm>
-#include <map>
+#include <numeric>
+#include <string>
 
 #include "common/check.hpp"
+#include "dataflow/key_index.hpp"
 
 namespace clusterbft::dataflow {
 
@@ -17,6 +19,7 @@ Relation eval_filter(const OpNode& op, const Relation& in) {
 
 Relation eval_foreach(const OpNode& op, const Relation& in) {
   Relation out(op.schema);
+  out.reserve(in.size());
   for (const Tuple& t : in.rows()) {
     Tuple o;
     o.fields.reserve(op.schema.size());
@@ -46,48 +49,106 @@ static Value extract_key(const Tuple& t, const std::vector<std::size_t>& keys) {
   return Value::tuple_of(std::move(fields));
 }
 
+namespace {
+
+/// First-occurrence entry ids ordered by canonical key *value* — the
+/// deterministic emission order the ordered-map implementation used to
+/// provide for free, now paid only over distinct keys. `key_of(id)` must
+/// return the key Value of entry `id`.
+template <typename KeyOf>
+std::vector<std::size_t> key_sorted_ids(std::size_t n, KeyOf key_of) {
+  std::vector<Value> keys;
+  keys.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) keys.push_back(key_of(id));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&keys](std::size_t a, std::size_t b) {
+              return (keys[a] <=> keys[b]) < 0;
+            });
+  return order;
+}
+
+void sort_bag(std::vector<Tuple>& rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
+}
+
+}  // namespace
+
 Relation eval_group(const OpNode& op, const Relation& in) {
-  // std::map keyed on Value gives deterministic group order; bags are
-  // sorted canonically below for replica determinism.
-  std::map<Value, std::vector<Tuple>> groups;
+  // Hash-partitioned grouping on canonical key bytes (serialisation is
+  // injective, so byte equality == key equality). Groups are emitted in
+  // canonical key order with canonically sorted bags, which makes the
+  // result independent of the input row order — replicas fed the shuffle
+  // in different map-completion orders still produce identical bytes.
+  KeyIndex idx(in.size() / 4 + 1);
+  std::vector<std::vector<Tuple>> bags;
+  std::vector<const Tuple*> reps;  // one representative row per key
+  std::string buf;
   for (const Tuple& t : in.rows()) {
-    groups[extract_key(t, op.group_keys)].push_back(t);
+    const std::uint64_t h = tuple_cols_hash(t, op.group_keys, buf);
+    const std::size_t id = idx.intern(buf, h);
+    if (id == bags.size()) {
+      bags.emplace_back();
+      reps.push_back(&t);
+    }
+    bags[id].push_back(t);
   }
+  const auto order = key_sorted_ids(idx.size(), [&](std::size_t id) {
+    return extract_key(*reps[id], op.group_keys);
+  });
   Relation out(op.schema);
-  for (auto& [key, tuples] : groups) {
-    std::sort(tuples.begin(), tuples.end(),
-              [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
+  out.reserve(order.size());
+  for (const std::size_t id : order) {
+    sort_bag(bags[id]);
     Tuple o;
-    o.fields.push_back(key);
-    o.fields.push_back(
-        Value(std::make_shared<const std::vector<Tuple>>(std::move(tuples))));
+    o.fields.push_back(extract_key(*reps[id], op.group_keys));
+    o.fields.push_back(Value(
+        std::make_shared<const std::vector<Tuple>>(std::move(bags[id]))));
     out.add(std::move(o));
   }
   return out;
 }
 
 Relation eval_join(const OpNode& op, const Relation& left,
-                   const Relation& right) {
-  // Deterministic hash join: bucket the right side by key (ordered map for
-  // stable iteration), then probe with the left side in input order.
+                   const Relation& right, bool canonical_matches) {
+  // Deterministic hash join: index the right side by canonical key bytes,
+  // then probe with the left side in input order (output row order ==
+  // left input order).
   auto any_null = [](const Tuple& t, const std::vector<std::size_t>& keys) {
     for (std::size_t k : keys) {
       if (t.at(k).is_null()) return true;
     }
     return false;
   };
-  std::map<Value, std::vector<const Tuple*>> right_index;
+  KeyIndex idx(right.size() / 4 + 1);
+  std::vector<std::vector<const Tuple*>> matches;
+  std::string buf;
   for (const Tuple& t : right.rows()) {
     if (any_null(t, op.right_keys)) continue;
-    right_index[extract_key(t, op.right_keys)].push_back(&t);
+    const std::uint64_t h = tuple_cols_hash(t, op.right_keys, buf);
+    const std::size_t id = idx.intern(buf, h);
+    if (id == matches.size()) matches.emplace_back();
+    matches[id].push_back(&t);
+  }
+  if (canonical_matches) {
+    // Per-key match lists in canonical order: combined with a canonically
+    // sorted probe side this yields the same bytes as joining two fully
+    // sorted inputs — the reduce path's determinism contract — while only
+    // ever sorting the (small) per-key lists of the build side.
+    for (std::vector<const Tuple*>& list : matches) {
+      std::sort(list.begin(), list.end(),
+                [](const Tuple* a, const Tuple* b) { return (*a <=> *b) < 0; });
+    }
   }
   Relation out(op.schema);
   for (const Tuple& lt : left.rows()) {
     if (any_null(lt, op.left_keys)) continue;
-    const Value k = extract_key(lt, op.left_keys);
-    auto it = right_index.find(k);
-    if (it == right_index.end()) continue;
-    for (const Tuple* rt : it->second) {
+    const std::uint64_t h = tuple_cols_hash(lt, op.left_keys, buf);
+    const std::size_t id = idx.find(buf, h);
+    if (id == KeyIndex::npos) continue;
+    for (const Tuple* rt : matches[id]) {
       Tuple o;
       o.fields.reserve(lt.size() + rt->size());
       o.fields.insert(o.fields.end(), lt.fields.begin(), lt.fields.end());
@@ -100,27 +161,38 @@ Relation eval_join(const OpNode& op, const Relation& left,
 
 Relation eval_cogroup(const OpNode& op, const Relation& left,
                       const Relation& right) {
-  std::map<Value, std::pair<std::vector<Tuple>, std::vector<Tuple>>> groups;
-  for (const Tuple& t : left.rows()) {
-    groups[extract_key(t, op.left_keys)].first.push_back(t);
-  }
-  for (const Tuple& t : right.rows()) {
-    groups[extract_key(t, op.right_keys)].second.push_back(t);
-  }
+  KeyIndex idx((left.size() + right.size()) / 4 + 1);
+  std::vector<std::pair<std::vector<Tuple>, std::vector<Tuple>>> bags;
+  std::vector<Value> keys;
+  std::string buf;
+  const auto absorb = [&](const Relation& rel,
+                          const std::vector<std::size_t>& key_cols,
+                          bool is_left) {
+    for (const Tuple& t : rel.rows()) {
+      const std::uint64_t h = tuple_cols_hash(t, key_cols, buf);
+      const std::size_t id = idx.intern(buf, h);
+      if (id == bags.size()) {
+        bags.emplace_back();
+        keys.push_back(extract_key(t, key_cols));
+      }
+      (is_left ? bags[id].first : bags[id].second).push_back(t);
+    }
+  };
+  absorb(left, op.left_keys, /*is_left=*/true);
+  absorb(right, op.right_keys, /*is_left=*/false);
+  const auto order = key_sorted_ids(
+      idx.size(), [&](std::size_t id) { return keys[id]; });
   Relation out(op.schema);
-  for (auto& [key, pair] : groups) {
-    auto sort_rows = [](std::vector<Tuple>& rows) {
-      std::sort(rows.begin(), rows.end(),
-                [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
-    };
-    sort_rows(pair.first);
-    sort_rows(pair.second);
+  out.reserve(order.size());
+  for (const std::size_t id : order) {
+    sort_bag(bags[id].first);
+    sort_bag(bags[id].second);
     Tuple o;
-    o.fields.push_back(key);
-    o.fields.push_back(Value(
-        std::make_shared<const std::vector<Tuple>>(std::move(pair.first))));
-    o.fields.push_back(Value(
-        std::make_shared<const std::vector<Tuple>>(std::move(pair.second))));
+    o.fields.push_back(std::move(keys[id]));
+    o.fields.push_back(Value(std::make_shared<const std::vector<Tuple>>(
+        std::move(bags[id].first))));
+    o.fields.push_back(Value(std::make_shared<const std::vector<Tuple>>(
+        std::move(bags[id].second))));
     out.add(std::move(o));
   }
   return out;
@@ -129,6 +201,9 @@ Relation eval_cogroup(const OpNode& op, const Relation& left,
 Relation eval_union(const OpNode& op,
                     const std::vector<const Relation*>& ins) {
   Relation out(op.schema);
+  std::size_t total = 0;
+  for (const Relation* r : ins) total += r->size();
+  out.reserve(total);
   for (const Relation* r : ins) {
     CBFT_CHECK_MSG(r->schema().size() == op.schema.size(),
                    "UNION inputs must have equal arity");

@@ -17,15 +17,21 @@ namespace clusterbft::dataflow {
 Relation eval_filter(const OpNode& op, const Relation& in);
 Relation eval_foreach(const OpNode& op, const Relation& in);
 
-/// GROUP BY a single key column. Bags are sorted canonically so that every
-/// replica (regardless of the order tuples arrived from the shuffle)
-/// produces byte-identical groups — the determinism fix §5.4 defers to
-/// future work, implemented here.
+/// GROUP BY. Hash-partitioned on canonical key bytes; groups are emitted
+/// in canonical key order with canonically sorted bags, so the result is
+/// independent of the input row order (every replica, regardless of the
+/// order tuples arrived from the shuffle, produces byte-identical groups
+/// — the determinism fix §5.4 defers to future work, implemented here).
 Relation eval_group(const OpNode& op, const Relation& in);
 
-/// Inner equi-join (null keys never match).
+/// Inner equi-join (null keys never match). Output rows follow the left
+/// input order; per-key right matches follow the right input order, or —
+/// with `canonical_matches` — canonical tuple order, which together with
+/// a canonically sorted left input reproduces the bytes of joining two
+/// fully sorted inputs (the reduce path's determinism contract) without
+/// sorting the build side.
 Relation eval_join(const OpNode& op, const Relation& left,
-                   const Relation& right);
+                   const Relation& right, bool canonical_matches = false);
 
 /// Outer cogroup: (group, bag-of-left, bag-of-right) for every key in
 /// either input; bags are canonically sorted, absent sides yield empty

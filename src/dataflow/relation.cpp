@@ -15,9 +15,15 @@ std::uint64_t Relation::byte_size() const {
 }
 
 std::vector<Tuple> Relation::sorted_rows() const {
-  std::vector<Tuple> out = rows_;
-  std::sort(out.begin(), out.end(),
-            [](const Tuple& a, const Tuple& b) { return (a <=> b) < 0; });
+  std::vector<std::size_t> order(rows_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) {
+              return (rows_[a] <=> rows_[b]) < 0;
+            });
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (const std::size_t i : order) out.push_back(rows_[i]);
   return out;
 }
 

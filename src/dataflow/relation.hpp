@@ -26,12 +26,19 @@ class Relation {
 
   void add(Tuple t) { rows_.push_back(std::move(t)); }
 
+  /// Pre-size the row storage — shuffle/group materialisation paths know
+  /// their output cardinality (or a good bound) up front.
+  void reserve(std::size_t n) { rows_.reserve(n); }
+
   /// Total canonical-serialisation size of all rows — the "bytes" a task
   /// reading/writing this relation accounts for.
   std::uint64_t byte_size() const;
 
-  /// Rows sorted canonically — used to compare outputs order-insensitively
-  /// in tests (MapReduce output order is partition-dependent).
+  /// Rows in canonical (full-tuple) order — the one canonical sort used
+  /// by order-sensitive reduce inputs (LIMIT, the JOIN probe side) and by
+  /// order-insensitive output comparison in tests. Index-sorted: tuples
+  /// are deep (strings, bags), so sorting an index vector and gathering
+  /// once beats moving tuples O(n log n) times inside std::sort.
   std::vector<Tuple> sorted_rows() const;
 
   /// Tab-separated rendering (examples; mirrors Pig's `dump`).

@@ -265,18 +265,40 @@ void serialize_tuple_into(const Tuple& t, std::string& out) {
   for (const Value& v : t.fields) v.serialize(out);
 }
 
-std::uint64_t tuple_key_hash(const Tuple& t, std::size_t num_fields) {
-  const std::size_t n =
-      (num_fields == 0) ? t.size() : std::min(num_fields, t.size());
-  std::string buf;
-  for (std::size_t i = 0; i < n; ++i) t.at(i).serialize(buf);
-  // FNV-1a, 64-bit.
+namespace {
+
+// FNV-1a, 64-bit.
+std::uint64_t fnv1a(const std::string& buf) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const char c : buf) {
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+}  // namespace
+
+std::uint64_t tuple_key_hash(const Tuple& t, std::size_t num_fields) {
+  std::string buf;
+  return tuple_key_hash(t, num_fields, buf);
+}
+
+std::uint64_t tuple_key_hash(const Tuple& t, std::size_t num_fields,
+                             std::string& buf) {
+  const std::size_t n =
+      (num_fields == 0) ? t.size() : std::min(num_fields, t.size());
+  buf.clear();
+  for (std::size_t i = 0; i < n; ++i) t.at(i).serialize(buf);
+  return fnv1a(buf);
+}
+
+std::uint64_t tuple_cols_hash(const Tuple& t,
+                              const std::vector<std::size_t>& cols,
+                              std::string& buf) {
+  buf.clear();
+  for (const std::size_t c : cols) t.at(c).serialize(buf);
+  return fnv1a(buf);
 }
 
 }  // namespace clusterbft::dataflow

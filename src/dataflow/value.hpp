@@ -121,4 +121,18 @@ void serialize_tuple_into(const Tuple& t, std::string& out);
 /// replicas and platforms. `num_fields == 0` hashes the whole tuple.
 std::uint64_t tuple_key_hash(const Tuple& t, std::size_t num_fields);
 
+/// Buffer-reusing variant for the shuffle hot path: `buf` is cleared and
+/// holds the canonical key serialisation on return, so callers that also
+/// need the bytes (e.g. KeyIndex interning) pay one serialisation, and no
+/// per-tuple allocation once `buf` has warmed up.
+std::uint64_t tuple_key_hash(const Tuple& t, std::size_t num_fields,
+                             std::string& buf);
+
+/// Hash of an explicit key-column set (GROUP/JOIN/COGROUP keys), byte- and
+/// hash-identical to building the key tuple and hashing it whole — but
+/// without materialising the key tuple. `buf` as above.
+std::uint64_t tuple_cols_hash(const Tuple& t,
+                              const std::vector<std::size_t>& cols,
+                              std::string& buf);
+
 }  // namespace clusterbft::dataflow

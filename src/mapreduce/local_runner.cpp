@@ -90,6 +90,7 @@ void run_one_job(const dataflow::LogicalPlan& plan, const MRJobSpec& spec,
       if (bucket.schema().size() == 0) {
         bucket = Relation(r.partitions[p].schema());
       }
+      bucket.reserve(bucket.size() + r.partitions[p].size());
       for (Tuple& t : r.partitions[p].rows()) bucket.add(std::move(t));
     }
   }

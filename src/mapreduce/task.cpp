@@ -1,6 +1,6 @@
 #include "mapreduce/task.hpp"
 
-#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.hpp"
@@ -45,26 +45,17 @@ void digest_if_marked(const MRJobSpec& job, OpId vertex, bool reduce_side,
   }
 }
 
-std::vector<Tuple> sorted_canonical(const Relation& r) {
-  // Sort an index vector and gather once: tuples are deep (strings, bags),
-  // so moving them O(n log n) times inside std::sort costs far more than
-  // the extra level of indirection in the comparator.
-  const std::vector<Tuple>& rows = r.rows();
-  std::vector<std::size_t> order(rows.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&rows](std::size_t a, std::size_t b) {
-    return (rows[a] <=> rows[b]) < 0;
-  });
-  std::vector<Tuple> out;
-  out.reserve(rows.size());
-  for (const std::size_t i : order) out.push_back(rows[i]);
-  return out;
-}
-
 }  // namespace
 
 std::size_t shuffle_partition(const OpNode& blocking_op, int tag,
                               const Tuple& t, std::size_t num_reducers) {
+  std::string key_buf;
+  return shuffle_partition(blocking_op, tag, t, num_reducers, key_buf);
+}
+
+std::size_t shuffle_partition(const OpNode& blocking_op, int tag,
+                              const Tuple& t, std::size_t num_reducers,
+                              std::string& key_buf) {
   CBFT_CHECK(num_reducers > 0);
   if (num_reducers == 1) return 0;
   const std::vector<std::size_t>* key_cols = nullptr;
@@ -79,8 +70,8 @@ std::size_t shuffle_partition(const OpNode& blocking_op, int tag,
       break;
     case OpKind::kDistinct: {
       // Whole tuple is the key.
-      return static_cast<std::size_t>(dataflow::tuple_key_hash(t, 0) %
-                                      num_reducers);
+      return static_cast<std::size_t>(
+          dataflow::tuple_key_hash(t, 0, key_buf) % num_reducers);
     }
     case OpKind::kOrder:
     case OpKind::kLimit:
@@ -88,10 +79,11 @@ std::size_t shuffle_partition(const OpNode& blocking_op, int tag,
     default:
       CBFT_CHECK_MSG(false, "not a blocking operator");
   }
-  Tuple key;
-  for (std::size_t k : *key_cols) key.fields.push_back(t.at(k));
-  return static_cast<std::size_t>(dataflow::tuple_key_hash(key, 0) %
-                                  num_reducers);
+  // Hashing the key columns' serialisations directly produces the same
+  // bytes (and thus the same partition) as building a key tuple first:
+  // the key tuple's serialisation is exactly that concatenation.
+  return static_cast<std::size_t>(
+      dataflow::tuple_cols_hash(t, *key_cols, key_buf) % num_reducers);
 }
 
 MapTaskResult run_map_task(const LogicalPlan& plan, const MRJobSpec& job,
@@ -131,9 +123,13 @@ MapTaskResult run_map_task(const LogicalPlan& plan, const MRJobSpec& job,
 
   const OpNode& blocking = plan.node(*job.blocking);
   result.partitions.assign(job.num_reducers, Relation(cur.schema()));
+  for (Relation& p : result.partitions) {
+    p.reserve(cur.size() / job.num_reducers + 1);
+  }
+  std::string key_buf;  // one serialisation buffer for the whole split
   for (Tuple& t : cur.rows()) {
     const std::size_t p =
-        shuffle_partition(blocking, br.tag, t, job.num_reducers);
+        shuffle_partition(blocking, br.tag, t, job.num_reducers, key_buf);
     result.partitions[p].add(std::move(t));
   }
   for (const Relation& p : result.partitions) {
@@ -154,31 +150,41 @@ ReduceTaskResult run_reduce_task(
     result.metrics.records_in += r.size();
   }
 
-  // Canonically sort shuffle input so the result is independent of map
-  // completion order (replica determinism).
+  // Replica determinism without a full canonical sort of every shuffle
+  // input: GROUP/COGROUP/DISTINCT/ORDER are order-insensitive (they hash-
+  // partition on canonical key bytes and emit key-sorted, or sort rows
+  // themselves), so they consume the shuffle input as-is regardless of map
+  // completion order. Only genuinely order-sensitive inputs still sort:
+  // LIMIT's single input and the JOIN probe (left) side — the build side
+  // instead gets canonical per-key match lists, which reproduces the same
+  // bytes as joining two fully sorted inputs.
   Relation cur;
   switch (blocking.kind) {
     case OpKind::kGroup:
     case OpKind::kDistinct:
-    case OpKind::kOrder:
-    case OpKind::kLimit: {
+    case OpKind::kOrder: {
       CBFT_CHECK(inputs_by_tag.size() == 1);
-      Relation in(inputs_by_tag[0].schema(),
-                  sorted_canonical(inputs_by_tag[0]));
-      std::vector<const Relation*> ins{&in};
+      std::vector<const Relation*> ins{&inputs_by_tag[0]};
       cur = dataflow::eval_op(blocking, ins);
       break;
     }
-    case OpKind::kJoin:
+    case OpKind::kLimit: {
+      CBFT_CHECK(inputs_by_tag.size() == 1);
+      Relation in(inputs_by_tag[0].schema(), inputs_by_tag[0].sorted_rows());
+      cur = dataflow::eval_limit(blocking, in);
+      break;
+    }
+    case OpKind::kJoin: {
+      CBFT_CHECK(inputs_by_tag.size() == 2);
+      Relation l(inputs_by_tag[0].schema(), inputs_by_tag[0].sorted_rows());
+      cur = dataflow::eval_join(blocking, l, inputs_by_tag[1],
+                                /*canonical_matches=*/true);
+      break;
+    }
     case OpKind::kCogroup: {
       CBFT_CHECK(inputs_by_tag.size() == 2);
-      Relation l(inputs_by_tag[0].schema(),
-                 sorted_canonical(inputs_by_tag[0]));
-      Relation r(inputs_by_tag[1].schema(),
-                 sorted_canonical(inputs_by_tag[1]));
-      cur = blocking.kind == OpKind::kJoin
-                ? dataflow::eval_join(blocking, l, r)
-                : dataflow::eval_cogroup(blocking, l, r);
+      cur = dataflow::eval_cogroup(blocking, inputs_by_tag[0],
+                                   inputs_by_tag[1]);
       break;
     }
     default:

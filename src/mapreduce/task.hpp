@@ -3,13 +3,17 @@
 //
 // The cluster layer (execution tracker) decides placement and timing and
 // may let a Byzantine node corrupt the result afterwards; the functions
-// here define what an *honest* task computes. Determinism note: reduce
-// tasks canonically sort their shuffle input before applying the blocking
-// operator, so results do not depend on map-task completion order —
-// implementing the intermediate-output ordering §5.4 leaves to future work.
+// here define what an *honest* task computes. Determinism note: results
+// do not depend on map-task completion order — the blocking operators are
+// order-insensitive (hash-partitioned grouping emits in canonical key
+// order; DISTINCT/ORDER sort internally), and the few order-sensitive
+// inputs (LIMIT, the JOIN probe side) are canonically sorted at the
+// reduce boundary — implementing the intermediate-output ordering §5.4
+// leaves to future work.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dataflow/plan.hpp"
@@ -65,5 +69,11 @@ ReduceTaskResult run_reduce_task(
 std::size_t shuffle_partition(const dataflow::OpNode& blocking_op, int tag,
                               const dataflow::Tuple& t,
                               std::size_t num_reducers);
+
+/// Same, reusing `key_buf` for key serialisation — the map-side shuffle
+/// loop calls this per tuple and should not allocate per call.
+std::size_t shuffle_partition(const dataflow::OpNode& blocking_op, int tag,
+                              const dataflow::Tuple& t,
+                              std::size_t num_reducers, std::string& key_buf);
 
 }  // namespace clusterbft::mapreduce

@@ -41,6 +41,8 @@ std::pair<std::size_t, std::size_t> ControlPlane::submit_probe(
 
 void ControlPlane::cancel_run(std::size_t run) {
   CBFT_CHECK(run < runs_.size());
+  runs_[run].cancelled = true;
+  runs_[run].complete = false;
   transport_.to_computation(CancelRun{run});
 }
 
@@ -54,7 +56,7 @@ void ControlPlane::drain_node(std::uint64_t nid) {
 
 bool ControlPlane::run_complete(std::size_t run) const {
   CBFT_CHECK(run < runs_.size());
-  return runs_[run].complete;
+  return runs_[run].complete && !runs_[run].cancelled;
 }
 
 std::string ControlPlane::run_output_path(std::size_t run) const {
@@ -139,8 +141,9 @@ void ControlPlane::handle(const Message& m) {
             RunView& r = runs_[e.run];
             // A batch straggling in after the run was declared complete
             // (duplication, extreme delay) carries no usable evidence —
-            // the verifier already decided on this run's record.
-            if (r.complete) return;
+            // the verifier already decided on this run's record. A
+            // cancelled run's digests are tainted, not evidence.
+            if (r.complete || r.cancelled) return;
             r.digest_reports_seen += e.reports.size();
             if (on_digest_batch) on_digest_batch(e);
             maybe_complete(e.run);
@@ -148,7 +151,7 @@ void ControlPlane::handle(const Message& m) {
           [this](const RunComplete& e) {
             if (e.run >= runs_.size()) return;
             RunView& r = runs_[e.run];
-            if (r.complete || r.completion_pending) return;
+            if (r.complete || r.completion_pending || r.cancelled) return;
             r.completion_pending = true;
             r.expected_known = true;
             r.digest_reports_expected = e.digest_reports;

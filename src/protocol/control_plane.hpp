@@ -45,6 +45,10 @@ class ControlPlane {
   std::size_t submit_run(SubmitRun msg);
   /// Assigns ids for both probe runs: {run_suspect, run_control}.
   std::pair<std::size_t, std::size_t> submit_probe(ProbeRequest msg);
+  /// Cancel a run (rollback): the computation tier drops its pending
+  /// tasks, and the mirror permanently treats the run as not complete —
+  /// late DigestBatch/RunComplete events for it are discarded so a
+  /// cancelled run can never feed the verifier or serve as a dependency.
   void cancel_run(std::size_t run);
   void add_nodes(std::uint64_t count, std::uint64_t slots = 0);
   void drain_node(std::uint64_t node);
@@ -77,6 +81,7 @@ class ControlPlane {
  private:
   struct RunView {
     bool complete = false;
+    bool cancelled = false;           ///< CancelRun issued; output unusable
     bool completion_pending = false;  ///< RunComplete arrived
     bool expected_known = false;
     std::uint64_t digest_reports_expected = 0;

@@ -99,6 +99,7 @@ void ComputationService::on_submit(const SubmitRun& m) {
       std::set<cluster::NodeId>(m.restrict_to.begin(), m.restrict_to.end()),
       m.max_nodes);
   CBFT_CHECK(ctl_of_.at(run) == m.run);
+  tracker_of_[m.run] = run;
 }
 
 void ComputationService::on_probe(const ProbeRequest& m) {
@@ -140,11 +141,13 @@ void ComputationService::on_probe(const ProbeRequest& m) {
   // Replica 0 is pinned onto the suspect alone; replica 1 runs on nodes
   // outside the whole suspect set (the honest control).
   ctl_of_[tracker_.next_run_id()] = m.run_suspect;
-  tracker_.submit(*probe->plan, spec, 0, {m.input_path}, m.suspect_path,
-                  /*avoid=*/{}, /*restrict_to=*/{m.suspect});
+  tracker_of_[m.run_suspect] =
+      tracker_.submit(*probe->plan, spec, 0, {m.input_path}, m.suspect_path,
+                      /*avoid=*/{}, /*restrict_to=*/{m.suspect});
   ctl_of_[tracker_.next_run_id()] = m.run_control;
-  tracker_.submit(*probe->plan, spec, 1, {m.input_path}, m.control_path,
-                  std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()));
+  tracker_of_[m.run_control] = tracker_.submit(
+      *probe->plan, spec, 1, {m.input_path}, m.control_path,
+      std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()));
   probe_jobs_.push_back(std::move(probe));
 }
 
@@ -154,12 +157,8 @@ void ComputationService::handle(const Message& m) {
           [this](const SubmitRun& c) { on_submit(c); },
           [this](const ProbeRequest& c) { on_probe(c); },
           [this](const CancelRun& c) {
-            for (const auto& [tracker_run, ctl] : ctl_of_) {
-              if (ctl == c.run) {
-                tracker_.cancel_run(tracker_run);
-                return;
-              }
-            }
+            const auto it = tracker_of_.find(c.run);
+            if (it != tracker_of_.end()) tracker_.cancel_run(it->second);
           },
           [this](const AddNodes& c) {
             tracker_.add_nodes(c.count, c.slots);

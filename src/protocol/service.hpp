@@ -43,6 +43,8 @@ class ComputationService {
 
   /// tracker run id -> control run id.
   std::map<std::size_t, std::uint64_t> ctl_of_;
+  /// control run id -> tracker run id (CancelRun addresses control ids).
+  std::map<std::uint64_t, std::size_t> tracker_of_;
   /// Control run ids already accepted (a duplicated SubmitRun is ignored).
   std::set<std::uint64_t> accepted_;
   /// Digest reports forwarded per control run — RunComplete carries the

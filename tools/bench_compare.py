@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench run against a committed
+baseline and fail on wall-clock regressions.
+
+Usage:
+    tools/bench_compare.py CURRENT [CURRENT...] --baseline BASELINE \
+        [--threshold PCT]
+
+Each CURRENT (and BASELINE) is either a merged bench_results.json (the
+run_all_benches.sh artifact, keyed by bench name) or a single
+BENCH_<name>.json row list. When several CURRENT files are given — check.sh
+passes three independent runs — the per-metric minimum is compared, which
+is robust against load spikes on a shared machine (the committed baseline
+is itself a min-of-3). Only time-unit rows (ns/us/ms/s) are compared —
+counters, percentages, speedup ratios and sim-second rows are
+informational, and machine-independent numbers like digest counts must
+not gate. A metric slower than BASELINE by more than --threshold percent
+fails the gate; metrics missing from either side are reported but do not
+fail (benches come and go across PRs).
+
+The committed baseline (tools/bench_baseline.json) is refreshed
+deliberately, with the PR that changes performance, never automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TIME_UNITS = {"ns", "us", "ms", "s"}
+
+
+def load_rows(path: str) -> dict[str, tuple[float, str]]:
+    """Flatten either artifact shape into {metric: (value, unit)}."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    rows: dict[str, tuple[float, str]] = {}
+
+    def take(row: dict, bench: str) -> None:
+        metric = f"{bench}/{row['metric']}"
+        rows[metric] = (float(row["value"]), str(row["unit"]))
+
+    if isinstance(data, dict):  # merged bench_results.json
+        for bench, bench_rows in sorted(data.items()):
+            for row in bench_rows:
+                take(row, bench)
+    else:  # single BENCH_<name>.json
+        for row in data:
+            take(row, str(row.get("bench", "bench")))
+    return rows
+
+
+def load_best(paths: list[str]) -> dict[str, tuple[float, str]]:
+    """Per-metric minimum over several runs (units must agree)."""
+    best: dict[str, tuple[float, str]] = {}
+    for path in paths:
+        for metric, (value, unit) in load_rows(path).items():
+            prev = best.get(metric)
+            if prev is None or (prev[1] == unit and value < prev[0]):
+                best[metric] = (value, unit)
+    return best
+
+
+def to_seconds(value: float, unit: str) -> float:
+    return value * {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", nargs="+",
+                    help="one or more fresh runs; best (min) per metric "
+                         "is compared")
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="max allowed wall-clock regression, percent")
+    args = ap.parse_args(argv)
+
+    current = load_best(args.current)
+    baseline = load_rows(args.baseline)
+
+    compared = 0
+    failures: list[str] = []
+    print(f"{'metric':58s} {'base':>12s} {'cur':>12s} {'delta':>8s}")
+    for metric in sorted(baseline):
+        base_val, base_unit = baseline[metric]
+        if base_unit not in TIME_UNITS:
+            continue
+        if metric not in current:
+            print(f"{metric:58s} {'(missing from current run)':>34s}")
+            continue
+        cur_val, cur_unit = current[metric]
+        if cur_unit not in TIME_UNITS:
+            print(f"{metric:58s} {'(unit changed; skipped)':>34s}")
+            continue
+        base_s = to_seconds(base_val, base_unit)
+        cur_s = to_seconds(cur_val, cur_unit)
+        if base_s <= 0:
+            continue
+        compared += 1
+        delta = 100.0 * (cur_s / base_s - 1.0)
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            failures.append(f"{metric}: {delta:+.1f}% (threshold "
+                            f"{args.threshold:.1f}%)")
+        print(f"{metric:58s} {base_s:12.6g} {cur_s:12.6g} {delta:+7.1f}%"
+              f"{marker}")
+
+    fresh = sorted(m for m, (_, u) in current.items()
+                   if u in TIME_UNITS and m not in baseline)
+    for metric in fresh:
+        print(f"{metric:58s} {'(new metric, not gated)':>34s}")
+
+    if compared == 0:
+        print("bench_compare: no comparable time-unit metrics found",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nbench_compare: {len(failures)} regression(s) over "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK ({compared} metric(s) within "
+          f"{args.threshold:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,6 +16,13 @@
 #                                full script driven through the loopback
 #                                control-plane seam) under ThreadSanitizer
 #                                (used by the `tsan_smoke` ctest)
+#   tools/check.sh --bench-compare
+#                                perf regression gate: build + run the
+#                                micro benches and diff BENCH_micro.json
+#                                against tools/bench_baseline.json,
+#                                failing on any wall-clock metric more
+#                                than BENCH_THRESHOLD (default 25) percent
+#                                slower than the committed baseline
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -57,6 +64,31 @@ case "$MODE" in
     exec "$BUILD/tools/tsan_smoke"
     ;;
 
+  --bench-compare)
+    # Perf regression gate. Always measures fresh (never trusts a stale
+    # bench_results.json) so the diff reflects the tree as it is now; the
+    # committed baseline only moves deliberately, with a PR that changes
+    # performance.
+    command -v python3 >/dev/null 2>&1 || {
+      echo "bench-compare requires python3" >&2; exit 2; }
+    echo "== bench regression gate: build + run bench_micro (best of 3) =="
+    cmake -S "$ROOT" -B "$ROOT/build" >/dev/null
+    cmake --build "$ROOT/build" --target bench_micro -j "$JOBS"
+    # Three independent runs; the gate compares the per-metric best, so a
+    # load spike on a shared machine cannot fake a regression.
+    for i in 1 2 3; do
+      (cd "$ROOT/build/bench" && ./bench_micro >/dev/null &&
+       mv BENCH_micro.json "BENCH_micro.run$i.json")
+    done
+    echo "== bench regression gate: diff against committed baseline =="
+    python3 "$ROOT/tools/bench_compare.py" \
+      "$ROOT/build/bench/BENCH_micro.run1.json" \
+      "$ROOT/build/bench/BENCH_micro.run2.json" \
+      "$ROOT/build/bench/BENCH_micro.run3.json" \
+      --baseline "$ROOT/tools/bench_baseline.json" \
+      --threshold "${BENCH_THRESHOLD:-25}"
+    ;;
+
   --fast|full)
     echo "== normal preset: configure + build =="
     cmake -S "$ROOT" -B "$ROOT/build"
@@ -83,7 +115,7 @@ case "$MODE" in
     ;;
 
   *)
-    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke]" >&2
+    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare]" >&2
     exit 2
     ;;
 esac

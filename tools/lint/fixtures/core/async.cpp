@@ -1,0 +1,24 @@
+// Fixture for the core-async-dispatch rule: this file pretends to be
+// control-tier code (the rule's applies_to_paths lists this directory
+// alongside src/core). One detached handle fires, one is suppressed.
+//
+// NOTE for maintainers: keep the violation spelled with .detach() only —
+// a std::async occurrence here would also fire the (global) raw-threading
+// rule and break the exactly-once accounting in tests/lint_selftest.cpp.
+
+namespace fixture {
+
+struct VerifierHandle {
+  void detach();
+};
+
+// Rule core-async-dispatch: must fire on the next line.
+void bad_fire_and_forget(VerifierHandle& h) { h.detach(); }
+// ...and must NOT fire here:
+void allowed_detach(VerifierHandle& h) { h.detach(); }  // lint:allow(core-async-dispatch)
+
+// A comment mentioning std::async or .detach( must not fire, and neither
+// may a string literal:
+const char* fine_string = "call .detach( nowhere";
+
+}  // namespace fixture

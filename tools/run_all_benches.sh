@@ -6,14 +6,35 @@
 # directory; after the sweep they are merged into one bench_results.json
 # (keyed by <name>, keys sorted) so a single artifact carries the whole
 # reproduction run.
-set -e
+#
+# Failure policy: a bench that exits nonzero aborts the sweep immediately,
+# and stale BENCH_*.json from earlier runs are removed up front — so a
+# bench_results.json is only ever produced from a fully fresh, fully
+# green sweep, never silently merged from leftovers.
+set -eu
 cd "$(dirname "$0")/.."
+
+# Drop artifacts of previous sweeps before running anything: a bench that
+# crashes must not leave its old JSON around to be merged as if current.
+rm -f BENCH_*.json bench_results.json
+
+ran=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "### $b"
-  "$b"
+  "$b" || {
+    status=$?
+    echo "FATAL: bench failed with exit $status: $b" >&2
+    exit "$status"
+  }
+  ran=$((ran + 1))
   echo
 done
+
+if [ "$ran" -eq 0 ]; then
+  echo "FATAL: no bench binaries found under build/bench/ (build them first)" >&2
+  exit 1
+fi
 
 if command -v python3 > /dev/null 2>&1; then
   python3 - <<'EOF'
@@ -25,6 +46,8 @@ for path in sorted(glob.glob("BENCH_*.json")):
     name = path[len("BENCH_"):-len(".json")]
     with open(path, encoding="utf-8") as f:
         merged[name] = json.load(f)
+if not merged:
+    raise SystemExit("FATAL: benches ran but produced no BENCH_*.json")
 with open("bench_results.json", "w", encoding="utf-8") as f:
     json.dump(merged, f, indent=2, sort_keys=True)
     f.write("\n")
