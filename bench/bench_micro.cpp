@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 #include "bftsmr/system.hpp"
 #include "common/rng.hpp"
+#include "core/journal.hpp"
 #include "crypto/digest.hpp"
 #include "crypto/sha256.hpp"
 #include "dataflow/ops_eval.hpp"
@@ -327,6 +328,79 @@ void BM_LoopbackDispatchDigestBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_LoopbackDispatchDigestBatch)->Arg(64);
+
+// --- Control-tier journal (ISSUE 5): every externally visible decision
+// is appended before the matching control-plane message leaves the trust
+// boundary, so append cost rides the controller's hot path; the decode
+// throughput bounds how fast recovery can chew through an on-disk WAL.
+
+std::vector<core::JournalRecord> make_journal_records(std::size_t n) {
+  Rng rng(5);
+  std::vector<core::JournalRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::JournalRecord r;
+    // Mix the two common shapes: small stimulus frames and fatter
+    // dispatch frames (a SubmitRun with paths runs ~100-200 bytes).
+    r.kind = (i % 4 == 0) ? core::RecordKind::kRunDispatched
+                          : core::RecordKind::kInbound;
+    r.time = 0.001 * static_cast<double>(i);
+    r.payload.resize(32 + i % 160);
+    for (auto& b : r.payload) b = static_cast<std::uint8_t>(rng.next());
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void BM_JournalAppend(benchmark::State& state) {
+  const auto records =
+      make_journal_records(static_cast<std::size_t>(state.range(0)));
+  std::int64_t frame_bytes = 0;
+  for (const auto& r : records) {
+    frame_bytes +=
+        static_cast<std::int64_t>(core::Journal::encode_record(r).size());
+  }
+  for (auto _ : state) {
+    core::Journal journal;
+    for (const auto& r : records) {
+      benchmark::DoNotOptimize(
+          journal.append(r.kind, r.time, std::vector<std::uint8_t>(r.payload)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() * frame_bytes);
+}
+BENCHMARK(BM_JournalAppend)->Arg(1024);
+
+void BM_JournalReplayDecode(benchmark::State& state) {
+  // Recovery's first step: decode the on-disk frame stream back into
+  // typed records. (The handler re-dispatch the records then drive is
+  // ordinary controller code, measured end-to-end in EXPERIMENTS.md.)
+  const auto records =
+      make_journal_records(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> stream;
+  for (const auto& r : records) {
+    const auto frame = core::Journal::encode_record(r);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  for (auto _ : state) {
+    std::size_t off = 0;
+    std::size_t decoded = 0;
+    while (off < stream.size()) {
+      std::size_t consumed = 0;
+      const auto rec = core::Journal::decode_record(
+          stream.data() + off, stream.size() - off, &consumed);
+      if (!rec.has_value()) break;
+      off += consumed;
+      ++decoded;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_JournalReplayDecode)->Arg(1024);
 
 /// Forwards every finished run into the shared BenchJson sink (so
 /// bench_micro emits BENCH_micro.json like the simulation benches) while

@@ -1,0 +1,15 @@
+#include "cluster/fault_plan.hpp"
+
+#include "cluster/tracker.hpp"
+
+namespace clusterbft::cluster {
+
+void FaultPlan::arm(EventSim& sim, ExecutionTracker& tracker) const {
+  for (const WorkerCrash& c : worker_crashes) {
+    ExecutionTracker* t = &tracker;
+    const NodeId nid = c.node;
+    sim.schedule_at(c.at_s, [t, nid] { t->crash_node(nid); });
+  }
+}
+
+}  // namespace clusterbft::cluster

@@ -1,0 +1,38 @@
+// FaultPlan: declarative fault schedule for the chaos harness.
+//
+// Worker crashes are armed as simulator events (the node dies at an
+// exact simulated time, killing its in-flight tasks silently — see
+// ExecutionTracker::crash_node). The controller crash point is a journal
+// record index; the test harness applies it with
+// core::Journal::set_crash_at before running the controller, because the
+// computation tier has no business reaching into the control tier's WAL.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/event_sim.hpp"
+#include "cluster/resource_table.hpp"
+
+namespace clusterbft::cluster {
+
+class ExecutionTracker;
+
+struct FaultPlan {
+  struct WorkerCrash {
+    double at_s = 0;   ///< simulated time of death
+    NodeId node = 0;
+  };
+  std::vector<WorkerCrash> worker_crashes;
+
+  /// Crash-restart the controller when it would append this journal
+  /// record (SIZE_MAX = never). Applied by the harness via
+  /// core::Journal::set_crash_at, not by arm().
+  std::size_t controller_crash_at_record = SIZE_MAX;
+
+  /// Schedule every worker crash into the simulator.
+  void arm(EventSim& sim, ExecutionTracker& tracker) const;
+};
+
+}  // namespace clusterbft::cluster

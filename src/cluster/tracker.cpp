@@ -47,6 +47,22 @@ void ExecutionTracker::drain_node(NodeId nid) {
   if (on_node_drained) on_node_drained(nid);
 }
 
+void ExecutionTracker::readmit_node(NodeId nid) {
+  // Silent death is permanent: a crashed node never echoes NodeReadmitted,
+  // so the control tier keeps treating it as excluded.
+  if (crashed_nodes_.count(nid) != 0) return;
+  resources_.entry(nid).excluded = false;
+  if (on_node_readmitted) on_node_readmitted(nid);
+  dispatch();  // the node's free slots may unblock pending tasks
+}
+
+void ExecutionTracker::crash_node(NodeId nid) {
+  crashed_nodes_.insert(nid);
+  resources_.entry(nid).excluded = true;
+  // Deliberately no on_node_drained: a dead node cannot announce its own
+  // death. The control tier learns of it the honest way — timeouts.
+}
+
 void ExecutionTracker::set_scheduler(std::unique_ptr<TaskScheduler> s) {
   CBFT_CHECK(s != nullptr);
   scheduler_ = std::move(s);
@@ -371,6 +387,14 @@ void ExecutionTracker::complete_map_task(NodeId nid, const TaskRef& ref,
                                          mapreduce::MapTaskResult result) {
   JobRun& run = runs_[ref.run];
   const MRJobSpec& spec = *run.spec;
+  if (crashed_nodes_.count(nid) != 0) {
+    // The node died while this task was in flight: its result, digests
+    // and slot vanish with it. The task hangs forever.
+    run.map_status[ref.index] = TaskStatus::kStuck;
+    ++stuck_tasks_;
+    dispatch();
+    return;
+  }
   resources_.release(nid, spec.sid);
   run.map_status[ref.index] = TaskStatus::kDone;
   ++run.maps_done;
@@ -438,6 +462,12 @@ void ExecutionTracker::begin_reduce_phase(std::size_t run_id) {
 void ExecutionTracker::complete_reduce_task(
     NodeId nid, const TaskRef& ref, mapreduce::ReduceTaskResult result) {
   JobRun& run = runs_[ref.run];
+  if (crashed_nodes_.count(nid) != 0) {
+    run.reduce_status[ref.index] = TaskStatus::kStuck;
+    ++stuck_tasks_;
+    dispatch();
+    return;
+  }
   resources_.release(nid, run.spec->sid);
   run.reduce_status[ref.index] = TaskStatus::kDone;
   ++run.reduces_done;

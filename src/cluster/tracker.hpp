@@ -125,6 +125,9 @@ class ExecutionTracker {
   /// A node stopped accepting tasks.
   std::function<void(NodeId node)> on_node_drained;
 
+  /// A previously drained node resumed accepting tasks.
+  std::function<void(NodeId node)> on_node_readmitted;
+
   /// Submit one replica of `spec` with fully resolved DFS paths:
   /// `input_paths[i]` is where branch i reads (the original trusted input,
   /// a verified upstream output, or this replica chain's own intermediate)
@@ -185,6 +188,23 @@ class ExecutionTracker {
 
   /// Drain a node: no new tasks (running tasks finish normally).
   void drain_node(NodeId nid);
+
+  /// Graceful-degradation inverse of drain_node: resume scheduling onto
+  /// the node (fires on_node_readmitted and a dispatch sweep, since
+  /// fresh capacity may unblock pending tasks).
+  void readmit_node(NodeId nid);
+
+  /// Fault injection (chaos FaultPlan): kill a worker node. The node
+  /// stops taking tasks, and every in-flight task it holds dies silently
+  /// — no digests, no heartbeat completion, no slot release — so from
+  /// the control tier it looks like a partial digest stream followed by
+  /// silence. There is no echo: a crashed node cannot announce its own
+  /// death. Crashing is permanent (readmitting a crashed node only makes
+  /// the scheduler hand it tasks that hang forever).
+  void crash_node(NodeId nid);
+  bool node_crashed(NodeId nid) const {
+    return crashed_nodes_.count(nid) != 0;
+  }
 
   mapreduce::Dfs& dfs() { return dfs_; }
   EventSim& sim() { return sim_; }
@@ -281,6 +301,7 @@ class ExecutionTracker {
   std::map<NodeId, Rng> node_rngs_;
   Rng rng_seeder_{1};
   std::size_t stuck_tasks_ = 0;
+  std::set<NodeId> crashed_nodes_;  ///< dead workers: results swallowed
   bool dispatch_scheduled_ = false;
   /// Payload workers (null when cfg_.threads == 0).
   std::unique_ptr<common::ThreadPool> pool_;

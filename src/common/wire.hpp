@@ -32,6 +32,7 @@ class WireWriter {
     raw(s.data(), s.size());
   }
   void raw(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty vectors/strings may hand us data() == null
     const auto* p = static_cast<const std::uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -67,6 +68,7 @@ class WireReader {
     return s;
   }
   void raw(void* out, std::size_t n) {
+    if (n == 0) return;  // empty vectors/strings may hand us out == null
     if (!take(n)) {
       std::memset(out, 0, n);
       return;

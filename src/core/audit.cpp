@@ -22,6 +22,10 @@ const char* to_string(AuditEvent::Kind kind) {
       return "node-evicted";
     case AuditEvent::Kind::kRollback:
       return "rollback";
+    case AuditEvent::Kind::kDegraded:
+      return "degraded";
+    case AuditEvent::Kind::kPoolExhausted:
+      return "pool-exhausted";
   }
   return "?";
 }

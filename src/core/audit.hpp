@@ -27,6 +27,12 @@ struct AuditEvent {
     kProbeConviction,
     kNodeEvicted,
     kRollback,
+    /// Healthy pool fell below what r needs: least-suspect excluded
+    /// nodes were re-admitted; every run they touch is force-verified.
+    kDegraded,
+    /// Healthy pool exhausted with nothing left to re-admit: the script
+    /// fails honestly instead of deadlocking.
+    kPoolExhausted,
   };
 
   double time = 0;  ///< simulated seconds

@@ -4,20 +4,67 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/wire.hpp"
 #include "core/audit.hpp"
 #include "core/graph_analyzer.hpp"
 #include "dataflow/optimizer.hpp"
 #include "dataflow/parser.hpp"
+#include "protocol/codec.hpp"
 
 namespace clusterbft::core {
 
 using cluster::NodeId;
 using mapreduce::MRJobSpec;
 
+namespace {
+// kProbeOutcome verdict byte.
+constexpr std::uint8_t kProbeInconclusive = 0;
+constexpr std::uint8_t kProbeCleared = 1;
+constexpr std::uint8_t kProbeOmission = 2;
+constexpr std::uint8_t kProbeCommission = 3;
+}  // namespace
+
 ClusterBft::ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
                        protocol::Transport& transport,
-                       protocol::ProgramRegistry& programs)
-    : sim_(sim), dfs_(dfs), cp_(transport), programs_(programs) {
+                       protocol::ProgramRegistry& programs, Journal* journal)
+    : sim_(sim),
+      dfs_(dfs),
+      // With a journal attached the control plane binds in deferring
+      // mode: the transport's bind-time flush (the service's initial
+      // NodeAnnounce) must pass through the journal tap installed below,
+      // not race past it inside this initializer list. A fresh journal
+      // drains at the end of this constructor; a journal holding an
+      // unfinished script keeps deferring until recover()'s replay has
+      // rebuilt the state (resync() drains).
+      cp_(transport, journal != nullptr),
+      programs_(programs),
+      journal_(journal) {
+  // Binding over a crashed journal is what a recovered incarnation does:
+  // acknowledge the predecessor's crash so this instance's own appends
+  // (starting with the drain at the end of this constructor) land.
+  if (journal_ != nullptr) journal_->clear_crash();
+  cp_.inbound_tap = [this](const protocol::Message& m) {
+    if (crashed_) {
+      // Delivered to a dead process (a deferred-queue drain already in
+      // flight when the crash fired): back on the wire for the next
+      // incarnation.
+      cp_.requeue(m);
+      return false;
+    }
+    if (journal_ == nullptr) return true;
+    const Journal::Append r =
+        journal_->append(RecordKind::kInbound, now(), protocol::encode(m));
+    if (r == Journal::Append::kCrashed) {
+      // The stimulus dies with the process, atomically un-observed —
+      // but the network still holds it: requeue so the recovered
+      // incarnation receives (and journals) it. Handlers are idempotent,
+      // so it is harmless if the service later re-emits it too.
+      crash_now();
+      cp_.requeue(m);
+      return false;
+    }
+    return true;
+  };
   cp_.on_digest_batch = [this](const protocol::DigestBatch& batch) {
     for (const mapreduce::DigestReport& r : batch.reports) {
       handle_digest(r, batch.run, batch.node);
@@ -26,9 +73,44 @@ ClusterBft::ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
   cp_.on_run_complete = [this](std::size_t run_id) {
     handle_run_complete(run_id);
   };
+  // Tap is installed; a fresh journal observes the buffered announce
+  // right now (and may crash doing so — the crash point counts every
+  // append, including this one).
+  if (journal_ != nullptr && !journal_->recovery_pending()) {
+    cp_.stop_deferring();
+  }
+}
+
+bool ClusterBft::journal_decision(RecordKind kind,
+                                  std::vector<std::uint8_t> payload) {
+  if (journal_ == nullptr) return true;
+  const Journal::Append r = journal_->append(kind, now(), std::move(payload));
+  if (r == Journal::Append::kCrashed) {
+    crash_now();
+    return false;
+  }
+  return true;
+}
+
+void ClusterBft::crash_now() {
+  crashed_ = true;
+  // Stop observing the world; the transport buffers deliveries until a
+  // recovered instance binds its control plane. (Not a thread detach —
+  // this unbinds the control-plane message handler.)
+  cp_.detach();  // lint:allow(core-async-dispatch)
 }
 
 ScriptResult ClusterBft::execute(const ClientRequest& request) {
+  // A crash point can fire in the constructor (on the very first inbound
+  // append): surface it like any other crash so the caller recovers.
+  if (crashed_) {
+    throw ControllerCrashed(journal_ == nullptr ? 0 : journal_->size());
+  }
+  begin_script(request);
+  return drive_and_collect();
+}
+
+void ClusterBft::begin_script(const ClientRequest& request) {
   // ---- reset per-execution state ----
   request_ = &request;
   ++exec_counter_;
@@ -41,8 +123,13 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   rolled_back_runs_.clear();
   decision_pending_.clear();
   decision_paid_.clear();
+  dispatch_frames_.clear();
+  degraded_nodes_.clear();
+  timers_.clear();
   finished_ = false;
   success_ = false;
+  degraded_ = false;
+  failure_ = FailureReason::kNone;
   commission_seen_ = 0;
   omission_seen_ = 0;
   digest_reports_ = 0;
@@ -88,8 +175,18 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
     job_by_output_[j.output_path] = j.job_index;
   }
 
-  start_time_ = sim_.now();
-  audit_.record(sim_.now(), AuditEvent::Kind::kScriptSubmitted,
+  // Write-ahead: the script's existence is the first thing that survives
+  // a crash (during replay this append is suppressed — the record is the
+  // one being replayed).
+  if (!journal_decision(
+          RecordKind::kScriptStart,
+          std::vector<std::uint8_t>(request.name.begin(),
+                                    request.name.end()))) {
+    return;
+  }
+
+  start_time_ = now();
+  audit_.record(now(), AuditEvent::Kind::kScriptSubmitted,
                 request.name + " (f=" + std::to_string(request.f) +
                     ", r=" + std::to_string(request.r) +
                     ", n=" + std::to_string(request.n) + ", " +
@@ -98,24 +195,38 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   // Initial replication: r independent chains.
   for (std::size_t i = 0; i < std::max<std::size_t>(1, request.r); ++i) {
     create_wave();
+    if (crashed_ || finished_) break;
   }
+}
 
+ScriptResult ClusterBft::drive_and_collect() {
   // ---- drive the simulation ----
-  while (!finished_ && sim_.step()) {
+  while (!finished_ && !crashed_ && sim_.step()) {
   }
-  if (!finished_) {
+  if (!crashed_ && !finished_) {
     // Queue drained without completing (e.g. everything stuck and no
     // timeout pending): report failure.
+    if (failure_ == FailureReason::kNone) failure_ = FailureReason::kStalled;
     finish(false);
   }
   // Let in-flight replicas and stale timeouts drain so their cost is
   // accounted and the simulator is clean for the next script.
-  sim_.run();
+  while (!crashed_ && sim_.step()) {
+  }
+  if (crashed_) throw ControllerCrashed(journal_ ? journal_->size() : 0);
 
-  // ---- collect results ----
+  ScriptResult result = collect_result();
+  // The finish record closes the journal's recovery window. A crash
+  // between collect_result and this append replays back to the finished
+  // state and collects again — promotion is idempotent.
+  if (!journal_decision(RecordKind::kScriptFinish, {})) {
+    throw ControllerCrashed(journal_ ? journal_->size() : 0);
+  }
+  return result;
+}
+
+ScriptResult ClusterBft::collect_result() {
   ScriptResult result;
-  result.verified = success_;
-  result.metrics.latency_s = finish_time_ - start_time_;
   result.metrics.waves = waves_.size();
   for (std::size_t run : my_runs_) {
     const auto& m = cp_.run_metrics(run);
@@ -141,28 +252,205 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
         CBFT_CHECK(first_complete_run_[j.job_index].has_value());
         from = cp_.run_output_path(*first_complete_run_[j.job_index]);
       }
+      if (!dfs_.exists(from)) {
+        // The mirror believed the run complete but its output never
+        // materialised (a corrupted frame's hostile path, or a worker
+        // that died mid-write): fail honestly rather than promote.
+        success_ = false;
+        failure_ = FailureReason::kOutputMissing;
+        result.outputs.clear();
+        break;
+      }
       dataflow::Relation rel = dfs_.read(from);
       dfs_.write(j.output_path, rel);
       result.outputs[j.output_path] = std::move(rel);
     }
   }
+  result.verified = success_;
+  result.degraded = degraded_;
+  result.failure = success_ ? FailureReason::kNone : failure_;
+  result.metrics.latency_s = finish_time_ - start_time_;
   if (fault_analyzer_) {
     for (NodeId n : fault_analyzer_->suspects()) {
       result.suspects.push_back(n);
     }
   }
   audit_.record(finish_time_, AuditEvent::Kind::kScriptCompleted,
-                request.name + (success_ ? " verified" : " FAILED") + " in " +
-                    std::to_string(result.metrics.latency_s) + "s, " +
-                    std::to_string(result.metrics.runs) + " job replicas");
+                request_->name + (success_ ? " verified" : " FAILED") +
+                    " in " + std::to_string(result.metrics.latency_s) +
+                    "s, " + std::to_string(result.metrics.runs) +
+                    " job replicas");
   return result;
 }
 
+ScriptResult ClusterBft::recover(const ClientRequest& request) {
+  CBFT_CHECK_MSG(journal_ != nullptr, "recover() requires a journal");
+  CBFT_CHECK_MSG(!crashed_, "recover() on a crashed controller");
+  journal_->clear_crash();
+  std::size_t starts = 0;
+  for (std::size_t i = 0; i < journal_->size(); ++i) {
+    if (journal_->at(i).kind == RecordKind::kScriptStart) ++starts;
+  }
+  CBFT_CHECK_MSG(starts <= 1,
+                 "recover() supports one in-flight script per journal");
+  CBFT_CHECK_MSG(starts == 0 || journal_->recovery_pending(),
+                 "recover(): the journal's script already finished");
+
+  // ---- replay: rebuild state, sends muted, appends suppressed ----
+  journal_->begin_replay();
+  replaying_ = true;
+  cp_.mute(true);
+  while (const JournalRecord* rec = journal_->peek()) {
+    replay_now_ = rec->time;
+    replay_record(*rec, request);
+    journal_->advance();
+  }
+  journal_->end_replay();
+  replaying_ = false;
+  cp_.mute(false);
+
+  if (starts == 0) {
+    // The crash predates the script's first durable record: nothing was
+    // ever dispatched (every dispatch is journaled after kScriptStart),
+    // so replay only rebuilt the membership mirror. Deliver whatever the
+    // wire still holds and start the script from scratch — bit-identical
+    // to a run that never crashed.
+    cp_.stop_deferring();
+    if (crashed_) throw ControllerCrashed(journal_->size());
+    begin_script(request);
+    return drive_and_collect();
+  }
+
+  // ---- resync the computation tier, then resume the script ----
+  resync();
+  if (crashed_) throw ControllerCrashed(journal_->size());
+  return drive_and_collect();
+}
+
+void ClusterBft::replay_record(const JournalRecord& rec,
+                               const ClientRequest& request) {
+  common::WireReader rd(rec.payload.data(), rec.payload.size());
+  switch (rec.kind) {
+    case RecordKind::kScriptStart: {
+      const std::string name(rec.payload.begin(), rec.payload.end());
+      CBFT_CHECK_MSG(name == request.name,
+                     "recover(): journal is for script '" + name +
+                         "', not '" + request.name + "'");
+      begin_script(request);
+      break;
+    }
+    case RecordKind::kInbound: {
+      const auto m = protocol::decode(rec.payload);
+      CBFT_CHECK_MSG(m.has_value(), "journal: undecodable inbound frame");
+      cp_.inject(*m);
+      break;
+    }
+    case RecordKind::kTimerFired:
+      fire_timer(static_cast<std::size_t>(rd.u64()));
+      break;
+    case RecordKind::kThresholdApplied:
+      apply_threshold_internal(rd.f64());
+      break;
+    case RecordKind::kProbeStarted: {
+      const auto m = protocol::decode(rec.payload);
+      CBFT_CHECK_MSG(
+          m.has_value() &&
+              std::holds_alternative<protocol::ProbeRequest>(*m),
+          "journal: bad probe frame");
+      ++probe_counter_;
+      // Keeps the mirror's run-id counter aligned; muted, nothing sent.
+      cp_.submit_probe(std::get<protocol::ProbeRequest>(*m));  // lint:allow(journal-before-send)
+      break;
+    }
+    case RecordKind::kProbeOutcome: {
+      const std::uint64_t suspect = rd.u64();
+      const std::uint8_t verdict = rd.u8();
+      apply_probe_outcome(suspect, verdict);
+      break;
+    }
+    case RecordKind::kScriptFinish:
+      break;  // recovery_pending() rules this out for the live script
+    case RecordKind::kWaveCreated:
+    case RecordKind::kRunDispatched:
+    case RecordKind::kVerifyDecision:
+    case RecordKind::kRollback:
+    case RecordKind::kSuspicionUpdate:
+    case RecordKind::kDegraded:
+    case RecordKind::kPoolExhausted:
+      // Decision records: re-derived by the replayed handlers above
+      // (their appends are suppressed in replay mode). kRunDispatched
+      // frames are re-captured into dispatch_frames_ by the replayed
+      // submit_job, bit-identical because the handlers are deterministic.
+      break;
+  }
+}
+
+void ClusterBft::resync() {
+  // Live again: everything that piled up while the dead instance was
+  // detached flows through the journal tap now, before we re-send — a
+  // completion that already arrived saves a redundant re-dispatch.
+  cp_.stop_deferring();
+  if (crashed_) return;
+
+  // Re-assert membership decisions; both sides are idempotent.
+  for (std::uint64_t n : cp_.excluded_nodes()) {
+    cp_.resend(protocol::Message{protocol::DrainNode{n}});
+    if (crashed_) return;
+  }
+  for (NodeId n : degraded_nodes_) {
+    cp_.resend(protocol::Message{protocol::ReadmitNode{n}});
+    if (crashed_) return;
+  }
+
+  // Re-send the journaled bytes of every dispatch whose completion was
+  // never journaled: the service dedupes by run id and re-emits its
+  // retained events (recovering anything swallowed by the crash), and it
+  // executes dispatches it never saw. Rolled-back runs get their cancel
+  // re-asserted instead.
+  for (std::size_t run : my_runs_) {
+    if (rolled_back_runs_.count(run) != 0) {
+      cp_.resend(protocol::Message{protocol::CancelRun{run}});
+    } else if (!cp_.run_complete(run)) {
+      const auto it = dispatch_frames_.find(run);
+      CBFT_CHECK_MSG(it != dispatch_frames_.end(),
+                     "recovery: no journaled frame for run " +
+                         std::to_string(run));
+      const auto m = protocol::decode(it->second);
+      CBFT_CHECK_MSG(m.has_value(),
+                     "recovery: journaled dispatch frame undecodable");
+      cp_.resend(*m);
+    }
+    if (crashed_) return;
+  }
+
+  // Re-arm the timers that had not fired by the crash point. The old
+  // life's scheduled firings target the crashed instance and no-op.
+  for (const auto& entry : timers_) {
+    const std::size_t id = entry.first;
+    const cluster::SimTime at = std::max(entry.second.deadline, sim_.now());
+    sim_.schedule_at(at, [this, id] { fire_timer(id); });
+  }
+
+  // A dispatch the crash swallowed (journal append died inside pump())
+  // has no stimulus left to trigger it; re-derive it now.
+  if (!finished_ && !crashed_) pump();
+}
+
 std::vector<NodeId> ClusterBft::apply_suspicion_threshold(double threshold) {
-  const auto drained = cp_.apply_suspicion_threshold(threshold);
+  if (crashed_) return {};
+  common::WireWriter w;
+  w.f64(threshold);
+  if (!journal_decision(RecordKind::kThresholdApplied, w.take())) return {};
+  return apply_threshold_internal(threshold);
+}
+
+std::vector<NodeId> ClusterBft::apply_threshold_internal(double threshold) {
+  // Journaled write-ahead as kThresholdApplied by the live caller, and
+  // replayed as a stimulus record; the drains below re-derive from it.
+  const auto drained = cp_.apply_suspicion_threshold(threshold);  // lint:allow(journal-before-send)
   const std::vector<NodeId> evicted(drained.begin(), drained.end());
   for (NodeId n : evicted) {
-    audit_.record(sim_.now(), AuditEvent::Kind::kNodeEvicted,
+    audit_.record(now(), AuditEvent::Kind::kNodeEvicted,
                   "node " + std::to_string(n) + " excluded (suspicion > " +
                       std::to_string(threshold) + ")",
                   "", {n});
@@ -173,12 +461,13 @@ std::vector<NodeId> ClusterBft::apply_suspicion_threshold(double threshold) {
 ClusterBft::ProbeReport ClusterBft::probe_suspects(
     const std::string& probe_input_path) {
   ProbeReport report;
-  if (!fault_analyzer_) return report;
+  if (crashed_ || !fault_analyzer_) return report;
   CBFT_CHECK_MSG(dfs_.exists(probe_input_path),
                  "probe input missing from DFS: " + probe_input_path);
 
   const FaultAnalyzer::NodeSet suspects = fault_analyzer_->suspects();
   for (NodeId suspect : suspects) {
+    if (crashed_) return report;
     // Nodes already evicted from the inclusion list cannot run probes.
     if (cp_.node_excluded(suspect)) continue;
     ++probe_counter_;
@@ -192,38 +481,69 @@ ClusterBft::ProbeReport ClusterBft::probe_suspects(
     msg.control_path = "probe/" + std::to_string(probe_counter_) + "/control";
     msg.suspect = suspect;
     msg.avoid.assign(suspects.begin(), suspects.end());
+    if (!journal_decision(RecordKind::kProbeStarted,
+                          protocol::encode(protocol::Message{msg}))) {
+      return report;
+    }
     const auto [run_suspect, run_control] = cp_.submit_probe(std::move(msg));
 
     sim_.run();  // probes are the only outstanding work
+    if (crashed_) return report;
     ++report.probes_run;
 
+    std::uint8_t verdict = kProbeInconclusive;
     if (!cp_.run_complete(run_control)) {
       // The control could not be placed or finished — inconclusive.
-      continue;
-    }
-    if (!cp_.run_complete(run_suspect)) {
+      verdict = kProbeInconclusive;
+    } else if (!cp_.run_complete(run_suspect)) {
       // The suspect swallowed the probe: omission, attributable exactly.
-      report.confirmed_omission.insert(suspect);
-      cp_.record_fault(suspect);
-      continue;
-    }
-    const auto& got = dfs_.read(cp_.run_output_path(run_suspect));
-    const auto& want = dfs_.read(cp_.run_output_path(run_control));
-    if (got.sorted_rows() == want.sorted_rows()) {
-      report.cleared.insert(suspect);
+      verdict = kProbeOmission;
     } else {
-      report.confirmed_commission.insert(suspect);
-      cp_.record_fault(suspect);
-      audit_.record(sim_.now(), AuditEvent::Kind::kProbeConviction,
-                    "probe convicted node " + std::to_string(suspect) +
-                        " of commission",
-                    "", {suspect});
-      // The probe cluster is exactly {suspect}: the analyzer's set
-      // containing it collapses to a singleton.
-      fault_analyzer_->observe({suspect});
+      const auto& got = dfs_.read(cp_.run_output_path(run_suspect));
+      const auto& want = dfs_.read(cp_.run_output_path(run_control));
+      verdict = got.sorted_rows() == want.sorted_rows() ? kProbeCleared
+                                                        : kProbeCommission;
+    }
+    common::WireWriter w;
+    w.u64(suspect);
+    w.u8(verdict);
+    if (!journal_decision(RecordKind::kProbeOutcome, w.take())) {
+      return report;
+    }
+    apply_probe_outcome(suspect, verdict);
+    switch (verdict) {
+      case kProbeOmission:
+        report.confirmed_omission.insert(suspect);
+        break;
+      case kProbeCleared:
+        report.cleared.insert(suspect);
+        break;
+      case kProbeCommission:
+        report.confirmed_commission.insert(suspect);
+        break;
+      default:
+        break;
     }
   }
   return report;
+}
+
+void ClusterBft::apply_probe_outcome(std::uint64_t suspect,
+                                     std::uint8_t verdict) {
+  if (verdict != kProbeOmission && verdict != kProbeCommission) return;
+  // Journaled write-ahead as kProbeOutcome (live probe loop / replay).
+  cp_.record_fault(suspect);  // lint:allow(journal-before-send)
+  if (verdict == kProbeCommission) {
+    audit_.record(now(), AuditEvent::Kind::kProbeConviction,
+                  "probe convicted node " + std::to_string(suspect) +
+                      " of commission",
+                  "", {static_cast<NodeId>(suspect)});
+    // The probe cluster is exactly {suspect}: the analyzer's set
+    // containing it collapses to a singleton.
+    if (fault_analyzer_) {
+      fault_analyzer_->observe({static_cast<NodeId>(suspect)});
+    }
+  }
 }
 
 std::string ClusterBft::wave_scope(const Wave& w) const {
@@ -231,17 +551,85 @@ std::string ClusterBft::wave_scope(const Wave& w) const {
          std::to_string(w.replica) + "/";
 }
 
+bool ClusterBft::ensure_capacity() {
+  const std::size_t need = std::max<std::size_t>(1, request_->r);
+  std::vector<std::uint64_t> excluded = cp_.excluded_nodes();
+  // Nodes already re-admitted this script but whose NodeReadmitted echo
+  // has not arrived count as healthy — they were handed back already.
+  std::size_t pending_readmits = 0;
+  for (std::uint64_t n : excluded) {
+    if (degraded_nodes_.count(static_cast<NodeId>(n)) != 0) {
+      ++pending_readmits;
+    }
+  }
+  const std::size_t healthy =
+      cp_.cluster_size() - excluded.size() + pending_readmits;
+  if (healthy >= need) return true;
+
+  if (request_->degraded_mode == DegradedMode::kFail ||
+      cp_.cluster_size() < need) {
+    // Nothing to degrade onto (or the client refused degradation): fail
+    // honestly instead of spinning forever on an unplaceable wave.
+    if (!journal_decision(RecordKind::kPoolExhausted, {})) return false;
+    audit_.record(now(), AuditEvent::Kind::kPoolExhausted,
+                  request_->name + ": healthy pool (" +
+                      std::to_string(healthy) +
+                      " nodes) below replication factor " +
+                      std::to_string(need) + "; failing honestly");
+    failure_ = FailureReason::kPoolExhausted;
+    finish(false);
+    return false;
+  }
+
+  // Graceful degradation: re-admit the least-suspect excluded nodes
+  // (stable node-id order breaks suspicion ties deterministically).
+  std::stable_sort(excluded.begin(), excluded.end(),
+                   [this](std::uint64_t a, std::uint64_t b) {
+                     return cp_.suspicion(a) < cp_.suspicion(b);
+                   });
+  std::vector<std::uint64_t> readmit;
+  std::size_t have = healthy;
+  for (std::uint64_t n : excluded) {
+    if (have >= need) break;
+    if (degraded_nodes_.count(static_cast<NodeId>(n)) != 0) continue;
+    readmit.push_back(n);
+    ++have;
+  }
+  common::WireWriter w;
+  w.u64(readmit.size());
+  for (std::uint64_t n : readmit) w.u64(n);
+  if (!journal_decision(RecordKind::kDegraded, w.take())) return false;
+  degraded_ = true;
+  std::set<NodeId> nodes;
+  for (std::uint64_t n : readmit) {
+    degraded_nodes_.insert(static_cast<NodeId>(n));
+    nodes.insert(static_cast<NodeId>(n));
+    cp_.readmit_node(n);
+  }
+  audit_.record(now(), AuditEvent::Kind::kDegraded,
+                request_->name + ": re-admitted " +
+                    std::to_string(readmit.size()) +
+                    " least-suspect node(s); every output must verify",
+                "", nodes);
+  return true;
+}
+
 void ClusterBft::create_wave() {
+  if (finished_ || crashed_) return;
+  if (!ensure_capacity()) return;
+  common::WireWriter wr;
+  wr.u64(waves_.size());
+  if (!journal_decision(RecordKind::kWaveCreated, wr.take())) return;
   Wave w;
   w.replica = waves_.size();
-  w.created_at = sim_.now();
+  w.created_at = now();
   w.includes.resize(dag_.jobs.size());
   for (std::size_t j = 0; j < dag_.jobs.size(); ++j) {
     w.includes[j] = !verified_[j];
   }
   w.run_of.assign(dag_.jobs.size(), std::nullopt);
   waves_.push_back(std::move(w));
-  CBFT_DEBUG("wave " << waves_.size() - 1 << " created at " << sim_.now());
+  CBFT_DEBUG("wave " << waves_.size() - 1 << " created at " << now());
   pump();
 }
 
@@ -296,7 +684,7 @@ std::vector<std::string> ClusterBft::resolve_inputs(
 }
 
 void ClusterBft::pump() {
-  if (finished_) return;
+  if (finished_ || crashed_) return;
   bool progress = true;
   while (progress) {
     progress = false;
@@ -329,6 +717,7 @@ void ClusterBft::pump() {
           break;
         }
         submit_job(wi, j);
+        if (crashed_) return;
         ++in_flight;
         progress = true;
       }
@@ -350,6 +739,9 @@ void ClusterBft::submit_job(std::size_t wave_index, std::size_t job) {
     // reach the commission-fault analyzer; steer around them too.
     avoid.insert(omission_suspects_.begin(), omission_suspects_.end());
   }
+  // Degradation handed these nodes back to the scheduler on purpose;
+  // avoiding them would re-create the exhaustion.
+  for (NodeId n : degraded_nodes_) avoid.erase(n);
   // Bound each replica's footprint so the r initial replicas plus a
   // rerun replica always fit on pairwise-disjoint node sets.
   const std::size_t groups = std::max<std::size_t>(1, request_->r) + 1;
@@ -364,22 +756,72 @@ void ClusterBft::submit_job(std::size_t wave_index, std::size_t job) {
   msg.output_path = wave_scope(w) + spec.output_path;
   msg.avoid.assign(avoid.begin(), avoid.end());
   msg.max_nodes = max_nodes;
-  const std::size_t run = cp_.submit_run(std::move(msg));
+  // Write-ahead: the exact dispatch bytes (run id pre-assigned) go to the
+  // journal first; resync() re-sends them for runs whose completion was
+  // never journaled.
+  const std::size_t run = cp_.next_run_id();
+  msg.run = run;
+  std::vector<std::uint8_t> frame =
+      protocol::encode(protocol::Message{msg});
+  if (!journal_decision(RecordKind::kRunDispatched, frame)) return;
+  dispatch_frames_[run] = std::move(frame);
+  const std::size_t assigned = cp_.submit_run(std::move(msg));
+  CBFT_CHECK(assigned == run);
   w.run_of[j] = run;
   run_info_[run] = std::move(info);
   my_runs_.push_back(run);
   const bool gating = !spec.vps.empty();
   verifier_->expect_run(spec.sid, run, gating);
   if (gating) {
-    const double timeout = job_timeout_s_[j];
-    sim_.schedule_after(timeout, [this, j, wave_index, run] {
-      handle_timeout(j, wave_index, run);
-    });
+    TimerSpec spec_t;
+    spec_t.kind = TimerSpec::Kind::kJobTimeout;
+    spec_t.job = j;
+    spec_t.wave = wave_index;
+    spec_t.run = run;
+    arm_timer(spec_t, job_timeout_s_[j]);
+  }
+}
+
+std::size_t ClusterBft::arm_timer(TimerSpec spec, double delay) {
+  const std::size_t id = ++timer_counter_;
+  spec.deadline = now() + delay;
+  timers_[id] = spec;
+  // During recovery replay the sim is not touched: resync() re-arms
+  // whatever is still pending once replay finished.
+  if (!replaying_) {
+    sim_.schedule_after(delay, [this, id] { fire_timer(id); });
+  }
+  return id;
+}
+
+void ClusterBft::fire_timer(std::size_t id) {
+  if (crashed_) return;
+  const auto it = timers_.find(id);
+  // Stale: already fired, or armed by a previous life/script whose
+  // scheduled event outlived it.
+  if (it == timers_.end()) return;
+  common::WireWriter w;
+  w.u64(id);
+  if (!journal_decision(RecordKind::kTimerFired, w.take())) return;
+  const TimerSpec spec = it->second;
+  timers_.erase(it);
+  switch (spec.kind) {
+    case TimerSpec::Kind::kJobTimeout:
+      handle_timeout(spec.job, spec.wave, spec.run);
+      break;
+    case TimerSpec::Kind::kDecision:
+      decision_paid_.insert(spec.job);
+      if (finished_ || verified_[spec.job]) return;
+      try_verify(spec.job);
+      pump();
+      check_completion();
+      break;
   }
 }
 
 void ClusterBft::handle_digest(const mapreduce::DigestReport& report,
                                std::size_t run_id, NodeId /*node*/) {
+  if (crashed_) return;
   auto it = run_info_.find(run_id);
   if (it == run_info_.end()) return;  // a previous execution's straggler
   if (rolled_back_runs_.count(run_id)) return;  // forgotten by the verifier
@@ -389,6 +831,7 @@ void ClusterBft::handle_digest(const mapreduce::DigestReport& report,
 }
 
 void ClusterBft::handle_run_complete(std::size_t run_id) {
+  if (crashed_) return;
   auto it = run_info_.find(run_id);
   if (it == run_info_.end()) return;
   if (rolled_back_runs_.count(run_id)) return;
@@ -417,7 +860,7 @@ void ClusterBft::handle_run_complete(std::size_t run_id) {
 }
 
 void ClusterBft::try_verify(std::size_t j) {
-  if (verified_[j]) return;
+  if (crashed_ || verified_[j]) return;
   const MRJobSpec& spec = dag_.jobs[j];
   if (!verifier_->is_gating(spec.sid)) return;
 
@@ -427,20 +870,20 @@ void ClusterBft::try_verify(std::size_t j) {
       // The decision itself costs a control-tier agreement round; commit
       // its effects after that latency (scheduled once per job).
       if (decision_pending_.insert(j).second) {
-        sim_.schedule_after(request_->decision_latency_s, [this, j] {
-          decision_paid_.insert(j);
-          if (finished_ || verified_[j]) return;
-          try_verify(j);
-          pump();
-          check_completion();
-        });
+        TimerSpec spec_t;
+        spec_t.kind = TimerSpec::Kind::kDecision;
+        spec_t.job = j;
+        arm_timer(spec_t, request_->decision_latency_s);
       }
       return;
     }
+    common::WireWriter wr;
+    wr.u64(j);
+    if (!journal_decision(RecordKind::kVerifyDecision, wr.take())) return;
     verified_[j] = true;
     verified_path_[j] = cp_.run_output_path(decision->majority_runs.front());
     verified_ref_run_[j] = decision->majority_runs.front();
-    audit_.record(sim_.now(), AuditEvent::Kind::kJobVerified,
+    audit_.record(now(), AuditEvent::Kind::kJobVerified,
                   spec.sid + " (" +
                       std::to_string(decision->majority_runs.size()) +
                       " agreeing replicas)",
@@ -467,7 +910,7 @@ void ClusterBft::try_verify(std::size_t j) {
 
 void ClusterBft::handle_timeout(std::size_t j, std::size_t wave_index,
                                 std::size_t run_id) {
-  if (finished_ || verified_[j]) return;
+  if (finished_ || crashed_ || verified_[j]) return;
   // Stale if the run this timeout was armed for is no longer the wave's
   // run for j (rolled back and re-dispatched: the fresh submission armed
   // a fresh timeout), or if a newer wave already covers the job.
@@ -482,6 +925,7 @@ void ClusterBft::handle_timeout(std::size_t j, std::size_t wave_index,
   const auto incomplete = verifier_->incomplete_runs(spec.sid);
   if (!incomplete.empty()) {
     attribute_omission(incomplete);
+    if (crashed_) return;
   }
   // Escalate the timeout for the rerun (Table 3's "scheduled again with
   // higher timeout value").
@@ -491,7 +935,7 @@ void ClusterBft::handle_timeout(std::size_t j, std::size_t wave_index,
 }
 
 void ClusterBft::need_wave(std::size_t j, bool force) {
-  if (finished_) return;
+  if (finished_ || crashed_) return;
   if (!force) {
     // A wave whose run for j is still pending or in flight will deliver
     // more evidence; wait for it.
@@ -504,6 +948,7 @@ void ClusterBft::need_wave(std::size_t j, bool force) {
                                                  1, request_->r);
   if (reruns >= request_->max_rerun_waves) {
     CBFT_WARN("giving up after " << reruns << " rerun waves");
+    failure_ = FailureReason::kRerunBudgetExhausted;
     finish(false);
     return;
   }
@@ -540,11 +985,16 @@ FaultAnalyzer::NodeSet ClusterBft::cluster_of(std::size_t run_id) const {
 void ClusterBft::attribute_commission(
     const std::vector<std::size_t>& deviant_runs) {
   for (std::size_t run : deviant_runs) {
+    if (crashed_) return;
     if (!attributed_runs_.insert(run).second) continue;
     ++commission_seen_;
     const FaultAnalyzer::NodeSet nodes = cluster_of(run);
     if (nodes.empty()) continue;
-    audit_.record(sim_.now(), AuditEvent::Kind::kCommissionFault,
+    common::WireWriter wr;
+    wr.u64(run);
+    wr.u8(1);  // commission
+    if (!journal_decision(RecordKind::kSuspicionUpdate, wr.take())) return;
+    audit_.record(now(), AuditEvent::Kind::kCommissionFault,
                   "deviant replica of " +
                       dag_.jobs[run_info_.at(run).job].sid,
                   dag_.jobs[run_info_.at(run).job].sid, nodes);
@@ -560,9 +1010,14 @@ void ClusterBft::attribute_commission(
 
 void ClusterBft::attribute_omission(const std::vector<std::size_t>& runs) {
   for (std::size_t run : runs) {
+    if (crashed_) return;
     if (!attributed_runs_.insert(run).second) continue;
     ++omission_seen_;
-    audit_.record(sim_.now(), AuditEvent::Kind::kOmissionFault,
+    common::WireWriter wr;
+    wr.u64(run);
+    wr.u8(0);  // omission
+    if (!journal_decision(RecordKind::kSuspicionUpdate, wr.take())) return;
+    audit_.record(now(), AuditEvent::Kind::kOmissionFault,
                   "replica of " + dag_.jobs[run_info_.at(run).job].sid +
                       " missed the verifier timeout",
                   dag_.jobs[run_info_.at(run).job].sid,
@@ -579,7 +1034,7 @@ void ClusterBft::attribute_omission(const std::vector<std::size_t>& runs) {
 
 void ClusterBft::rollback_tainted(
     const std::vector<std::size_t>& deviant_runs) {
-  if (deviant_runs.empty()) return;
+  if (deviant_runs.empty() || crashed_) return;
   // Transitive downstream closure over the recorded taint edges: a run is
   // tainted when it read the materialised output of a deviant or tainted
   // run. Edges only exist for unverified inputs, so verified prefixes
@@ -602,6 +1057,7 @@ void ClusterBft::rollback_tainted(
   const std::set<std::size_t> sources(deviant_runs.begin(),
                                       deviant_runs.end());
   for (const std::size_t run : tainted) {
+    if (crashed_) return;
     const RunInfo& info = run_info_.at(run);
     const std::size_t j = info.job;
     // A tainted run whose completed digest vector agrees with its job's
@@ -623,7 +1079,11 @@ void ClusterBft::rollback_tainted(
       // cancelled.
       continue;
     }
-    if (!rolled_back_runs_.insert(run).second) continue;
+    if (rolled_back_runs_.count(run) != 0) continue;
+    common::WireWriter wr;
+    wr.u64(run);
+    if (!journal_decision(RecordKind::kRollback, wr.take())) return;
+    rolled_back_runs_.insert(run);
     ++rollbacks_;
     cp_.cancel_run(run);
     verifier_->forget_run(dag_.jobs[j].sid, run);
@@ -637,7 +1097,7 @@ void ClusterBft::rollback_tainted(
         break;
       }
     }
-    audit_.record(sim_.now(), AuditEvent::Kind::kRollback,
+    audit_.record(now(), AuditEvent::Kind::kRollback,
                   "rolled back replica of " + dag_.jobs[j].sid +
                       " tainted by a deviant upstream run",
                   dag_.jobs[j].sid,
@@ -646,14 +1106,16 @@ void ClusterBft::rollback_tainted(
 }
 
 void ClusterBft::check_completion() {
-  if (finished_) return;
+  if (finished_ || crashed_) return;
   for (const MRJobSpec& j : dag_.jobs) {
     if (!j.is_final_store) continue;
     // A final job must be verified when it is verifiable (it carries
-    // verification points) or when the client demanded output
-    // verification; otherwise one completed replica suffices.
-    const bool must_verify =
-        request_->verify_final_output || verifier_->is_gating(j.sid);
+    // verification points), when the client demanded output
+    // verification, or when degradation re-admitted suspect nodes
+    // (nothing a degraded script ran may be promoted unverified);
+    // otherwise one completed replica suffices.
+    const bool must_verify = request_->verify_final_output ||
+                             verifier_->is_gating(j.sid) || degraded_;
     if (must_verify) {
       if (!verified_[j.job_index]) return;
     } else {
@@ -667,7 +1129,7 @@ void ClusterBft::finish(bool success) {
   if (finished_) return;
   finished_ = true;
   success_ = success;
-  finish_time_ = sim_.now();
+  finish_time_ = now();
 }
 
 }  // namespace clusterbft::core

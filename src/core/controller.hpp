@@ -28,6 +28,31 @@
 //    ClusterBFT beats verify-only-the-final-output replication (Table 3);
 //  * the script is done when every final STORE job is verified; one
 //    verified replica's output is promoted to the plain store path.
+//
+// Durability and crash-recovery (core/journal.hpp): when constructed over
+// a Journal, the controller writes a typed record for every stimulus
+// (inbound message, timer firing, threshold application, probe outcome)
+// and journals every externally visible decision (wave creation, run
+// dispatch, verification, rollback, suspicion update, degradation)
+// *before* the corresponding control-plane message is sent. An injected
+// crash (Journal::set_crash_at) turns the instance into a no-op shell:
+// it detaches from the transport, refuses all further work, and
+// execute()/recover() throw ControllerCrashed. A fresh instance over the
+// same journal then recover()s: it replays the stimulus stream through
+// the (deterministic) handlers with sends muted, rebuilding waves, run
+// info, verifier evidence, fault-analyzer state and the audit history
+// bit-for-bit, then resynchronises the computation tier — re-sending the
+// journaled SubmitRun/CancelRun/DrainNode/ReadmitNode bytes for work
+// whose completion was never journaled (the service deduplicates by run
+// id and re-emits retained events) — and resumes the script mid-flight.
+//
+// Graceful degradation: when suspicion-driven exclusion plus node
+// crashes shrink the healthy pool below what r needs, the controller
+// never deadlocks. Depending on ClientRequest::degraded_mode it either
+// re-admits the least-suspect excluded nodes (journaled + audited as
+// kDegraded; the script is marked degraded and every final output must
+// verify before promotion) or fails honestly with
+// FailureReason::kPoolExhausted.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +66,7 @@
 #include "common/thread_pool.hpp"
 #include "core/audit.hpp"
 #include "core/fault_analyzer.hpp"
+#include "core/journal.hpp"
 #include "core/request.hpp"
 #include "core/verifier.hpp"
 #include "dataflow/plan.hpp"
@@ -58,14 +84,26 @@ class ClusterBft {
   /// `transport`, and publishes compiled programs through `programs` (the
   /// stand-in for the shared job-bundle store). It never holds a
   /// reference to the execution machinery itself — the trust boundary of
-  /// §4 is the transport seam.
+  /// §4 is the transport seam. With a non-null `journal` every stimulus
+  /// and decision is journaled write-ahead; a journal whose script never
+  /// finished makes the constructor defer inbound traffic until
+  /// recover() replayed the log.
   ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
              protocol::Transport& transport,
-             protocol::ProgramRegistry& programs);
+             protocol::ProgramRegistry& programs, Journal* journal = nullptr);
 
   /// Execute one script to verified completion (synchronous: drives the
-  /// event simulation). Throws ParseError/CheckError on malformed input.
+  /// event simulation). Throws ParseError/CheckError on malformed input
+  /// and ControllerCrashed when an injected journal crash point fires.
   ScriptResult execute(const ClientRequest& request);
+
+  /// Rebuild the state of a controller that crashed mid-script by
+  /// replaying the journal, resynchronise the computation tier, and
+  /// drive the script to completion. `request` must be the same request
+  /// the crashed life was executing (the journal stores stimuli, not the
+  /// script text). Throws ControllerCrashed if a newly armed crash point
+  /// fires during or after recovery.
+  ScriptResult recover(const ClientRequest& request);
 
   /// The fault analyzer persists across scripts so isolation sharpens
   /// over a workload (§4.3). Null until the first fault was observed.
@@ -110,6 +148,26 @@ class ClusterBft {
     /// trusted and record no edge.
     std::vector<std::size_t> upstream_runs;
   };
+  /// A pending control-tier timer. Arms are not journaled (they are a
+  /// deterministic consequence of the journaled stimuli); firings are
+  /// journaled as kTimerFired so recovery replays exactly the timers
+  /// that fired pre-crash and re-arms the rest.
+  struct TimerSpec {
+    enum class Kind { kJobTimeout, kDecision };
+    Kind kind = Kind::kJobTimeout;
+    std::size_t job = 0;
+    std::size_t wave = 0;   ///< kJobTimeout only
+    std::size_t run = 0;    ///< kJobTimeout only
+    cluster::SimTime deadline = 0;
+  };
+
+  // Script lifecycle (execute = begin_script + drive_and_collect;
+  // recover = replay + resync + drive_and_collect).
+  void begin_script(const ClientRequest& request);
+  ScriptResult drive_and_collect();
+  ScriptResult collect_result();
+  void replay_record(const JournalRecord& rec, const ClientRequest& request);
+  void resync();
 
   // Event-driven steps.
   void handle_digest(const mapreduce::DigestReport& report,
@@ -124,6 +182,29 @@ class ClusterBft {
   void create_wave();
   void check_completion();
   void finish(bool success);
+
+  // Journal / crash plumbing.
+  /// Append a record write-ahead. Returns false when the injected crash
+  /// point fired — the caller must abandon the action (the record, and
+  /// with it the action, died with the process).
+  bool journal_decision(RecordKind kind, std::vector<std::uint8_t> payload);
+  void crash_now();  ///< flip to the no-op shell and detach the transport
+  /// Simulated time: the replayed record's timestamp during recovery
+  /// replay, the live simulator otherwise. Every audit / wave timestamp
+  /// uses this so a recovered history is bit-identical.
+  cluster::SimTime now() const {
+    return replaying_ ? replay_now_ : sim_.now();
+  }
+  std::size_t arm_timer(TimerSpec spec, double delay);
+  void fire_timer(std::size_t id);
+  void apply_probe_outcome(std::uint64_t suspect, std::uint8_t verdict);
+  std::vector<cluster::NodeId> apply_threshold_internal(double threshold);
+
+  /// Pool-exhaustion guard (runs before each wave): when the healthy
+  /// pool has fewer than max(1, r) nodes, degrade (re-admit the least
+  /// suspect excluded nodes) or fail honestly per the request's
+  /// degraded_mode. Returns false when the wave must not be created.
+  bool ensure_capacity();
 
   /// Cancel and forget every run transitively tainted by the given
   /// deviant runs (downstream along recorded `upstream_runs` edges),
@@ -153,12 +234,22 @@ class ClusterBft {
   mapreduce::Dfs& dfs_;
   protocol::ControlPlane cp_;
   protocol::ProgramRegistry& programs_;
+  Journal* journal_ = nullptr;
   std::unique_ptr<FaultAnalyzer> fault_analyzer_;
   AuditLog audit_;
 
   std::size_t probe_counter_ = 0;
 
-  // Per-execution state (reset by execute()).
+  // Crash / replay state.
+  bool crashed_ = false;    ///< injected crash fired; every handler no-ops
+  bool replaying_ = false;  ///< recovery replay in progress: sends muted
+  cluster::SimTime replay_now_ = 0;  ///< timestamp of the replayed record
+
+  // Control-tier timers (verifier timeouts, decision-latency rounds).
+  std::size_t timer_counter_ = 0;
+  std::map<std::size_t, TimerSpec> timers_;  ///< armed, not yet fired
+
+  // Per-execution state (reset by begin_script()).
   const ClientRequest* request_ = nullptr;
   dataflow::LogicalPlan plan_;
   mapreduce::JobDag dag_;
@@ -177,6 +268,13 @@ class ClusterBft {
   std::set<std::size_t> attributed_runs_;       ///< runs already blamed
   std::set<std::size_t> rolled_back_runs_;      ///< cancelled as tainted
   std::size_t rollbacks_ = 0;
+  /// The exact SubmitRun bytes journaled for each of my_runs_ — what
+  /// resync() re-sends for runs whose completion was never journaled.
+  std::map<std::size_t, std::vector<std::uint8_t>> dispatch_frames_;
+  /// Excluded nodes re-admitted by graceful degradation this script.
+  std::set<cluster::NodeId> degraded_nodes_;
+  bool degraded_ = false;
+  FailureReason failure_ = FailureReason::kNone;
   std::vector<std::size_t> pipeline_depth_;     ///< per job, dispatch prio
   /// Offline digest-comparison pool (request.verifier_threads > 0); the
   /// verifier borrows it, so execute() must reset verifier_ before

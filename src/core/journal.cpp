@@ -1,0 +1,149 @@
+#include "core/journal.hpp"
+
+#include <cstdio>
+
+#include "common/wire.hpp"
+
+namespace clusterbft::core {
+
+namespace {
+constexpr std::uint32_t kJournalMagic = 0x434A424CU;  // "CBJL"
+constexpr std::uint16_t kJournalVersion = 1;
+// A journal record never carries more than one codec frame; anything
+// bigger is a corrupt length field, not a real record.
+constexpr std::uint32_t kMaxPayload = 1U << 24;
+}  // namespace
+
+const char* to_string(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kScriptStart: return "script-start";
+    case RecordKind::kInbound: return "inbound";
+    case RecordKind::kTimerFired: return "timer-fired";
+    case RecordKind::kThresholdApplied: return "threshold-applied";
+    case RecordKind::kProbeStarted: return "probe-started";
+    case RecordKind::kProbeOutcome: return "probe-outcome";
+    case RecordKind::kScriptFinish: return "script-finish";
+    case RecordKind::kWaveCreated: return "wave-created";
+    case RecordKind::kRunDispatched: return "run-dispatched";
+    case RecordKind::kVerifyDecision: return "verify-decision";
+    case RecordKind::kRollback: return "rollback";
+    case RecordKind::kSuspicionUpdate: return "suspicion-update";
+    case RecordKind::kDegraded: return "degraded";
+    case RecordKind::kPoolExhausted: return "pool-exhausted";
+  }
+  return "unknown";
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+Journal::Append Journal::append(RecordKind kind, double time,
+                                std::vector<std::uint8_t> payload) {
+  if (replaying_) return Append::kReplaying;
+  if (crashed_) return Append::kCrashed;
+  if (records_.size() == crash_at_) {
+    crashed_ = true;
+    // A crash point fires once: disarm immediately so the harness can
+    // arm an independent crash for the recovered life at any time
+    // (including before recover() runs).
+    crash_at_ = SIZE_MAX;
+    return Append::kCrashed;
+  }
+  records_.push_back(JournalRecord{kind, time, std::move(payload)});
+  if (file_ != nullptr) {
+    const auto bytes = encode_record(records_.back());
+    auto* f = static_cast<std::FILE*>(file_);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fflush(f);
+  }
+  return Append::kOk;
+}
+
+bool Journal::recovery_pending() const {
+  // A script is in flight iff the journal's last kScriptStart has no
+  // kScriptFinish after it. Records appended between scripts (e.g. a
+  // suspicion-threshold application) do not reopen recovery.
+  std::size_t last_start = SIZE_MAX;
+  std::size_t last_finish = SIZE_MAX;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].kind == RecordKind::kScriptStart) last_start = i;
+    if (records_[i].kind == RecordKind::kScriptFinish) last_finish = i;
+  }
+  if (last_start == SIZE_MAX) return false;
+  return last_finish == SIZE_MAX || last_finish < last_start;
+}
+
+std::vector<std::uint8_t> Journal::encode_record(const JournalRecord& r) {
+  common::WireWriter w;
+  w.u32(kJournalMagic);
+  w.u16(kJournalVersion);
+  w.u16(static_cast<std::uint16_t>(r.kind));
+  w.f64(r.time);
+  w.u32(static_cast<std::uint32_t>(r.payload.size()));
+  w.raw(r.payload.data(), r.payload.size());
+  return w.take();
+}
+
+std::optional<JournalRecord> Journal::decode_record(const std::uint8_t* data,
+                                                    std::size_t size,
+                                                    std::size_t* consumed) {
+  common::WireReader rd(data, size);
+  const std::uint32_t magic = rd.u32();
+  const std::uint16_t version = rd.u16();
+  const std::uint16_t kind = rd.u16();
+  const double time = rd.f64();
+  const std::uint32_t len = rd.u32();
+  if (!rd.ok() || magic != kJournalMagic || version != kJournalVersion ||
+      kind < 1 || kind > static_cast<std::uint16_t>(RecordKind::kPoolExhausted) ||
+      len > kMaxPayload || rd.remaining() < len) {
+    return std::nullopt;
+  }
+  JournalRecord r;
+  r.kind = static_cast<RecordKind>(kind);
+  r.time = time;
+  r.payload.resize(len);
+  rd.raw(r.payload.data(), len);
+  if (!rd.ok()) return std::nullopt;
+  if (consumed != nullptr) *consumed = size - rd.remaining();
+  return r;
+}
+
+bool Journal::attach_file(const std::string& path) {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    file_ = nullptr;
+    return false;
+  }
+  file_ = f;
+  for (const JournalRecord& r : records_) {
+    const auto bytes = encode_record(r);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+  }
+  std::fflush(f);
+  return true;
+}
+
+bool Journal::load_file(const std::string& path, Journal& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::size_t consumed = 0;
+    auto r = decode_record(bytes.data() + pos, bytes.size() - pos, &consumed);
+    if (!r.has_value()) return false;  // torn tail: keep what decoded
+    out.records_.push_back(std::move(*r));
+    pos += consumed;
+  }
+  return true;
+}
+
+}  // namespace clusterbft::core

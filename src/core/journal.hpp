@@ -1,0 +1,155 @@
+// Durable write-ahead journal for the control tier.
+//
+// The controller appends a typed, versioned record for every externally
+// visible step *before* the corresponding control-plane message leaves
+// the trust boundary (journal-before-send, enforced by the determinism
+// lint's journal-before-send rule). Two record families exist:
+//
+//  * stimulus records — everything that drives the controller state
+//    machine: script start, every inbound protocol message (stored as a
+//    protocol::codec frame), every timer firing, probe dispatch/outcome,
+//    suspicion-threshold application, script finish. Replaying exactly
+//    this stream through the (deterministic) handlers reconstructs the
+//    full controller state: waves, run info, verifier evidence, fault
+//    analyzer, suspicion mirror, audit history.
+//  * decision records — wave creation, run dispatch (the full SubmitRun
+//    frame), verification decisions, rollbacks, suspicion updates,
+//    degradation. They make the WAL self-describing and give recovery
+//    the exact bytes to re-send for runs whose completion was never
+//    journaled. During replay the handlers re-derive these decisions;
+//    the journal suppresses the duplicate appends.
+//
+// Crash injection for the chaos harness: `set_crash_at(k)` makes the
+// k-th append "fail" — the record is not written and the caller is told
+// to die. The controller then detaches from the transport and refuses
+// all further work, modelling a control-tier process crash at an exact
+// WAL position without corrupting the surviving computation tier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace clusterbft::core {
+
+/// Thrown out of ClusterBft::execute()/recover() once an injected crash
+/// point has been hit: the controller instance is dead (it no-ops every
+/// handler and is detached from the transport) and a fresh instance must
+/// be constructed over the same journal and `recover()`ed. The dead
+/// instance must be kept alive while its submitted runs execute — the
+/// program registry and tracker hold pointers into its compiled plan.
+struct ControllerCrashed : std::runtime_error {
+  explicit ControllerCrashed(std::size_t at_record)
+      : std::runtime_error("controller crashed at journal record " +
+                           std::to_string(at_record)),
+        record(at_record) {}
+  std::size_t record = 0;
+};
+
+enum class RecordKind : std::uint16_t {
+  // ---- stimuli (replayed by dispatching the recorded event) ----
+  kScriptStart = 1,      ///< payload: script name
+  kInbound = 2,          ///< payload: protocol::codec frame of the message
+  kTimerFired = 3,       ///< payload: u64 timer id
+  kThresholdApplied = 4, ///< payload: f64 threshold
+  kProbeStarted = 5,     ///< payload: codec frame of the ProbeRequest
+  kProbeOutcome = 6,     ///< payload: u64 suspect, u8 verdict
+  kScriptFinish = 7,     ///< payload: empty
+  // ---- decisions (re-derived by replay; journaled before the send) ----
+  kWaveCreated = 8,      ///< payload: u64 wave index
+  kRunDispatched = 9,    ///< payload: codec frame of the SubmitRun
+  kVerifyDecision = 10,  ///< payload: u64 job index
+  kRollback = 11,        ///< payload: u64 run id
+  kSuspicionUpdate = 12, ///< payload: u64 run id, u8 commission flag
+  kDegraded = 13,        ///< payload: u64 count, u64 node ids...
+  kPoolExhausted = 14,   ///< payload: empty
+};
+
+const char* to_string(RecordKind kind);
+
+struct JournalRecord {
+  RecordKind kind = RecordKind::kScriptStart;
+  double time = 0;  ///< simulated seconds at append
+  std::vector<std::uint8_t> payload;
+};
+
+class Journal {
+ public:
+  enum class Append {
+    kOk,        ///< appended (and written through to the file, if any)
+    kReplaying, ///< replay mode: duplicate of an already-journaled decision
+    kCrashed,   ///< injected crash point hit: record NOT appended, die now
+  };
+
+  /// Append one record. In replay mode the append is suppressed (the
+  /// record already exists from the pre-crash run). Returns kCrashed
+  /// when this append is the configured crash point; the record is lost
+  /// exactly as if the process died before the write completed.
+  Append append(RecordKind kind, double time, std::vector<std::uint8_t> payload);
+
+  // ---- crash injection ----
+  /// Die on the append that would create record `record_index` (0-based).
+  /// SIZE_MAX (the default) disarms. A crash point fires once and
+  /// disarms itself, so arming a later index before recover() schedules
+  /// a crash for the *recovered* life.
+  void set_crash_at(std::size_t record_index) { crash_at_ = record_index; }
+  bool crashed() const { return crashed_; }
+  /// Acknowledge the crash for the next life (recover() calls this). An
+  /// armed-but-unfired crash point stays armed.
+  void clear_crash() { crashed_ = false; }
+
+  // ---- introspection ----
+  std::size_t size() const { return records_.size(); }
+  const JournalRecord& at(std::size_t i) const { return records_[i]; }
+
+  /// True when the journal holds a script whose kScriptFinish was never
+  /// written — i.e. a crash left a script in flight and recover() applies.
+  bool recovery_pending() const;
+
+  // ---- replay cursor ----
+  void begin_replay() {
+    replaying_ = true;
+    cursor_ = 0;
+  }
+  void end_replay() { replaying_ = false; }
+  bool replaying() const { return replaying_; }
+  const JournalRecord* peek() const {
+    return (replaying_ && cursor_ < records_.size()) ? &records_[cursor_]
+                                                     : nullptr;
+  }
+  void advance() { ++cursor_; }
+
+  // ---- durability ----
+  /// Write-through every subsequent append to `path` (truncates; existing
+  /// in-memory records are written first). Returns false on I/O failure.
+  bool attach_file(const std::string& path);
+  /// Load a journal previously written through attach_file. Returns false
+  /// on I/O failure or a malformed/truncated record stream (records up to
+  /// the first malformation are kept — a torn tail write is survivable).
+  static bool load_file(const std::string& path, Journal& out);
+
+  /// Deterministic record framing (shares the wire primitives with the
+  /// protocol codec): u32 magic, u16 version, u16 kind, f64 time,
+  /// u32 payload length, payload bytes.
+  static std::vector<std::uint8_t> encode_record(const JournalRecord& r);
+  static std::optional<JournalRecord> decode_record(const std::uint8_t* data,
+                                                    std::size_t size,
+                                                    std::size_t* consumed);
+
+  ~Journal();
+  Journal() = default;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+ private:
+  std::vector<JournalRecord> records_;
+  std::size_t cursor_ = 0;
+  bool replaying_ = false;
+  std::size_t crash_at_ = SIZE_MAX;
+  bool crashed_ = false;
+  void* file_ = nullptr;  ///< std::FILE*, opaque to keep <cstdio> out
+};
+
+}  // namespace clusterbft::core

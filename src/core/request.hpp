@@ -19,6 +19,14 @@ namespace clusterbft::core {
 /// meaningfully digested (§4.1 graph analyzer).
 enum class AdversaryModel { kWeak, kStrong };
 
+/// What the controller does when suspicion-driven exclusion (plus node
+/// crashes) shrinks the healthy pool below what the replication factor r
+/// needs. kReadmit re-admits the least-suspect excluded nodes and marks
+/// the script degraded — every job is then force-verified and nothing is
+/// ever promoted unverified. kFail refuses to run on suspect hardware and
+/// fails the script honestly with FailureReason::kPoolExhausted.
+enum class DegradedMode { kReadmit, kFail };
+
 struct ClientRequest {
   std::string script;            ///< PigLatin-subset source text
   std::string name = "script";   ///< sid prefix / scoping name
@@ -81,6 +89,9 @@ struct ClientRequest {
   std::size_t max_rerun_waves = 6;
 
   std::size_t reducers_per_job = 4;
+
+  /// Pool-exhaustion policy (see DegradedMode).
+  DegradedMode degraded_mode = DegradedMode::kReadmit;
 };
 
 /// Aggregated cost of executing one script, over all replicas and waves —
@@ -104,8 +115,34 @@ struct ScriptMetrics {
   std::size_t digest_reports = 0;
 };
 
+/// Why a script that did not verify stopped. Structured so callers can
+/// distinguish honest refusal (pool exhausted, missing output) from a
+/// verification give-up, instead of parsing audit text.
+enum class FailureReason {
+  kNone,                  ///< script verified (or legacy unverified success)
+  kRerunBudgetExhausted,  ///< max_rerun_waves reached without agreement
+  kPoolExhausted,         ///< healthy pool below r with DegradedMode::kFail
+  kOutputMissing,         ///< a final STORE never materialised in the DFS
+  kStalled,               ///< event queue drained with jobs still pending
+};
+
+inline const char* to_string(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kRerunBudgetExhausted: return "rerun-budget-exhausted";
+    case FailureReason::kPoolExhausted: return "pool-exhausted";
+    case FailureReason::kOutputMissing: return "output-missing";
+    case FailureReason::kStalled: return "stalled";
+  }
+  return "?";
+}
+
 struct ScriptResult {
   bool verified = false;
+  /// Set when the pool-exhaustion path re-admitted suspect nodes; every
+  /// job in a degraded script is force-verified before promotion.
+  bool degraded = false;
+  FailureReason failure = FailureReason::kNone;
   /// Verified output relations, keyed by STORE path.
   std::map<std::string, dataflow::Relation> outputs;
   ScriptMetrics metrics;

@@ -95,11 +95,13 @@ bool decode_payload(WireReader& r, ProbeRequest& m) {
 void encode_payload(WireWriter& w, const AddNodes& m) {
   w.u64(m.count);
   w.u64(m.slots);
+  w.u64(m.seq);
 }
 
 bool decode_payload(WireReader& r, AddNodes& m) {
   m.count = r.u64();
   m.slots = r.u64();
+  m.seq = r.u64();
   return r.ok();
 }
 
@@ -147,6 +149,7 @@ void encode_payload(WireWriter& w, const Heartbeat& m) {
   w.u64(m.file_read);
   w.u64(m.file_write);
   w.u64(m.digested);
+  w.u64(m.seq);
 }
 
 bool decode_payload(WireReader& r, Heartbeat& m) {
@@ -157,12 +160,14 @@ bool decode_payload(WireReader& r, Heartbeat& m) {
   m.file_read = r.u64();
   m.file_write = r.u64();
   m.digested = r.u64();
+  m.seq = r.u64();
   return r.ok();
 }
 
 void encode_payload(WireWriter& w, const DigestBatch& m) {
   w.u64(m.run);
   w.u64(m.node);
+  w.u64(m.seq);
   w.u32(static_cast<std::uint32_t>(m.reports.size()));
   for (const mapreduce::DigestReport& rep : m.reports) encode(w, rep);
 }
@@ -170,6 +175,7 @@ void encode_payload(WireWriter& w, const DigestBatch& m) {
 bool decode_payload(WireReader& r, DigestBatch& m) {
   m.run = r.u64();
   m.node = r.u64();
+  m.seq = r.u64();
   const std::uint32_t n = r.u32();
   // Each report carries at least a digest (32 bytes) plus fixed fields.
   if (!r.ok() || n > r.remaining() / 32) return false;
@@ -207,6 +213,20 @@ bool decode_payload(WireReader& r, ProbeReply& m) {
   m.probe = r.u64();
   m.run = r.u64();
   m.output_path = r.str();
+  return r.ok();
+}
+
+void encode_payload(WireWriter& w, const ReadmitNode& m) { w.u64(m.node); }
+
+bool decode_payload(WireReader& r, ReadmitNode& m) {
+  m.node = r.u64();
+  return r.ok();
+}
+
+void encode_payload(WireWriter& w, const NodeReadmitted& m) { w.u64(m.node); }
+
+bool decode_payload(WireReader& r, NodeReadmitted& m) {
+  m.node = r.u64();
   return r.ok();
 }
 
@@ -254,6 +274,8 @@ std::optional<Message> decode(const std::uint8_t* data, std::size_t size) {
     case 10: out = decode_as<DigestBatch>(r); break;
     case 11: out = decode_as<RunComplete>(r); break;
     case 12: out = decode_as<ProbeReply>(r); break;
+    case 13: out = decode_as<ReadmitNode>(r); break;
+    case 14: out = decode_as<NodeReadmitted>(r); break;
     default: return std::nullopt;
   }
   if (!out || !r.ok() || r.remaining() != 0) return std::nullopt;

@@ -3,7 +3,8 @@
 // Every message travels in a versioned, length-prefixed envelope:
 //
 //   u32 magic   = 0x43424654 ("CBFT")
-//   u16 version = 1
+//   u16 version = 2 (v2 added event/command sequence numbers and the
+//                    ReadmitNode/NodeReadmitted pair)
 //   u16 type    = variant index of the payload + 1 (0 is reserved)
 //   u32 length  = payload byte count
 //   ...payload  (little-endian fields, see encode_payload per struct)
@@ -28,7 +29,7 @@
 namespace clusterbft::protocol {
 
 inline constexpr std::uint32_t kWireMagic = 0x43424654;  // "CBFT"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// Serialize `m` into one self-delimiting frame.
 std::vector<std::uint8_t> encode(const Message& m);

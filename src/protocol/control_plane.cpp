@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/logging.hpp"
 
 namespace clusterbft::protocol {
 
@@ -13,17 +14,58 @@ struct Overload : Ts... {
 };
 template <class... Ts>
 Overload(Ts...) -> Overload<Ts...>;
+
+// Sanity ceiling on node ids accepted from the (untrusted) computation
+// tier: a corrupted frame must not drive an unbounded nodes_ resize.
+constexpr std::uint64_t kMaxNodeId = 1ULL << 20;
 }  // namespace
 
-ControlPlane::ControlPlane(Transport& transport) : transport_(transport) {
-  transport_.bind_control([this](const Message& m) { handle(m); });
+ControlPlane::ControlPlane(Transport& transport, bool defer_inbound)
+    : transport_(transport), defer_(defer_inbound) {
+  transport_.bind_control([this](const Message& m) { receive(m); });
 }
+
+void ControlPlane::receive(const Message& m) {
+  if (defer_) {
+    // Recovery in progress: the mirror is being rebuilt by replay, so
+    // live events wait their turn. They are re-delivered (through the
+    // tap, i.e. journaled) by stop_deferring().
+    deferred_.push_back(m);
+    return;
+  }
+  if (inbound_tap && !inbound_tap(m)) return;
+  handle(m);
+}
+
+void ControlPlane::stop_deferring() {
+  defer_ = false;
+  // Drain in arrival order through the normal live path; a tap/crash can
+  // swallow the remainder mid-drain exactly like live traffic.
+  std::vector<Message> pending;
+  pending.swap(deferred_);
+  for (Message& m : pending) {
+    if (defer_) {  // re-entered recovery (not expected, but stay safe)
+      deferred_.push_back(std::move(m));
+      continue;
+    }
+    receive(m);
+  }
+}
+
+void ControlPlane::detach() { transport_.bind_control({}); }
+
+void ControlPlane::send(Message m) {
+  if (muted_) return;
+  transport_.to_computation(std::move(m));
+}
+
+void ControlPlane::resend(const Message& m) { transport_.to_computation(m); }
 
 std::size_t ControlPlane::submit_run(SubmitRun msg) {
   const std::size_t run = runs_.size();
   msg.run = run;
   runs_.emplace_back();
-  transport_.to_computation(std::move(msg));
+  send(std::move(msg));
   return run;
 }
 
@@ -35,7 +77,7 @@ std::pair<std::size_t, std::size_t> ControlPlane::submit_probe(
   msg.run_control = run_control;
   runs_.emplace_back();
   runs_.emplace_back();
-  transport_.to_computation(std::move(msg));
+  send(std::move(msg));
   return {run_suspect, run_control};
 }
 
@@ -43,16 +85,16 @@ void ControlPlane::cancel_run(std::size_t run) {
   CBFT_CHECK(run < runs_.size());
   runs_[run].cancelled = true;
   runs_[run].complete = false;
-  transport_.to_computation(CancelRun{run});
+  send(CancelRun{run});
 }
 
 void ControlPlane::add_nodes(std::uint64_t count, std::uint64_t slots) {
-  transport_.to_computation(AddNodes{count, slots});
+  send(AddNodes{count, slots, ++command_seq_});
 }
 
-void ControlPlane::drain_node(std::uint64_t nid) {
-  transport_.to_computation(DrainNode{nid});
-}
+void ControlPlane::drain_node(std::uint64_t nid) { send(DrainNode{nid}); }
+
+void ControlPlane::readmit_node(std::uint64_t nid) { send(ReadmitNode{nid}); }
 
 bool ControlPlane::run_complete(std::size_t run) const {
   CBFT_CHECK(run < runs_.size());
@@ -79,7 +121,21 @@ bool ControlPlane::node_excluded(std::uint64_t nid) const {
   return nid < nodes_.size() && nodes_[nid].excluded;
 }
 
+std::vector<std::uint64_t> ControlPlane::excluded_nodes() const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t nid = 0; nid < nodes_.size(); ++nid) {
+    if (nodes_[nid].excluded) out.push_back(nid);
+  }
+  return out;
+}
+
 void ControlPlane::record_fault(std::uint64_t nid) { ++node(nid).faults; }
+
+double ControlPlane::suspicion(std::uint64_t nid) const {
+  if (nid >= nodes_.size() || nodes_[nid].jobs == 0) return 0;
+  return static_cast<double>(nodes_[nid].faults) /
+         static_cast<double>(nodes_[nid].jobs);
+}
 
 std::vector<std::uint64_t> ControlPlane::apply_suspicion_threshold(
     double threshold) {
@@ -116,20 +172,35 @@ void ControlPlane::handle(const Message& m) {
   std::visit(
       Overload{
           [this](const NodeAnnounce& e) {
+            // Bound what a corrupted announce can make us allocate.
+            if (e.count > kMaxNodeId || e.first > kMaxNodeId) {
+              CBFT_WARN("control plane: dropping oversized NodeAnnounce");
+              return;
+            }
             cluster_size_ = std::max<std::size_t>(cluster_size_,
                                                   e.first + e.count);
             if (cluster_size_ > nodes_.size()) nodes_.resize(cluster_size_);
           },
-          [this](const NodeDrained& e) { node(e.node).excluded = true; },
+          [this](const NodeDrained& e) {
+            if (e.node >= kMaxNodeId) return;
+            node(e.node).excluded = true;
+          },
+          [this](const NodeReadmitted& e) {
+            if (e.node >= kMaxNodeId) return;
+            node(e.node).excluded = false;
+          },
           [this](const NodeStatus& e) {
-            if (e.run >= runs_.size()) return;
+            if (e.run >= runs_.size() || e.node >= kMaxNodeId) return;
             // Set-insert guard: duplicated NodeStatus must not inflate
             // the suspicion denominator.
             if (runs_[e.run].nodes.insert(e.node).second) ++node(e.node).jobs;
           },
           [this](const Heartbeat& e) {
             if (e.run >= runs_.size()) return;
-            RunMetrics& met = runs_[e.run].metrics;
+            RunView& r = runs_[e.run];
+            // Exact duplicate (transport duplication): already applied.
+            if (e.seq != 0 && !r.seen_seqs.insert(e.seq).second) return;
+            RunMetrics& met = r.metrics;
             met.cpu_seconds += e.cpu_seconds;
             met.file_read += e.file_read;
             met.file_write += e.file_write;
@@ -144,6 +215,7 @@ void ControlPlane::handle(const Message& m) {
             // the verifier already decided on this run's record. A
             // cancelled run's digests are tainted, not evidence.
             if (r.complete || r.cancelled) return;
+            if (e.seq != 0 && !r.seen_seqs.insert(e.seq).second) return;
             r.digest_reports_seen += e.reports.size();
             if (on_digest_batch) on_digest_batch(e);
             maybe_complete(e.run);
@@ -167,7 +239,9 @@ void ControlPlane::handle(const Message& m) {
             r.complete = true;
           },
           [](const auto& /*command echoed to the wrong side*/) {
-            CBFT_CHECK(!"control tier received a control-tier command");
+            // Corruption or a confused/byzantine sender; never trust it
+            // enough to abort over.
+            CBFT_WARN("control plane: ignoring wrong-side command");
           },
       },
       m);

@@ -2,13 +2,14 @@
 //
 // It owns the control side of the protocol seam: it assigns run ids,
 // sends commands (SubmitRun, ProbeRequest, CancelRun, AddNodes,
-// DrainNode) and *mirrors* the computation tier's observable state —
-// run completion, output paths, per-run metrics, run node sets, cluster
-// membership and per-node suspicion — from the event messages streaming
-// back. The controller never touches the execution tracker; everything
-// it used to read from tracker state it now reads from this mirror,
-// which is kept bit-identical under the loopback transport because
-// messages arrive in exactly the order the tracker's hooks fired.
+// DrainNode, ReadmitNode) and *mirrors* the computation tier's
+// observable state — run completion, output paths, per-run metrics, run
+// node sets, cluster membership and per-node suspicion — from the event
+// messages streaming back. The controller never touches the execution
+// tracker; everything it used to read from tracker state it now reads
+// from this mirror, which is kept bit-identical under the loopback
+// transport because messages arrive in exactly the order the tracker's
+// hooks fired.
 //
 // Completion gating: a run is complete only once its RunComplete arrived
 // AND the mirror saw as many digest reports as the run claims to have
@@ -17,6 +18,25 @@
 // engages instead of a false verification on partial digest evidence —
 // and it keeps reordered digests from reaching the verifier after the
 // run was already declared complete.
+//
+// Idempotence: every handler is safe under duplicated or reordered
+// delivery — set-semantics membership/status updates, completion guards,
+// and exact duplicate suppression of the accumulating events (Heartbeat,
+// DigestBatch) via their per-run sequence numbers. Malformed or
+// wrong-side messages are logged and dropped, never trusted: the
+// computation tier is untrusted, so nothing it sends may abort the
+// control tier or drive unbounded allocation.
+//
+// Crash-recovery support (core::Journal): `defer_inbound` buffers every
+// inbound message arriving before recovery replay finished;
+// `inbound_tap` lets the controller journal each live inbound before it
+// is handled (returning false swallows it — the crash model's "message
+// lost with the process"); `inject` feeds a journaled message straight
+// to the handlers during replay; `mute` suppresses outbound sends while
+// replay re-derives commands the computation tier already received;
+// `resend` re-ships already-journaled bytes during resync without
+// touching the mirror; `detach` unbinds the handler so a crashed
+// controller instance stops observing the world.
 #pragma once
 
 #include <cstdint>
@@ -32,13 +52,17 @@ namespace clusterbft::protocol {
 
 class ControlPlane {
  public:
-  explicit ControlPlane(Transport& transport);
+  explicit ControlPlane(Transport& transport, bool defer_inbound = false);
 
   // ---- upcalls into the controller ----
   /// Digest batch from a still-incomplete run, in arrival order.
   std::function<void(const DigestBatch&)> on_digest_batch;
   /// A run completed (RunComplete arrived and all its digests were seen).
   std::function<void(std::size_t run)> on_run_complete;
+  /// Journal hook: called with every live inbound message before it is
+  /// handled. Return false to swallow the message (crash injection: the
+  /// stimulus dies with the process, atomically un-observed).
+  std::function<bool(const Message&)> inbound_tap;
 
   // ---- commands ----
   /// Assigns the run id (returned) and ships the submission.
@@ -52,6 +76,33 @@ class ControlPlane {
   void cancel_run(std::size_t run);
   void add_nodes(std::uint64_t count, std::uint64_t slots = 0);
   void drain_node(std::uint64_t node);
+  /// Graceful degradation: resume scheduling onto a drained node. Like
+  /// draining, the membership mirror moves on the NodeReadmitted echo.
+  void readmit_node(std::uint64_t node);
+
+  // ---- recovery plumbing ----
+  /// Run id the next submit_run would assign (journaled before the send).
+  std::size_t next_run_id() const { return runs_.size(); }
+  /// Replay a journaled inbound message through the handlers, bypassing
+  /// the tap and the deferred queue.
+  void inject(const Message& m) { handle(m); }
+  /// While muted, commands mutate the mirror but send nothing — used when
+  /// replay re-derives commands the computation tier already received.
+  void mute(bool on) { muted_ = on; }
+  /// Re-ship an already-journaled command verbatim (resync after
+  /// recovery); deliberately does not touch the mirror.
+  void resend(const Message& m);
+  /// Drain the messages buffered while defer_inbound was active, through
+  /// the normal tap/handle path, then deliver live.
+  void stop_deferring();
+  /// Crash support: hand an inbound message the dying instance failed to
+  /// observe back to the transport, where it buffers (the handler was
+  /// detached) until the recovered incarnation binds.
+  void requeue(const Message& m) { transport_.requeue_control(m); }
+  /// Crash: unbind from the transport so this instance stops observing
+  /// the world (subsequent deliveries buffer inside the transport until a
+  /// recovered instance binds).
+  void detach();
 
   // ---- mirror queries (what the controller used to ask the tracker) ----
   struct RunMetrics {
@@ -70,9 +121,12 @@ class ControlPlane {
 
   std::size_t cluster_size() const { return cluster_size_; }
   bool node_excluded(std::uint64_t node) const;
+  std::vector<std::uint64_t> excluded_nodes() const;
 
   // ---- suspicion (§4.1: s = faults / jobs executed, control-tier data) ----
   void record_fault(std::uint64_t node);
+  /// s = faults / jobs executed (0 when the node never ran a job).
+  double suspicion(std::uint64_t node) const;
   /// Drain every node whose suspicion exceeds `threshold`; returns the
   /// newly drained nodes. Mirrors ResourceTable::apply_threshold
   /// semantics (nodes with zero executed jobs are never drained).
@@ -89,6 +143,9 @@ class ControlPlane {
     std::string output_path;
     std::uint64_t hdfs_pending = 0;  ///< credited to metrics on completion
     std::set<std::uint64_t> nodes;
+    /// Heartbeat/DigestBatch sequence numbers already applied — exact
+    /// duplicate suppression for the accumulating events.
+    std::set<std::uint64_t> seen_seqs;
     RunMetrics metrics;
   };
   struct NodeView {
@@ -97,7 +154,9 @@ class ControlPlane {
     bool excluded = false;
   };
 
+  void receive(const Message& m);
   void handle(const Message& m);
+  void send(Message m);
   void maybe_complete(std::size_t run);
   NodeView& node(std::uint64_t id);
 
@@ -105,6 +164,10 @@ class ControlPlane {
   std::vector<RunView> runs_;
   std::vector<NodeView> nodes_;
   std::size_t cluster_size_ = 0;
+  std::uint64_t command_seq_ = 0;  ///< AddNodes dedup identity
+  bool muted_ = false;
+  bool defer_ = false;
+  std::vector<Message> deferred_;
 };
 
 }  // namespace clusterbft::protocol

@@ -1,63 +1,15 @@
-// LossyTransport: the control-plane seam over an unreliable network.
-//
-// Every message is encoded through the protocol codec (so only bytes
-// cross), then subjected to the bftsmr LinkModel: per-message drop,
-// duplication and jittered delay, with delivery scheduled on the shared
-// discrete-event simulation — delays reorder messages relative to each
-// other exactly as a real asynchronous network would.
-//
-// On top of the symmetric link model, digest-specific knobs model the
-// §5.4 scenarios: a verifier must treat missing digests like a silent
-// replica (timeout -> rerun) and must NOT convict nodes whose digests
-// were merely late. `digest_*` settings affect DigestBatch messages only.
+// Compatibility alias: the lossy transport grew adversarial reorder and
+// corruption faults and became the chaos transport (protocol/chaos.hpp).
+// A ChaosConfig with the chaos knobs at zero reproduces the legacy
+// LossyTransport seeded RNG streams bit-for-bit, so existing call sites
+// keep their behaviour under these aliases.
 #pragma once
 
-#include <cstdint>
-
-#include "bftsmr/simnet.hpp"
-#include "cluster/event_sim.hpp"
-#include "common/rng.hpp"
-#include "protocol/transport.hpp"
+#include "protocol/chaos.hpp"
 
 namespace clusterbft::protocol {
 
-struct LossyConfig {
-  bftsmr::LinkModel link;  ///< applied to every message, both directions
-
-  /// Extra loss applied to DigestBatch messages only.
-  double digest_drop_prob = 0.0;
-  /// Extra one-way latency added to DigestBatch messages only.
-  double digest_delay_s = 0.0;
-  /// DigestBatch messages sent before this sim time are dropped — models
-  /// a transient digest-path outage (the run itself still completes its
-  /// output, but the verifier never hears from it until reruns start
-  /// after the blackout lifts).
-  double digest_blackout_until_s = 0.0;
-
-  std::uint64_t seed = 1;
-};
-
-class LossyTransport final : public Transport {
- public:
-  LossyTransport(cluster::EventSim& sim, LossyConfig cfg)
-      : sim_(sim), cfg_(cfg), rng_(cfg.seed) {}
-
-  void to_control(Message m) override { send(std::move(m), /*up=*/true); }
-  void to_computation(Message m) override { send(std::move(m), /*up=*/false); }
-
-  /// Messages lost to drop/blackout so far (tests assert the fault model
-  /// actually engaged).
-  std::uint64_t dropped() const { return dropped_; }
-
- private:
-  void send(Message m, bool up);
-  bool link_drop_or_blackout(bool is_digest);
-  void ship(std::vector<std::uint8_t> frame, double delay, bool up);
-
-  cluster::EventSim& sim_;
-  LossyConfig cfg_;
-  Rng rng_;
-  std::uint64_t dropped_ = 0;
-};
+using LossyConfig = ChaosConfig;
+using LossyTransport = ChaosTransport;
 
 }  // namespace clusterbft::protocol

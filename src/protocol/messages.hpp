@@ -12,8 +12,17 @@
 // later or never.
 //
 // Control -> computation: SubmitRun, CancelRun, ProbeRequest, AddNodes,
-// DrainNode. Computation -> control: NodeAnnounce, NodeDrained,
-// NodeStatus, Heartbeat, DigestBatch, RunComplete, ProbeReply.
+// DrainNode, ReadmitNode. Computation -> control: NodeAnnounce,
+// NodeDrained, NodeStatus, Heartbeat, DigestBatch, RunComplete,
+// ProbeReply, NodeReadmitted.
+//
+// Idempotence: the transport may duplicate or reorder. Commands carry
+// natural identities (run id, node id) and every handler is a
+// set-semantics update; the two high-volume accumulating events
+// (Heartbeat, DigestBatch) additionally carry a per-run sequence number
+// assigned by the computation tier so the control tier can drop
+// duplicates exactly (seq = 0 means "unsequenced legacy sender" and is
+// never deduped).
 #pragma once
 
 #include <cstdint>
@@ -69,12 +78,23 @@ struct ProbeRequest {
 struct AddNodes {
   std::uint64_t count = 0;
   std::uint64_t slots = 0;
+  /// Control-assigned command sequence; a duplicated AddNodes must not
+  /// register the fleet twice, so the service dedupes on it (0 = legacy
+  /// unsequenced sender, never deduped).
+  std::uint64_t seq = 0;
 };
 
 /// Stop scheduling onto a node (running tasks finish normally). Answered
 /// by a NodeDrained — the control tier's membership mirror is updated by
 /// the echo, not by the send, so it stays correct over a lossy transport.
 struct DrainNode {
+  std::uint64_t node = 0;
+};
+
+/// Graceful-degradation inverse of DrainNode: resume scheduling onto a
+/// previously drained node. Answered by a NodeReadmitted echo; like
+/// draining, the control tier's membership mirror moves on the echo.
+struct ReadmitNode {
   std::uint64_t node = 0;
 };
 
@@ -113,6 +133,9 @@ struct Heartbeat {
   std::uint64_t file_read = 0;
   std::uint64_t file_write = 0;
   std::uint64_t digested = 0;
+  /// Per-run event sequence (shared counter with DigestBatch), assigned
+  /// by the computation tier; lets the control tier drop duplicates.
+  std::uint64_t seq = 0;
 };
 
 /// Verification-point digests from one task of `run`, batched per task.
@@ -120,6 +143,9 @@ struct DigestBatch {
   std::uint64_t run = 0;
   std::uint64_t node = 0;
   std::vector<mapreduce::DigestReport> reports;
+  /// Per-run event sequence (shared counter with Heartbeat); a duplicated
+  /// batch must not double-count toward run completion.
+  std::uint64_t seq = 0;
 };
 
 /// The run finished writing its output. `digest_reports` is the total
@@ -142,8 +168,16 @@ struct ProbeReply {
   std::string output_path;
 };
 
+/// A node resumed accepting tasks (ReadmitNode acknowledgement).
+struct NodeReadmitted {
+  std::uint64_t node = 0;
+};
+
+// New message types append at the end so existing wire type tags stay
+// stable across protocol versions.
 using Message = std::variant<SubmitRun, CancelRun, ProbeRequest, AddNodes,
                              DrainNode, NodeAnnounce, NodeDrained, NodeStatus,
-                             Heartbeat, DigestBatch, RunComplete, ProbeReply>;
+                             Heartbeat, DigestBatch, RunComplete, ProbeReply,
+                             ReadmitNode, NodeReadmitted>;
 
 }  // namespace clusterbft::protocol

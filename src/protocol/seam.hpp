@@ -11,6 +11,7 @@
 #pragma once
 
 #include "cluster/tracker.hpp"
+#include "protocol/chaos.hpp"
 #include "protocol/loopback.hpp"
 #include "protocol/lossy.hpp"
 #include "protocol/registry.hpp"
@@ -29,15 +30,19 @@ struct LoopbackSeam {
       : service(tracker, transport, programs) {}
 };
 
-/// The same seam over the simulated network's link model.
-struct LossySeam {
-  LossyTransport transport;
+/// The same seam over the simulated network's link model plus the chaos
+/// faults (drop/delay/duplicate/reorder/corrupt).
+struct ChaosSeam {
+  ChaosTransport transport;
   ProgramRegistry programs;
   ComputationService service;
 
-  LossySeam(cluster::ExecutionTracker& tracker, LossyConfig cfg)
+  ChaosSeam(cluster::ExecutionTracker& tracker, ChaosConfig cfg)
       : transport(tracker.sim(), cfg),
         service(tracker, transport, programs) {}
 };
+
+/// Legacy name from before the lossy transport grew the chaos faults.
+using LossySeam = ChaosSeam;
 
 }  // namespace clusterbft::protocol

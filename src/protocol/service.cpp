@@ -16,6 +16,10 @@ struct Overload : Ts... {
 };
 template <class... Ts>
 Overload(Ts...) -> Overload<Ts...>;
+
+// Ceilings on what a (possibly corrupted) command may ask for.
+constexpr std::uint64_t kMaxAddNodes = 4096;
+constexpr std::uint64_t kMaxSlots = 1024;
 }  // namespace
 
 ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
@@ -27,7 +31,7 @@ ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
   tracker_.on_node_assigned = [this](std::size_t run, cluster::NodeId nid) {
     const auto it = ctl_of_.find(run);
     if (it == ctl_of_.end()) return;
-    transport_.to_control(NodeStatus{it->second, nid});
+    emit(it->second, NodeStatus{it->second, nid});
   };
   tracker_.on_task_accounted =
       [this](std::size_t run, cluster::NodeId nid, bool reduce,
@@ -42,14 +46,17 @@ ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
         hb.file_read = acct.file_read;
         hb.file_write = acct.file_write;
         hb.digested = acct.digested;
-        transport_.to_control(std::move(hb));
+        hb.seq = next_seq(it->second);
+        emit(it->second, std::move(hb));
       };
   tracker_.on_digests = [this](std::vector<mapreduce::DigestReport>&& reports,
                                std::size_t run, cluster::NodeId nid) {
     const auto it = ctl_of_.find(run);
     if (it == ctl_of_.end()) return;
     digests_sent_[it->second] += reports.size();
-    transport_.to_control(DigestBatch{it->second, nid, std::move(reports)});
+    DigestBatch batch{it->second, nid, std::move(reports),
+                      next_seq(it->second)};
+    emit(it->second, std::move(batch));
   };
   tracker_.on_run_complete = [this](std::size_t run) {
     const auto it = ctl_of_.find(run);
@@ -57,8 +64,7 @@ ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
     const std::uint64_t ctl = it->second;
     const auto probe = probe_of_.find(ctl);
     if (probe != probe_of_.end()) {
-      transport_.to_control(
-          ProbeReply{probe->second, ctl, tracker_.run_output_path(run)});
+      emit(ctl, ProbeReply{probe->second, ctl, tracker_.run_output_path(run)});
       return;
     }
     RunComplete rc;
@@ -66,7 +72,7 @@ ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
     rc.output_path = tracker_.run_output_path(run);
     rc.hdfs_write = tracker_.run_metrics(run).hdfs_write;
     rc.digest_reports = digests_sent_[ctl];
-    transport_.to_control(std::move(rc));
+    emit(ctl, std::move(rc));
   };
   tracker_.on_nodes_added = [this](cluster::NodeId first, std::size_t count) {
     transport_.to_control(NodeAnnounce{first, count});
@@ -74,21 +80,56 @@ ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
   tracker_.on_node_drained = [this](cluster::NodeId nid) {
     transport_.to_control(NodeDrained{nid});
   };
+  tracker_.on_node_readmitted = [this](cluster::NodeId nid) {
+    transport_.to_control(NodeReadmitted{nid});
+  };
 
   // Announce the initial cluster; the transport buffers this until the
   // control tier binds its handler.
   transport_.to_control(NodeAnnounce{0, tracker_.resources().size()});
 }
 
+void ComputationService::emit(std::uint64_t ctl_run, Message event) {
+  history_[ctl_run].push_back(event);
+  transport_.to_control(std::move(event));
+}
+
+void ComputationService::replay_history(std::uint64_t ctl_run) {
+  const auto it = history_.find(ctl_run);
+  if (it == history_.end()) return;
+  // Copy: re-delivery runs controller code inline on the loopback
+  // transport, which may submit further runs and grow histories.
+  const std::vector<Message> snapshot = it->second;
+  for (const Message& ev : snapshot) transport_.to_control(ev);
+}
+
 void ComputationService::on_submit(const SubmitRun& m) {
-  if (!accepted_.insert(m.run).second) return;  // duplicated command
+  if (!accepted_.insert(m.run).second) {
+    // Duplicate (transport duplication or crash-recovery resync): the
+    // command already executed. Re-emit the run's retained events so
+    // anything lost in a crash window reaches the control tier again;
+    // the mirror drops what it already processed.
+    replay_history(m.run);
+    return;
+  }
   const ProgramRegistry::Program* prog = programs_.find(m.program);
   if (prog == nullptr) {
     CBFT_WARN("SubmitRun " << m.run << " references unknown program "
                            << m.program << "; dropped");
     return;
   }
-  CBFT_CHECK(m.job_index < prog->dag->jobs.size());
+  if (m.job_index >= prog->dag->jobs.size()) {
+    CBFT_WARN("SubmitRun " << m.run << " job index " << m.job_index
+                           << " out of range; dropped");
+    return;
+  }
+  for (const std::string& path : m.input_paths) {
+    if (!tracker_.dfs().exists(path)) {
+      CBFT_WARN("SubmitRun " << m.run << " input missing from DFS: " << path
+                             << "; dropped");
+      return;
+    }
+  }
   const mapreduce::MRJobSpec& spec = prog->dag->jobs[m.job_index];
   // Map before submitting: submit dispatches inline and the hooks above
   // need the control id for the events they emit during it.
@@ -103,10 +144,17 @@ void ComputationService::on_submit(const SubmitRun& m) {
 }
 
 void ComputationService::on_probe(const ProbeRequest& m) {
-  if (!accepted_.insert(m.run_suspect).second) return;
+  if (!accepted_.insert(m.run_suspect).second) {
+    replay_history(m.run_suspect);
+    replay_history(m.run_control);
+    return;
+  }
   accepted_.insert(m.run_control);
-  CBFT_CHECK_MSG(tracker_.dfs().exists(m.input_path),
-                 "probe input missing from DFS: " + m.input_path);
+  if (!tracker_.dfs().exists(m.input_path)) {
+    CBFT_WARN("probe " << m.probe << " input missing from DFS: "
+                       << m.input_path << "; dropped");
+    return;
+  }
 
   // A minimal pass-through data-flow: LOAD -> STORE over the probe
   // input. Any commission fault on the suspect corrupts its copy.
@@ -161,11 +209,27 @@ void ComputationService::handle(const Message& m) {
             if (it != tracker_of_.end()) tracker_.cancel_run(it->second);
           },
           [this](const AddNodes& c) {
+            // Dedupe by command seq (a duplicated AddNodes must not
+            // register the fleet twice) and bound corrupt counts.
+            if (c.seq != 0 && !addnode_seqs_.insert(c.seq).second) return;
+            if (c.count == 0 || c.count > kMaxAddNodes ||
+                c.slots > kMaxSlots) {
+              CBFT_WARN("dropping implausible AddNodes command");
+              return;
+            }
             tracker_.add_nodes(c.count, c.slots);
           },
-          [this](const DrainNode& c) { tracker_.drain_node(c.node); },
+          [this](const DrainNode& c) {
+            if (c.node >= tracker_.resources().size()) return;
+            tracker_.drain_node(c.node);
+          },
+          [this](const ReadmitNode& c) {
+            if (c.node >= tracker_.resources().size()) return;
+            tracker_.readmit_node(c.node);
+          },
           [](const auto& /*event echoed to the wrong side*/) {
-            CBFT_CHECK(!"computation tier received a computation-tier event");
+            // Corruption or a confused sender: log and drop, never abort.
+            CBFT_WARN("computation service: ignoring wrong-side event");
           },
       },
       m);

@@ -13,6 +13,20 @@
 // control id). Because the control tier is the sole submitter, the two
 // id spaces coincide in practice; the mapping keeps the protocol honest
 // about which tier owns which identifier.
+//
+// Idempotence & recovery: commands are deduplicated by their natural
+// identity (run id for SubmitRun/ProbeRequest, command seq for
+// AddNodes; CancelRun/DrainNode/ReadmitNode are naturally idempotent).
+// Every per-run outbound event is additionally retained in a history
+// keyed by control run id, stamped with a per-run sequence number; a
+// *duplicate* SubmitRun/ProbeRequest re-emits that history verbatim.
+// This is what makes controller crash-recovery exact: events that died
+// in the crash window are recovered by the recovering controller
+// re-sending the (journaled) submission, and the control-plane mirror
+// drops the re-deliveries it already processed by sequence number.
+// Malformed commands (unknown program, out-of-range indices, missing
+// inputs, absurd sizes) are logged and dropped — the transport may
+// corrupt frames, so no inbound bytes may abort the service.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +50,11 @@ class ComputationService {
   void handle(const Message& m);
   void on_submit(const SubmitRun& m);
   void on_probe(const ProbeRequest& m);
+  /// Append to the run's event history and ship it.
+  void emit(std::uint64_t ctl_run, Message event);
+  /// Re-ship a run's retained events (duplicate-submission recovery).
+  void replay_history(std::uint64_t ctl_run);
+  std::uint64_t next_seq(std::uint64_t ctl_run) { return ++seq_of_[ctl_run]; }
 
   cluster::ExecutionTracker& tracker_;
   Transport& transport_;
@@ -47,11 +66,17 @@ class ComputationService {
   std::map<std::uint64_t, std::size_t> tracker_of_;
   /// Control run ids already accepted (a duplicated SubmitRun is ignored).
   std::set<std::uint64_t> accepted_;
+  /// AddNodes command seqs already applied (duplicate fleet guard).
+  std::set<std::uint64_t> addnode_seqs_;
   /// Digest reports forwarded per control run — RunComplete carries the
   /// total so the control tier can detect in-flight digest loss.
   std::map<std::uint64_t, std::uint64_t> digests_sent_;
   /// Control run id -> probe id, for runs that answer with ProbeReply.
   std::map<std::uint64_t, std::uint64_t> probe_of_;
+  /// Per-run event sequence counters (Heartbeat/DigestBatch share one).
+  std::map<std::uint64_t, std::uint64_t> seq_of_;
+  /// Per-run retained outbound events, re-emitted on duplicate submit.
+  std::map<std::uint64_t, std::vector<Message>> history_;
 
   /// Probe plans/specs must outlive their runs in the tracker.
   struct ProbeJob {

@@ -38,6 +38,13 @@ class Transport {
     flush(computation_, pending_computation_);
   }
 
+  /// Put an inbound control-side message back into the delivery queue
+  /// verbatim (crash model: the message a dying controller failed to
+  /// observe is still on the wire; with its handler unbound it buffers
+  /// until the recovered instance binds). Bypasses any fault model on
+  /// purpose — the message already survived the outbound leg once.
+  void requeue_control(Message m) { deliver_control(std::move(m)); }
+
   /// Send towards the control tier (computation-side call).
   virtual void to_control(Message m) = 0;
   /// Send towards the computation tier (control-side call).

@@ -1,0 +1,273 @@
+// Chaos-injection sweep: across seeds and fault mixes — network storms
+// (drop + duplicate + reorder + corrupt), digest-path outages, worker
+// crashes mid-run, and controller crash/recovery under chaos — two
+// safety invariants must hold without a single flake:
+//
+//  1. No unverified output is ever promoted: a script that does not
+//     verify reports a structured FailureReason and an empty output map.
+//  2. A verified script's outputs are bit-for-bit identical to the
+//     all-honest reference interpreter's.
+//
+// Liveness under a storm is explicitly NOT asserted (a fault mix may
+// legitimately exhaust the rerun budget or stall); only honesty is.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/presets.hpp"
+#include "cluster/fault_plan.hpp"
+#include "cluster/tracker.hpp"
+#include "core/controller.hpp"
+#include "core/journal.hpp"
+#include "dataflow/interpreter.hpp"
+#include "dataflow/parser.hpp"
+#include "protocol/seam.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/weather.hpp"
+
+namespace clusterbft::core {
+namespace {
+
+using cluster::AdversaryPolicy;
+using cluster::FaultPlan;
+using cluster::TrackerConfig;
+
+constexpr const char* kInputPath = "weather/gsod";
+constexpr const char* kOutputPath = "out/weather_hist";
+
+enum class Mix {
+  kNetworkStorm,     // drop + duplicate + reorder + corrupt, both ways
+  kDigestOutage,     // storm + extra digest loss, delay and a blackout
+  kWorkerCrashes,    // two workers die mid-run under a mild storm
+  kControllerCrash,  // journal crash point + recovery under a mild storm
+};
+
+const char* to_string(Mix mix) {
+  switch (mix) {
+    case Mix::kNetworkStorm: return "NetworkStorm";
+    case Mix::kDigestOutage: return "DigestOutage";
+    case Mix::kWorkerCrashes: return "WorkerCrashes";
+    case Mix::kControllerCrash: return "ControllerCrash";
+  }
+  return "?";
+}
+
+struct SweepParam {
+  Mix mix;
+  std::uint64_t seed;
+};
+
+protocol::ChaosConfig chaos_for(const SweepParam& p) {
+  protocol::ChaosConfig cfg;
+  cfg.seed = p.seed;
+  switch (p.mix) {
+    case Mix::kNetworkStorm:
+      cfg.link.drop_prob = 0.08;
+      cfg.link.dup_prob = 0.10;
+      cfg.reorder_prob = 0.15;
+      cfg.corrupt_prob = 0.05;
+      break;
+    case Mix::kDigestOutage:
+      cfg.link.drop_prob = 0.05;
+      cfg.link.dup_prob = 0.05;
+      cfg.reorder_prob = 0.10;
+      cfg.corrupt_prob = 0.03;
+      cfg.digest_drop_prob = 0.25;
+      cfg.digest_delay_s = 0.4;
+      cfg.digest_blackout_until_s = 0.2;
+      break;
+    case Mix::kWorkerCrashes:
+    case Mix::kControllerCrash:
+      cfg.link.drop_prob = 0.03;
+      cfg.link.dup_prob = 0.05;
+      cfg.reorder_prob = 0.05;
+      cfg.corrupt_prob = 0.02;
+      break;
+  }
+  return cfg;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ChaosSweep, SafetyInvariantsHoldUnderFaultStorm) {
+  const SweepParam p = GetParam();
+
+  workloads::WeatherConfig wc;
+  wc.num_stations = 30;
+  wc.readings_per_station = 4;
+  const auto readings = workloads::generate_weather(wc);
+
+  // All-honest reference output.
+  const std::string script = workloads::weather_average_analysis();
+  const auto plan = dataflow::parse_script(script);
+  const auto golden = dataflow::interpret(plan, {{kInputPath, readings}});
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, readings);
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = p.seed;
+  // One commission-faulty node keeps "no unverified promotion" honest:
+  // there is always a wrong answer on offer.
+  cfg.policies[1] = AdversaryPolicy{.commission_prob = 0.6};
+  cluster::ExecutionTracker tracker(sim, dfs, cfg);
+  protocol::ChaosSeam seam(tracker, chaos_for(p));
+
+  ClientRequest req =
+      baseline::cluster_bft(script, "chaos", 1, 2, 1);
+  // Chaos runs must terminate even when the storm eats every replica:
+  // a tight verifier timeout and rerun budget turn "stuck" into an
+  // honest structured failure instead of a 300-simulated-second wait.
+  req.verifier_timeout_s = 5.0;
+  req.max_rerun_waves = 4;
+
+  // The fault plan is armed only after the warm-up drain below so the
+  // worker deaths land mid-script, not before it starts.
+  FaultPlan faults;
+  if (p.mix == Mix::kWorkerCrashes) {
+    faults.worker_crashes.push_back({0.05, static_cast<cluster::NodeId>(
+                                               1 + p.seed % 5)});
+    faults.worker_crashes.push_back({0.25, static_cast<cluster::NodeId>(
+                                               6 + p.seed % 4)});
+  }
+
+  ScriptResult res;
+  if (p.mix == Mix::kControllerCrash) {
+    Journal journal;
+    // Crash points sweep with the seed across the journal's life; if the
+    // script finishes first, the run simply completes uninterrupted
+    // (still a valid sweep point).
+    journal.set_crash_at(5 + (p.seed * 13) % 120);
+    ClusterBft crashed(sim, dfs, seam.transport, seam.programs, &journal);
+    // Drain the initial NodeAnnounce (it travels the chaos link too) so
+    // the membership mirror is populated — and journaled — before submit.
+    sim.run();
+    bool did_crash = false;
+    try {
+      res = crashed.execute(req);
+    } catch (const ControllerCrashed&) {
+      did_crash = true;
+    }
+    if (did_crash) {
+      ClusterBft recovered(sim, dfs, seam.transport, seam.programs,
+                           &journal);
+      res = recovered.recover(req);
+    }
+  } else {
+    ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+    sim.run();  // drain the initial NodeAnnounce over the chaos link
+    faults.arm(sim, tracker);
+    res = controller.execute(req);
+  }
+
+  if (res.verified) {
+    // Invariant 2: verified == correct, bit for bit.
+    ASSERT_TRUE(res.outputs.count(kOutputPath));
+    EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+              golden.at(kOutputPath).sorted_rows())
+        << "VERIFIED OUTPUT IS WRONG (integrity violation)";
+  } else {
+    // Invariant 1: failure is structured and promotes nothing.
+    EXPECT_NE(res.failure, FailureReason::kNone);
+    EXPECT_TRUE(res.outputs.empty())
+        << "an unverified script promoted outputs";
+  }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  for (const Mix mix : {Mix::kNetworkStorm, Mix::kDigestOutage,
+                        Mix::kWorkerCrashes, Mix::kControllerCrash}) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      out.push_back({mix, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, ChaosSweep, ::testing::ValuesIn(sweep_params()),
+    [](const ::testing::TestParamInfo<SweepParam>& ti) {
+      return std::string(to_string(ti.param.mix)) + "_s" +
+             std::to_string(ti.param.seed);
+    });
+
+TEST(ChaosSweepTest, ZeroChaosConfigIsBitCompatibleWithLoopback) {
+  // A ChaosSeam with every fault probability at zero (and a zero-latency
+  // link) must be observationally identical to the loopback seam.
+  workloads::WeatherConfig wc;
+  wc.num_stations = 30;
+  wc.readings_per_station = 4;
+  const auto readings = workloads::generate_weather(wc);
+  const std::string script = workloads::weather_average_analysis();
+  const ClientRequest req = baseline::cluster_bft(script, "zero", 1, 2, 1);
+
+  ScriptResult loopback_res;
+  std::string loopback_audit;
+  {
+    cluster::EventSim sim;
+    mapreduce::Dfs dfs(16384);
+    dfs.write(kInputPath, readings);
+    TrackerConfig cfg;
+    cfg.num_nodes = 10;
+    cfg.seed = 3;
+    cluster::ExecutionTracker tracker(sim, dfs, cfg);
+    protocol::LoopbackSeam seam(tracker);
+    ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+    loopback_res = controller.execute(req);
+    loopback_audit = controller.audit_log().to_string();
+  }
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, readings);
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = 3;
+  cluster::ExecutionTracker tracker(sim, dfs, cfg);
+  protocol::ChaosConfig zero;
+  zero.link.base_delay_s = 0;
+  zero.link.jitter_s = 0;
+  protocol::ChaosSeam seam(tracker, zero);
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+  sim.run();  // drain the initial NodeAnnounce over the (zero-fault) link
+  const auto res = controller.execute(req);
+
+  ASSERT_TRUE(res.verified);
+  ASSERT_TRUE(loopback_res.verified);
+  EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+            loopback_res.outputs.at(kOutputPath).sorted_rows());
+  EXPECT_EQ(res.metrics.runs, loopback_res.metrics.runs);
+  EXPECT_EQ(res.metrics.waves, loopback_res.metrics.waves);
+}
+
+TEST(ChaosSweepTest, FaultCountersProveTheStormWasReal) {
+  // The sweep is only meaningful if the fault model actually engages.
+  workloads::WeatherConfig wc;
+  wc.num_stations = 30;
+  wc.readings_per_station = 4;
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, workloads::generate_weather(wc));
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = 11;
+  cluster::ExecutionTracker tracker(sim, dfs, cfg);
+  protocol::ChaosSeam seam(tracker, chaos_for({Mix::kNetworkStorm, 11}));
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+  sim.run();  // drain the initial NodeAnnounce over the storm link
+  ClientRequest req = baseline::cluster_bft(
+      workloads::weather_average_analysis(), "counters", 1, 2, 1);
+  req.verifier_timeout_s = 5.0;
+  req.max_rerun_waves = 4;
+  (void)controller.execute(req);
+  EXPECT_GT(seam.transport.dropped() + seam.transport.duplicated() +
+                seam.transport.reordered() + seam.transport.corrupted(),
+            0u);
+}
+
+}  // namespace
+}  // namespace clusterbft::core

@@ -57,10 +57,10 @@ std::size_t count_occurrences(const std::string& haystack,
   return count;
 }
 
-const std::array<const char*, 8> kRuleIds = {
+const std::array<const char*, 9> kRuleIds = {
     "unordered-container", "unseeded-random",  "wall-clock",
     "pointer-keyed-container", "raw-threading", "core-async-dispatch",
-    "uninit-pod-member", "trust-boundary-include"};
+    "journal-before-send", "uninit-pod-member", "trust-boundary-include"};
 
 class LintSelfTest : public ::testing::Test {
  protected:

@@ -114,19 +114,25 @@ TEST(LossyTransportTest, PermanentDigestLossExhaustsRerunsHonestly) {
 }
 
 TEST(LossyTransportTest, GeneralLinkLossStillVerifies) {
-  // A symmetrically lossy link (1% drop on every message, both ways)
-  // exercises the retries implicit in the timeout->rerun loop: a dropped
-  // SubmitRun or RunComplete is indistinguishable from a hung replica
-  // and is handled the same way. ClusterBFT still reaches a verified,
-  // correct answer. (Duplication is deliberately not enabled: the digest
-  // path assumes at-most-once delivery — see DESIGN.md.)
+  // A symmetrically lossy link (1% drop + 5% duplication on every
+  // message, both ways) exercises the retries implicit in the
+  // timeout->rerun loop: a dropped SubmitRun or RunComplete is
+  // indistinguishable from a hung replica and is handled the same way,
+  // and duplicated events are absorbed by the control-plane mirror's
+  // per-run sequence-number dedup (the old at-most-once digest-path
+  // assumption is gone). ClusterBFT still reaches a verified, correct
+  // answer. LossyConfig/LossySeam are thin aliases of the chaos
+  // transport (protocol/chaos.hpp), which adds reordering and
+  // corruption on top — the full storm lives in chaos_sweep_test.
   protocol::LossyConfig cfg;
   cfg.link.drop_prob = 0.01;
+  cfg.link.dup_prob = 0.05;
   cfg.seed = 11;
   World w(cfg);
   const auto res = w.run("noisy");
   ASSERT_TRUE(res.verified);
   EXPECT_EQ(res.commission_faults_seen, 0u);
+  EXPECT_GT(w.seam.transport.duplicated(), 0u);
   w.expect_output_correct(res);
 }
 

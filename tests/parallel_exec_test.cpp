@@ -494,8 +494,8 @@ TEST_P(ParallelExecTest, LateMismatchRollsBackOnlyTaintedRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Pools, ParallelExecTest,
                          ::testing::Values<std::size_t>(1, 2, 8),
-                         [](const auto& info) {
-                           return "threads" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "threads" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -85,7 +85,7 @@ Message rand_message(std::size_t type, Rng& rng) {
       return m;
     }
     case 3:
-      return AddNodes{rng.next_below(8), rng.next_below(4)};
+      return AddNodes{rng.next_below(8), rng.next_below(4), rng.next()};
     case 4:
       return DrainNode{rng.next_below(32)};
     case 5:
@@ -103,6 +103,7 @@ Message rand_message(std::size_t type, Rng& rng) {
       m.file_read = rng.next();
       m.file_write = rng.next();
       m.digested = rng.next();
+      m.seq = rng.next();
       return m;
     }
     case 9: {
@@ -111,6 +112,7 @@ Message rand_message(std::size_t type, Rng& rng) {
       m.node = rng.next_below(32);
       m.reports.resize(rng.next_below(6));
       for (auto& r : m.reports) r = rand_report(rng);
+      m.seq = rng.next();
       return m;
     }
     case 10: {
@@ -123,6 +125,10 @@ Message rand_message(std::size_t type, Rng& rng) {
     }
     case 11:
       return ProbeReply{rng.next(), rng.next(), rand_str(rng)};
+    case 12:
+      return ReadmitNode{rng.next_below(32)};
+    case 13:
+      return NodeReadmitted{rng.next_below(32)};
     default:
       ADD_FAILURE() << "unknown type " << type;
       return CancelRun{};

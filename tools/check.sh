@@ -23,6 +23,11 @@
 #                                failing on any wall-clock metric more
 #                                than BENCH_THRESHOLD (default 25) percent
 #                                slower than the committed baseline
+#   tools/check.sh --chaos       chaos gate: build the fault-storm sweep
+#                                and the crash-recovery suite, then run
+#                                them three consecutive times — every
+#                                storm is seeded and deterministic, so a
+#                                single flake is a safety bug, not noise
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -89,6 +94,22 @@ case "$MODE" in
       --threshold "${BENCH_THRESHOLD:-25}"
     ;;
 
+  --chaos)
+    # Chaos gate: the whole point of a seeded fault model is that these
+    # suites are bit-reproducible — three consecutive clean passes is the
+    # bar the safety invariants are held to.
+    echo "== chaos gate: build the chaos + crash-recovery suites =="
+    cmake -S "$ROOT" -B "$ROOT/build" >/dev/null
+    cmake --build "$ROOT/build" \
+      --target chaos_sweep_test crash_recovery_test -j "$JOBS"
+    for i in 1 2 3; do
+      echo "== chaos gate: pass $i/3 =="
+      ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
+        -R 'ChaosSweep|CrashRecovery'
+    done
+    echo "check.sh: chaos gate OK (3/3 clean)"
+    ;;
+
   --fast|full)
     echo "== normal preset: configure + build =="
     cmake -S "$ROOT" -B "$ROOT/build"
@@ -115,7 +136,7 @@ case "$MODE" in
     ;;
 
   *)
-    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare]" >&2
+    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare|--chaos]" >&2
     exit 2
     ;;
 esac

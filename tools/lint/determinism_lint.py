@@ -172,6 +172,38 @@ def check_include_rule(rule: dict, rel: str, raw: list[str],
         out.append(Violation(rel, idx + 1, rule["id"], rule["message"], line))
 
 
+FUNC_BOUNDARY_RE = re.compile(r"^[}A-Za-z_]")
+
+
+def check_journal_before_send_rule(rule: dict, rel: str, raw: list[str],
+                                   clean: list[str],
+                                   out: list[Violation]) -> None:
+    """Write-ahead discipline for the control tier: a line matching the
+    send pattern must have a line containing "journal" between it and the
+    start of its enclosing function. Function starts are detected as
+    column-0 identifier lines (repo style keeps all definitions
+    unindented); reaching one -- or a column-0 closing brace -- without
+    seeing a journal call flags the send. Matching runs on clean lines,
+    so a comment or string mentioning the journal never satisfies it."""
+    pattern = re.compile(rule["pattern"])
+    for idx, line in enumerate(clean):
+        if not pattern.search(line):
+            continue
+        if rule["id"] in allowed_rules(raw[idx]):
+            continue
+        journaled = False
+        for j in range(idx - 1, -1, -1):
+            prev = clean[j]
+            if "journal" in prev:
+                journaled = True
+                break
+            if FUNC_BOUNDARY_RE.match(prev):
+                break
+        if not journaled:
+            out.append(Violation(rel, idx + 1, rule["id"], rule["message"],
+                                 raw[idx]))
+
+
 def check_struct_member_rule(rule: dict, rel: str, raw: list[str],
                              clean: list[str], pod_types: set[str],
                              out: list[Violation]) -> None:
@@ -223,6 +255,8 @@ def lint_file(path: Path, rel: str, rules: dict) -> list[Violation]:
             continue
         if rule.get("kind") == "struct-member":
             check_struct_member_rule(rule, rel, raw, clean, pod_types, out)
+        elif rule.get("kind") == "journal-before-send":
+            check_journal_before_send_rule(rule, rel, raw, clean, out)
         elif rule.get("kind") == "include":
             check_include_rule(rule, rel, raw, out)
         else:

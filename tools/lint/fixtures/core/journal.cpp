@@ -1,0 +1,40 @@
+// Fixture for the journal-before-send rule: this file pretends to be
+// control-tier code (the rule's applies_to_paths lists this directory
+// alongside src/core). One unjournaled send fires, a journaled send and
+// a suppressed send do not.
+//
+// NOTE for maintainers: keep exactly one violation here, and keep the
+// word "journal" out of the bad function's name and signature — the rule
+// scans backwards for it and would treat the signature as the append.
+
+namespace fixture {
+
+struct ControlPlane {
+  int submit_run(int m);
+};
+
+int journal_decision(int kind);
+
+// Rule journal-before-send: must fire on the send below — nothing is
+// journaled between the function start and the dispatch.
+void bad_raw_send(ControlPlane& cp_) {
+  cp_.submit_run(1);
+}
+
+// Must NOT fire: the decision record is appended first (write-ahead).
+void good_send(ControlPlane& cp_) {
+  journal_decision(9);
+  cp_.submit_run(2);
+}
+
+// Must NOT fire: explicitly allowed (e.g. the muted replay path that
+// only re-aligns the run-id counter).
+void replay_send(ControlPlane& cp_) {
+  cp_.submit_run(3);  // lint:allow(journal-before-send)
+}
+
+// A comment mentioning cp_.submit_run( must not fire, and neither may a
+// string literal:
+const char* fine_string = "cp_.submit_run(";
+
+}  // namespace fixture
