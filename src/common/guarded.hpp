@@ -1,0 +1,91 @@
+// Clang thread-safety annotation shim and the control-tier thread-role
+// capability.
+//
+// The repo has exactly two concurrency disciplines, and both are now
+// machine-checked under clang's -Wthread-safety (a no-op macro expansion
+// everywhere else, so GCC builds are unaffected):
+//
+//  1. Mutex discipline. The one audited locking surface is
+//     common::ThreadPool (src/common/thread_pool.hpp), whose queue is
+//     guarded by an annotated Mutex capability.
+//
+//  2. Thread confinement. The control tier (core::ClusterBft,
+//     core::Journal, core::Verifier) owns mutable state that is touched
+//     only from the scheduler thread — the thread driving
+//     cluster::EventSim. That is not a lock but it IS a capability: the
+//     shared state below is CLUSTERBFT_GUARDED_BY(scheduler_thread_role),
+//     public entry points acquire the role with a RoleGuard, and private
+//     helpers declare CLUSTERBFT_REQUIRES(...). A thread-pool payload (or
+//     any future async path) that reaches into controller/journal/
+//     verifier state without the role is a compile error under clang —
+//     exactly the bug class the determinism contract forbids, caught
+//     before it becomes a TSan report.
+//
+// Macro spellings follow the canonical mutex.h from the clang
+// ThreadSafetyAnalysis documentation, prefixed CLUSTERBFT_.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CLUSTERBFT_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef CLUSTERBFT_TSA
+#define CLUSTERBFT_TSA(x)  // not clang: annotations compile away
+#endif
+
+#define CLUSTERBFT_CAPABILITY(x) CLUSTERBFT_TSA(capability(x))
+#define CLUSTERBFT_SCOPED_CAPABILITY CLUSTERBFT_TSA(scoped_lockable)
+#define CLUSTERBFT_GUARDED_BY(x) CLUSTERBFT_TSA(guarded_by(x))
+#define CLUSTERBFT_PT_GUARDED_BY(x) CLUSTERBFT_TSA(pt_guarded_by(x))
+#define CLUSTERBFT_REQUIRES(...) \
+  CLUSTERBFT_TSA(requires_capability(__VA_ARGS__))
+#define CLUSTERBFT_REQUIRES_SHARED(...) \
+  CLUSTERBFT_TSA(requires_shared_capability(__VA_ARGS__))
+#define CLUSTERBFT_ACQUIRE(...) \
+  CLUSTERBFT_TSA(acquire_capability(__VA_ARGS__))
+#define CLUSTERBFT_RELEASE(...) \
+  CLUSTERBFT_TSA(release_capability(__VA_ARGS__))
+#define CLUSTERBFT_TRY_ACQUIRE(...) \
+  CLUSTERBFT_TSA(try_acquire_capability(__VA_ARGS__))
+#define CLUSTERBFT_EXCLUDES(...) CLUSTERBFT_TSA(locks_excluded(__VA_ARGS__))
+#define CLUSTERBFT_ASSERT_CAPABILITY(x) \
+  CLUSTERBFT_TSA(assert_capability(x))
+#define CLUSTERBFT_RETURN_CAPABILITY(x) CLUSTERBFT_TSA(lock_returned(x))
+#define CLUSTERBFT_NO_THREAD_SAFETY_ANALYSIS \
+  CLUSTERBFT_TSA(no_thread_safety_analysis)
+
+namespace clusterbft::common {
+
+/// A capability modelling "runs on a designated thread". Acquire/release
+/// are compile-time bookkeeping only — there is nothing to lock; the
+/// runtime guarantee comes from the event-driven architecture (every
+/// handler fires beneath ClusterBft::execute()'s simulation loop on the
+/// submitting thread, see DESIGN.md "Parallel execution engine").
+class CLUSTERBFT_CAPABILITY("role") ThreadRole {
+ public:
+  void acquire() CLUSTERBFT_ACQUIRE() {}
+  void release() CLUSTERBFT_RELEASE() {}
+};
+
+/// Scoped acquisition of a ThreadRole, used at the public entry points of
+/// thread-confined classes (and in callbacks that fire beneath them).
+class CLUSTERBFT_SCOPED_CAPABILITY RoleGuard {
+ public:
+  explicit RoleGuard(ThreadRole& role) CLUSTERBFT_ACQUIRE(role)
+      : role_(role) {
+    role_.acquire();
+  }
+  ~RoleGuard() CLUSTERBFT_RELEASE() { role_.release(); }
+  RoleGuard(const RoleGuard&) = delete;
+  RoleGuard& operator=(const RoleGuard&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+/// The scheduler thread: the one driving cluster::EventSim. All control
+/// tier state (controller, journal, verifier) is confined to it.
+inline ThreadRole scheduler_thread_role;
+
+}  // namespace clusterbft::common

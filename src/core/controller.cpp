@@ -44,6 +44,8 @@ ClusterBft::ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
   // (starting with the drain at the end of this constructor) land.
   if (journal_ != nullptr) journal_->clear_crash();
   cp_.inbound_tap = [this](const protocol::Message& m) {
+    // Fires beneath the event loop on the scheduler thread.
+    const common::RoleGuard held(common::scheduler_thread_role);
     if (crashed_) {
       // Delivered to a dead process (a deferred-queue drain already in
       // flight when the crash fired): back on the wire for the next
@@ -66,11 +68,13 @@ ClusterBft::ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
     return true;
   };
   cp_.on_digest_batch = [this](const protocol::DigestBatch& batch) {
+    const common::RoleGuard held(common::scheduler_thread_role);
     for (const mapreduce::DigestReport& r : batch.reports) {
       handle_digest(r, batch.run, batch.node);
     }
   };
   cp_.on_run_complete = [this](std::size_t run_id) {
+    const common::RoleGuard held(common::scheduler_thread_role);
     handle_run_complete(run_id);
   };
   // Tap is installed; a fresh journal observes the buffered announce
@@ -101,6 +105,7 @@ void ClusterBft::crash_now() {
 }
 
 ScriptResult ClusterBft::execute(const ClientRequest& request) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   // A crash point can fire in the constructor (on the very first inbound
   // append): surface it like any other crash so the caller recovers.
   if (crashed_) {
@@ -284,6 +289,7 @@ ScriptResult ClusterBft::collect_result() {
 }
 
 ScriptResult ClusterBft::recover(const ClientRequest& request) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   CBFT_CHECK_MSG(journal_ != nullptr, "recover() requires a journal");
   CBFT_CHECK_MSG(!crashed_, "recover() on a crashed controller");
   journal_->clear_crash();
@@ -428,7 +434,10 @@ void ClusterBft::resync() {
   for (const auto& entry : timers_) {
     const std::size_t id = entry.first;
     const cluster::SimTime at = std::max(entry.second.deadline, sim_.now());
-    sim_.schedule_at(at, [this, id] { fire_timer(id); });
+    sim_.schedule_at(at, [this, id] {
+      const common::RoleGuard held(common::scheduler_thread_role);
+      fire_timer(id);
+    });
   }
 
   // A dispatch the crash swallowed (journal append died inside pump())
@@ -437,6 +446,7 @@ void ClusterBft::resync() {
 }
 
 std::vector<NodeId> ClusterBft::apply_suspicion_threshold(double threshold) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   if (crashed_) return {};
   common::WireWriter w;
   w.f64(threshold);
@@ -460,6 +470,7 @@ std::vector<NodeId> ClusterBft::apply_threshold_internal(double threshold) {
 
 ClusterBft::ProbeReport ClusterBft::probe_suspects(
     const std::string& probe_input_path) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   ProbeReport report;
   if (crashed_ || !fault_analyzer_) return report;
   CBFT_CHECK_MSG(dfs_.exists(probe_input_path),
@@ -707,9 +718,12 @@ void ClusterBft::pump() {
         if (!deps_ready(w, j)) continue;
         ready.push_back(j);
       }
+      // Local alias: the comparator lambda is analysed without the
+      // scheduler role, so it must not touch the guarded member directly.
+      const std::vector<std::size_t>& depth = pipeline_depth_;
       std::stable_sort(ready.begin(), ready.end(),
-                       [this](std::size_t a, std::size_t b) {
-                         return pipeline_depth_[a] > pipeline_depth_[b];
+                       [&depth](std::size_t a, std::size_t b) {
+                         return depth[a] > depth[b];
                        });
       for (const std::size_t j : ready) {
         if (request_->pipeline_width > 0 &&
@@ -789,7 +803,10 @@ std::size_t ClusterBft::arm_timer(TimerSpec spec, double delay) {
   // During recovery replay the sim is not touched: resync() re-arms
   // whatever is still pending once replay finished.
   if (!replaying_) {
-    sim_.schedule_after(delay, [this, id] { fire_timer(id); });
+    sim_.schedule_after(delay, [this, id] {
+      const common::RoleGuard held(common::scheduler_thread_role);
+      fire_timer(id);
+    });
   }
   return id;
 }

@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "cluster/event_sim.hpp"
+#include "common/guarded.hpp"
 #include "common/thread_pool.hpp"
 #include "core/audit.hpp"
 #include "core/fault_analyzer.hpp"
@@ -107,7 +108,10 @@ class ClusterBft {
 
   /// The fault analyzer persists across scripts so isolation sharpens
   /// over a workload (§4.3). Null until the first fault was observed.
-  const FaultAnalyzer* fault_analyzer() const { return fault_analyzer_.get(); }
+  const FaultAnalyzer* fault_analyzer() const {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    return fault_analyzer_.get();
+  }
 
   /// Exclude nodes whose suspicion exceeds `threshold` from scheduling.
   std::vector<cluster::NodeId> apply_suspicion_threshold(double threshold);
@@ -121,7 +125,10 @@ class ClusterBft {
 
   /// Chronological record of security-relevant events — §3.1's
   /// "attribution as well as auditing". Persists across scripts.
-  const AuditLog& audit_log() const { return audit_; }
+  const AuditLog& audit_log() const {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    return audit_;
+  }
 
   /// §3.3 fault isolation: run dummy probe jobs to narrow the suspect
   /// set. For each currently suspected node, a tiny pass-through job over
@@ -162,49 +169,70 @@ class ClusterBft {
   };
 
   // Script lifecycle (execute = begin_script + drive_and_collect;
-  // recover = replay + resync + drive_and_collect).
-  void begin_script(const ClientRequest& request);
-  ScriptResult drive_and_collect();
-  ScriptResult collect_result();
-  void replay_record(const JournalRecord& rec, const ClientRequest& request);
-  void resync();
+  // recover = replay + resync + drive_and_collect). Every private step
+  // declares the scheduler-thread capability: under clang -Wthread-safety
+  // a pool payload (or any async path) calling into controller state
+  // without the role is a compile error.
+  void begin_script(const ClientRequest& request)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  ScriptResult drive_and_collect()
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  ScriptResult collect_result()
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void replay_record(const JournalRecord& rec, const ClientRequest& request)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void resync() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   // Event-driven steps.
   void handle_digest(const mapreduce::DigestReport& report,
-                     std::size_t run_id, cluster::NodeId node);
-  void handle_run_complete(std::size_t run_id);
+                     std::size_t run_id, cluster::NodeId node)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void handle_run_complete(std::size_t run_id)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   void handle_timeout(std::size_t job, std::size_t wave_index,
-                      std::size_t run_id);
-  void pump();  ///< dispatch ready wave jobs, critical-path-first
-  void submit_job(std::size_t wave_index, std::size_t job);
-  void try_verify(std::size_t job);
-  void need_wave(std::size_t job, bool force);
-  void create_wave();
-  void check_completion();
-  void finish(bool success);
+                      std::size_t run_id)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// Dispatch ready wave jobs, critical-path-first.
+  void pump() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void submit_job(std::size_t wave_index, std::size_t job)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void try_verify(std::size_t job)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void need_wave(std::size_t job, bool force)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void create_wave() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void check_completion() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void finish(bool success) CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   // Journal / crash plumbing.
   /// Append a record write-ahead. Returns false when the injected crash
   /// point fired — the caller must abandon the action (the record, and
   /// with it the action, died with the process).
-  bool journal_decision(RecordKind kind, std::vector<std::uint8_t> payload);
-  void crash_now();  ///< flip to the no-op shell and detach the transport
+  bool journal_decision(RecordKind kind, std::vector<std::uint8_t> payload)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// Flip to the no-op shell and detach the transport.
+  void crash_now() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   /// Simulated time: the replayed record's timestamp during recovery
   /// replay, the live simulator otherwise. Every audit / wave timestamp
   /// uses this so a recovered history is bit-identical.
-  cluster::SimTime now() const {
+  cluster::SimTime now() const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role) {
     return replaying_ ? replay_now_ : sim_.now();
   }
-  std::size_t arm_timer(TimerSpec spec, double delay);
-  void fire_timer(std::size_t id);
-  void apply_probe_outcome(std::uint64_t suspect, std::uint8_t verdict);
-  std::vector<cluster::NodeId> apply_threshold_internal(double threshold);
+  std::size_t arm_timer(TimerSpec spec, double delay)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void fire_timer(std::size_t id)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void apply_probe_outcome(std::uint64_t suspect, std::uint8_t verdict)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  std::vector<cluster::NodeId> apply_threshold_internal(double threshold)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   /// Pool-exhaustion guard (runs before each wave): when the healthy
   /// pool has fewer than max(1, r) nodes, degrade (re-admit the least
   /// suspect excluded nodes) or fail honestly per the request's
   /// degraded_mode. Returns false when the wave must not be created.
-  bool ensure_capacity();
+  bool ensure_capacity() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   /// Cancel and forget every run transitively tainted by the given
   /// deviant runs (downstream along recorded `upstream_runs` edges),
@@ -212,86 +240,114 @@ class ClusterBft {
   /// majority — a tainted input that provably produced the correct
   /// output needs no rerun. The affected wave slots are cleared so pump()
   /// re-dispatches them from verified outputs.
-  void rollback_tainted(const std::vector<std::size_t>& deviant_runs);
+  void rollback_tainted(const std::vector<std::size_t>& deviant_runs)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   /// Nodes plausibly responsible for a deviant run: the run's own nodes
   /// plus same-wave runs of unverified (non-gating) ancestors, whose
   /// corruption would only surface at this job's verification points.
-  FaultAnalyzer::NodeSet cluster_of(std::size_t run_id) const;
-  void attribute_commission(const std::vector<std::size_t>& deviant_runs);
-  void attribute_omission(const std::vector<std::size_t>& runs);
+  FaultAnalyzer::NodeSet cluster_of(std::size_t run_id) const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void attribute_commission(const std::vector<std::size_t>& deviant_runs)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void attribute_omission(const std::vector<std::size_t>& runs)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
-  std::string wave_scope(const Wave& w) const;
-  bool deps_ready(const Wave& w, std::size_t job) const;
+  std::string wave_scope(const Wave& w) const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  bool deps_ready(const Wave& w, std::size_t job) const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   /// Input paths for `job` in wave `w`; when `upstream` is non-null, the
   /// run ids behind every unverified materialised input are appended (the
   /// taint edges for rollback).
   std::vector<std::string> resolve_inputs(
       const Wave& w, std::size_t job,
-      std::vector<std::size_t>* upstream = nullptr) const;
+      std::vector<std::size_t>* upstream = nullptr) const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
+  // Every mutable member below is thread-confined to the scheduler
+  // thread (common/guarded.hpp): handlers fire beneath the event loop on
+  // the submitting thread, and the verifier pool only ever sees value
+  // captures. CLUSTERBFT_GUARDED_BY makes clang enforce that confinement.
+#define CBFT_SCHED CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role)
   cluster::EventSim& sim_;
   mapreduce::Dfs& dfs_;
   protocol::ControlPlane cp_;
   protocol::ProgramRegistry& programs_;
   Journal* journal_ = nullptr;
-  std::unique_ptr<FaultAnalyzer> fault_analyzer_;
-  AuditLog audit_;
+  std::unique_ptr<FaultAnalyzer> fault_analyzer_ CBFT_SCHED;
+  AuditLog audit_ CBFT_SCHED;
 
-  std::size_t probe_counter_ = 0;
+  std::size_t probe_counter_ CBFT_SCHED = 0;
 
   // Crash / replay state.
-  bool crashed_ = false;    ///< injected crash fired; every handler no-ops
-  bool replaying_ = false;  ///< recovery replay in progress: sends muted
-  cluster::SimTime replay_now_ = 0;  ///< timestamp of the replayed record
+  /// Injected crash fired; every handler no-ops.
+  bool crashed_ CBFT_SCHED = false;
+  /// Recovery replay in progress: sends muted.
+  bool replaying_ CBFT_SCHED = false;
+  /// Timestamp of the replayed record.
+  cluster::SimTime replay_now_ CBFT_SCHED = 0;
 
   // Control-tier timers (verifier timeouts, decision-latency rounds).
-  std::size_t timer_counter_ = 0;
-  std::map<std::size_t, TimerSpec> timers_;  ///< armed, not yet fired
+  std::size_t timer_counter_ CBFT_SCHED = 0;
+  /// Armed, not yet fired.
+  std::map<std::size_t, TimerSpec> timers_ CBFT_SCHED;
 
   // Per-execution state (reset by begin_script()).
-  const ClientRequest* request_ = nullptr;
-  dataflow::LogicalPlan plan_;
-  mapreduce::JobDag dag_;
-  std::uint64_t program_id_ = 0;  ///< registry handle for plan_/dag_
-  std::unique_ptr<Verifier> verifier_;
-  std::vector<Wave> waves_;
-  std::map<std::size_t, RunInfo> run_info_;
-  std::vector<bool> verified_;                  ///< per job
-  std::vector<std::string> verified_path_;      ///< per job
+  const ClientRequest* request_ CBFT_SCHED = nullptr;
+  dataflow::LogicalPlan plan_ CBFT_SCHED;
+  mapreduce::JobDag dag_ CBFT_SCHED;
+  /// Registry handle for plan_/dag_.
+  std::uint64_t program_id_ CBFT_SCHED = 0;
+  std::unique_ptr<Verifier> verifier_ CBFT_SCHED;
+  std::vector<Wave> waves_ CBFT_SCHED;
+  std::map<std::size_t, RunInfo> run_info_ CBFT_SCHED;
+  std::vector<bool> verified_ CBFT_SCHED;              ///< per job
+  std::vector<std::string> verified_path_ CBFT_SCHED;  ///< per job
   /// Per job: one member of the verified majority — the reference a
   /// late-completing replica is compared against.
-  std::vector<std::optional<std::size_t>> verified_ref_run_;
-  std::vector<std::optional<std::size_t>> first_complete_run_;  ///< per job
-  std::map<std::string, std::size_t> job_by_output_;  ///< output path -> job
-  std::vector<std::size_t> my_runs_;
-  std::set<std::size_t> attributed_runs_;       ///< runs already blamed
-  std::set<std::size_t> rolled_back_runs_;      ///< cancelled as tainted
-  std::size_t rollbacks_ = 0;
+  std::vector<std::optional<std::size_t>> verified_ref_run_ CBFT_SCHED;
+  /// Per job.
+  std::vector<std::optional<std::size_t>> first_complete_run_ CBFT_SCHED;
+  /// Output path -> job.
+  std::map<std::string, std::size_t> job_by_output_ CBFT_SCHED;
+  std::vector<std::size_t> my_runs_ CBFT_SCHED;
+  /// Runs already blamed.
+  std::set<std::size_t> attributed_runs_ CBFT_SCHED;
+  /// Cancelled as tainted.
+  std::set<std::size_t> rolled_back_runs_ CBFT_SCHED;
+  std::size_t rollbacks_ CBFT_SCHED = 0;
   /// The exact SubmitRun bytes journaled for each of my_runs_ — what
   /// resync() re-sends for runs whose completion was never journaled.
-  std::map<std::size_t, std::vector<std::uint8_t>> dispatch_frames_;
+  std::map<std::size_t, std::vector<std::uint8_t>> dispatch_frames_ CBFT_SCHED;
   /// Excluded nodes re-admitted by graceful degradation this script.
-  std::set<cluster::NodeId> degraded_nodes_;
-  bool degraded_ = false;
-  FailureReason failure_ = FailureReason::kNone;
-  std::vector<std::size_t> pipeline_depth_;     ///< per job, dispatch prio
+  std::set<cluster::NodeId> degraded_nodes_ CBFT_SCHED;
+  bool degraded_ CBFT_SCHED = false;
+  FailureReason failure_ CBFT_SCHED = FailureReason::kNone;
+  /// Per job, dispatch prio.
+  std::vector<std::size_t> pipeline_depth_ CBFT_SCHED;
   /// Offline digest-comparison pool (request.verifier_threads > 0); the
   /// verifier borrows it, so execute() must reset verifier_ before
   /// replacing the pool.
-  std::unique_ptr<common::ThreadPool> verifier_pool_;
-  std::set<std::size_t> decision_pending_;      ///< decision round in flight
-  std::set<std::size_t> decision_paid_;         ///< decision latency paid
-  std::set<cluster::NodeId> omission_suspects_; ///< nodes of hung replicas
-  std::vector<double> job_timeout_s_;           ///< per job, escalates
-  bool finished_ = false;
-  bool success_ = false;
-  cluster::SimTime start_time_ = 0;
-  cluster::SimTime finish_time_ = 0;
-  std::size_t commission_seen_ = 0;
-  std::size_t omission_seen_ = 0;
-  std::size_t digest_reports_ = 0;
-  std::size_t exec_counter_ = 0;  ///< distinguishes repeated executions
+  std::unique_ptr<common::ThreadPool> verifier_pool_ CBFT_SCHED;
+  /// Decision round in flight.
+  std::set<std::size_t> decision_pending_ CBFT_SCHED;
+  /// Decision latency paid.
+  std::set<std::size_t> decision_paid_ CBFT_SCHED;
+  /// Nodes of hung replicas.
+  std::set<cluster::NodeId> omission_suspects_ CBFT_SCHED;
+  /// Per job, escalates.
+  std::vector<double> job_timeout_s_ CBFT_SCHED;
+  bool finished_ CBFT_SCHED = false;
+  bool success_ CBFT_SCHED = false;
+  cluster::SimTime start_time_ CBFT_SCHED = 0;
+  cluster::SimTime finish_time_ CBFT_SCHED = 0;
+  std::size_t commission_seen_ CBFT_SCHED = 0;
+  std::size_t omission_seen_ CBFT_SCHED = 0;
+  std::size_t digest_reports_ CBFT_SCHED = 0;
+  /// Distinguishes repeated executions.
+  std::size_t exec_counter_ CBFT_SCHED = 0;
+#undef CBFT_SCHED
 };
 
 }  // namespace clusterbft::core

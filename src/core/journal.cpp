@@ -40,6 +40,7 @@ Journal::~Journal() {
 
 Journal::Append Journal::append(RecordKind kind, double time,
                                 std::vector<std::uint8_t> payload) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   if (replaying_) return Append::kReplaying;
   if (crashed_) return Append::kCrashed;
   if (records_.size() == crash_at_) {
@@ -61,6 +62,7 @@ Journal::Append Journal::append(RecordKind kind, double time,
 }
 
 bool Journal::recovery_pending() const {
+  const common::RoleGuard held(common::scheduler_thread_role);
   // A script is in flight iff the journal's last kScriptStart has no
   // kScriptFinish after it. Records appended between scripts (e.g. a
   // suspicion-threshold application) do not reopen recovery.
@@ -110,6 +112,7 @@ std::optional<JournalRecord> Journal::decode_record(const std::uint8_t* data,
 }
 
 bool Journal::attach_file(const std::string& path) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -126,6 +129,7 @@ bool Journal::attach_file(const std::string& path) {
 }
 
 bool Journal::load_file(const std::string& path, Journal& out) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;
   std::vector<std::uint8_t> bytes;

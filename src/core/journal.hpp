@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "common/guarded.hpp"
+
 namespace clusterbft::core {
 
 /// Thrown out of ClusterBft::execute()/recover() once an injected crash
@@ -94,15 +96,30 @@ class Journal {
   /// SIZE_MAX (the default) disarms. A crash point fires once and
   /// disarms itself, so arming a later index before recover() schedules
   /// a crash for the *recovered* life.
-  void set_crash_at(std::size_t record_index) { crash_at_ = record_index; }
-  bool crashed() const { return crashed_; }
+  void set_crash_at(std::size_t record_index) {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    crash_at_ = record_index;
+  }
+  bool crashed() const {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    return crashed_;
+  }
   /// Acknowledge the crash for the next life (recover() calls this). An
   /// armed-but-unfired crash point stays armed.
-  void clear_crash() { crashed_ = false; }
+  void clear_crash() {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    crashed_ = false;
+  }
 
   // ---- introspection ----
-  std::size_t size() const { return records_.size(); }
-  const JournalRecord& at(std::size_t i) const { return records_[i]; }
+  std::size_t size() const {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    return records_.size();
+  }
+  const JournalRecord& at(std::size_t i) const {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    return records_[i];
+  }
 
   /// True when the journal holds a script whose kScriptFinish was never
   /// written — i.e. a crash left a script in flight and recover() applies.
@@ -110,16 +127,27 @@ class Journal {
 
   // ---- replay cursor ----
   void begin_replay() {
+    const common::RoleGuard held(common::scheduler_thread_role);
     replaying_ = true;
     cursor_ = 0;
   }
-  void end_replay() { replaying_ = false; }
-  bool replaying() const { return replaying_; }
+  void end_replay() {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    replaying_ = false;
+  }
+  bool replaying() const {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    return replaying_;
+  }
   const JournalRecord* peek() const {
+    const common::RoleGuard held(common::scheduler_thread_role);
     return (replaying_ && cursor_ < records_.size()) ? &records_[cursor_]
                                                      : nullptr;
   }
-  void advance() { ++cursor_; }
+  void advance() {
+    const common::RoleGuard held(common::scheduler_thread_role);
+    ++cursor_;
+  }
 
   // ---- durability ----
   /// Write-through every subsequent append to `path` (truncates; existing
@@ -144,12 +172,15 @@ class Journal {
   Journal& operator=(const Journal&) = delete;
 
  private:
-  std::vector<JournalRecord> records_;
-  std::size_t cursor_ = 0;
-  bool replaying_ = false;
-  std::size_t crash_at_ = SIZE_MAX;
-  bool crashed_ = false;
-  void* file_ = nullptr;  ///< std::FILE*, opaque to keep <cstdio> out
+  std::vector<JournalRecord> records_
+      CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role);
+  std::size_t cursor_ CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role) = 0;
+  bool replaying_ CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role) = false;
+  std::size_t crash_at_ CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role) =
+      SIZE_MAX;
+  bool crashed_ CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role) = false;
+  /// std::FILE*, opaque to keep <cstdio> out
+  void* file_ CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role) = nullptr;
 };
 
 }  // namespace clusterbft::core

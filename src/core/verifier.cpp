@@ -30,6 +30,7 @@ crypto::Digest256 fingerprint_of(
 
 void Verifier::expect_run(const std::string& sid, std::size_t run_id,
                           bool gating) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   JobState& job = jobs_[sid];
   job.gating = job.gating || gating;
   job.runs[run_id];  // default-construct
@@ -37,6 +38,7 @@ void Verifier::expect_run(const std::string& sid, std::size_t run_id,
 
 void Verifier::add_report(const std::string& sid, std::size_t run_id,
                           const mapreduce::DigestReport& report) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   JobState& job = jobs_[sid];
   auto it = job.runs.find(run_id);
   CBFT_CHECK_MSG(it != job.runs.end(), "digest from an unexpected run");
@@ -47,6 +49,7 @@ void Verifier::add_report(const std::string& sid, std::size_t run_id,
 }
 
 void Verifier::mark_run_complete(const std::string& sid, std::size_t run_id) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   JobState& job = jobs_[sid];
   auto it = job.runs.find(run_id);
   CBFT_CHECK_MSG(it != job.runs.end(), "completion of an unexpected run");
@@ -61,6 +64,7 @@ void Verifier::mark_run_complete(const std::string& sid, std::size_t run_id) {
 }
 
 void Verifier::forget_run(const std::string& sid, std::size_t run_id) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   JobState* job = find(sid);
   if (job == nullptr) return;
   job->runs.erase(run_id);
@@ -114,6 +118,7 @@ std::vector<std::vector<std::size_t>> Verifier::agreement_groups(
 
 std::optional<Verifier::Decision> Verifier::try_decide(
     const std::string& sid) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   JobState* job = find(sid);
   CBFT_CHECK_MSG(job != nullptr, "deciding an unknown sid");
   if (!job->gating) return std::nullopt;
@@ -132,6 +137,7 @@ std::optional<Verifier::Decision> Verifier::try_decide(
 }
 
 std::vector<std::size_t> Verifier::current_deviants(const std::string& sid) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   JobState* job = find(sid);
   CBFT_CHECK(job != nullptr);
   const auto groups = agreement_groups(*job);
@@ -144,6 +150,7 @@ std::vector<std::size_t> Verifier::current_deviants(const std::string& sid) {
 
 bool Verifier::run_agrees(const std::string& sid, std::size_t a,
                           std::size_t b) {
+  const common::RoleGuard held(common::scheduler_thread_role);
   JobState* job = find(sid);
   CBFT_CHECK(job != nullptr);
   auto ia = job->runs.find(a);
@@ -154,16 +161,19 @@ bool Verifier::run_agrees(const std::string& sid, std::size_t a,
 }
 
 bool Verifier::is_gating(const std::string& sid) const {
+  const common::RoleGuard held(common::scheduler_thread_role);
   const JobState* job = find(sid);
   return job != nullptr && job->gating;
 }
 
 std::size_t Verifier::expected_runs(const std::string& sid) const {
+  const common::RoleGuard held(common::scheduler_thread_role);
   const JobState* job = find(sid);
   return job ? job->runs.size() : 0;
 }
 
 std::size_t Verifier::completed_runs(const std::string& sid) const {
+  const common::RoleGuard held(common::scheduler_thread_role);
   const JobState* job = find(sid);
   if (!job) return 0;
   std::size_t n = 0;
@@ -175,6 +185,7 @@ std::size_t Verifier::completed_runs(const std::string& sid) const {
 
 std::vector<std::size_t> Verifier::incomplete_runs(
     const std::string& sid) const {
+  const common::RoleGuard held(common::scheduler_thread_role);
   const JobState* job = find(sid);
   std::vector<std::size_t> out;
   if (!job) return out;

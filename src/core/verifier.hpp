@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/guarded.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/digest.hpp"
 #include "mapreduce/job.hpp"
@@ -96,18 +97,25 @@ class Verifier {
 
   /// The run's fingerprint, draining the pool future or computing inline.
   /// Requires a complete run (digest vector frozen).
-  const crypto::Digest256& fingerprint(RunState& run);
+  const crypto::Digest256& fingerprint(RunState& run)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   /// Group completed runs by identical digest vectors (fingerprint
   /// equality); returns groups of run ids, largest first.
-  std::vector<std::vector<std::size_t>> agreement_groups(JobState& job);
+  std::vector<std::vector<std::size_t>> agreement_groups(JobState& job)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
-  const JobState* find(const std::string& sid) const;
-  JobState* find(const std::string& sid);
+  const JobState* find(const std::string& sid) const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  JobState* find(const std::string& sid)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   std::size_t f_;
   common::ThreadPool* pool_;
-  std::map<std::string, JobState> jobs_;
+  /// Thread-confined to the scheduler thread: the pool only ever touches
+  /// a value-captured snapshot of a run's digest vector, never `jobs_`.
+  std::map<std::string, JobState> jobs_
+      CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role);
 };
 
 }  // namespace clusterbft::core

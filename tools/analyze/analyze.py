@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""AST-grounded determinism analyzer with digest-reachability.
+
+The regex lint (tools/lint/determinism_lint.py) flags nondeterministic
+*constructs* wherever they appear. This analyzer asks the sharper
+question the verifier actually cares about: can the construct's bytes
+reach a digest? It builds the program-wide call graph, computes the
+digest-reachable set, and evaluates its rules only inside that set:
+
+  * feeders -- the backward closure of the digest roots (crypto digests,
+    tuple serialisation, Relation::sorted_rows, codec encode paths):
+    every function that transitively calls one of them;
+  * the scoped set -- feeders plus the forward closure of (feeders +
+    the map/reduce task entry points): a helper that a feeder calls
+    produces bytes the feeder will digest, and everything a task body
+    reaches executes replica-side.
+
+Within that set the rules fire on *behaviour*, not spelling: iterating
+an unordered container (not merely declaring one -- a build-side index
+that is never walked into a digest is fine), reading the wall clock,
+constructing entropy-backed RNGs, accumulating floats, and iterating
+pointer-keyed ordered containers. Aliased types (``using FastIndex =
+std::unordered_map<...>``, aliases of aliases) and helper indirection
+(the helper iterates; its digest-feeding caller doesn't) are exactly
+the evasions a per-line regex cannot see.
+
+Frontends: ``--frontend clang`` uses libclang over a
+compile_commands.json (true type resolution); ``--frontend text`` is a
+self-contained structural scanner; ``auto`` (default) prefers clang and
+falls back. Suppress a single finding line with the same marker the
+regex lint uses, naming the *analyzer* rule id:
+
+    for (const auto& kv : cache_) {  // lint:allow(unordered-iteration)
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/config error,
+3 = analysis skipped (--frontend clang forced but libclang is absent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+import frontend_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXIT_CLEAN, EXIT_FINDINGS, EXIT_ERROR, EXIT_SKIPPED = 0, 1, 2, 3
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+
+
+def load_config(path: Path) -> dict:
+    cfg = json.loads(path.read_text(encoding="utf-8"))
+    for key in ("digest_roots", "task_roots", "rules"):
+        if key not in cfg:
+            raise ValueError(f"reachability config missing '{key}'")
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Call graph + reachability
+# ---------------------------------------------------------------------------
+
+def _last_segment(name: str) -> str:
+    return name.split("::")[-1]
+
+
+def build_call_graph(functions: dict) -> dict[str, set[str]]:
+    """Name-resolved call edges: defined function -> defined callees.
+
+    Callee spellings may be bare (``collect``) or qualified
+    (``Gatherer::collect``); both frontends record what they can see.
+    Resolution is by exact qualified name first, then by unique-enough
+    last segment -- a deliberate over-approximation (any same-named
+    function connects), which for an analyzer means over-reporting
+    inside the scoped set, never silently missing an edge.
+    """
+    by_segment: dict[str, list[str]] = {}
+    for fname in functions:
+        by_segment.setdefault(_last_segment(fname), []).append(fname)
+    edges: dict[str, set[str]] = {f: set() for f in functions}
+    for fname, info in functions.items():
+        for callee in info["calls"]:
+            if callee in functions:
+                edges[fname].add(callee)
+                continue
+            for target in by_segment.get(_last_segment(callee), []):
+                edges[fname].add(target)
+    return edges
+
+
+def _matches_any(name: str, patterns: list[re.Pattern]) -> bool:
+    return any(p.search(name) for p in patterns)
+
+
+def digest_reachable_set(functions: dict, edges: dict[str, set[str]],
+                         cfg: dict) -> tuple[set[str], set[str]]:
+    """Returns (feeders, scoped set). See module docstring."""
+    root_res = [re.compile(p) for p in cfg["digest_roots"]]
+    task_res = [re.compile(p) for p in cfg["task_roots"]]
+
+    # A root can be a defined function OR an external callee (declared in
+    # a header we scanned, defined elsewhere): a function *calling* a
+    # root-matching name is digest-feeding either way.
+    def calls_root(fname: str) -> bool:
+        if _matches_any(fname, root_res):
+            return True
+        return any(_matches_any(c, root_res) for c in functions[fname]["calls"])
+
+    feeders: set[str] = {f for f in functions if calls_root(f)}
+    # Backward closure: callers of feeders are feeders (their data flows
+    # down into the digesting callee).
+    reverse: dict[str, set[str]] = {f: set() for f in functions}
+    for caller, callees in edges.items():
+        for callee in callees:
+            reverse[callee].add(caller)
+    frontier = list(feeders)
+    while frontier:
+        f = frontier.pop()
+        for caller in reverse[f]:
+            if caller not in feeders:
+                feeders.add(caller)
+                frontier.append(caller)
+
+    # Forward closure of feeders + task roots: helpers invoked by a
+    # digest-feeding function hand it the bytes it will digest, and
+    # task bodies execute replica-side in full.
+    scoped: set[str] = set(feeders)
+    frontier = [f for f in functions
+                if f in feeders or _matches_any(f, task_res)]
+    scoped.update(frontier)
+    while frontier:
+        f = frontier.pop()
+        for callee in edges[f]:
+            if callee not in scoped:
+                scoped.add(callee)
+                frontier.append(callee)
+    return feeders, scoped
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+def evaluate(facts: dict, cfg: dict) -> dict:
+    functions = facts["functions"]
+    edges = build_call_graph(functions)
+    feeders, scoped = digest_reachable_set(functions, edges, cfg)
+    rules_by_event = {r["event"]: r for r in cfg["rules"]}
+    allows = facts.get("allows", {})
+
+    findings = []
+    for fname in sorted(scoped):
+        info = functions[fname]
+        for ev in info["events"]:
+            rule = rules_by_event.get(ev["kind"])
+            if rule is None:
+                continue
+            file_allows = allows.get(info["file"], {})
+            line_ids = file_allows.get(ev["line"], []) \
+                or file_allows.get(str(ev["line"]), [])
+            if rule["id"] in line_ids:
+                continue
+            findings.append({
+                "rule": rule["id"],
+                "file": info["file"],
+                "line": ev["line"],
+                "function": fname,
+                "detail": ev["detail"],
+                "message": rule["message"],
+            })
+    findings.sort(key=lambda f: (f["file"], f["line"], f["rule"]))
+    return {
+        "frontend": facts["frontend"],
+        "functions_analyzed": len(functions),
+        "digest_feeders": sorted(feeders),
+        "scoped_set_size": len(scoped),
+        "findings": findings,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def collect_text_files(paths: list[Path],
+                       compile_commands: Path | None) -> list[tuple[Path, str]]:
+    files: list[Path] = []
+    if compile_commands is not None:
+        entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+        for entry in entries:
+            src = Path(entry.get("file", ""))
+            if not src.is_absolute():
+                src = Path(entry.get("directory", ".")) / src
+            src = src.resolve()
+            try:
+                src.relative_to(REPO_ROOT)
+            except ValueError:
+                continue
+            if src.is_file():
+                files.append(src)
+        # Explicit paths restrict the TU set (mirrors the clang
+        # frontend's only_under): the committed baseline is scoped to
+        # src/, so the gate must not drift when tests gain TUs.
+        if paths:
+            anchors = [p.resolve() for p in paths]
+            files = [f for f in files
+                     if any(f == a or a in f.parents for a in anchors)]
+        # compile_commands lists TUs only; headers carry the aliases and
+        # inline definitions, so sweep them in from the same subtrees.
+        roots = {f.parent for f in files}
+        for root in sorted(roots):
+            files.extend(p for p in sorted(root.glob("*"))
+                         if p.suffix in (".hpp", ".h"))
+    for p in paths:
+        if p.is_file():
+            files.append(p.resolve())
+        elif p.is_dir():
+            files.extend(f.resolve() for f in sorted(p.rglob("*"))
+                         if f.is_file() and f.suffix in SOURCE_EXTENSIONS)
+        else:
+            print(f"error: no such path: {p}", file=sys.stderr)
+            sys.exit(EXIT_ERROR)
+    out, seen = [], set()
+    for f in files:
+        if f in seen:
+            continue
+        seen.add(f)
+        try:
+            rel = str(f.relative_to(REPO_ROOT))
+        except ValueError:
+            rel = str(f)
+        out.append((f, rel))
+    return out
+
+
+def run(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="extra files/directories to analyze (text frontend; "
+                         "fixtures and ad-hoc trees)")
+    ap.add_argument("--compile-commands", type=Path, default=None,
+                    help="compile_commands.json to drive the analysis")
+    ap.add_argument("--frontend", choices=("auto", "clang", "text"),
+                    default="auto",
+                    help="auto (default): clang when available, else text")
+    ap.add_argument("--config", type=Path,
+                    default=Path(__file__).resolve().parent
+                    / "reachability.json")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON on stdout")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the analyzer rule table as JSON and exit")
+    args = ap.parse_args(argv)
+
+    try:
+        cfg = load_config(args.config)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: cannot load config {args.config}: {e}",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.list_rules:
+        json.dump(cfg["rules"], sys.stdout, indent=2)
+        print()
+        return EXIT_CLEAN
+
+    if not args.paths and args.compile_commands is None:
+        ap.error("give --compile-commands and/or at least one path")
+    if args.compile_commands is not None \
+            and not args.compile_commands.is_file():
+        print(f"error: no compile_commands at {args.compile_commands} "
+              "(configure a build first; all presets export it)",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+    import frontend_clang
+    use_clang = False
+    if args.frontend in ("auto", "clang"):
+        # One path alongside compile_commands restricts the clang walk
+        # (only_under); several paths are a text-frontend feature.
+        use_clang = frontend_clang.available() \
+            and args.compile_commands is not None and len(args.paths) <= 1
+        if args.frontend == "clang" and not use_clang:
+            print("analyze: SKIPPED: --frontend clang requested but "
+                  "libclang (clang.cindex) is unavailable or no "
+                  "compile_commands.json was given", file=sys.stderr)
+            return EXIT_SKIPPED
+
+    if use_clang:
+        only = args.paths[0].resolve() if args.paths else None
+        facts = frontend_clang.extract_facts(args.compile_commands,
+                                             REPO_ROOT, only_under=only)
+    else:
+        files = collect_text_files(args.paths, args.compile_commands)
+        if not files:
+            print("error: nothing to analyze", file=sys.stderr)
+            return EXIT_ERROR
+        facts = frontend_text.extract_facts(files)
+
+    report = evaluate(facts, cfg)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        for f in report["findings"]:
+            print(f"{f['file']}:{f['line']}: [{f['rule']}] in "
+                  f"{f['function']}: {f['message']}\n    ({f['detail']})")
+        status = "FAIL" if report["findings"] else "OK"
+        print(f"analyze[{report['frontend']}]: {status}: "
+              f"{len(report['findings'])} finding(s), "
+              f"{report['scoped_set_size']} of "
+              f"{report['functions_analyzed']} functions digest-reachable",
+              file=sys.stderr)
+    return EXIT_FINDINGS if report["findings"] else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))

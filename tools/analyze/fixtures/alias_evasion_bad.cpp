@@ -1,0 +1,17 @@
+// Alias evasion: the unordered container hides behind an alias of an
+// alias, so no line ever spells std::unordered_map and the regex lint
+// stays silent. The analyzer resolves HotIndex -> FastIndex ->
+// std::unordered_map and must report exactly ONE unordered-iteration
+// finding, in emit_alias_digest (a digest feeder: it calls
+// serialize_tuple_into).
+#include "digest_sink.hpp"
+
+using HotIndex = FastIndex;
+
+void emit_alias_digest(std::vector<unsigned char>& out) {
+  HotIndex idx;
+  idx[7] = 42;
+  for (const auto& kv : idx) {
+    serialize_tuple_into(out, kv.second);
+  }
+}

@@ -1,0 +1,30 @@
+// Negative control for alias evasion. Two reasons the analyzer must
+// stay silent here: emit_ordered_digest iterates an ORDERED map into
+// the digest (deterministic, fine), and offline_histogram iterates an
+// unordered index but is NOT digest-reachable -- nothing calls it, it
+// calls no digest root, and it is no task entry point. A naive
+// "unordered iteration anywhere" rule would flag it; the scoped
+// analyzer must not.
+#include <map>
+
+#include "digest_sink.hpp"
+
+using ColdIndex = std::map<int, int>;
+
+void emit_ordered_digest(std::vector<unsigned char>& out) {
+  ColdIndex idx;
+  idx[7] = 42;
+  for (const auto& kv : idx) {
+    serialize_tuple_into(out, kv.second);
+  }
+}
+
+int offline_histogram() {
+  FastIndex counts;
+  counts[1] = 1;
+  int total = 0;
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}

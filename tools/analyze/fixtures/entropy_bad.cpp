@@ -1,0 +1,26 @@
+// Entropy inside a task body, two calls deep. run_map_task is a task
+// entry point (everything it reaches executes replica-side), so the
+// forward closure pulls in replica_noise and seed_from_launch_entropy.
+// The analyzer must report exactly ONE wall-clock-reachable finding
+// (the steady_clock read) and ONE unseeded-rng-reachable finding (the
+// mt19937 seeded from it). The regex-lint allow markers keep the
+// fixture clean under the per-line lint: this models a developer who
+// textually acknowledged the constructs -- reachability still convicts
+// them, because the acknowledgement vocabulary is disjoint.
+#include <chrono>
+#include <random>
+#include <vector>
+
+unsigned seed_from_launch_entropy() {
+  return static_cast<unsigned>(
+      std::chrono::steady_clock::now().time_since_epoch().count());  // lint:allow(wall-clock)
+}
+
+int replica_noise() {
+  std::mt19937 noise{seed_from_launch_entropy()};  // lint:allow(unseeded-random)
+  return static_cast<int>(noise());
+}
+
+void run_map_task(std::vector<unsigned char>& out) {
+  out.push_back(static_cast<unsigned char>(replica_noise() & 0xff));
+}

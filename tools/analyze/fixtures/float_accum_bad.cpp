@@ -1,0 +1,15 @@
+// Floating-point accumulation whose result is digested. The += fold
+// over doubles is evaluation-order-sensitive; if the iteration source
+// ever changes order across replicas the digested bytes diverge. The
+// analyzer must report exactly ONE float-accumulation finding, in
+// digest_weighted_sum (a feeder: it calls serialize_tuple_into).
+#include "digest_sink.hpp"
+
+void digest_weighted_sum(const std::vector<double>& weights,
+                         std::vector<unsigned char>& out) {
+  double acc = 0.0;
+  for (const double w : weights) {
+    acc += w;
+  }
+  serialize_tuple_into(out, static_cast<int>(acc * 1000.0));
+}

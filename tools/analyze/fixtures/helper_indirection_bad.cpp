@@ -1,0 +1,25 @@
+// Helper indirection: the function that iterates the unordered index
+// never digests anything itself, and the function that digests never
+// iterates -- each is individually innocent, so a per-function regex
+// has nothing to bite on. The analyzer's forward closure over the
+// feeders (digest_hot_rows calls flatten_hot_rows, whose return value
+// it digests) must report exactly ONE unordered-iteration finding, in
+// flatten_hot_rows.
+#include "digest_sink.hpp"
+
+std::vector<int> flatten_hot_rows() {
+  FastIndex hot;
+  hot[1] = 2;
+  std::vector<int> rows;
+  for (const auto& kv : hot) {
+    rows.push_back(kv.second);
+  }
+  return rows;
+}
+
+void digest_hot_rows(std::vector<unsigned char>& out) {
+  std::vector<int> rows = flatten_hot_rows();
+  for (const int v : rows) {
+    serialize_tuple_into(out, v);
+  }
+}

@@ -1,0 +1,25 @@
+// Negative control for helper indirection: the identical iterate-
+// then-consume shape, but the consumer is a debug path that never
+// digests. flatten_debug_rows must NOT be reported -- it is reachable
+// only from print_debug_rows, which feeds no digest root and is no
+// task entry point.
+#include "digest_sink.hpp"
+
+std::vector<int> flatten_debug_rows() {
+  FastIndex dbg;
+  dbg[1] = 2;
+  std::vector<int> rows;
+  for (const auto& kv : dbg) {
+    rows.push_back(kv.second);
+  }
+  return rows;
+}
+
+int print_debug_rows() {
+  std::vector<int> rows = flatten_debug_rows();
+  int checksum = 0;
+  for (const int v : rows) {
+    checksum ^= v;
+  }
+  return checksum;
+}

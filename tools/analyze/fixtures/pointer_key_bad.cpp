@@ -1,0 +1,24 @@
+// Pointer-keyed ORDERED container iterated into a digest: std::map is
+// deterministic for value keys, but pointer keys iterate in
+// allocation-address order, which differs per process. The declaration
+// carries the regex lint's allow marker (textually acknowledged); the
+// analyzer must still report exactly ONE pointer-keyed-order finding
+// at the iteration in digest_node_order.
+#include <map>
+
+#include "digest_sink.hpp"
+
+struct NodeStat {
+  int weight = 0;
+};
+
+void digest_node_order(const std::vector<NodeStat>& stats,
+                       std::vector<unsigned char>& out) {
+  std::map<const NodeStat*, int> order;  // lint:allow(pointer-keyed-container)
+  for (const NodeStat& s : stats) {
+    order[&s] = s.weight;
+  }
+  for (const auto& kv : order) {
+    serialize_tuple_into(out, kv.second);
+  }
+}

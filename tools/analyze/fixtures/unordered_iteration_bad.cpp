@@ -1,0 +1,29 @@
+// Unordered member iteration feeding a digest, plus the analyzer's own
+// suppression mechanism. TupleCache::digest_cache must yield exactly
+// ONE unordered-iteration finding; digest_cache_acknowledged carries a
+// lint:allow naming the ANALYZER rule id and must be suppressed. Note
+// the member declaration's allow marker names the regex lint's rule --
+// the two vocabularies are disjoint on purpose, so textually
+// acknowledging the declaration does not silence the reachability
+// finding at the iteration site.
+#include "digest_sink.hpp"
+
+class TupleCache {
+ public:
+  void fill() { cache_[3] = 9; }
+
+  void digest_cache(std::vector<unsigned char>& out) const {
+    for (const auto& kv : cache_) {
+      serialize_tuple_into(out, kv.second);
+    }
+  }
+
+  void digest_cache_acknowledged(std::vector<unsigned char>& out) const {
+    for (const auto& kv : cache_) {  // lint:allow(unordered-iteration)
+      serialize_tuple_into(out, kv.second);
+    }
+  }
+
+ private:
+  FastIndex cache_;
+};

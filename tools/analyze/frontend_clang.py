@@ -1,0 +1,268 @@
+"""libclang frontend for the AST-grounded determinism analyzer.
+
+Drives ``clang.cindex`` over the translation units listed in a
+``compile_commands.json`` and extracts the same facts model as
+frontend_text.py -- function definitions, call edges, and determinism
+events -- but with *real* type resolution: an unordered container hidden
+behind any chain of aliases, a typedef'd clock, or a templated member is
+seen through its canonical type, which is exactly what the text frontend
+can only approximate.
+
+Availability is probed with :func:`available`; the driver (analyze.py)
+falls back to the text frontend when the Python bindings or the shared
+library are missing. Every cursor walk is wrapped so a parse failure in
+one TU degrades to a warning, not a crash -- an analyzer that dies on
+the first unparsable TU protects nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# Reuse the allow-marker parser so suppression spelling is identical
+# across the regex lint and both analyzer frontends.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "lint"))
+from determinism_lint import allowed_rules  # noqa: E402
+
+UNORDERED_NAMES = ("unordered_map", "unordered_set",
+                   "unordered_multimap", "unordered_multiset")
+ORDERED_NAMES = ("map", "set", "multimap", "multiset")
+CLOCK_CALLEES = {"now", "time", "gettimeofday", "clock_gettime",
+                 "localtime", "gmtime", "getenv"}
+CLOCK_TYPES = ("system_clock", "steady_clock", "high_resolution_clock")
+RNG_TYPES = ("mt19937", "random_device")
+
+
+def available() -> bool:
+    """True when clang.cindex imports AND can locate libclang."""
+    try:
+        from clang import cindex  # noqa: F401
+    except ImportError:
+        return False
+    try:
+        from clang.cindex import Index
+        Index.create()
+    except Exception:
+        return False
+    return True
+
+
+def _qualified_name(cursor) -> str:
+    parts = []
+    c = cursor
+    from clang.cindex import CursorKind
+    while c is not None and c.kind != CursorKind.TRANSLATION_UNIT:
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _canonical(type_obj) -> str:
+    try:
+        return type_obj.get_canonical().spelling
+    except Exception:
+        return type_obj.spelling if type_obj is not None else ""
+
+
+def _is_unordered(type_spelling: str) -> bool:
+    return any(n + "<" in type_spelling or n + " <" in type_spelling
+               for n in UNORDERED_NAMES)
+
+
+def _is_pointer_keyed(type_spelling: str) -> bool:
+    for n in ORDERED_NAMES:
+        for marker in (f"{n}<", f"{n} <"):
+            at = type_spelling.find(marker)
+            # Skip the unordered_* names that embed an ordered name.
+            while at > 0 and (type_spelling[at - 1].isalnum()
+                              or type_spelling[at - 1] == "_"):
+                at = type_spelling.find(marker, at + 1)
+            if at < 0:
+                continue
+            key = type_spelling[at + len(marker):].split(",", 1)[0]
+            if "*" in key:
+                return True
+    return False
+
+
+def _relpath(path: str, repo_root: Path) -> str:
+    try:
+        return str(Path(path).resolve().relative_to(repo_root))
+    except (ValueError, OSError):
+        return path
+
+
+def extract_facts(compile_commands: Path, repo_root: Path,
+                  only_under: Path | None = None) -> dict:
+    """Parse every TU in `compile_commands` and build the facts model.
+
+    `only_under` (optional) restricts the cursor walk to files under the
+    given directory -- system and third-party headers are never visited
+    either way, but this also skips sibling repo code when the analyzer
+    is pointed at a fixture subtree.
+    """
+    from clang.cindex import CursorKind, Index, TranslationUnitLoadError
+
+    entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+    index = Index.create()
+    functions: dict[str, dict] = {}
+    allows: dict[str, dict[int, list[str]]] = {}
+    seen_files: set[str] = set()
+
+    def want(path: str) -> bool:
+        if not path:
+            return False
+        rp = Path(path).resolve()
+        try:
+            rp.relative_to(repo_root)
+        except ValueError:
+            return False
+        if only_under is not None:
+            try:
+                rp.relative_to(only_under)
+            except ValueError:
+                return False
+        return True
+
+    def collect_allows(path: str) -> None:
+        rel = _relpath(path, repo_root)
+        if rel in allows or rel in seen_files:
+            return
+        seen_files.add(rel)
+        try:
+            raw = Path(path).read_text(encoding="utf-8",
+                                       errors="replace").splitlines()
+        except OSError:
+            return
+        file_allows = {}
+        for idx, line in enumerate(raw):
+            ids = allowed_rules(line)
+            if ids:
+                file_allows[idx + 1] = sorted(ids)
+        if file_allows:
+            allows[rel] = file_allows
+
+    def walk_function(cursor, info: dict) -> None:
+        for child in cursor.walk_preorder():
+            loc = child.location
+            if loc.file is None or not want(loc.file.name):
+                continue
+            collect_allows(loc.file.name)
+            if child.kind == CursorKind.CALL_EXPR:
+                ref = child.referenced
+                name = (_qualified_name(ref) if ref is not None
+                        else child.spelling)
+                if name:
+                    info["calls"].append(name)
+                if child.spelling in CLOCK_CALLEES:
+                    holder = _canonical(
+                        ref.semantic_parent.type) if ref is not None and \
+                        ref.semantic_parent is not None else ""
+                    if child.spelling == "now" and not any(
+                            c in holder for c in CLOCK_TYPES):
+                        pass
+                    else:
+                        info["events"].append({
+                            "kind": "wall_clock", "line": loc.line,
+                            "detail": name or child.spelling})
+            elif child.kind in (CursorKind.VAR_DECL, CursorKind.FIELD_DECL):
+                ct = _canonical(child.type)
+                if any(r in ct for r in RNG_TYPES):
+                    info["events"].append({
+                        "kind": "unseeded_rng", "line": loc.line,
+                        "detail": ct})
+            elif child.kind == CursorKind.CXX_FOR_RANGE_STMT:
+                range_expr = None
+                for gc in child.get_children():
+                    range_expr = gc  # first child is the range init
+                    break
+                ct = _canonical(range_expr.type) if range_expr is not None \
+                    else ""
+                if _is_unordered(ct):
+                    info["events"].append({
+                        "kind": "unordered_iteration", "line": loc.line,
+                        "detail": f"range-for over {ct}"})
+                elif _is_pointer_keyed(ct):
+                    info["events"].append({
+                        "kind": "pointer_keyed_iteration", "line": loc.line,
+                        "detail": f"range-for over {ct}"})
+            elif child.kind == CursorKind.CXX_MEMBER_CALL_EXPR:
+                if child.spelling in ("begin", "cbegin"):
+                    ref = child.referenced
+                    holder = _canonical(ref.semantic_parent.type) \
+                        if ref is not None and ref.semantic_parent is not None \
+                        else ""
+                    if _is_unordered(holder):
+                        info["events"].append({
+                            "kind": "unordered_iteration", "line": loc.line,
+                            "detail": f"begin() on {holder}"})
+                    elif _is_pointer_keyed(holder):
+                        info["events"].append({
+                            "kind": "pointer_keyed_iteration",
+                            "line": loc.line,
+                            "detail": f"begin() on {holder}"})
+            elif child.kind == CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+                toks = [t.spelling for t in child.get_tokens()]
+                if "+=" in toks:
+                    ct = _canonical(child.type)
+                    if ct in ("float", "double", "long double"):
+                        info["events"].append({
+                            "kind": "float_accum", "line": loc.line,
+                            "detail": " ".join(toks[:6])})
+
+    for entry in entries:
+        src = entry.get("file", "")
+        directory = entry.get("directory", ".")
+        src_path = Path(src)
+        if not src_path.is_absolute():
+            src_path = Path(directory) / src_path
+        if not want(str(src_path)):
+            continue
+        args = entry.get("arguments")
+        if args is None:
+            args = entry.get("command", "").split()
+        # Drop the compiler spelling and the -o/-c plumbing; keep the
+        # include paths, defines and standard flags libclang needs.
+        clean_args = []
+        skip = False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a == src or a == str(src_path):
+                continue
+            clean_args.append(a)
+        try:
+            tu = index.parse(str(src_path), args=clean_args)
+        except TranslationUnitLoadError as e:
+            print(f"analyze: warning: cannot parse {src}: {e}",
+                  file=sys.stderr)
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in (CursorKind.FUNCTION_DECL,
+                                   CursorKind.CXX_METHOD,
+                                   CursorKind.FUNCTION_TEMPLATE,
+                                   CursorKind.CONSTRUCTOR):
+                continue
+            if not cursor.is_definition():
+                continue
+            loc = cursor.location
+            if loc.file is None or not want(loc.file.name):
+                continue
+            collect_allows(loc.file.name)
+            name = _qualified_name(cursor)
+            if name in functions:
+                continue  # already extracted from another TU
+            info = {"file": _relpath(loc.file.name, repo_root),
+                    "line": loc.line, "calls": [], "events": []}
+            walk_function(cursor, info)
+            info["calls"] = list(dict.fromkeys(info["calls"]))
+            functions[name] = info
+
+    return {"frontend": "clang", "functions": functions, "allows": allows}

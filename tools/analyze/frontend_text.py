@@ -1,0 +1,337 @@
+"""Text frontend for the AST-grounded determinism analyzer.
+
+Produces the same *facts* model as the clang frontend
+(frontend_clang.py) without a compiler: per translation unit it
+extracts function definitions, their call sites, and the determinism
+*events* the analyzer's rules consume (unordered-container iteration,
+wall-clock reads, unseeded RNG construction, float accumulation,
+pointer-keyed ordered iteration).
+
+This is not a C++ parser. It is a deliberately conservative structural
+scanner -- brace tracking for function extents, a global alias table so
+``using FastIndex = std::unordered_map<...>`` (and aliases of aliases)
+still count as unordered, and per-scope variable typing for locals and
+class members. It exists so the analyzer runs (and its self-test
+passes) on machines without libclang; when clang.cindex is available
+the clang frontend supersedes it with true type resolution.
+
+Facts model (shared with frontend_clang):
+
+    {
+      "frontend": "text",
+      "functions": {
+        "<qualified name>": {
+          "file": "<repo-relative path>",
+          "line": <definition line>,
+          "calls": ["callee", ...],          # spelled names, may be bare
+          "events": [
+            {"kind": "<event kind>", "line": N, "detail": "..."}, ...
+          ]
+        }, ...
+      },
+      "allows": {"<path>": {"<line>": ["rule-id", ...]}}
+    }
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Reuse the comment/string stripper and allow-marker parser from the
+# regex lint so both tools agree on what is code and what is comment.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "lint"))
+from determinism_lint import allowed_rules, strip_comments_and_strings  # noqa: E402
+
+UNORDERED_RE = re.compile(r"\bunordered_(map|set|multimap|multiset)\b")
+POINTER_KEYED_RE = re.compile(
+    r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<[^<>,;]*\*")
+
+ALIAS_RE = re.compile(r"\busing\s+([A-Za-z_]\w*)\s*=\s*([^;]+);")
+TYPEDEF_RE = re.compile(r"\btypedef\s+(.+?)\s+([A-Za-z_]\w*)\s*;")
+
+SCOPE_OPEN_RE = re.compile(
+    r"\b(?:struct|class)\s+([A-Za-z_]\w*)\s*(?::[^{;]*)?$")
+NAMESPACE_RE = re.compile(r"\bnamespace\b[^{;]*$")
+
+# A function head: declarator name (possibly qualified) immediately
+# followed by an argument list, with the body brace directly after the
+# accumulated statement. Return types and specifiers are not validated;
+# control keywords are excluded by name instead.
+FUNC_HEAD_RE = re.compile(
+    r"(?:^|[\s&*>])"
+    r"(?P<name>~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*"
+    r"\((?P<args>[^()]*(?:\([^()]*\)[^()]*)*)\)\s*"
+    r"(?:const|noexcept|override|final|mutable|->\s*[\w:<>,&*\s]+|\s)*$")
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "do",
+    "else", "new", "delete", "throw", "alignof", "decltype", "static_cast",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "defined", "assert",
+    "static_assert", "case", "operator", "alignas", "co_await", "co_return",
+    "co_yield", "noexcept", "using", "typedef",
+}
+
+CALL_RE = re.compile(r"\b([A-Za-z_][\w]*(?:\s*::\s*[A-Za-z_]\w*)*)\s*\(")
+
+WALL_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*(system_clock|steady_clock|"
+    r"high_resolution_clock)\b"
+    r"|(?<![\w:.>])(time|gettimeofday|clock_gettime|localtime|gmtime)\s*\("
+    r"|(?<![\w:.>])getenv\s*\(|\bstd\s*::\s*getenv\b")
+UNSEEDED_RNG_RE = re.compile(
+    r"\bstd\s*::\s*random_device\b|(?<![\w:.>])s?rand\s*\("
+    r"|\bstd\s*::\s*mt19937(_64)?\b")
+
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)\s*(?:=|\{|;)")
+ACCUM_RE = re.compile(r"\b([A-Za-z_]\w*(?:\.[A-Za-z_]\w*)*)\s*\+=")
+
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\([^;()]*:\s*(?:\*?\s*)?(?:this\s*->\s*)?"
+    r"([A-Za-z_]\w*)\s*\)")
+BEGIN_ITER_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+
+VAR_DECL_RE = re.compile(
+    r"(?:^|[;{(,])\s*(?:const\s+|static\s+|constexpr\s+)*"
+    r"(?P<type>[A-Za-z_][\w]*(?:\s*::\s*[A-Za-z_]\w*)*"
+    r"(?:\s*<[^;={]*>)?)\s*[&]?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?:=|\{|;|\)|,)")
+
+
+class _Scanner:
+    """One pass over the whole file set: first aliases, then functions."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+        self.functions: dict[str, dict] = {}
+        self.allows: dict[str, dict[int, list[str]]] = {}
+        # class name -> {member name -> declared type}
+        self.members: dict[str, dict[str, str]] = {}
+
+    # ---- alias / type resolution ----
+
+    def collect_aliases(self, clean: list[str]) -> None:
+        for line in clean:
+            for m in ALIAS_RE.finditer(line):
+                self.aliases[m.group(1)] = m.group(2).strip()
+            for m in TYPEDEF_RE.finditer(line):
+                self.aliases[m.group(2)] = m.group(1).strip()
+
+    def resolve_type(self, type_text: str) -> str:
+        """Expand aliases (including aliases of aliases) so the
+        unordered / pointer-keyed checks see the underlying type."""
+        seen: set[str] = set()
+        text = type_text.strip()
+        for _ in range(16):
+            head = text.split("<", 1)[0].strip().split("::")[-1].strip()
+            if head in seen or head not in self.aliases:
+                break
+            seen.add(head)
+            text = self.aliases[head]
+        return text
+
+    def is_unordered(self, type_text: str) -> bool:
+        return bool(UNORDERED_RE.search(self.resolve_type(type_text)))
+
+    def is_pointer_keyed(self, type_text: str) -> bool:
+        return bool(POINTER_KEYED_RE.search(self.resolve_type(type_text)))
+
+    # ---- per-file scan ----
+
+    def scan_file(self, path: Path, rel: str) -> None:
+        raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        clean = strip_comments_and_strings(raw)
+        file_allows: dict[int, list[str]] = {}
+        for idx, line in enumerate(raw):
+            ids = allowed_rules(line)
+            if ids:
+                file_allows[idx + 1] = sorted(ids)
+        if file_allows:
+            self.allows[rel] = file_allows
+
+        depth = 0
+        # (class name, body depth) for member-declaration tracking
+        class_stack: list[tuple[str, int]] = []
+        # (qualified name, entry depth) of the open function, if any
+        current: tuple[str, int] | None = None
+        stmt = ""  # statement text accumulated since the last ; { or }
+
+        for idx, line in enumerate(clean):
+            lineno = idx + 1
+            # Functions whose body overlapped this line at any point --
+            # the whole line is event-scanned for each, so one-line
+            # bodies (open and close on the same line) are not lost.
+            open_here: set[str] = set()
+            if current is not None:
+                open_here.add(current[0])
+            for c in line:
+                if c == "{":
+                    if current is None:
+                        head = stmt.strip()
+                        cm = SCOPE_OPEN_RE.search(head)
+                        if cm:
+                            class_stack.append((cm.group(1), depth + 1))
+                            self.members.setdefault(cm.group(1), {})
+                        elif not NAMESPACE_RE.search(head):
+                            fm = FUNC_HEAD_RE.search(head)
+                            name = (fm.group("name").replace(" ", "")
+                                    if fm else "")
+                            base = name.split("::")[-1].lstrip("~")
+                            if fm and base and base not in CONTROL_KEYWORDS:
+                                if "::" not in name and class_stack:
+                                    name = class_stack[-1][0] + "::" + name
+                                current = (name, depth)
+                                open_here.add(name)
+                                self.functions.setdefault(name, {
+                                    "file": rel, "line": lineno,
+                                    "calls": [], "events": [],
+                                    "_vars": {}, "_floats": set(),
+                                })
+                                self._scan_params(name, fm.group("args"))
+                    depth += 1
+                    stmt = ""
+                elif c == "}":
+                    depth -= 1
+                    if current is not None and depth <= current[1]:
+                        current = None
+                    while class_stack and depth < class_stack[-1][1]:
+                        class_stack.pop()
+                    stmt = ""
+                elif c == ";":
+                    if current is None and class_stack \
+                            and depth == class_stack[-1][1]:
+                        self._scan_member(class_stack[-1][0],
+                                          stmt.strip() + ";")
+                    stmt = ""
+                else:
+                    stmt += c
+            stmt += " "
+
+            cls = class_stack[-1][0] if class_stack else ""
+            for fn in open_here:
+                self._scan_body_line(fn, line, lineno, cls)
+
+    # ---- detail scans ----
+
+    def _scan_params(self, fn: str, args: str) -> None:
+        for part in args.split(","):
+            m = VAR_DECL_RE.search("(" + part.strip() + ")")
+            if m:
+                self._record_var(fn, m.group("type"), m.group("name"))
+
+    def _record_var(self, fn: str, type_text: str, name: str) -> None:
+        info = self.functions.get(fn)
+        if info is not None:
+            info["_vars"][name] = type_text
+
+    def _scan_member(self, cls: str, stmt: str) -> None:
+        # Access labels never end in ';', so they ride along at the
+        # front of the first member declaration that follows them.
+        stmt = re.sub(r"^\s*(?:public|private|protected)\s*:\s*", "", stmt)
+        m = VAR_DECL_RE.search(stmt)
+        if not m:
+            return
+        head = m.group("type").split("<")[0].split("::")[-1].strip()
+        if head not in CONTROL_KEYWORDS:
+            self.members[cls][m.group("name")] = m.group("type")
+
+    def _var_type(self, fn: str, cls: str, name: str) -> str | None:
+        info = self.functions.get(fn, {})
+        t = info.get("_vars", {}).get(name)
+        if t is not None:
+            return t
+        owner = fn.rsplit("::", 1)[0] if "::" in fn else cls
+        for candidate in (owner, cls):
+            t = self.members.get(candidate, {}).get(name)
+            if t is not None:
+                return t
+        return None
+
+    def _scan_body_line(self, fn: str, line: str, lineno: int,
+                        cls: str) -> None:
+        info = self.functions[fn]
+
+        # Local declarations: only the container rules and float
+        # accumulation care about types; everything else is ignored.
+        for m in VAR_DECL_RE.finditer(line):
+            head = m.group("type").split("<")[0].split("::")[-1].strip()
+            if head not in CONTROL_KEYWORDS:
+                self._record_var(fn, m.group("type"), m.group("name"))
+        for m in FLOAT_DECL_RE.finditer(line):
+            info["_floats"].add(m.group(1))
+            self._record_var(fn, "double", m.group(1))
+
+        # Call sites.
+        for m in CALL_RE.finditer(line):
+            name = m.group(1).replace(" ", "")
+            base = name.split("::")[-1]
+            if base in CONTROL_KEYWORDS:
+                continue
+            info["calls"].append(name)
+
+        # Events.
+        for m in WALL_CLOCK_RE.finditer(line):
+            info["events"].append({
+                "kind": "wall_clock", "line": lineno,
+                "detail": m.group(0).strip()})
+        for m in UNSEEDED_RNG_RE.finditer(line):
+            info["events"].append({
+                "kind": "unseeded_rng", "line": lineno,
+                "detail": m.group(0).strip()})
+        for m in ACCUM_RE.finditer(line):
+            target = m.group(1)
+            if target.split(".")[0] in info["_floats"] \
+                    or target in info["_floats"]:
+                info["events"].append({
+                    "kind": "float_accum", "line": lineno,
+                    "detail": target + " +="})
+
+        for regex in (RANGE_FOR_RE, BEGIN_ITER_RE):
+            for m in regex.finditer(line):
+                var = m.group(1)
+                t = self._var_type(fn, cls, var)
+                if t is None:
+                    continue
+                if self.is_unordered(t):
+                    info["events"].append({
+                        "kind": "unordered_iteration", "line": lineno,
+                        "detail": f"iterates '{var}' of type {t.strip()}"})
+                elif self.is_pointer_keyed(t):
+                    info["events"].append({
+                        "kind": "pointer_keyed_iteration", "line": lineno,
+                        "detail": f"iterates '{var}' of type {t.strip()}"})
+
+
+def extract_facts(files: list[tuple[Path, str]]) -> dict:
+    """Scan `(path, repo-relative name)` pairs into the facts model."""
+    sc = _Scanner()
+    # Pass 1: aliases from every file, so cross-file aliases resolve no
+    # matter the scan order.
+    for path, _rel in files:
+        raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        sc.collect_aliases(strip_comments_and_strings(raw))
+    # Pass 2 runs twice: the first sweep fills the class-member tables
+    # (members are in scope regardless of declaration order, so they
+    # may sit below the methods that use them, or in another file); the
+    # second sweep re-derives events with the full tables. setdefault
+    # plus the dedupe below make the double scan idempotent.
+    for _ in range(2):
+        for path, rel in files:
+            sc.scan_file(path, rel)
+    for info in sc.functions.values():
+        info.pop("_vars", None)
+        info.pop("_floats", None)
+        # A line scanned for two overlapping one-line bodies can record
+        # the same call twice; dedupe, order-preserving.
+        info["calls"] = list(dict.fromkeys(info["calls"]))
+        seen: set[tuple] = set()
+        uniq = []
+        for ev in info["events"]:
+            key = (ev["kind"], ev["line"], ev["detail"])
+            if key not in seen:
+                seen.add(key)
+                uniq.append(ev)
+        info["events"] = uniq
+    return {"frontend": "text", "functions": sc.functions,
+            "allows": sc.allows}

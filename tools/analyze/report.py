@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Baseline gate for the AST-grounded determinism analyzer.
+
+Runs analyze.py and diffs its findings against the committed baseline
+(tools/analyze/baseline.json). The baseline grandfathers findings that
+are understood and deliberately kept (each entry documents why); the
+gate fails only on findings that are NOT baselined, so the analyzer can
+run as a hard CI gate from day one without forcing a big-bang cleanup.
+
+Matching is by (rule, file, function) with a count: a new occurrence of
+a baselined (rule, file, function) above its recorded count is a new
+finding. Line numbers are deliberately NOT part of the key -- editing an
+unrelated part of the file must not invalidate the baseline.
+
+Stale baseline entries (nothing matches them any more) are reported so
+the baseline shrinks as code is fixed; they do not fail the gate.
+
+    report.py --compile-commands build/compile_commands.json
+    report.py --update            # regenerate the baseline in place
+
+Exit status: 0 = no new findings, 1 = new findings, 2 = config error,
+3 = analysis skipped (clang forced but unavailable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import analyze
+import frontend_clang
+import frontend_text
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def findings_for(args) -> tuple[list[dict], str] | int:
+    """Run the analyzer; returns (findings, frontend) or an exit code."""
+    cfg = analyze.load_config(args.config)
+    use_clang = False
+    if args.frontend in ("auto", "clang"):
+        use_clang = frontend_clang.available() \
+            and args.compile_commands is not None and len(args.paths) <= 1
+        if args.frontend == "clang" and not use_clang:
+            print("analyze: SKIPPED: clang frontend unavailable",
+                  file=sys.stderr)
+            return analyze.EXIT_SKIPPED
+    if use_clang:
+        only = args.paths[0].resolve() if args.paths else None
+        facts = frontend_clang.extract_facts(args.compile_commands,
+                                             analyze.REPO_ROOT,
+                                             only_under=only)
+    else:
+        files = analyze.collect_text_files(args.paths, args.compile_commands)
+        if not files:
+            print("error: nothing to analyze", file=sys.stderr)
+            return analyze.EXIT_ERROR
+        facts = frontend_text.extract_facts(files)
+    report = analyze.evaluate(facts, cfg)
+    return report["findings"], report["frontend"]
+
+
+def key_of(finding: dict) -> tuple[str, str, str]:
+    return (finding["rule"], finding["file"], finding["function"])
+
+
+def counted(findings: list[dict]) -> dict[tuple[str, str, str], int]:
+    out: dict[tuple[str, str, str], int] = {}
+    for f in findings:
+        out[key_of(f)] = out.get(key_of(f), 0) + 1
+    return out
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", type=Path)
+    ap.add_argument("--compile-commands", type=Path, default=None)
+    ap.add_argument("--frontend", choices=("auto", "clang", "text"),
+                    default="auto")
+    ap.add_argument("--config", type=Path,
+                    default=Path(__file__).resolve().parent
+                    / "reachability.json")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current findings")
+    args = ap.parse_args(argv)
+
+    if not args.paths and args.compile_commands is None:
+        ap.error("give --compile-commands and/or at least one path")
+    if args.compile_commands is not None \
+            and not args.compile_commands.is_file():
+        print(f"error: no compile_commands at {args.compile_commands}",
+              file=sys.stderr)
+        return analyze.EXIT_ERROR
+
+    result = findings_for(args)
+    if isinstance(result, int):
+        return result
+    findings, frontend = result
+
+    if args.update:
+        entries = []
+        seen: set[tuple[str, str, str]] = set()
+        counts = counted(findings)
+        for f in findings:
+            k = key_of(f)
+            if k in seen:
+                continue
+            seen.add(k)
+            entries.append({
+                "rule": f["rule"], "file": f["file"],
+                "function": f["function"], "count": counts[k],
+                "why": "TODO: justify or fix",
+            })
+        args.baseline.write_text(
+            json.dumps({"_comment": "Grandfathered analyzer findings. "
+                        "Every entry needs a 'why'; remove entries as the "
+                        "code is fixed (stale entries are reported).",
+                        "entries": entries}, indent=2) + "\n",
+            encoding="utf-8")
+        print(f"analyze-report: baseline rewritten with {len(entries)} "
+              f"entr(ies) from {len(findings)} finding(s)", file=sys.stderr)
+        return analyze.EXIT_CLEAN
+
+    baseline_counts: dict[tuple[str, str, str], int] = {}
+    baseline_why: dict[tuple[str, str, str], str] = {}
+    if args.baseline.is_file():
+        data = json.loads(args.baseline.read_text(encoding="utf-8"))
+        for e in data.get("entries", []):
+            k = (e["rule"], e["file"], e["function"])
+            baseline_counts[k] = baseline_counts.get(k, 0) \
+                + int(e.get("count", 1))
+            baseline_why[k] = e.get("why", "")
+
+    new: list[dict] = []
+    spent: dict[tuple[str, str, str], int] = {}
+    for f in findings:
+        k = key_of(f)
+        spent[k] = spent.get(k, 0) + 1
+        if spent[k] > baseline_counts.get(k, 0):
+            new.append(f)
+
+    stale = [k for k, n in baseline_counts.items()
+             if spent.get(k, 0) < n]
+
+    for f in new:
+        print(f"{f['file']}:{f['line']}: [{f['rule']}] NEW in "
+              f"{f['function']}: {f['message']}\n    ({f['detail']})")
+    for k in sorted(stale):
+        print(f"analyze-report: stale baseline entry {k} "
+              f"(why: {baseline_why.get(k, '')!r}) -- the finding is gone; "
+              "remove it from the baseline", file=sys.stderr)
+    grandfathered = len(findings) - len(new)
+    status = "FAIL" if new else "OK"
+    print(f"analyze-report[{frontend}]: {status}: {len(new)} new, "
+          f"{grandfathered} baselined, {len(stale)} stale baseline "
+          "entr(ies)", file=sys.stderr)
+    return analyze.EXIT_FINDINGS if new else analyze.EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

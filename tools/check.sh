@@ -28,6 +28,17 @@
 #                                them three consecutive times — every
 #                                storm is seeded and deterministic, so a
 #                                single flake is a safety bug, not noise
+#   tools/check.sh --analyze     static-analysis gate: the regex
+#                                determinism lint over src, then the
+#                                AST-grounded analyzer (digest-
+#                                reachability) diffed against its
+#                                committed baseline
+#                                (tools/analyze/baseline.json). Uses the
+#                                clang frontend when libclang is
+#                                importable, the text frontend
+#                                otherwise; with clang++ installed it
+#                                also type-checks the thread-safety
+#                                annotations (-Werror=thread-safety)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -110,6 +121,31 @@ case "$MODE" in
     echo "check.sh: chaos gate OK (3/3 clean)"
     ;;
 
+  --analyze)
+    command -v python3 >/dev/null 2>&1 || {
+      echo "--analyze requires python3" >&2; exit 2; }
+    run_lint
+    echo "== AST-grounded analyzer: digest-reachability vs baseline =="
+    # Configure (cheap when already configured) so compile_commands.json
+    # exists for the clang frontend; the text frontend works regardless.
+    cmake -S "$ROOT" -B "$ROOT/build" >/dev/null
+    python3 "$ROOT/tools/analyze/report.py" \
+      --compile-commands "$ROOT/build/compile_commands.json" "$ROOT/src"
+    if command -v clang++ >/dev/null 2>&1; then
+      echo "== thread-safety analysis: clang -Werror=thread-safety =="
+      # The hardened preset carries the -Wthread-safety flags; a clang
+      # configure of it type-checks every CLUSTERBFT_GUARDED_BY /
+      # REQUIRES annotation in the tree.
+      cmake --preset hardened -S "$ROOT" \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+      cmake --build --preset hardened -j "$JOBS"
+    else
+      echo "== thread-safety analysis skipped (clang++ not found; the" \
+           "annotations compile away under other compilers) =="
+    fi
+    echo "check.sh: analyze gate OK"
+    ;;
+
   --fast|full)
     echo "== normal preset: configure + build =="
     cmake -S "$ROOT" -B "$ROOT/build"
@@ -136,7 +172,7 @@ case "$MODE" in
     ;;
 
   *)
-    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare|--chaos]" >&2
+    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare|--chaos|--analyze]" >&2
     exit 2
     ;;
 esac

@@ -25,8 +25,15 @@ std::unordered_set<int> scratch_set;  // lint:allow(unordered-container)
 
 // Rule unseeded-random: must fire on the next line.
 int bad_entropy() { return static_cast<int>(std::random_device{}()); }
+// ...and must fire again on this brace-init seeded from a time-derived
+// expression (the alternation the empty-brace pattern used to miss; the
+// identifier hides 'time' behind a word character so wall-clock stays
+// quiet and exactly one rule fires on the line):
+unsigned seed_from_time_entropy();
+int bad_time_seed() { std::mt19937 bad_time_seeded{seed_from_time_entropy()}; return static_cast<int>(bad_time_seeded()); }
 // ...and must NOT fire here:
 int allowed_entropy() { return rand(); }  // lint:allow(unseeded-random)
+int allowed_time_seed() { std::mt19937 g{seed_from_time_entropy()}; return static_cast<int>(g()); }  // lint:allow(unseeded-random)
 
 // Rule wall-clock: must fire on the next line.
 long bad_now() { return std::chrono::system_clock::now().time_since_epoch().count(); }
