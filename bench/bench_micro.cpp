@@ -10,6 +10,7 @@
 #include "core/journal.hpp"
 #include "crypto/digest.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_dispatch.hpp"
 #include "dataflow/ops_eval.hpp"
 #include "dataflow/parser.hpp"
 #include "mapreduce/compiler.hpp"
@@ -33,6 +34,46 @@ void BM_Sha256Throughput(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+// --- SHA-256 dispatch (ISSUE 7): per-backend single-stream throughput
+// and the multi-buffer batch entry point, with the process-wide backend
+// forced for the duration of the run. Only backends this host can run
+// are registered (see main), so the JSON rows double as a record of
+// what the bench machine supported; bench_compare treats missing
+// metrics as absent, not regressed.
+
+void BM_Sha256BackendThroughput(benchmark::State& state,
+                                crypto::Sha256Backend backend) {
+  const crypto::Sha256Backend prev = crypto::sha256_backend();
+  crypto::force_sha256_backend(backend);
+  const std::string data(1 << 20, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  crypto::force_sha256_backend(prev);
+}
+
+void BM_Sha256BatchBackend(benchmark::State& state,
+                           crypto::Sha256Backend backend) {
+  // The verifier's fingerprint-fold shape: many small records digested
+  // as a batch (8 lanes fills one AVX2 group).
+  const crypto::Sha256Backend prev = crypto::sha256_backend();
+  crypto::force_sha256_backend(backend);
+  constexpr std::size_t kMsgs = 8;
+  constexpr std::size_t kLen = 4096;
+  std::vector<std::string> msgs(kMsgs, std::string(kLen, 'y'));
+  std::vector<std::string_view> views(msgs.begin(), msgs.end());
+  std::vector<crypto::Sha256::Digest> out(kMsgs);
+  for (auto _ : state) {
+    crypto::sha256_batch(views.data(), out.data(), kMsgs);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMsgs * kLen));
+  crypto::force_sha256_backend(prev);
+}
 
 void BM_ChunkedDigester(benchmark::State& state) {
   const std::string rec = "user\x1f" "123456\x1f" "follower\x1f" "7890";
@@ -229,6 +270,38 @@ void BM_PbftOrderingThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_PbftOrderingThroughput)->Arg(1)->Arg(8)->Arg(32);
 
+void BM_PbftPipelinedThroughput(benchmark::State& state) {
+  // ISSUE 7: batched rounds with k consensus instances in flight.
+  // Args are {batch_size, pipeline_depth}; depth 0 is the legacy auto
+  // mode (2 for batched configs), so {8,0} vs {8,4} isolates what the
+  // deeper pipeline buys on an otherwise identical system.
+  for (auto _ : state) {
+    cluster::EventSim sim;
+    bftsmr::SystemConfig cfg;
+    cfg.f = 1;
+    cfg.batch_size = static_cast<std::size_t>(state.range(0));
+    cfg.pipeline_depth = static_cast<std::size_t>(state.range(1));
+    cfg.checkpoint_interval = 64;
+    bftsmr::BftSystem sys(
+        sim, cfg, [] { return std::make_unique<bftsmr::LogService>(); });
+    double last_done = 0;
+    for (int i = 0; i < 100; ++i) {
+      sys.submit("op" + std::to_string(i),
+                 [&sim, &last_done](const std::string&, double) {
+                   last_done = sim.now();
+                 });
+    }
+    sim.run();
+    state.counters["sim_ops_per_s"] = 100.0 / last_done;
+    benchmark::DoNotOptimize(last_done);
+  }
+}
+BENCHMARK(BM_PbftPipelinedThroughput)
+    ->Args({1, 1})
+    ->Args({8, 0})
+    ->Args({8, 4})
+    ->Args({32, 4});
+
 void BM_PbftAgreementRound(benchmark::State& state) {
   for (auto _ : state) {
     cluster::EventSim sim;
@@ -309,6 +382,50 @@ void BM_CodecRoundTripSubmitRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CodecRoundTripSubmitRun);
+
+void BM_CodecDecodeSubmitRun(benchmark::State& state) {
+  // ISSUE 7: decode-only cost of a path-heavy frame. The zero-copy
+  // receive path hands the handler Text views borrowing from the frame,
+  // so this measures header parsing plus view construction — no payload
+  // string is copied. BM_CodecDecodeSubmitRunOwned adds the explicit
+  // copy-materialise escape hatch for comparison; the delta is what
+  // borrowing saves per frame.
+  protocol::SubmitRun cmd;
+  cmd.run = 42;
+  cmd.program = 1;
+  cmd.job_index = 2;
+  cmd.replica = 1;
+  cmd.input_paths = {"twitter/edges", "w1/tmp/job0", "w1/tmp/job1",
+                     "w2/tmp/probe/control"};
+  cmd.output_path = "w1/out/follower_counts";
+  cmd.avoid = {3, 5, 9};
+  cmd.max_nodes = 4;
+  const auto bytes = protocol::encode(protocol::Message{cmd});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::decode(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecDecodeSubmitRun);
+
+void BM_CodecDecodeSubmitRunOwned(benchmark::State& state) {
+  protocol::SubmitRun cmd;
+  cmd.run = 42;
+  cmd.program = 1;
+  cmd.job_index = 2;
+  cmd.replica = 1;
+  cmd.input_paths = {"twitter/edges", "w1/tmp/job0", "w1/tmp/job1",
+                     "w2/tmp/probe/control"};
+  cmd.output_path = "w1/out/follower_counts";
+  cmd.avoid = {3, 5, 9};
+  cmd.max_nodes = 4;
+  const auto bytes = protocol::encode(protocol::Message{cmd});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::decode_owned(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecDecodeSubmitRunOwned);
 
 void BM_LoopbackDispatchDigestBatch(benchmark::State& state) {
   // What a DigestBatch costs to cross the seam in-process: one variant
@@ -427,6 +544,20 @@ class JsonRowReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Register the per-backend SHA-256 benches for exactly the backends
+  // this host can run; the benchmark name carries the backend, so the
+  // JSON rows stay stable per machine and absent (not zero) elsewhere.
+  using clusterbft::crypto::Sha256Backend;
+  for (Sha256Backend b : {Sha256Backend::kScalar, Sha256Backend::kShani,
+                          Sha256Backend::kAvx2}) {
+    if (!clusterbft::crypto::sha256_backend_available(b)) continue;
+    const std::string name = clusterbft::crypto::to_string(b);
+    benchmark::RegisterBenchmark(
+        ("BM_Sha256BackendThroughput/" + name).c_str(),
+        BM_Sha256BackendThroughput, b);
+    benchmark::RegisterBenchmark(("BM_Sha256BatchBackend/" + name).c_str(),
+                                 BM_Sha256BatchBackend, b);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   clusterbft::bench::BenchJson sink("micro");

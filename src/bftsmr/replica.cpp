@@ -187,11 +187,14 @@ void Replica::propose_pending() {
   // current watermark window; the rest wait for the next stable
   // checkpoint to slide the window forward. With batch_size > 1, up to
   // that many requests share one sequence number (one agreement round),
-  // and at most a small number of batches stays in flight so requests
+  // and at most pipeline_depth batches stay in flight so requests
   // arriving during consensus accumulate into the next batch (classic
-  // PBFT batching).
+  // PBFT batching); deeper pipelines overlap the three-phase rounds of
+  // consecutive slots instead.
   const std::size_t max_inflight =
-      cfg_.batch_size > 1 ? 2 : std::size_t(-1);
+      cfg_.pipeline_depth > 0
+          ? cfg_.pipeline_depth
+          : (cfg_.batch_size > 1 ? 2 : std::size_t(-1));
   std::vector<BatchEntry> batch;
   auto flush = [this, &batch] {
     if (batch.empty()) return;

@@ -25,6 +25,11 @@ struct ReplicaConfig {
   std::uint64_t checkpoint_interval = 16;
   std::uint64_t window = 128;        ///< high-watermark span
   std::size_t batch_size = 1;        ///< max client requests per slot
+  /// Max consensus instances in flight at the primary (proposed but not
+  /// yet executed locally). 0 = auto: unlimited for unbatched configs,
+  /// 2 for batched ones (so requests arriving mid-consensus accumulate
+  /// into the next batch instead of each opening its own round).
+  std::size_t pipeline_depth = 0;
   double view_change_timeout = 0.5;  ///< seconds without execution progress
 };
 

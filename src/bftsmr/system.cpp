@@ -24,6 +24,7 @@ BftSystem::BftSystem(cluster::EventSim& sim, SystemConfig cfg,
     rc.checkpoint_interval = cfg_.checkpoint_interval;
     rc.view_change_timeout = cfg_.view_change_timeout_s;
     rc.batch_size = cfg_.batch_size;
+    rc.pipeline_depth = cfg_.pipeline_depth;
 
     auto send = [this, i](std::size_t to, Message msg) {
       if (crashed_.count(i) || crashed_.count(to)) return;

@@ -34,6 +34,9 @@ struct SystemConfig {
   double client_retry_s = 1.0;
   std::uint64_t checkpoint_interval = 16;
   std::size_t batch_size = 1;  ///< requests ordered per agreement round
+  /// Consensus instances the primary keeps in flight (0 = auto; see
+  /// ReplicaConfig::pipeline_depth).
+  std::size_t pipeline_depth = 0;
   std::uint64_t seed = 1;
 };
 

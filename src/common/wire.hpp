@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace clusterbft::common {
@@ -27,7 +28,7 @@ class WireWriter {
     std::memcpy(&bits, &v, sizeof bits);
     u64(bits);
   }
-  void str(const std::string& s) {
+  void str(std::string_view s) {
     u32(static_cast<std::uint32_t>(s.size()));
     raw(s.data(), s.size());
   }
@@ -61,11 +62,14 @@ class WireReader {
     std::memcpy(&v, &bits, sizeof v);
     return v;
   }
-  std::string str() {
+  std::string str() { return std::string(str_view()); }
+  /// Zero-copy read: a view into the reader's buffer. Valid only while
+  /// the underlying buffer lives; callers that retain must copy.
+  std::string_view str_view() {
     const std::uint32_t len = u32();
     if (!take(len)) return {};
-    std::string s(reinterpret_cast<const char*>(data_ + pos_ - len), len);
-    return s;
+    return std::string_view(reinterpret_cast<const char*>(data_ + pos_ - len),
+                            len);
   }
   void raw(void* out, std::size_t n) {
     if (n == 0) return;  // empty vectors/strings may hand us out == null

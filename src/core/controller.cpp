@@ -766,7 +766,9 @@ void ClusterBft::submit_job(std::size_t wave_index, std::size_t job) {
   msg.program = program_id_;
   msg.job_index = j;
   msg.replica = w.replica;
-  msg.input_paths = resolve_inputs(w, j, &info.upstream_runs);
+  for (std::string& p : resolve_inputs(w, j, &info.upstream_runs)) {
+    msg.input_paths.emplace_back(std::move(p));
+  }
   msg.output_path = wave_scope(w) + spec.output_path;
   msg.avoid.assign(avoid.begin(), avoid.end());
   msg.max_nodes = max_nodes;

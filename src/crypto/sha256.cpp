@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "crypto/sha256_dispatch.hpp"
 
 namespace clusterbft::crypto {
 
@@ -28,11 +29,16 @@ inline std::uint32_t rotr(std::uint32_t x, int n) {
 }  // namespace
 
 Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    : compress_(sha256_compress_fn()),
+      state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
       buffer_{} {}
 
-void Sha256::process_block(const std::uint8_t* block) {
+void sha256_compress_scalar(std::uint32_t state[8],
+                            const std::uint8_t* blocks, std::size_t nblocks) {
+  while (nblocks-- > 0) {
+  const std::uint8_t* block = blocks;
+  blocks += 64;
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
@@ -48,8 +54,8 @@ void Sha256::process_block(const std::uint8_t* block) {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
 // One fused round: t1/t2 feed d and h directly, and the caller rotates
 // which registers play a..h instead of shuffling eight registers per
@@ -80,14 +86,15 @@ void Sha256::process_block(const std::uint8_t* block) {
 
 #undef CBFT_SHA256_ROUND
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+  }
 }
 
 void Sha256::update(const void* data, std::size_t len) {
@@ -102,14 +109,17 @@ void Sha256::update(const void* data, std::size_t len) {
     p += take;
     len -= take;
     if (buffer_len_ == buffer_.size()) {
-      process_block(buffer_.data());
+      compress_(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (len >= 64) {
-    process_block(p);
-    p += 64;
-    len -= 64;
+  if (len >= 64) {
+    // Bulk path: one kernel call over every whole block, so accelerated
+    // backends amortise their setup across the run.
+    const std::size_t nblocks = len / 64;
+    compress_(state_.data(), p, nblocks);
+    p += nblocks * 64;
+    len -= nblocks * 64;
   }
   if (len > 0) {
     std::memcpy(buffer_.data(), p, len);

@@ -35,8 +35,13 @@ class Sha256 {
   static Digest hash(std::string_view s);
 
  private:
-  void process_block(const std::uint8_t* block);
+  /// Multi-block compression kernel, resolved once at construction from
+  /// the runtime dispatch (crypto/sha256_dispatch.hpp). Every backend
+  /// computes bit-identical digests.
+  using CompressFn = void (*)(std::uint32_t*, const std::uint8_t*,
+                              std::size_t);
 
+  CompressFn compress_;
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffer_len_ = 0;

@@ -1,0 +1,126 @@
+// The ONLY translation unit allowed to probe host CPU features or read
+// the backend-override environment variable (cpu-dispatch lint rule;
+// wall-clock reads below carry explicit allow markers because the env
+// read happens once, selects among bit-identical kernels, and can never
+// reach digest bytes). Everything else consumes the selection through
+// sha256_compress_fn()/sha256_batch().
+#include "crypto/sha256_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace clusterbft::crypto {
+
+namespace {
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+bool cpu_has_shani() {
+  return __builtin_cpu_supports("sha") != 0 &&
+         __builtin_cpu_supports("sse4.1") != 0 &&
+         __builtin_cpu_supports("ssse3") != 0;
+}
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+#else
+bool cpu_has_shani() { return false; }
+bool cpu_has_avx2() { return false; }
+#endif
+
+/// Parse CLUSTERBFT_SHA256_BACKEND. Unset, empty or "auto" mean "no
+/// override". A misspelt or unavailable override is a hard
+/// configuration error: silently falling back would make a parity run
+/// measure the wrong kernel.
+bool backend_from_env(Sha256Backend& out) {
+  const char* env = std::getenv("CLUSTERBFT_SHA256_BACKEND");  // lint:allow(wall-clock)
+  if (env == nullptr) return false;
+  const std::string_view v(env);
+  if (v.empty() || v == "auto") return false;
+  if (v == "scalar") {
+    out = Sha256Backend::kScalar;
+  } else if (v == "shani") {
+    out = Sha256Backend::kShani;
+  } else if (v == "avx2") {
+    out = Sha256Backend::kAvx2;
+  } else {
+    CBFT_CHECK_MSG(false,
+                   "CLUSTERBFT_SHA256_BACKEND is not one of "
+                   "scalar|shani|avx2|auto");
+  }
+  CBFT_CHECK_MSG(sha256_backend_available(out),
+                 "CLUSTERBFT_SHA256_BACKEND names an unavailable backend");
+  return true;
+}
+
+Sha256Backend select_backend() {
+  Sha256Backend forced = Sha256Backend::kScalar;
+  if (backend_from_env(forced)) return forced;
+  if (cpu_has_shani()) return Sha256Backend::kShani;
+  if (cpu_has_avx2()) return Sha256Backend::kAvx2;
+  return Sha256Backend::kScalar;
+}
+
+/// Process-wide selection. An atomic (not a plain static) because pool
+/// workers construct hashers concurrently with a test forcing the
+/// backend; selection is a pure performance choice, so any interleaving
+/// yields correct digests.
+std::atomic<Sha256Backend>& backend_slot() {
+  static std::atomic<Sha256Backend> slot{select_backend()};
+  return slot;
+}
+
+}  // namespace
+
+const char* to_string(Sha256Backend b) {
+  switch (b) {
+    case Sha256Backend::kScalar: return "scalar";
+    case Sha256Backend::kShani: return "shani";
+    case Sha256Backend::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool sha256_backend_available(Sha256Backend b) {
+  switch (b) {
+    case Sha256Backend::kScalar: return true;
+    case Sha256Backend::kShani: return cpu_has_shani();
+    case Sha256Backend::kAvx2: return cpu_has_avx2();
+  }
+  return false;
+}
+
+Sha256Backend sha256_backend() {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+void force_sha256_backend(Sha256Backend b) {
+  CBFT_CHECK_MSG(sha256_backend_available(b),
+                 "forcing a SHA-256 backend this host cannot run");
+  backend_slot().store(b, std::memory_order_relaxed);
+}
+
+Sha256CompressFn sha256_compress_fn() {
+  switch (sha256_backend()) {
+    case Sha256Backend::kShani:
+      return &detail::sha256_compress_shani;
+    case Sha256Backend::kScalar:
+    case Sha256Backend::kAvx2:
+      // AVX2 has no single-stream win over the unrolled scalar kernel;
+      // its value is the multi-buffer batch path below.
+      return &sha256_compress_scalar;
+  }
+  return &sha256_compress_scalar;
+}
+
+void sha256_batch(const std::string_view* msgs, Sha256::Digest* out,
+                  std::size_t n) {
+  if (n == 0) return;
+  if (sha256_backend() == Sha256Backend::kAvx2 && n >= 2) {
+    detail::sha256_batch_avx2(msgs, out, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = Sha256::hash(msgs[i]);
+}
+
+}  // namespace clusterbft::crypto

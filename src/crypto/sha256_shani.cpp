@@ -1,0 +1,127 @@
+// SHA-256 compression via the x86 SHA extensions: two rounds per
+// _mm_sha256rnds2_epu32 and hardware message-schedule helpers. Pure
+// computation — no CPUID, no configuration — so the kernel itself cannot
+// fork behaviour across hosts; sha256_dispatch.cpp decides whether it is
+// safe to call. State layout follows the canonical ABEF/CDGH register
+// split the instructions expect; entry/exit shuffles convert from/to the
+// FIPS 180-4 word order the scalar path uses, which is what makes the
+// two kernels bit-identical.
+#include "crypto/sha256_dispatch.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+namespace clusterbft::crypto::detail {
+
+namespace {
+
+alignas(16) constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+__attribute__((target("sha,sse4.1,ssse3")))
+void sha256_compress_shani(std::uint32_t state[8], const std::uint8_t* blocks,
+                           std::size_t nblocks) {
+  // Byte-swap mask: big-endian message words -> little-endian lanes.
+  const __m128i kBswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);             // CDAB
+  st1 = _mm_shuffle_epi32(st1, 0x1B);             // EFGH
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);     // ABEF
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);          // CDGH
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = st0;
+    const __m128i cdgh_save = st1;
+
+    __m128i m0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks)), kBswap);
+    __m128i m1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)),
+        kBswap);
+    __m128i m2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)),
+        kBswap);
+    __m128i m3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)),
+        kBswap);
+
+// Four rounds: `ma` holds w[i..i+3]; `mb` (12 rounds ahead) absorbs the
+// alignr+msg2 schedule extension, `md` (the oldest live register) takes
+// its msg1 half. The i-range guards compile away per instantiation.
+#define CBFT_SHANI_R4(ma, mb, md, i)                                        \
+  do {                                                                      \
+    __m128i k =                                                             \
+        _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[(i)]));         \
+    __m128i msg = _mm_add_epi32((ma), k);                                   \
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);                             \
+    if ((i) >= 12 && (i) < 60) {                                            \
+      const __m128i t = _mm_alignr_epi8((ma), (md), 4);                     \
+      (mb) = _mm_sha256msg2_epu32(_mm_add_epi32((mb), t), (ma));            \
+    }                                                                       \
+    msg = _mm_shuffle_epi32(msg, 0x0E);                                     \
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);                             \
+    if ((i) >= 4 && (i) < 52) (md) = _mm_sha256msg1_epu32((md), (ma));      \
+  } while (0)
+
+    CBFT_SHANI_R4(m0, m1, m3, 0);
+    CBFT_SHANI_R4(m1, m2, m0, 4);
+    CBFT_SHANI_R4(m2, m3, m1, 8);
+    CBFT_SHANI_R4(m3, m0, m2, 12);
+    CBFT_SHANI_R4(m0, m1, m3, 16);
+    CBFT_SHANI_R4(m1, m2, m0, 20);
+    CBFT_SHANI_R4(m2, m3, m1, 24);
+    CBFT_SHANI_R4(m3, m0, m2, 28);
+    CBFT_SHANI_R4(m0, m1, m3, 32);
+    CBFT_SHANI_R4(m1, m2, m0, 36);
+    CBFT_SHANI_R4(m2, m3, m1, 40);
+    CBFT_SHANI_R4(m3, m0, m2, 44);
+    CBFT_SHANI_R4(m0, m1, m3, 48);
+    CBFT_SHANI_R4(m1, m2, m0, 52);
+    CBFT_SHANI_R4(m2, m3, m1, 56);
+    CBFT_SHANI_R4(m3, m0, m2, 60);
+
+#undef CBFT_SHANI_R4
+
+    st0 = _mm_add_epi32(st0, abef_save);
+    st1 = _mm_add_epi32(st1, cdgh_save);
+    blocks += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(st0, 0x1B);             // FEBA
+  st1 = _mm_shuffle_epi32(st1, 0xB1);             // DCHG
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);          // DCBA
+  st1 = _mm_alignr_epi8(st1, tmp, 8);             // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+
+}  // namespace clusterbft::crypto::detail
+
+#else  // non-x86 build: keep the symbol, delegate to the reference path.
+
+namespace clusterbft::crypto::detail {
+
+void sha256_compress_shani(std::uint32_t state[8], const std::uint8_t* blocks,
+                           std::size_t nblocks) {
+  sha256_compress_scalar(state, blocks, nblocks);
+}
+
+}  // namespace clusterbft::crypto::detail
+
+#endif

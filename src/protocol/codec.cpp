@@ -23,16 +23,18 @@ bool get_ids(WireReader& r, std::vector<std::uint64_t>& ids) {
   return r.ok();
 }
 
-void put_strs(WireWriter& w, const std::vector<std::string>& v) {
+void put_strs(WireWriter& w, const std::vector<Text>& v) {
   w.u32(static_cast<std::uint32_t>(v.size()));
-  for (const std::string& s : v) w.str(s);
+  for (const Text& s : v) w.str(s.view());
 }
 
-bool get_strs(WireReader& r, std::vector<std::string>& v) {
+// Zero-copy: every element borrows from the reader's buffer. The caller
+// of decode() owns the buffer and the lifetime contract (codec.hpp).
+bool get_strs(WireReader& r, std::vector<Text>& v) {
   const std::uint32_t n = r.u32();
   if (!r.ok() || n > r.remaining() / 4) return false;
   v.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.str());
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(Text::borrow(r.str_view()));
   return r.ok();
 }
 
@@ -44,7 +46,7 @@ void encode_payload(WireWriter& w, const SubmitRun& m) {
   w.u64(m.job_index);
   w.u64(m.replica);
   put_strs(w, m.input_paths);
-  w.str(m.output_path);
+  w.str(m.output_path.view());
   put_ids(w, m.avoid);
   put_ids(w, m.restrict_to);
   w.u64(m.max_nodes);
@@ -56,7 +58,7 @@ bool decode_payload(WireReader& r, SubmitRun& m) {
   m.job_index = r.u64();
   m.replica = r.u64();
   if (!get_strs(r, m.input_paths)) return false;
-  m.output_path = r.str();
+  m.output_path = Text::borrow(r.str_view());
   if (!get_ids(r, m.avoid)) return false;
   if (!get_ids(r, m.restrict_to)) return false;
   m.max_nodes = r.u64();
@@ -74,9 +76,9 @@ void encode_payload(WireWriter& w, const ProbeRequest& m) {
   w.u64(m.probe);
   w.u64(m.run_suspect);
   w.u64(m.run_control);
-  w.str(m.input_path);
-  w.str(m.suspect_path);
-  w.str(m.control_path);
+  w.str(m.input_path.view());
+  w.str(m.suspect_path.view());
+  w.str(m.control_path.view());
   w.u64(m.suspect);
   put_ids(w, m.avoid);
 }
@@ -85,9 +87,9 @@ bool decode_payload(WireReader& r, ProbeRequest& m) {
   m.probe = r.u64();
   m.run_suspect = r.u64();
   m.run_control = r.u64();
-  m.input_path = r.str();
-  m.suspect_path = r.str();
-  m.control_path = r.str();
+  m.input_path = Text::borrow(r.str_view());
+  m.suspect_path = Text::borrow(r.str_view());
+  m.control_path = Text::borrow(r.str_view());
   m.suspect = r.u64();
   return get_ids(r, m.avoid);
 }
@@ -190,14 +192,14 @@ bool decode_payload(WireReader& r, DigestBatch& m) {
 
 void encode_payload(WireWriter& w, const RunComplete& m) {
   w.u64(m.run);
-  w.str(m.output_path);
+  w.str(m.output_path.view());
   w.u64(m.hdfs_write);
   w.u64(m.digest_reports);
 }
 
 bool decode_payload(WireReader& r, RunComplete& m) {
   m.run = r.u64();
-  m.output_path = r.str();
+  m.output_path = Text::borrow(r.str_view());
   m.hdfs_write = r.u64();
   m.digest_reports = r.u64();
   return r.ok();
@@ -206,13 +208,13 @@ bool decode_payload(WireReader& r, RunComplete& m) {
 void encode_payload(WireWriter& w, const ProbeReply& m) {
   w.u64(m.probe);
   w.u64(m.run);
-  w.str(m.output_path);
+  w.str(m.output_path.view());
 }
 
 bool decode_payload(WireReader& r, ProbeReply& m) {
   m.probe = r.u64();
   m.run = r.u64();
-  m.output_path = r.str();
+  m.output_path = Text::borrow(r.str_view());
   return r.ok();
 }
 

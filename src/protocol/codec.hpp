@@ -36,10 +36,32 @@ std::vector<std::uint8_t> encode(const Message& m);
 
 /// Parse exactly one frame occupying the whole buffer. Returns nullopt on
 /// any malformation; never exhibits UB on hostile input.
+///
+/// ZERO-COPY CONTRACT: string fields of the returned Message are
+/// protocol::Text borrows into `data` — no payload bytes are copied.
+/// The Message is valid only while the buffer lives; callers that must
+/// retain it past the buffer call own_payload() on it (or use
+/// decode_owned below), and copying the Message materializes every
+/// borrow automatically.
 std::optional<Message> decode(const std::uint8_t* data, std::size_t size);
 
 inline std::optional<Message> decode(const std::vector<std::uint8_t>& buf) {
   return decode(buf.data(), buf.size());
+}
+
+/// Owned-copy escape hatch: decode + own_payload in one step, for
+/// callers whose buffer dies before the Message does (journal replay
+/// helpers, tests that stash decoded messages).
+inline std::optional<Message> decode_owned(const std::uint8_t* data,
+                                           std::size_t size) {
+  std::optional<Message> m = decode(data, size);
+  if (m.has_value()) own_payload(*m);
+  return m;
+}
+
+inline std::optional<Message> decode_owned(
+    const std::vector<std::uint8_t>& buf) {
+  return decode_owned(buf.data(), buf.size());
 }
 
 }  // namespace clusterbft::protocol

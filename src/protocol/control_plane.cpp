@@ -227,7 +227,7 @@ void ControlPlane::handle(const Message& m) {
             r.completion_pending = true;
             r.expected_known = true;
             r.digest_reports_expected = e.digest_reports;
-            r.output_path = e.output_path;
+            r.output_path = e.output_path.str();  // retained past the frame
             r.hdfs_pending = e.hdfs_write;
             maybe_complete(e.run);
           },
@@ -235,7 +235,7 @@ void ControlPlane::handle(const Message& m) {
             if (e.run >= runs_.size()) return;
             RunView& r = runs_[e.run];
             if (r.complete) return;
-            r.output_path = e.output_path;
+            r.output_path = e.output_path.str();  // retained past the frame
             r.complete = true;
           },
           [](const auto& /*command echoed to the wrong side*/) {

@@ -23,6 +23,11 @@
 // assigned by the computation tier so the control tier can drop
 // duplicates exactly (seq = 0 means "unsequenced legacy sender" and is
 // never deduped).
+//
+// Path/string fields are protocol::Text (text.hpp): owned on the send
+// side, borrowed views into the transport frame on the zero-copy decode
+// path. Copying a Message materializes every borrow, so retention is
+// always safe; see text.hpp for the full lifetime contract.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "mapreduce/job.hpp"
+#include "protocol/text.hpp"
 
 namespace clusterbft::protocol {
 
@@ -46,8 +52,8 @@ struct SubmitRun {
   std::uint64_t program = 0;
   std::uint64_t job_index = 0;
   std::uint64_t replica = 0;
-  std::vector<std::string> input_paths;
-  std::string output_path;
+  std::vector<Text> input_paths;
+  Text output_path;
   std::vector<std::uint64_t> avoid;
   std::vector<std::uint64_t> restrict_to;
   std::uint64_t max_nodes = 0;
@@ -66,9 +72,9 @@ struct ProbeRequest {
   std::uint64_t probe = 0;
   std::uint64_t run_suspect = 0;
   std::uint64_t run_control = 0;
-  std::string input_path;
-  std::string suspect_path;
-  std::string control_path;
+  Text input_path;
+  Text suspect_path;
+  Text control_path;
   std::uint64_t suspect = 0;
   std::vector<std::uint64_t> avoid;
 };
@@ -155,7 +161,7 @@ struct DigestBatch {
 /// (verifier timeout -> rerun) instead of a deviant one.
 struct RunComplete {
   std::uint64_t run = 0;
-  std::string output_path;
+  Text output_path;
   std::uint64_t hdfs_write = 0;
   std::uint64_t digest_reports = 0;
 };
@@ -165,7 +171,7 @@ struct RunComplete {
 struct ProbeReply {
   std::uint64_t probe = 0;
   std::uint64_t run = 0;
-  std::string output_path;
+  Text output_path;
 };
 
 /// A node resumed accepting tasks (ReadmitNode acknowledgement).
@@ -179,5 +185,30 @@ using Message = std::variant<SubmitRun, CancelRun, ProbeRequest, AddNodes,
                              DrainNode, NodeAnnounce, NodeDrained, NodeStatus,
                              Heartbeat, DigestBatch, RunComplete, ProbeReply,
                              ReadmitNode, NodeReadmitted>;
+
+// ----------------------------------------------------- borrow management
+
+inline void own_payload_fields(SubmitRun& m) {
+  for (Text& p : m.input_paths) p.materialize();
+  m.output_path.materialize();
+}
+inline void own_payload_fields(ProbeRequest& m) {
+  m.input_path.materialize();
+  m.suspect_path.materialize();
+  m.control_path.materialize();
+}
+inline void own_payload_fields(RunComplete& m) { m.output_path.materialize(); }
+inline void own_payload_fields(ProbeReply& m) { m.output_path.materialize(); }
+template <typename T>
+inline void own_payload_fields(T&) {}  // no Text fields
+
+/// Materialize every borrowed Text field in place: afterwards the
+/// message owns all of its bytes and may outlive the frame it was
+/// decoded from. Transports call this before buffering an undeliverable
+/// message; any other holder that keeps a decoded Message alive past
+/// the delivering call must do the same (or copy, which materializes).
+inline void own_payload(Message& m) {
+  std::visit([](auto& msg) { own_payload_fields(msg); }, m);
+}
 
 }  // namespace clusterbft::protocol

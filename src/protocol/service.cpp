@@ -123,19 +123,25 @@ void ComputationService::on_submit(const SubmitRun& m) {
                            << " out of range; dropped");
     return;
   }
-  for (const std::string& path : m.input_paths) {
-    if (!tracker_.dfs().exists(path)) {
+  // Crossing the trust boundary into the tracker's std::string world is
+  // where the (retained) paths get copied out of the frame.
+  std::vector<std::string> input_paths;
+  input_paths.reserve(m.input_paths.size());
+  for (const Text& path : m.input_paths) {
+    if (!tracker_.dfs().exists(path.str())) {
       CBFT_WARN("SubmitRun " << m.run << " input missing from DFS: " << path
                              << "; dropped");
       return;
     }
+    input_paths.push_back(path.str());
   }
   const mapreduce::MRJobSpec& spec = prog->dag->jobs[m.job_index];
   // Map before submitting: submit dispatches inline and the hooks above
   // need the control id for the events they emit during it.
   ctl_of_[tracker_.next_run_id()] = m.run;
   const std::size_t run = tracker_.submit(
-      *prog->plan, spec, m.replica, m.input_paths, m.output_path,
+      *prog->plan, spec, m.replica, std::move(input_paths),
+      m.output_path.str(),
       std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()),
       std::set<cluster::NodeId>(m.restrict_to.begin(), m.restrict_to.end()),
       m.max_nodes);
@@ -150,7 +156,7 @@ void ComputationService::on_probe(const ProbeRequest& m) {
     return;
   }
   accepted_.insert(m.run_control);
-  if (!tracker_.dfs().exists(m.input_path)) {
+  if (!tracker_.dfs().exists(m.input_path.str())) {
     CBFT_WARN("probe " << m.probe << " input missing from DFS: "
                        << m.input_path << "; dropped");
     return;
@@ -163,10 +169,10 @@ void ComputationService::on_probe(const ProbeRequest& m) {
   dataflow::OpNode load;
   load.kind = dataflow::OpKind::kLoad;
   load.alias = "probe";
-  load.path = m.input_path;
+  load.path = m.input_path.str();
   // Take the schema from the stored relation (arity is what matters).
   {
-    const dataflow::Relation& rel = tracker_.dfs().read(m.input_path);
+    const dataflow::Relation& rel = tracker_.dfs().read(m.input_path.str());
     load.schema = rel.schema();
   }
   const dataflow::OpId load_id = probe->plan->add(std::move(load));
@@ -189,12 +195,12 @@ void ComputationService::on_probe(const ProbeRequest& m) {
   // Replica 0 is pinned onto the suspect alone; replica 1 runs on nodes
   // outside the whole suspect set (the honest control).
   ctl_of_[tracker_.next_run_id()] = m.run_suspect;
-  tracker_of_[m.run_suspect] =
-      tracker_.submit(*probe->plan, spec, 0, {m.input_path}, m.suspect_path,
-                      /*avoid=*/{}, /*restrict_to=*/{m.suspect});
+  tracker_of_[m.run_suspect] = tracker_.submit(
+      *probe->plan, spec, 0, {m.input_path.str()}, m.suspect_path.str(),
+      /*avoid=*/{}, /*restrict_to=*/{m.suspect});
   ctl_of_[tracker_.next_run_id()] = m.run_control;
   tracker_of_[m.run_control] = tracker_.submit(
-      *probe->plan, spec, 1, {m.input_path}, m.control_path,
+      *probe->plan, spec, 1, {m.input_path.str()}, m.control_path.str(),
       std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()));
   probe_jobs_.push_back(std::move(probe));
 }

@@ -1,0 +1,116 @@
+// Text: an owned-or-borrowed string for protocol message payloads.
+//
+// The codec's zero-copy receive path decodes string fields as borrows —
+// non-owning views into the transport's frame buffer — so a decoded
+// Message costs no payload byte copies. The lifetime contract that makes
+// this safe is enforced by the type itself:
+//
+//  * A borrowed Text is valid only while the frame it points into lives;
+//    transports guarantee the frame outlives the synchronous handler
+//    call (see Transport::deliver's contract in transport.hpp).
+//  * COPYING a Text materializes the borrow: the copy owns its bytes.
+//    Any handler that retains a field (or a whole Message) past the
+//    handler call therefore pays exactly the copy the old owning codec
+//    paid — but only for what it actually keeps.
+//  * MOVING a Text preserves the borrow: the zero-copy hand-off from
+//    decode through delivery never clones bytes.
+//
+// Construction from std::string / const char* always owns, so messages
+// built by application code (the send path, tests, benches) behave
+// exactly like they did when the fields were plain std::string.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace clusterbft::protocol {
+
+class Text {
+ public:
+  Text() = default;
+  // Implicit on purpose: message literals (`msg.output_path = "out/x"`)
+  // and existing std::string call sites keep working unchanged.
+  Text(std::string s) : owned_(std::move(s)) {}  // NOLINT(runtime/explicit)
+  Text(const char* s) : owned_(s) {}             // NOLINT(runtime/explicit)
+
+  /// A non-owning view into caller-managed storage (the codec's receive
+  /// path). The caller vouches the storage outlives every use.
+  static Text borrow(std::string_view v) {
+    Text t;
+    t.view_ = v;
+    t.borrowed_ = true;
+    return t;
+  }
+
+  // Copies materialize: a retained Text always owns its bytes.
+  Text(const Text& other)
+      : owned_(other.borrowed_ ? std::string(other.view_) : other.owned_) {}
+  Text& operator=(const Text& other) {
+    if (this != &other) {
+      owned_ = other.borrowed_ ? std::string(other.view_) : other.owned_;
+      view_ = {};
+      borrowed_ = false;
+    }
+    return *this;
+  }
+
+  // Moves preserve borrowing (the delivery-path hand-off); the
+  // moved-from value is empty-owned.
+  Text(Text&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        view_(other.view_),
+        borrowed_(other.borrowed_) {
+    other.view_ = {};
+    other.borrowed_ = false;
+  }
+  Text& operator=(Text&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      view_ = other.view_;
+      borrowed_ = other.borrowed_;
+      other.view_ = {};
+      other.borrowed_ = false;
+    }
+    return *this;
+  }
+
+  std::string_view view() const {
+    return borrowed_ ? view_ : std::string_view(owned_);
+  }
+  /// An owned copy of the bytes — what call sites crossing into
+  /// std::string APIs (DFS paths, the tracker) use.
+  std::string str() const { return std::string(view()); }
+
+  bool borrowed() const { return borrowed_; }
+  bool empty() const { return view().empty(); }
+  std::size_t size() const { return view().size(); }
+  const char* data() const { return view().data(); }
+
+  /// In-place escape hatch: convert a borrow into owned bytes (used by
+  /// Transport when it must buffer a message past the frame's lifetime).
+  void materialize() {
+    if (borrowed_) {
+      owned_.assign(view_.data(), view_.size());
+      view_ = {};
+      borrowed_ = false;
+    }
+  }
+
+  friend bool operator==(const Text& a, const Text& b) {
+    return a.view() == b.view();
+  }
+  friend bool operator!=(const Text& a, const Text& b) { return !(a == b); }
+  friend std::ostream& operator<<(std::ostream& os, const Text& t) {
+    return os << t.view();
+  }
+
+ private:
+  std::string owned_;
+  std::string_view view_{};
+  bool borrowed_ = false;
+};
+
+}  // namespace clusterbft::protocol

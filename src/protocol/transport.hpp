@@ -13,6 +13,15 @@
 //  - LossyTransport (lossy.hpp): encodes every message through the codec
 //    and ships it via the simulated network's link model (drop/duplicate/
 //    delay/reorder). What a deployment against a real network would see.
+//
+// Payload lifetime contract: a delivered Message may carry borrowed Text
+// fields pointing into the transport's frame buffer (the codec's
+// zero-copy receive path). The transport guarantees the frame outlives
+// the synchronous handler call — and nothing more. Handlers that retain
+// a field or the whole Message must copy (copies materialize borrows,
+// see text.hpp). Messages the transport itself must buffer (sent before
+// the handler is bound) are materialized via own_payload() first, so
+// deferred delivery is always safe.
 #pragma once
 
 #include <functional>
@@ -61,6 +70,9 @@ class Transport {
     if (h) {
       h(m);
     } else {
+      // Buffered past the caller's frame lifetime: borrows must become
+      // owned bytes before the frame goes away.
+      own_payload(m);
       pending.push_back(std::move(m));
     }
   }

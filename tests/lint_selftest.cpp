@@ -87,12 +87,13 @@ struct RuleCount {
 // unseeded-random fires twice: once for the classic rand()/random_device
 // shapes and once for the brace-init mt19937 seeded from a time-derived
 // helper (the evasion the rule was extended to catch).
-const std::array<RuleCount, 9> kLintExpected = {{
+const std::array<RuleCount, 10> kLintExpected = {{
     {"unordered-container", 1},
     {"unseeded-random", 2},
     {"wall-clock", 1},
     {"pointer-keyed-container", 1},
     {"raw-threading", 1},
+    {"cpu-dispatch", 1},
     {"core-async-dispatch", 1},
     {"journal-before-send", 1},
     {"uninit-pod-member", 1},
@@ -102,11 +103,13 @@ const std::array<RuleCount, 9> kLintExpected = {{
 // Expected finding count per analyzer rule over tools/analyze/fixtures:
 // three unordered iterations (alias evasion, helper indirection, member
 // iteration -- the fourth, acknowledged via lint:allow(unordered-
-// iteration), must be suppressed) plus one each of the other rules.
+// iteration), must be suppressed), two wall-clock reads (entropy two
+// calls below a task body; a backend-from-env pick feeding a digest
+// stream), plus one each of the other rules.
 const std::array<RuleCount, 5> kAnalyzerExpected = {{
     {"unordered-iteration", 3},
     {"pointer-keyed-order", 1},
-    {"wall-clock-reachable", 1},
+    {"wall-clock-reachable", 2},
     {"unseeded-rng-reachable", 1},
     {"float-accumulation", 1},
 }};
@@ -198,6 +201,10 @@ TEST_F(AnalyzerSelfTest, GoodFixturesAndSuppressionsStayClean) {
   EXPECT_EQ(count_occurrences(r.output, "_good.cpp\","), 0u) << r.output;
   for (const char* fn : {"emit_ordered_digest", "offline_histogram",
                          "flatten_debug_rows",
+                         // Env-driven backend pick unreachable from any
+                         // digest root: a wall_clock event whose bytes
+                         // cannot reach a digest stays unconvicted.
+                         "select_backend_at_startup",
                          // The acknowledged member iteration carries
                          // lint:allow(unordered-iteration) -- the
                          // analyzer's own vocabulary -- and is

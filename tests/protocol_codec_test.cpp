@@ -28,8 +28,8 @@ std::string rand_str(Rng& rng) {
   return s;
 }
 
-std::vector<std::string> rand_strs(Rng& rng) {
-  std::vector<std::string> v(rng.next_below(4));
+std::vector<Text> rand_strs(Rng& rng) {
+  std::vector<Text> v(rng.next_below(4));
   for (auto& s : v) s = rand_str(rng);
   return v;
 }
@@ -151,6 +151,78 @@ TEST(ProtocolCodecTest, RoundTripIsIdentityForAllTypes) {
       EXPECT_EQ(encode(*back), bytes) << "type " << type << " iter " << iter;
     }
   }
+}
+
+/// True iff `v` is a view into the byte range of `frame` (empty views
+/// pass vacuously: there is nothing to copy).
+bool views_into(std::string_view v, const std::vector<std::uint8_t>& frame) {
+  if (v.empty()) return true;
+  const char* lo = reinterpret_cast<const char*>(frame.data());
+  const char* hi = lo + frame.size();
+  return v.data() >= lo && v.data() + v.size() <= hi;
+}
+
+TEST(ProtocolCodecTest, DecodeBorrowsPayloadStringsFromFrame) {
+  // Zero-copy regression guard: on the happy path, decode must not
+  // allocate-and-copy payload strings — every Text field is a borrow
+  // whose view() points inside the frame buffer.
+  Rng rng(31);
+  SubmitRun m;
+  m.run = 7;
+  m.input_paths = {rand_str(rng), rand_str(rng), rand_str(rng)};
+  m.output_path = "out/" + rand_str(rng);
+  const auto bytes = encode(Message{m});
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  const auto& sr = std::get<SubmitRun>(*back);
+  for (const Text& p : sr.input_paths) {
+    EXPECT_TRUE(p.borrowed());
+    EXPECT_TRUE(views_into(p.view(), bytes)) << p;
+  }
+  EXPECT_TRUE(sr.output_path.borrowed());
+  EXPECT_TRUE(views_into(sr.output_path.view(), bytes));
+
+  ProbeRequest pr;
+  pr.input_path = rand_str(rng);
+  pr.suspect_path = rand_str(rng);
+  pr.control_path = rand_str(rng);
+  const auto pr_bytes = encode(Message{pr});
+  const auto pr_back = decode(pr_bytes);
+  ASSERT_TRUE(pr_back.has_value());
+  const auto& got = std::get<ProbeRequest>(*pr_back);
+  EXPECT_TRUE(got.input_path.borrowed() && got.suspect_path.borrowed() &&
+              got.control_path.borrowed());
+  EXPECT_TRUE(views_into(got.input_path.view(), pr_bytes));
+  EXPECT_TRUE(views_into(got.suspect_path.view(), pr_bytes));
+  EXPECT_TRUE(views_into(got.control_path.view(), pr_bytes));
+}
+
+TEST(ProtocolCodecTest, CopyAndOwnPayloadMaterializeBorrows) {
+  RunComplete m;
+  m.run = 3;
+  m.output_path = "w1/out/final";
+  const auto bytes = encode(Message{m});
+
+  // Copying a decoded message detaches it from the frame.
+  Message copied = *decode(bytes);
+  {
+    Message tmp = copied;  // copy materializes
+    copied = std::move(tmp);
+  }
+  const auto& rc = std::get<RunComplete>(copied);
+  EXPECT_FALSE(rc.output_path.borrowed());
+  EXPECT_EQ(rc.output_path.str(), "w1/out/final");
+
+  // decode_owned is the one-step escape hatch.
+  const auto owned = decode_owned(bytes);
+  ASSERT_TRUE(owned.has_value());
+  EXPECT_FALSE(std::get<RunComplete>(*owned).output_path.borrowed());
+  EXPECT_EQ(std::get<RunComplete>(*owned).output_path.str(), "w1/out/final");
+
+  // Moves preserve the borrow (the delivery hand-off path).
+  auto borrowed = decode(bytes);
+  Message moved = std::move(*borrowed);
+  EXPECT_TRUE(std::get<RunComplete>(moved).output_path.borrowed());
 }
 
 TEST(ProtocolCodecTest, EveryTruncatedPrefixIsRejected) {

@@ -1,0 +1,15 @@
+// Negative control for dispatch confinement: an environment-driven
+// backend pick that is NOT reachable from any digest root or task root.
+// select_backend_at_startup matches no digest_roots regex and nothing
+// in the feeder closure calls it, so the analyzer must stay silent --
+// the wall_clock event exists, but its bytes cannot reach a digest.
+// (The real dispatch code is different: Sha256's constructor calls into
+// it, which is why the real file needs a baseline entry.)
+#include <cstdlib>
+#include <cstring>
+
+int select_backend_at_startup() {
+  const char* pick = std::getenv("FIXTURE_SHA_BACKEND");  // lint:allow(wall-clock)
+  if (pick == nullptr) return 0;
+  return std::strcmp(pick, "shani") == 0 ? 1 : 2;
+}

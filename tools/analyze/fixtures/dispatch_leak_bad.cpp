@@ -1,0 +1,24 @@
+// Backend selection leaking into the digest path. digest_stream_leaky
+// matches the digest_roots regex, so it is a FEEDER; its forward
+// closure reaches backend_from_env_leak, whose std::getenv read is a
+// wall_clock event. The analyzer must report exactly ONE
+// wall-clock-reachable finding here. This models the construct the
+// real dispatch code is grandfathered for ONLY inside
+// src/crypto/sha256_dispatch.cpp (see tools/analyze/baseline.json):
+// the same shape anywhere else stays convictable. The lint:allow
+// marker keeps the fixture clean under the per-line regex lint --
+// reachability convicts regardless, because the vocabularies are
+// disjoint.
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+int backend_from_env_leak() {
+  const char* pick = std::getenv("FIXTURE_SHA_BACKEND");  // lint:allow(wall-clock)
+  if (pick == nullptr) return 0;
+  return std::strcmp(pick, "scalar") == 0 ? 1 : 2;
+}
+
+void digest_stream_leaky(std::vector<unsigned char>& out) {
+  out.push_back(static_cast<unsigned char>(backend_from_env_leak()));
+}

@@ -28,6 +28,15 @@
 #                                them three consecutive times — every
 #                                storm is seeded and deterministic, so a
 #                                single flake is a safety bug, not noise
+#   tools/check.sh --parity      SHA-256 dispatch parity gate: build the
+#                                digest_parity transcript generator, run
+#                                the 24-seed verification-point sweep
+#                                once with the default (auto-dispatched)
+#                                SHA-256 backend and once with
+#                                CLUSTERBFT_SHA256_BACKEND=scalar, and
+#                                diff the transcripts — the accelerated
+#                                kernels must be bit-identical to the
+#                                scalar reference
 #   tools/check.sh --analyze     static-analysis gate: the regex
 #                                determinism lint over src, then the
 #                                AST-grounded analyzer (digest-
@@ -121,6 +130,29 @@ case "$MODE" in
     echo "check.sh: chaos gate OK (3/3 clean)"
     ;;
 
+  --parity)
+    # SHA-256 dispatch parity gate. The whole raw-speed pass rests on
+    # the dispatched kernels being bit-identical to the scalar
+    # reference; this replays the determinism suite's 24-seed
+    # verification-point sweep under both and diffs the transcripts.
+    echo "== parity gate: build digest_parity =="
+    cmake -S "$ROOT" -B "$ROOT/build" >/dev/null
+    cmake --build "$ROOT/build" --target digest_parity -j "$JOBS"
+    echo "== parity gate: default-dispatch run =="
+    "$ROOT/build/tools/digest_parity" > "$ROOT/build/parity_dispatch.txt"
+    echo "== parity gate: forced-scalar run =="
+    CLUSTERBFT_SHA256_BACKEND=scalar \
+      "$ROOT/build/tools/digest_parity" > "$ROOT/build/parity_scalar.txt"
+    if ! diff -u "$ROOT/build/parity_scalar.txt" \
+                 "$ROOT/build/parity_dispatch.txt"; then
+      echo "check.sh: PARITY FAILURE — dispatched SHA-256 diverges from" \
+           "the scalar reference" >&2
+      exit 1
+    fi
+    lines=$(wc -l < "$ROOT/build/parity_dispatch.txt")
+    echo "check.sh: parity gate OK ($lines digest lines identical)"
+    ;;
+
   --analyze)
     command -v python3 >/dev/null 2>&1 || {
       echo "--analyze requires python3" >&2; exit 2; }
@@ -172,7 +204,7 @@ case "$MODE" in
     ;;
 
   *)
-    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare|--chaos|--analyze]" >&2
+    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare|--chaos|--parity|--analyze]" >&2
     exit 2
     ;;
 esac

@@ -50,6 +50,11 @@ struct BadWorker { std::thread t; std::size_t n = 0; };
 // ...and must NOT fire here:
 struct AllowedWorker { std::mutex mu; };  // lint:allow(raw-threading)
 
+// Rule cpu-dispatch: must fire on the next line.
+bool bad_feature_probe() { return __builtin_cpu_supports("avx2"); }
+// ...and must NOT fire here:
+bool allowed_feature_probe() { return __builtin_cpu_supports("sha"); }  // lint:allow(cpu-dispatch)
+
 // Negative controls: none of these may fire.
 std::map<int, Record> fine_by_id;          // ordered, value-keyed
 long fine_sim_time(long t) { return t; }   // 'time(' only as a suffix
