@@ -2,11 +2,17 @@
 // a simulated 16-node cluster with one Byzantine (always-commission) node,
 // and watch the verifier catch it.
 //
-//   ./quickstart [--threads N]
+//   ./quickstart [--threads N] [--clients N]
 //
 // --threads N runs map/reduce payloads on an N-thread worker pool. Every
 // result — digests, outputs, metrics, suspect set — is bit-identical to
 // the sequential default; only the wall clock changes.
+//
+// --clients N switches to the multi-request front end instead: N queued
+// client requests from three tenants (mixed twitter/weather/airline
+// scripts, half of them verbatim repeats) are admitted by weighted
+// round-robin and served concurrently with the verified-result cache on,
+// and the aggregate service metrics are printed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,25 +21,90 @@
 #include "cluster/event_sim.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
+#include "frontend/frontend.hpp"
 #include "protocol/seam.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
 #include "mapreduce/dfs.hpp"
+#include "workloads/airline.hpp"
+#include "workloads/mixed.hpp"
 #include "workloads/scripts.hpp"
 #include "workloads/twitter.hpp"
+#include "workloads/weather.hpp"
 
 using namespace clusterbft;
 
+namespace {
+
+/// --clients N: serve a mixed multi-tenant stream through the front end.
+int run_clients(std::size_t clients) {
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(/*block_size=*/128 << 10);
+  cluster::TrackerConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.slots_per_node = 3;
+  cluster::ExecutionTracker tracker(sim, dfs, cfg);
+
+  workloads::TwitterConfig tw;
+  tw.num_users = 120;
+  tw.num_edges = 800;
+  dfs.write("twitter/edges", workloads::generate_twitter_edges(tw));
+  workloads::WeatherConfig wc;
+  wc.num_stations = 60;
+  wc.readings_per_station = 4;
+  dfs.write("weather/gsod", workloads::generate_weather(wc));
+  workloads::AirlineConfig ac;
+  ac.num_flights = 500;
+  dfs.write("airline/flights", workloads::generate_flights(ac));
+
+  protocol::LoopbackSeam seam(tracker);
+  core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+  frontend::FrontendOptions opts;
+  opts.max_concurrent = 8;
+  opts.per_tenant_inflight = 4;
+  frontend::Frontend fe(controller, sim, opts);
+
+  for (const workloads::TenantRequest& tr : workloads::mixed_tenant_workload(
+           clients, /*seed=*/42, /*repeated_fraction=*/0.5)) {
+    frontend::Submission sub;
+    sub.request = baseline::cluster_bft(tr.script, tr.name, 1, 2, 2);
+    sub.request.verifier_timeout_s = 1e9;
+    sub.request.use_result_cache = true;
+    sub.tenant = tr.tenant;
+    sub.weight = tr.weight;
+    sub.priority = tr.priority;
+    fe.submit(std::move(sub));
+  }
+  fe.run();
+
+  const frontend::ServiceMetrics m = fe.metrics();
+  std::printf("clients submitted   : %zu\n", m.submitted);
+  std::printf("verified            : %zu (%zu failed)\n", m.completed,
+              m.failed);
+  std::printf("cache adoptions     : %zu\n", m.cache_hits);
+  std::printf("queued peak         : %zu\n", m.queued_peak);
+  std::printf("throughput (sim)    : %.2f requests/s\n", m.requests_per_s);
+  std::printf("service latency     : p50 %.1f s, p99 %.1f s\n",
+              m.p50_latency_s, m.p99_latency_s);
+  return (m.completed == m.submitted) ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::size_t threads = 0;
+  std::size_t clients = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--threads N] [--clients N]\n", argv[0]);
       return 2;
     }
   }
+  if (clients > 0) return run_clients(clients);
 
   // 1. A simulated cluster: 16 nodes x 3 slots; node 3 always corrupts.
   cluster::EventSim sim;

@@ -1,5 +1,6 @@
 #include "core/audit.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace clusterbft::core {
@@ -26,18 +27,24 @@ const char* to_string(AuditEvent::Kind kind) {
       return "degraded";
     case AuditEvent::Kind::kPoolExhausted:
       return "pool-exhausted";
+    case AuditEvent::Kind::kCacheHit:
+      return "cache-hit";
+    case AuditEvent::Kind::kStalled:
+      return "stalled";
   }
   return "?";
 }
 
 void AuditLog::record(double time, AuditEvent::Kind kind, std::string detail,
-                      std::string sid, std::set<cluster::NodeId> nodes) {
+                      std::string sid, std::set<cluster::NodeId> nodes,
+                      std::string scope) {
   AuditEvent e;
   e.time = time;
   e.kind = kind;
   e.detail = std::move(detail);
   e.sid = std::move(sid);
   e.nodes = std::move(nodes);
+  e.scope = std::move(scope);
   events_.push_back(std::move(e));
 }
 
@@ -73,6 +80,29 @@ std::string AuditLog::to_string(std::size_t max_events) const {
       out += " | nodes:";
       for (auto n : e.nodes) out += " " + std::to_string(n);
     }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string AuditLog::transcript(const std::string& scope) const {
+  std::vector<std::string> lines;
+  for (const AuditEvent& e : events_) {
+    if (e.scope != scope) continue;
+    std::string line = clusterbft::core::to_string(e.kind);
+    line += " ";
+    line += e.detail;
+    if (!e.sid.empty()) line += " | sid: " + e.sid;
+    if (!e.nodes.empty()) {
+      line += " | nodes:";
+      for (auto n : e.nodes) line += " " + std::to_string(n);
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
     out += "\n";
   }
   return out;

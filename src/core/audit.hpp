@@ -33,6 +33,12 @@ struct AuditEvent {
     /// Healthy pool exhausted with nothing left to re-admit: the script
     /// fails honestly instead of deadlocking.
     kPoolExhausted,
+    /// A session adopted an already-verified sub-graph result from the
+    /// digest-keyed result cache instead of re-running it.
+    kCacheHit,
+    /// The event queue drained with the session's jobs still pending:
+    /// the detail names the stalled session, wave, and unmet dependency.
+    kStalled,
   };
 
   double time = 0;  ///< simulated seconds
@@ -40,6 +46,7 @@ struct AuditEvent {
   std::string detail;                 ///< human-readable description
   std::string sid;                    ///< sub-graph, when applicable
   std::set<cluster::NodeId> nodes;    ///< nodes involved, when applicable
+  std::string scope;                  ///< owning session ("name#serial"), or ""
 };
 
 const char* to_string(AuditEvent::Kind kind);
@@ -47,7 +54,8 @@ const char* to_string(AuditEvent::Kind kind);
 class AuditLog {
  public:
   void record(double time, AuditEvent::Kind kind, std::string detail,
-              std::string sid = "", std::set<cluster::NodeId> nodes = {});
+              std::string sid = "", std::set<cluster::NodeId> nodes = {},
+              std::string scope = "");
 
   const std::vector<AuditEvent>& events() const { return events_; }
 
@@ -60,6 +68,14 @@ class AuditLog {
 
   /// Multi-line human-readable rendering of the last `max_events` events.
   std::string to_string(std::size_t max_events = SIZE_MAX) const;
+
+  /// Canonical per-session transcript: every event whose scope matches,
+  /// rendered WITHOUT timestamps and sorted by (kind, sid, detail,
+  /// nodes). Concurrent sessions interleave on the shared event loop, so
+  /// wall-ordered rendering differs between serial and concurrent
+  /// admission of the same requests; the canonical ordering is the form
+  /// that is bit-identical across interleavings.
+  std::string transcript(const std::string& scope) const;
 
  private:
   std::vector<AuditEvent> events_;

@@ -7,8 +7,10 @@
 #include "common/wire.hpp"
 #include "core/audit.hpp"
 #include "core/graph_analyzer.hpp"
+#include "crypto/sha256.hpp"
 #include "dataflow/optimizer.hpp"
 #include "dataflow/parser.hpp"
+#include "dataflow/value.hpp"
 #include "protocol/codec.hpp"
 
 namespace clusterbft::core {
@@ -33,8 +35,8 @@ ClusterBft::ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
       // mode: the transport's bind-time flush (the service's initial
       // NodeAnnounce) must pass through the journal tap installed below,
       // not race past it inside this initializer list. A fresh journal
-      // drains at the end of this constructor; a journal holding an
-      // unfinished script keeps deferring until recover()'s replay has
+      // drains at the end of this constructor; a journal holding
+      // unfinished sessions keeps deferring until recover()'s replay has
       // rebuilt the state (resync() drains).
       cp_(transport, journal != nullptr),
       programs_(programs),
@@ -85,10 +87,11 @@ ClusterBft::ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
   }
 }
 
-bool ClusterBft::journal_decision(RecordKind kind,
+bool ClusterBft::journal_decision(std::uint32_t session, RecordKind kind,
                                   std::vector<std::uint8_t> payload) {
   if (journal_ == nullptr) return true;
-  const Journal::Append r = journal_->append(kind, now(), std::move(payload));
+  const Journal::Append r =
+      journal_->append(kind, now(), std::move(payload), session);
   if (r == Journal::Append::kCrashed) {
     crash_now();
     return false;
@@ -111,108 +114,208 @@ ScriptResult ClusterBft::execute(const ClientRequest& request) {
   if (crashed_) {
     throw ControllerCrashed(journal_ == nullptr ? 0 : journal_->size());
   }
-  begin_script(request);
-  return drive_and_collect();
+  ScriptSession* s = begin_script(request);
+  if (s == nullptr) {
+    // The crash point fired on the session's kScriptStart append: the
+    // script never durably existed.
+    throw ControllerCrashed(journal_ == nullptr ? 0 : journal_->size());
+  }
+  return drive_and_collect(*s);
 }
 
-void ClusterBft::begin_script(const ClientRequest& request) {
-  // ---- reset per-execution state ----
-  request_ = &request;
-  ++exec_counter_;
-  plan_ = dataflow::parse_script(request.script);
-  if (request.optimize_plan) plan_ = dataflow::optimize(plan_);
-  waves_.clear();
-  run_info_.clear();
-  my_runs_.clear();
-  attributed_runs_.clear();
-  rolled_back_runs_.clear();
-  decision_pending_.clear();
-  decision_paid_.clear();
-  dispatch_frames_.clear();
-  degraded_nodes_.clear();
-  timers_.clear();
-  finished_ = false;
-  success_ = false;
-  degraded_ = false;
-  failure_ = FailureReason::kNone;
-  commission_seen_ = 0;
-  omission_seen_ = 0;
-  digest_reports_ = 0;
-  rollbacks_ = 0;
+std::size_t ClusterBft::begin_session(const ClientRequest& request) {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  if (crashed_) {
+    throw ControllerCrashed(journal_ == nullptr ? 0 : journal_->size());
+  }
+  ScriptSession* s = begin_script(request);
+  if (s == nullptr || crashed_) {
+    throw ControllerCrashed(journal_ == nullptr ? 0 : journal_->size());
+  }
+  return s->id;
+}
+
+bool ClusterBft::session_finished(std::size_t session) const {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  CBFT_CHECK_MSG(session >= 1 && session <= sessions_.size(),
+                 "session_finished: unknown session id");
+  return sessions_[session - 1]->finished;
+}
+
+std::size_t ClusterBft::active_sessions() const {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  std::size_t active = 0;
+  for (const auto& s : sessions_) {
+    if (!s->finished) ++active;
+  }
+  return active;
+}
+
+std::size_t ClusterBft::healthy_pool_size() const {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  const std::size_t excluded = cp_.excluded_nodes().size();
+  const std::size_t total = cp_.cluster_size();
+  return total > excluded ? total - excluded : 0;
+}
+
+ResultCache::Stats ClusterBft::cache_stats() const {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  return result_cache_.stats();
+}
+
+void ClusterBft::drive_all() {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  if (crashed_) throw ControllerCrashed(journal_ ? journal_->size() : 0);
+  for (;;) {
+    bool any_active = false;
+    for (const auto& s : sessions_) {
+      if (!s->finished) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active || crashed_ || !sim_.step()) break;
+  }
+  for (const auto& s : sessions_) {
+    if (!crashed_ && !s->finished) mark_stalled(*s);
+  }
+  while (!crashed_ && sim_.step()) {
+  }
+  if (crashed_) throw ControllerCrashed(journal_ ? journal_->size() : 0);
+}
+
+void ClusterBft::fail_stalled_sessions() {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  if (crashed_) return;
+  for (const auto& s : sessions_) {
+    if (!s->finished) mark_stalled(*s);
+  }
+}
+
+ScriptResult ClusterBft::collect_session(std::size_t session) {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  if (crashed_) throw ControllerCrashed(journal_ ? journal_->size() : 0);
+  CBFT_CHECK_MSG(session >= 1 && session <= sessions_.size(),
+                 "collect_session: unknown session id");
+  ScriptSession& s = *sessions_[session - 1];
+  CBFT_CHECK_MSG(s.finished, "collect_session: session still in flight");
+  CBFT_CHECK_MSG(!s.collected, "collect_session: already collected");
+  ScriptResult result = collect_result(s);
+  if (!s.finish_journaled) {
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kScriptFinish, {})) {
+      throw ControllerCrashed(journal_ ? journal_->size() : 0);
+    }
+    s.finish_journaled = true;
+  }
+  s.collected = true;
+  return result;
+}
+
+ScriptSession* ClusterBft::begin_script(const ClientRequest& request) {
+  // The serial is consumed up front (like the old global execution
+  // counter): a request that fails to parse still used up its slot, so
+  // identity never depends on how far admission got.
+  const std::size_t serial = ++name_serial_[request.name];
+  auto owned = std::make_unique<ScriptSession>();
+  ScriptSession& s = *owned;
+  s.serial = serial;
+  s.scope = request.name + "#" + std::to_string(serial);
+  s.request = request;
+  s.plan = dataflow::parse_script(request.script);
+  if (request.optimize_plan) s.plan = dataflow::optimize(s.plan);
 
   // Input sizes annotate the plan (Fig. 4) and feed the input ratios.
   std::map<std::string, std::uint64_t> input_sizes;
-  for (dataflow::OpId v : plan_.loads()) {
-    dataflow::OpNode& n = plan_.node(v);
+  for (dataflow::OpId v : s.plan.loads()) {
+    dataflow::OpNode& n = s.plan.node(v);
     CBFT_CHECK_MSG(dfs_.exists(n.path),
                    "script input missing from DFS: " + n.path);
     n.declared_input_bytes = dfs_.size_of(n.path);
     input_sizes[n.path] = n.declared_input_bytes;
   }
 
-  const auto vps = analyze(plan_, input_sizes, request);
+  const auto vps = analyze(s.plan, input_sizes, s.request);
 
   mapreduce::CompileOptions copts;
   copts.default_reducers = request.reducers_per_job;
-  copts.sid_prefix =
-      request.name + "#" + std::to_string(exec_counter_);
-  dag_ = mapreduce::compile(plan_, vps, copts);
+  copts.sid_prefix = s.scope;
+  s.dag = mapreduce::compile(s.plan, vps, copts);
   // "Deploy the job bundle": runs reference the compiled program by
-  // handle; only the handle crosses the trust boundary.
-  program_id_ = programs_.deploy(&plan_, &dag_);
+  // handle; only the handle crosses the trust boundary. The registry
+  // keeps pointers into the session, which is why sessions are retained
+  // for the controller's lifetime.
+  s.program_id = programs_.deploy(&s.plan, &s.dag);
 
-  // The previous execution's verifier borrows the previous pool: tear it
-  // down before swapping the pool out under it.
-  verifier_.reset();
-  verifier_pool_ = request.verifier_threads > 0
-                       ? std::make_unique<common::ThreadPool>(
-                             request.verifier_threads)
-                       : nullptr;
-  verifier_ = std::make_unique<Verifier>(request.f, verifier_pool_.get());
-  pipeline_depth_ = pipeline_depths(dag_);
-  verified_.assign(dag_.jobs.size(), false);
-  verified_path_.assign(dag_.jobs.size(), "");
-  verified_ref_run_.assign(dag_.jobs.size(), std::nullopt);
-  first_complete_run_.assign(dag_.jobs.size(), std::nullopt);
-  job_timeout_s_.assign(dag_.jobs.size(), request.verifier_timeout_s);
-  job_by_output_.clear();
-  for (const MRJobSpec& j : dag_.jobs) {
-    job_by_output_[j.output_path] = j.job_index;
+  s.verifier_pool = request.verifier_threads > 0
+                        ? std::make_unique<common::ThreadPool>(
+                              request.verifier_threads)
+                        : nullptr;
+  s.verifier = std::make_unique<Verifier>(request.f, s.verifier_pool.get());
+  s.pipeline_depth = pipeline_depths(s.dag);
+  const std::size_t jobs = s.dag.jobs.size();
+  s.verified.assign(jobs, false);
+  s.verified_path.assign(jobs, "");
+  s.verified_ref_run.assign(jobs, std::nullopt);
+  s.first_complete_run.assign(jobs, std::nullopt);
+  s.job_timeout_s.assign(jobs, request.verifier_timeout_s);
+  s.cache_key.assign(jobs, crypto::Digest256{});
+  s.cache_ok.assign(jobs, false);
+  s.cache_adopted.assign(jobs, false);
+  s.wave_skip.assign(jobs, false);
+  s.contributors.assign(jobs, {});
+  s.verified_fp_hex.assign(jobs, "");
+  for (const MRJobSpec& j : s.dag.jobs) {
+    s.job_by_output[j.output_path] = j.job_index;
   }
 
-  // Write-ahead: the script's existence is the first thing that survives
+  s.id = sessions_.size() + 1;
+  sessions_.push_back(std::move(owned));
+  ScriptSession& ss = *sessions_.back();
+
+  // Write-ahead: the session's existence is the first thing that survives
   // a crash (during replay this append is suppressed — the record is the
   // one being replayed).
-  if (!journal_decision(
-          RecordKind::kScriptStart,
-          std::vector<std::uint8_t>(request.name.begin(),
-                                    request.name.end()))) {
-    return;
+  if (!journal_decision(static_cast<std::uint32_t>(ss.id),
+                        RecordKind::kScriptStart,
+                        std::vector<std::uint8_t>(request.name.begin(),
+                                                  request.name.end()))) {
+    return nullptr;
   }
 
-  start_time_ = now();
+  ss.start_time = now();
   audit_.record(now(), AuditEvent::Kind::kScriptSubmitted,
                 request.name + " (f=" + std::to_string(request.f) +
                     ", r=" + std::to_string(request.r) +
                     ", n=" + std::to_string(request.n) + ", " +
-                    std::to_string(dag_.jobs.size()) + " jobs)");
+                    std::to_string(ss.dag.jobs.size()) + " jobs)",
+                "", {}, ss.scope);
+
+  if (ss.request.use_result_cache) {
+    compute_cache_keys(ss);
+    adopt_cache_hits(ss);
+    if (crashed_) return &ss;
+    // A fully (or sufficiently) adopted script finishes with zero waves.
+    check_completion(ss);
+  }
 
   // Initial replication: r independent chains.
-  for (std::size_t i = 0; i < std::max<std::size_t>(1, request.r); ++i) {
-    create_wave();
-    if (crashed_ || finished_) break;
+  for (std::size_t i = 0;
+       !ss.finished && i < std::max<std::size_t>(1, request.r); ++i) {
+    create_wave(ss);
+    if (crashed_ || ss.finished) break;
   }
+  return &ss;
 }
 
-ScriptResult ClusterBft::drive_and_collect() {
+ScriptResult ClusterBft::drive_and_collect(ScriptSession& s) {
   // ---- drive the simulation ----
-  while (!finished_ && !crashed_ && sim_.step()) {
+  while (!s.finished && !crashed_ && sim_.step()) {
   }
-  if (!crashed_ && !finished_) {
+  if (!crashed_ && !s.finished) {
     // Queue drained without completing (e.g. everything stuck and no
-    // timeout pending): report failure.
-    if (failure_ == FailureReason::kNone) failure_ = FailureReason::kStalled;
-    finish(false);
+    // timeout pending): report failure with diagnostics.
+    mark_stalled(s);
   }
   // Let in-flight replicas and stale timeouts drain so their cost is
   // accounted and the simulator is clean for the next script.
@@ -220,20 +323,68 @@ ScriptResult ClusterBft::drive_and_collect() {
   }
   if (crashed_) throw ControllerCrashed(journal_ ? journal_->size() : 0);
 
-  ScriptResult result = collect_result();
-  // The finish record closes the journal's recovery window. A crash
+  ScriptResult result = collect_result(s);
+  // The finish record closes this session's recovery window. A crash
   // between collect_result and this append replays back to the finished
   // state and collects again — promotion is idempotent.
-  if (!journal_decision(RecordKind::kScriptFinish, {})) {
-    throw ControllerCrashed(journal_ ? journal_->size() : 0);
+  if (!s.finish_journaled) {
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kScriptFinish, {})) {
+      throw ControllerCrashed(journal_ ? journal_->size() : 0);
+    }
+    s.finish_journaled = true;
   }
+  s.collected = true;
   return result;
 }
 
-ScriptResult ClusterBft::collect_result() {
+void ClusterBft::mark_stalled(ScriptSession& s) {
+  if (s.finished || crashed_) return;
+  if (s.failure == FailureReason::kNone) s.failure = FailureReason::kStalled;
+  // Diagnose WHY before declaring the failure: name the newest wave and
+  // the first job in it that cannot make progress, and what it is
+  // waiting on — the difference between "it hung" and a bug report.
+  std::string why = "no wave was ever created";
+  std::string sid;
+  if (!s.waves.empty()) {
+    const std::size_t wi = s.waves.size() - 1;
+    const Wave& w = s.waves[wi];
+    for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
+      if (!w.includes[j] || s.verified[j]) continue;
+      sid = s.dag.jobs[j].sid;
+      const std::string at = "wave " + std::to_string(wi) + ": ";
+      if (w.run_of[j] && !cp_.run_complete(*w.run_of[j])) {
+        why = at + "run " + std::to_string(*w.run_of[j]) + " of " + sid +
+              " never completed";
+      } else if (!deps_ready(s, w, j)) {
+        std::string dep_sid = "?";
+        for (std::size_t d : s.dag.jobs[j].deps) {
+          const bool done =
+              w.includes[d] && w.run_of[d] && cp_.run_complete(*w.run_of[d]);
+          if (!done && !s.verified[d]) {
+            dep_sid = s.dag.jobs[d].sid;
+            break;
+          }
+        }
+        why = at + sid + " waiting on unmet dependency " + dep_sid;
+      } else if (w.run_of[j] && cp_.run_complete(*w.run_of[j])) {
+        why = at + sid +
+              " completed without f+1 agreement and no timer pending";
+      } else {
+        why = at + sid + " ready but never dispatched";
+      }
+      break;
+    }
+  }
+  audit_.record(now(), AuditEvent::Kind::kStalled,
+                s.scope + " stalled: " + why, sid, {}, s.scope);
+  finish(s, false);
+}
+
+ScriptResult ClusterBft::collect_result(ScriptSession& s) {
   ScriptResult result;
-  result.metrics.waves = waves_.size();
-  for (std::size_t run : my_runs_) {
+  result.metrics.waves = s.waves.size();
+  for (std::size_t run : s.my_runs) {
     const auto& m = cp_.run_metrics(run);
     result.metrics.cpu_seconds += m.cpu_seconds;
     result.metrics.file_read += m.file_read;
@@ -241,28 +392,29 @@ ScriptResult ClusterBft::collect_result() {
     result.metrics.hdfs_write += m.hdfs_write;
     result.metrics.digested += m.digested;
   }
-  result.metrics.runs = my_runs_.size();
-  result.metrics.digest_reports = digest_reports_;
-  result.metrics.rollbacks = rollbacks_;
-  result.commission_faults_seen = commission_seen_;
-  result.omission_faults_seen = omission_seen_;
+  result.metrics.runs = s.my_runs.size();
+  result.metrics.digest_reports = s.digest_reports;
+  result.metrics.rollbacks = s.rollbacks;
+  result.metrics.cache_hits = s.cache_hits;
+  result.commission_faults_seen = s.commission_seen;
+  result.omission_faults_seen = s.omission_seen;
 
-  if (success_) {
-    for (const MRJobSpec& j : dag_.jobs) {
+  if (s.success) {
+    for (const MRJobSpec& j : s.dag.jobs) {
       if (!j.is_final_store) continue;
       std::string from;
-      if (verified_[j.job_index]) {
-        from = verified_path_[j.job_index];
+      if (s.verified[j.job_index]) {
+        from = s.verified_path[j.job_index];
       } else {
-        CBFT_CHECK(first_complete_run_[j.job_index].has_value());
-        from = cp_.run_output_path(*first_complete_run_[j.job_index]);
+        CBFT_CHECK(s.first_complete_run[j.job_index].has_value());
+        from = cp_.run_output_path(*s.first_complete_run[j.job_index]);
       }
       if (!dfs_.exists(from)) {
         // The mirror believed the run complete but its output never
         // materialised (a corrupted frame's hostile path, or a worker
         // that died mid-write): fail honestly rather than promote.
-        success_ = false;
-        failure_ = FailureReason::kOutputMissing;
+        s.success = false;
+        s.failure = FailureReason::kOutputMissing;
         result.outputs.clear();
         break;
       }
@@ -271,36 +423,51 @@ ScriptResult ClusterBft::collect_result() {
       result.outputs[j.output_path] = std::move(rel);
     }
   }
-  result.verified = success_;
-  result.degraded = degraded_;
-  result.failure = success_ ? FailureReason::kNone : failure_;
-  result.metrics.latency_s = finish_time_ - start_time_;
+  result.verified = s.success;
+  result.degraded = s.degraded;
+  result.failure = s.success ? FailureReason::kNone : s.failure;
+  result.metrics.latency_s = s.finish_time - s.start_time;
+  for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
+    if (s.verified[j] && !s.verified_fp_hex[j].empty()) {
+      result.verified_digest_hex[s.dag.jobs[j].sid] = s.verified_fp_hex[j];
+    }
+  }
   if (fault_analyzer_) {
     for (NodeId n : fault_analyzer_->suspects()) {
       result.suspects.push_back(n);
     }
   }
-  audit_.record(finish_time_, AuditEvent::Kind::kScriptCompleted,
-                request_->name + (success_ ? " verified" : " FAILED") +
-                    " in " + std::to_string(result.metrics.latency_s) +
-                    "s, " + std::to_string(result.metrics.runs) +
-                    " job replicas");
+  // No latency in the audit text: the audit transcript is part of the
+  // serial-vs-concurrent bit-identity contract, and queueing shifts
+  // latency without changing what was computed.
+  audit_.record(s.finish_time, AuditEvent::Kind::kScriptCompleted,
+                s.request.name + (s.success ? " verified" : " FAILED") +
+                    ", " + std::to_string(result.metrics.runs) +
+                    " job replicas",
+                "", {}, s.scope);
   return result;
 }
 
 ScriptResult ClusterBft::recover(const ClientRequest& request) {
+  std::vector<ScriptResult> results = recover_all({request});
+  CBFT_CHECK(results.size() == 1);
+  return std::move(results.front());
+}
+
+std::vector<ScriptResult> ClusterBft::recover_all(
+    const std::vector<ClientRequest>& requests) {
   const common::RoleGuard held(common::scheduler_thread_role);
   CBFT_CHECK_MSG(journal_ != nullptr, "recover() requires a journal");
   CBFT_CHECK_MSG(!crashed_, "recover() on a crashed controller");
+  CBFT_CHECK_MSG(!requests.empty(), "recover_all(): no requests");
   journal_->clear_crash();
-  std::size_t starts = 0;
-  for (std::size_t i = 0; i < journal_->size(); ++i) {
-    if (journal_->at(i).kind == RecordKind::kScriptStart) ++starts;
-  }
-  CBFT_CHECK_MSG(starts <= 1,
-                 "recover() supports one in-flight script per journal");
-  CBFT_CHECK_MSG(starts == 0 || journal_->recovery_pending(),
-                 "recover(): the journal's script already finished");
+
+  // The journal stores stimuli, not script text: the n-th kScriptStart
+  // of each request NAME is matched to the n-th recovered request with
+  // that name (names are per-tenant scripts, serials make them unique).
+  std::map<std::string, std::vector<const ClientRequest*>> pending;
+  for (const ClientRequest& r : requests) pending[r.name].push_back(&r);
+  std::map<std::string, std::vector<std::size_t>> replayed_ids;
 
   // ---- replay: rebuild state, sends muted, appends suppressed ----
   journal_->begin_replay();
@@ -308,41 +475,101 @@ ScriptResult ClusterBft::recover(const ClientRequest& request) {
   cp_.mute(true);
   while (const JournalRecord* rec = journal_->peek()) {
     replay_now_ = rec->time;
-    replay_record(*rec, request);
+    replay_record(*rec, pending, replayed_ids);
     journal_->advance();
   }
   journal_->end_replay();
   replaying_ = false;
   cp_.mute(false);
 
-  if (starts == 0) {
-    // The crash predates the script's first durable record: nothing was
-    // ever dispatched (every dispatch is journaled after kScriptStart),
-    // so replay only rebuilt the membership mirror. Deliver whatever the
-    // wire still holds and start the script from scratch — bit-identical
-    // to a run that never crashed.
+  if (sessions_.empty()) {
+    // The crash predates the first durable record: nothing was ever
+    // dispatched (every dispatch is journaled after kScriptStart), so
+    // replay only rebuilt the membership mirror. Deliver whatever the
+    // wire still holds and start from scratch — bit-identical to a run
+    // that never crashed.
     cp_.stop_deferring();
-    if (crashed_) throw ControllerCrashed(journal_->size());
-    begin_script(request);
-    return drive_and_collect();
+  } else {
+    // ---- resync the computation tier ----
+    resync();
+  }
+  if (crashed_) throw ControllerCrashed(journal_->size());
+
+  // Begin every request the crashed life never durably started, in
+  // request order, and map each request to its session.
+  std::vector<std::size_t> session_for(requests.size(), 0);
+  std::map<std::string, std::size_t> seen;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string& name = requests[i].name;
+    const std::size_t nth = seen[name]++;
+    const auto it = replayed_ids.find(name);
+    if (it != replayed_ids.end() && nth < it->second.size()) {
+      session_for[i] = it->second[nth];
+      continue;
+    }
+    ScriptSession* s = begin_script(requests[i]);
+    if (s == nullptr || crashed_) {
+      throw ControllerCrashed(journal_->size());
+    }
+    session_for[i] = s->id;
   }
 
-  // ---- resync the computation tier, then resume the script ----
-  resync();
+  // ---- drive every session to completion ----
+  for (;;) {
+    bool any_active = false;
+    for (const auto& s : sessions_) {
+      if (!s->finished) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active || crashed_ || !sim_.step()) break;
+  }
+  for (const auto& s : sessions_) {
+    if (!crashed_ && !s->finished) mark_stalled(*s);
+  }
+  while (!crashed_ && sim_.step()) {
+  }
   if (crashed_) throw ControllerCrashed(journal_->size());
-  return drive_and_collect();
+
+  // ---- collect in request order ----
+  std::vector<ScriptResult> out;
+  out.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ScriptSession& s = *sessions_[session_for[i] - 1];
+    ScriptResult result = collect_result(s);
+    if (!s.finish_journaled) {
+      if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                            RecordKind::kScriptFinish, {})) {
+        throw ControllerCrashed(journal_->size());
+      }
+      s.finish_journaled = true;
+    }
+    s.collected = true;
+    out.push_back(std::move(result));
+  }
+  return out;
 }
 
-void ClusterBft::replay_record(const JournalRecord& rec,
-                               const ClientRequest& request) {
+void ClusterBft::replay_record(
+    const JournalRecord& rec,
+    std::map<std::string, std::vector<const ClientRequest*>>& pending,
+    std::map<std::string, std::vector<std::size_t>>& replayed_ids) {
   common::WireReader rd(rec.payload.data(), rec.payload.size());
   switch (rec.kind) {
     case RecordKind::kScriptStart: {
       const std::string name(rec.payload.begin(), rec.payload.end());
-      CBFT_CHECK_MSG(name == request.name,
-                     "recover(): journal is for script '" + name +
-                         "', not '" + request.name + "'");
-      begin_script(request);
+      const auto it = pending.find(name);
+      const std::size_t nth = replayed_ids[name].size();
+      CBFT_CHECK_MSG(it != pending.end() && nth < it->second.size(),
+                     "recover(): journal holds script '" + name +
+                         "' with no matching recovered request");
+      ScriptSession* s = begin_script(*it->second[nth]);
+      CBFT_CHECK_MSG(s != nullptr, "recover(): replayed admission crashed");
+      CBFT_CHECK_MSG(s->id == rec.session,
+                     "recover(): replayed session id mismatch for '" + name +
+                         "'");
+      replayed_ids[name].push_back(s->id);
       break;
     }
     case RecordKind::kInbound: {
@@ -374,19 +601,28 @@ void ClusterBft::replay_record(const JournalRecord& rec,
       apply_probe_outcome(suspect, verdict);
       break;
     }
-    case RecordKind::kScriptFinish:
-      break;  // recovery_pending() rules this out for the live script
+    case RecordKind::kScriptFinish: {
+      // This session finished before the crash; its collect must not
+      // append a second finish record.
+      CBFT_CHECK_MSG(rec.session >= 1 && rec.session <= sessions_.size(),
+                     "journal: finish record for unknown session");
+      sessions_[rec.session - 1]->finish_journaled = true;
+      break;
+    }
     case RecordKind::kWaveCreated:
     case RecordKind::kRunDispatched:
     case RecordKind::kVerifyDecision:
+    case RecordKind::kCacheHit:
     case RecordKind::kRollback:
     case RecordKind::kSuspicionUpdate:
     case RecordKind::kDegraded:
     case RecordKind::kPoolExhausted:
       // Decision records: re-derived by the replayed handlers above
       // (their appends are suppressed in replay mode). kRunDispatched
-      // frames are re-captured into dispatch_frames_ by the replayed
-      // submit_job, bit-identical because the handlers are deterministic.
+      // frames are re-captured into the session's dispatch_frames by the
+      // replayed submit_job, kCacheHit adoptions by the replayed
+      // begin_script — bit-identical because the handlers are
+      // deterministic.
       break;
   }
 }
@@ -403,22 +639,26 @@ void ClusterBft::resync() {
     cp_.resend(protocol::Message{protocol::DrainNode{n}});
     if (crashed_) return;
   }
-  for (NodeId n : degraded_nodes_) {
-    cp_.resend(protocol::Message{protocol::ReadmitNode{n}});
-    if (crashed_) return;
+  for (const auto& sp : sessions_) {
+    for (NodeId n : sp->degraded_nodes) {
+      cp_.resend(protocol::Message{protocol::ReadmitNode{n}});
+      if (crashed_) return;
+    }
   }
 
   // Re-send the journaled bytes of every dispatch whose completion was
   // never journaled: the service dedupes by run id and re-emits its
   // retained events (recovering anything swallowed by the crash), and it
   // executes dispatches it never saw. Rolled-back runs get their cancel
-  // re-asserted instead.
-  for (std::size_t run : my_runs_) {
-    if (rolled_back_runs_.count(run) != 0) {
+  // re-asserted instead. Iterating the run->session index walks every
+  // session's runs in global dispatch (run-id) order.
+  for (const auto& [run, sid] : session_of_run_) {
+    ScriptSession& s = *sessions_[sid - 1];
+    if (s.rolled_back_runs.count(run) != 0) {
       cp_.resend(protocol::Message{protocol::CancelRun{run}});
     } else if (!cp_.run_complete(run)) {
-      const auto it = dispatch_frames_.find(run);
-      CBFT_CHECK_MSG(it != dispatch_frames_.end(),
+      const auto it = s.dispatch_frames.find(run);
+      CBFT_CHECK_MSG(it != s.dispatch_frames.end(),
                      "recovery: no journaled frame for run " +
                          std::to_string(run));
       const auto m = protocol::decode(it->second);
@@ -441,8 +681,12 @@ void ClusterBft::resync() {
   }
 
   // A dispatch the crash swallowed (journal append died inside pump())
-  // has no stimulus left to trigger it; re-derive it now.
-  if (!finished_ && !crashed_) pump();
+  // has no stimulus left to trigger it; re-derive it now, session by
+  // session in admission order.
+  for (const auto& sp : sessions_) {
+    if (crashed_) return;
+    if (!sp->finished) pump(*sp);
+  }
 }
 
 std::vector<NodeId> ClusterBft::apply_suspicion_threshold(double threshold) {
@@ -450,7 +694,9 @@ std::vector<NodeId> ClusterBft::apply_suspicion_threshold(double threshold) {
   if (crashed_) return {};
   common::WireWriter w;
   w.f64(threshold);
-  if (!journal_decision(RecordKind::kThresholdApplied, w.take())) return {};
+  if (!journal_decision(0, RecordKind::kThresholdApplied, w.take())) {
+    return {};
+  }
   return apply_threshold_internal(threshold);
 }
 
@@ -492,7 +738,7 @@ ClusterBft::ProbeReport ClusterBft::probe_suspects(
     msg.control_path = "probe/" + std::to_string(probe_counter_) + "/control";
     msg.suspect = suspect;
     msg.avoid.assign(suspects.begin(), suspects.end());
-    if (!journal_decision(RecordKind::kProbeStarted,
+    if (!journal_decision(0, RecordKind::kProbeStarted,
                           protocol::encode(protocol::Message{msg}))) {
       return report;
     }
@@ -518,7 +764,7 @@ ClusterBft::ProbeReport ClusterBft::probe_suspects(
     common::WireWriter w;
     w.u64(suspect);
     w.u8(verdict);
-    if (!journal_decision(RecordKind::kProbeOutcome, w.take())) {
+    if (!journal_decision(0, RecordKind::kProbeOutcome, w.take())) {
       return report;
     }
     apply_probe_outcome(suspect, verdict);
@@ -554,22 +800,26 @@ void ClusterBft::apply_probe_outcome(std::uint64_t suspect,
     if (fault_analyzer_) {
       fault_analyzer_->observe({static_cast<NodeId>(suspect)});
     }
+    // A convicted contributor poisons every cached result it helped
+    // produce (deterministic under replay: kProbeOutcome is a journaled
+    // stimulus).
+    result_cache_.invalidate_node(static_cast<NodeId>(suspect));
   }
 }
 
-std::string ClusterBft::wave_scope(const Wave& w) const {
-  return request_->name + "#" + std::to_string(exec_counter_) + "/w" +
-         std::to_string(w.replica) + "/";
+std::string ClusterBft::wave_scope(const ScriptSession& s,
+                                   const Wave& w) const {
+  return s.scope + "/w" + std::to_string(w.replica) + "/";
 }
 
-bool ClusterBft::ensure_capacity() {
-  const std::size_t need = std::max<std::size_t>(1, request_->r);
+bool ClusterBft::ensure_capacity(ScriptSession& s) {
+  const std::size_t need = std::max<std::size_t>(1, s.request.r);
   std::vector<std::uint64_t> excluded = cp_.excluded_nodes();
   // Nodes already re-admitted this script but whose NodeReadmitted echo
   // has not arrived count as healthy — they were handed back already.
   std::size_t pending_readmits = 0;
   for (std::uint64_t n : excluded) {
-    if (degraded_nodes_.count(static_cast<NodeId>(n)) != 0) {
+    if (s.degraded_nodes.count(static_cast<NodeId>(n)) != 0) {
       ++pending_readmits;
     }
   }
@@ -577,18 +827,22 @@ bool ClusterBft::ensure_capacity() {
       cp_.cluster_size() - excluded.size() + pending_readmits;
   if (healthy >= need) return true;
 
-  if (request_->degraded_mode == DegradedMode::kFail ||
+  if (s.request.degraded_mode == DegradedMode::kFail ||
       cp_.cluster_size() < need) {
     // Nothing to degrade onto (or the client refused degradation): fail
     // honestly instead of spinning forever on an unplaceable wave.
-    if (!journal_decision(RecordKind::kPoolExhausted, {})) return false;
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kPoolExhausted, {})) {
+      return false;
+    }
     audit_.record(now(), AuditEvent::Kind::kPoolExhausted,
-                  request_->name + ": healthy pool (" +
+                  s.request.name + ": healthy pool (" +
                       std::to_string(healthy) +
                       " nodes) below replication factor " +
-                      std::to_string(need) + "; failing honestly");
-    failure_ = FailureReason::kPoolExhausted;
-    finish(false);
+                      std::to_string(need) + "; failing honestly",
+                  "", {}, s.scope);
+    s.failure = FailureReason::kPoolExhausted;
+    finish(s, false);
     return false;
   }
 
@@ -602,80 +856,89 @@ bool ClusterBft::ensure_capacity() {
   std::size_t have = healthy;
   for (std::uint64_t n : excluded) {
     if (have >= need) break;
-    if (degraded_nodes_.count(static_cast<NodeId>(n)) != 0) continue;
+    if (s.degraded_nodes.count(static_cast<NodeId>(n)) != 0) continue;
     readmit.push_back(n);
     ++have;
   }
   common::WireWriter w;
   w.u64(readmit.size());
   for (std::uint64_t n : readmit) w.u64(n);
-  if (!journal_decision(RecordKind::kDegraded, w.take())) return false;
-  degraded_ = true;
+  if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                        RecordKind::kDegraded, w.take())) {
+    return false;
+  }
+  s.degraded = true;
   std::set<NodeId> nodes;
   for (std::uint64_t n : readmit) {
-    degraded_nodes_.insert(static_cast<NodeId>(n));
+    s.degraded_nodes.insert(static_cast<NodeId>(n));
     nodes.insert(static_cast<NodeId>(n));
     cp_.readmit_node(n);
   }
   audit_.record(now(), AuditEvent::Kind::kDegraded,
-                request_->name + ": re-admitted " +
+                s.request.name + ": re-admitted " +
                     std::to_string(readmit.size()) +
                     " least-suspect node(s); every output must verify",
-                "", nodes);
+                "", nodes, s.scope);
   return true;
 }
 
-void ClusterBft::create_wave() {
-  if (finished_ || crashed_) return;
-  if (!ensure_capacity()) return;
+void ClusterBft::create_wave(ScriptSession& s) {
+  if (s.finished || crashed_) return;
+  if (!ensure_capacity(s)) return;
   common::WireWriter wr;
-  wr.u64(waves_.size());
-  if (!journal_decision(RecordKind::kWaveCreated, wr.take())) return;
-  Wave w;
-  w.replica = waves_.size();
-  w.created_at = now();
-  w.includes.resize(dag_.jobs.size());
-  for (std::size_t j = 0; j < dag_.jobs.size(); ++j) {
-    w.includes[j] = !verified_[j];
+  wr.u64(s.waves.size());
+  if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                        RecordKind::kWaveCreated, wr.take())) {
+    return;
   }
-  w.run_of.assign(dag_.jobs.size(), std::nullopt);
-  waves_.push_back(std::move(w));
-  CBFT_DEBUG("wave " << waves_.size() - 1 << " created at " << now());
-  pump();
+  Wave w;
+  w.replica = s.waves.size();
+  w.created_at = now();
+  w.includes.resize(s.dag.jobs.size());
+  for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
+    w.includes[j] = !s.verified[j] && !s.wave_skip[j];
+  }
+  w.run_of.assign(s.dag.jobs.size(), std::nullopt);
+  s.waves.push_back(std::move(w));
+  CBFT_DEBUG("wave " << s.waves.size() - 1 << " of " << s.scope
+                     << " created at " << now());
+  pump(s);
 }
 
-bool ClusterBft::deps_ready(const Wave& w, std::size_t job) const {
-  for (std::size_t d : dag_.jobs[job].deps) {
-    if (request_->synchronous_verification) {
+bool ClusterBft::deps_ready(const ScriptSession& s, const Wave& w,
+                            std::size_t job) const {
+  for (std::size_t d : s.dag.jobs[job].deps) {
+    if (s.request.synchronous_verification) {
       // Naive BFT: wait for the verified upstream output (synchronisation
       // at every stage — the overhead C2 describes).
-      if (!verified_[d]) return false;
+      if (!s.verified[d]) return false;
       continue;
     }
     const bool wave_done =
         w.includes[d] && w.run_of[d] && cp_.run_complete(*w.run_of[d]);
-    if (wave_done || verified_[d]) continue;
+    if (wave_done || s.verified[d]) continue;
     return false;
   }
   return true;
 }
 
 std::vector<std::string> ClusterBft::resolve_inputs(
-    const Wave& w, std::size_t job, std::vector<std::size_t>* upstream) const {
-  const MRJobSpec& spec = dag_.jobs[job];
+    const ScriptSession& s, const Wave& w, std::size_t job,
+    std::vector<std::size_t>* upstream) const {
+  const MRJobSpec& spec = s.dag.jobs[job];
   std::vector<std::string> paths;
   for (const mapreduce::MapBranch& b : spec.branches) {
-    if (plan_.node(b.source_vertex).kind == dataflow::OpKind::kLoad) {
+    if (s.plan.node(b.source_vertex).kind == dataflow::OpKind::kLoad) {
       paths.push_back(b.input_path);  // original, trusted input
       continue;
     }
-    auto it = job_by_output_.find(b.input_path);
-    CBFT_CHECK_MSG(it != job_by_output_.end(),
+    auto it = s.job_by_output.find(b.input_path);
+    CBFT_CHECK_MSG(it != s.job_by_output.end(),
                    "unresolvable intermediate input: " + b.input_path);
     const std::size_t dep = it->second;
-    if (request_->synchronous_verification) {
-      CBFT_CHECK_MSG(verified_[dep], "sync mode: dependency not verified");
-      paths.push_back(verified_path_[dep]);
+    if (s.request.synchronous_verification) {
+      CBFT_CHECK_MSG(s.verified[dep], "sync mode: dependency not verified");
+      paths.push_back(s.verified_path[dep]);
       continue;
     }
     const bool wave_done = w.includes[dep] && w.run_of[dep] &&
@@ -687,24 +950,25 @@ std::vector<std::string> ClusterBft::resolve_inputs(
       // verified input is ground truth and records no edge.
       if (upstream != nullptr) upstream->push_back(*w.run_of[dep]);
     } else {
-      CBFT_CHECK_MSG(verified_[dep], "dependency neither done nor verified");
-      paths.push_back(verified_path_[dep]);
+      CBFT_CHECK_MSG(s.verified[dep],
+                     "dependency neither done nor verified");
+      paths.push_back(s.verified_path[dep]);
     }
   }
   return paths;
 }
 
-void ClusterBft::pump() {
-  if (finished_ || crashed_) return;
+void ClusterBft::pump(ScriptSession& s) {
+  if (s.finished || crashed_) return;
   bool progress = true;
   while (progress) {
     progress = false;
-    for (std::size_t wi = 0; wi < waves_.size(); ++wi) {
-      const Wave& w = waves_[wi];
+    for (std::size_t wi = 0; wi < s.waves.size(); ++wi) {
+      const Wave& w = s.waves[wi];
       // The pipeline budget counts runs submitted but not yet complete.
       std::size_t in_flight = 0;
-      if (request_->pipeline_width > 0) {
-        for (std::size_t j = 0; j < dag_.jobs.size(); ++j) {
+      if (s.request.pipeline_width > 0) {
+        for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
           if (w.run_of[j] && !cp_.run_complete(*w.run_of[j])) ++in_flight;
         }
       }
@@ -713,24 +977,22 @@ void ClusterBft::pump() {
       // unbounded width the order is still fixed — dispatch order (and
       // with it run-id assignment) never depends on timing.
       std::vector<std::size_t> ready;
-      for (std::size_t j = 0; j < dag_.jobs.size(); ++j) {
-        if (!w.includes[j] || w.run_of[j] || verified_[j]) continue;
-        if (!deps_ready(w, j)) continue;
+      for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
+        if (!w.includes[j] || w.run_of[j] || s.verified[j]) continue;
+        if (!deps_ready(s, w, j)) continue;
         ready.push_back(j);
       }
-      // Local alias: the comparator lambda is analysed without the
-      // scheduler role, so it must not touch the guarded member directly.
-      const std::vector<std::size_t>& depth = pipeline_depth_;
+      const std::vector<std::size_t>& depth = s.pipeline_depth;
       std::stable_sort(ready.begin(), ready.end(),
                        [&depth](std::size_t a, std::size_t b) {
                          return depth[a] > depth[b];
                        });
       for (const std::size_t j : ready) {
-        if (request_->pipeline_width > 0 &&
-            in_flight >= request_->pipeline_width) {
+        if (s.request.pipeline_width > 0 &&
+            in_flight >= s.request.pipeline_width) {
           break;
         }
-        submit_job(wi, j);
+        submit_job(s, wi, j);
         if (crashed_) return;
         ++in_flight;
         progress = true;
@@ -739,15 +1001,16 @@ void ClusterBft::pump() {
   }
 }
 
-void ClusterBft::submit_job(std::size_t wave_index, std::size_t job) {
-  Wave& w = waves_[wave_index];
+void ClusterBft::submit_job(ScriptSession& s, std::size_t wave_index,
+                            std::size_t job) {
+  Wave& w = s.waves[wave_index];
   const std::size_t j = job;
-  const MRJobSpec& spec = dag_.jobs[j];
+  const MRJobSpec& spec = s.dag.jobs[j];
   // Rerun waves steer away from the current suspects (§3.3 smart
   // deployment): a node that corrupted one wave should not get the
   // chance to corrupt its replacement.
   std::set<NodeId> avoid;
-  if (w.replica >= std::max<std::size_t>(1, request_->r)) {
+  if (w.replica >= std::max<std::size_t>(1, s.request.r)) {
     if (fault_analyzer_) avoid = fault_analyzer_->suspects();
     // Nodes involved in timed-out (non-responding) replicas never
     // reach the commission-fault analyzer; steer around them too.
@@ -755,46 +1018,61 @@ void ClusterBft::submit_job(std::size_t wave_index, std::size_t job) {
   }
   // Degradation handed these nodes back to the scheduler on purpose;
   // avoiding them would re-create the exhaustion.
-  for (NodeId n : degraded_nodes_) avoid.erase(n);
+  for (NodeId n : s.degraded_nodes) avoid.erase(n);
   // Bound each replica's footprint so the r initial replicas plus a
   // rerun replica always fit on pairwise-disjoint node sets.
-  const std::size_t groups = std::max<std::size_t>(1, request_->r) + 1;
+  const std::size_t groups = std::max<std::size_t>(1, s.request.r) + 1;
   const std::size_t max_nodes =
       std::max<std::size_t>(1, cp_.cluster_size() / groups);
   RunInfo info{wave_index, j, {}};
   protocol::SubmitRun msg;
-  msg.program = program_id_;
+  const std::size_t run = cp_.next_run_id();
+  msg.run = run;
+  msg.session = s.id;
+  msg.program = s.program_id;
   msg.job_index = j;
   msg.replica = w.replica;
-  for (std::string& p : resolve_inputs(w, j, &info.upstream_runs)) {
+  for (std::string& p : resolve_inputs(s, w, j, &info.upstream_runs)) {
     msg.input_paths.emplace_back(std::move(p));
   }
-  msg.output_path = wave_scope(w) + spec.output_path;
+  // Per-run output path (write-once discipline, like a per-attempt output
+  // committer): a rolled-back run whose CancelRun frame the network lost
+  // keeps executing in the computation tier and eventually writes its
+  // output. If its replacement in the same wave slot shared the path, that
+  // late write would silently replace bytes whose digests were already
+  // agreed — a verified-but-wrong promotion. With the run id in the path,
+  // a stale run can only ever write to its own dead location; correctness
+  // never depends on cancellation actually being delivered.
+  msg.output_path =
+      wave_scope(s, w) + "r" + std::to_string(run) + "/" + spec.output_path;
   msg.avoid.assign(avoid.begin(), avoid.end());
   msg.max_nodes = max_nodes;
   // Write-ahead: the exact dispatch bytes (run id pre-assigned) go to the
   // journal first; resync() re-sends them for runs whose completion was
   // never journaled.
-  const std::size_t run = cp_.next_run_id();
-  msg.run = run;
   std::vector<std::uint8_t> frame =
       protocol::encode(protocol::Message{msg});
-  if (!journal_decision(RecordKind::kRunDispatched, frame)) return;
-  dispatch_frames_[run] = std::move(frame);
+  if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                        RecordKind::kRunDispatched, frame)) {
+    return;
+  }
+  s.dispatch_frames[run] = std::move(frame);
   const std::size_t assigned = cp_.submit_run(std::move(msg));
   CBFT_CHECK(assigned == run);
   w.run_of[j] = run;
-  run_info_[run] = std::move(info);
-  my_runs_.push_back(run);
+  s.run_info[run] = std::move(info);
+  s.my_runs.push_back(run);
+  session_of_run_[run] = s.id;
   const bool gating = !spec.vps.empty();
-  verifier_->expect_run(spec.sid, run, gating);
+  s.verifier->expect_run(spec.sid, run, gating);
   if (gating) {
     TimerSpec spec_t;
     spec_t.kind = TimerSpec::Kind::kJobTimeout;
+    spec_t.session = s.id;
     spec_t.job = j;
     spec_t.wave = wave_index;
     spec_t.run = run;
-    arm_timer(spec_t, job_timeout_s_[j]);
+    arm_timer(spec_t, s.job_timeout_s[j]);
   }
 }
 
@@ -816,24 +1094,30 @@ std::size_t ClusterBft::arm_timer(TimerSpec spec, double delay) {
 void ClusterBft::fire_timer(std::size_t id) {
   if (crashed_) return;
   const auto it = timers_.find(id);
-  // Stale: already fired, or armed by a previous life/script whose
-  // scheduled event outlived it.
+  // Stale: already fired, or armed by a previous life whose scheduled
+  // event outlived it.
   if (it == timers_.end()) return;
+  const TimerSpec spec = it->second;
   common::WireWriter w;
   w.u64(id);
-  if (!journal_decision(RecordKind::kTimerFired, w.take())) return;
-  const TimerSpec spec = it->second;
-  timers_.erase(it);
+  if (!journal_decision(static_cast<std::uint32_t>(spec.session),
+                        RecordKind::kTimerFired, w.take())) {
+    return;
+  }
+  timers_.erase(id);
+  CBFT_CHECK_MSG(spec.session >= 1 && spec.session <= sessions_.size(),
+                 "timer without an owning session");
+  ScriptSession& s = *sessions_[spec.session - 1];
   switch (spec.kind) {
     case TimerSpec::Kind::kJobTimeout:
-      handle_timeout(spec.job, spec.wave, spec.run);
+      handle_timeout(s, spec.job, spec.wave, spec.run);
       break;
     case TimerSpec::Kind::kDecision:
-      decision_paid_.insert(spec.job);
-      if (finished_ || verified_[spec.job]) return;
-      try_verify(spec.job);
-      pump();
-      check_completion();
+      s.decision_paid.insert(spec.job);
+      if (s.finished || s.verified[spec.job]) return;
+      try_verify(s, spec.job);
+      pump(s);
+      check_completion(s);
       break;
   }
 }
@@ -841,77 +1125,98 @@ void ClusterBft::fire_timer(std::size_t id) {
 void ClusterBft::handle_digest(const mapreduce::DigestReport& report,
                                std::size_t run_id, NodeId /*node*/) {
   if (crashed_) return;
-  auto it = run_info_.find(run_id);
-  if (it == run_info_.end()) return;  // a previous execution's straggler
-  if (rolled_back_runs_.count(run_id)) return;  // forgotten by the verifier
-  ++digest_reports_;
-  const MRJobSpec& spec = dag_.jobs[it->second.job];
-  verifier_->add_report(spec.sid, run_id, report);
+  ScriptSession* sp = session_of_run(run_id);
+  if (sp == nullptr) return;  // probe run or unknown straggler
+  ScriptSession& s = *sp;
+  const auto it = s.run_info.find(run_id);
+  if (it == s.run_info.end()) return;
+  if (s.rolled_back_runs.count(run_id)) return;  // forgotten by the verifier
+  ++s.digest_reports;
+  const MRJobSpec& spec = s.dag.jobs[it->second.job];
+  s.verifier->add_report(spec.sid, run_id, report);
 }
 
 void ClusterBft::handle_run_complete(std::size_t run_id) {
   if (crashed_) return;
-  auto it = run_info_.find(run_id);
-  if (it == run_info_.end()) return;
-  if (rolled_back_runs_.count(run_id)) return;
+  ScriptSession* sp = session_of_run(run_id);
+  if (sp == nullptr) return;
+  ScriptSession& s = *sp;
+  const auto it = s.run_info.find(run_id);
+  if (it == s.run_info.end()) return;
+  if (s.rolled_back_runs.count(run_id)) return;
   const std::size_t j = it->second.job;
-  const MRJobSpec& spec = dag_.jobs[j];
-  verifier_->mark_run_complete(spec.sid, run_id);
-  if (!first_complete_run_[j]) first_complete_run_[j] = run_id;
-  if (finished_) return;
-  if (verified_[j]) {
+  const MRJobSpec& spec = s.dag.jobs[j];
+  s.verifier->mark_run_complete(spec.sid, run_id);
+  if (!s.first_complete_run[j]) s.first_complete_run[j] = run_id;
+  if (s.finished) return;
+  if (s.verified[j]) {
     // A replica completing after its job already verified: the decision
     // did not cover it, so compare against the verified reference now. A
     // mismatch is a commission fault discovered late — attribute it and
     // roll back whatever downstream work consumed this run's output.
-    if (verified_ref_run_[j] && verifier_->is_gating(spec.sid) &&
-        !verifier_->run_agrees(spec.sid, *verified_ref_run_[j], run_id)) {
-      attribute_commission({run_id});
-      rollback_tainted({run_id});
-      pump();
-      check_completion();
+    if (s.verified_ref_run[j] && s.verifier->is_gating(spec.sid) &&
+        !s.verifier->run_agrees(spec.sid, *s.verified_ref_run[j], run_id)) {
+      attribute_commission(s, {run_id});
+      rollback_tainted(s, {run_id});
+      pump(s);
+      check_completion(s);
     }
     return;
   }
-  try_verify(j);
-  pump();
-  check_completion();
+  try_verify(s, j);
+  pump(s);
+  check_completion(s);
 }
 
-void ClusterBft::try_verify(std::size_t j) {
-  if (crashed_ || verified_[j]) return;
-  const MRJobSpec& spec = dag_.jobs[j];
-  if (!verifier_->is_gating(spec.sid)) return;
+ScriptSession* ClusterBft::session_of_run(std::size_t run_id) {
+  const auto it = session_of_run_.find(run_id);
+  if (it == session_of_run_.end()) return nullptr;
+  return sessions_[it->second - 1].get();
+}
 
-  const auto decision = verifier_->try_decide(spec.sid);
+void ClusterBft::try_verify(ScriptSession& s, std::size_t j) {
+  if (crashed_ || s.verified[j]) return;
+  const MRJobSpec& spec = s.dag.jobs[j];
+  if (!s.verifier->is_gating(spec.sid)) return;
+
+  const auto decision = s.verifier->try_decide(spec.sid);
   if (decision && decision->verified) {
-    if (request_->decision_latency_s > 0 && !decision_paid_.count(j)) {
+    if (s.request.decision_latency_s > 0 && !s.decision_paid.count(j)) {
       // The decision itself costs a control-tier agreement round; commit
       // its effects after that latency (scheduled once per job).
-      if (decision_pending_.insert(j).second) {
+      if (s.decision_pending.insert(j).second) {
         TimerSpec spec_t;
         spec_t.kind = TimerSpec::Kind::kDecision;
+        spec_t.session = s.id;
         spec_t.job = j;
-        arm_timer(spec_t, request_->decision_latency_s);
+        arm_timer(spec_t, s.request.decision_latency_s);
       }
       return;
     }
     common::WireWriter wr;
     wr.u64(j);
-    if (!journal_decision(RecordKind::kVerifyDecision, wr.take())) return;
-    verified_[j] = true;
-    verified_path_[j] = cp_.run_output_path(decision->majority_runs.front());
-    verified_ref_run_[j] = decision->majority_runs.front();
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kVerifyDecision, wr.take())) {
+      return;
+    }
+    s.verified[j] = true;
+    s.verified_path[j] = cp_.run_output_path(decision->majority_runs.front());
+    s.verified_ref_run[j] = decision->majority_runs.front();
+    if (const auto fp = s.verifier->completed_fingerprint(
+            spec.sid, decision->majority_runs.front())) {
+      s.verified_fp_hex[j] = fp->hex();
+    }
     audit_.record(now(), AuditEvent::Kind::kJobVerified,
                   spec.sid + " (" +
                       std::to_string(decision->majority_runs.size()) +
                       " agreeing replicas)",
-                  spec.sid);
-    attribute_commission(decision->deviant_runs);
+                  spec.sid, {}, s.scope);
+    cache_store_verified(s, j, decision->majority_runs);
+    attribute_commission(s, decision->deviant_runs);
     // Downstream jobs of a deviant chain may already be running on (or
     // have finished with) the corrupted output — the price of pipelining.
     // Cancel exactly those, leaving every untainted chain untouched.
-    rollback_tainted(decision->deviant_runs);
+    rollback_tainted(s, decision->deviant_runs);
     CBFT_DEBUG("job " << spec.sid << " verified with "
                       << decision->majority_runs.size() << " replicas");
     return;
@@ -921,63 +1226,64 @@ void ClusterBft::try_verify(std::size_t j) {
   // attributed yet: without an f+1 majority there is no ground truth, and
   // blaming the arbitrary loser of a 1-vs-1 tie would poison suspicion of
   // honest nodes. Attribution happens when the pooled majority decides.
-  if (verifier_->completed_runs(spec.sid) >=
-      verifier_->expected_runs(spec.sid)) {
-    need_wave(j, /*force=*/false);
+  if (s.verifier->completed_runs(spec.sid) >=
+      s.verifier->expected_runs(spec.sid)) {
+    need_wave(s, j, /*force=*/false);
   }
 }
 
-void ClusterBft::handle_timeout(std::size_t j, std::size_t wave_index,
-                                std::size_t run_id) {
-  if (finished_ || crashed_ || verified_[j]) return;
+void ClusterBft::handle_timeout(ScriptSession& s, std::size_t j,
+                                std::size_t wave_index, std::size_t run_id) {
+  if (s.finished || crashed_ || s.verified[j]) return;
   // Stale if the run this timeout was armed for is no longer the wave's
   // run for j (rolled back and re-dispatched: the fresh submission armed
   // a fresh timeout), or if a newer wave already covers the job.
-  if (!waves_[wave_index].run_of[j] ||
-      *waves_[wave_index].run_of[j] != run_id) {
+  if (!s.waves[wave_index].run_of[j] ||
+      *s.waves[wave_index].run_of[j] != run_id) {
     return;
   }
-  for (std::size_t wi = wave_index + 1; wi < waves_.size(); ++wi) {
-    if (waves_[wi].includes[j]) return;
+  for (std::size_t wi = wave_index + 1; wi < s.waves.size(); ++wi) {
+    if (s.waves[wi].includes[j]) return;
   }
-  const MRJobSpec& spec = dag_.jobs[j];
-  const auto incomplete = verifier_->incomplete_runs(spec.sid);
+  const MRJobSpec& spec = s.dag.jobs[j];
+  const auto incomplete = s.verifier->incomplete_runs(spec.sid);
   if (!incomplete.empty()) {
-    attribute_omission(incomplete);
+    attribute_omission(s, incomplete);
     if (crashed_) return;
   }
   // Escalate the timeout for the rerun (Table 3's "scheduled again with
   // higher timeout value").
-  job_timeout_s_[j] *= 2;
+  s.job_timeout_s[j] *= 2;
   CBFT_DEBUG("verifier timeout for " << spec.sid << ", rescheduling");
-  need_wave(j, /*force=*/true);
+  need_wave(s, j, /*force=*/true);
 }
 
-void ClusterBft::need_wave(std::size_t j, bool force) {
-  if (finished_ || crashed_) return;
+void ClusterBft::need_wave(ScriptSession& s, std::size_t j, bool force) {
+  if (s.finished || crashed_) return;
   if (!force) {
     // A wave whose run for j is still pending or in flight will deliver
     // more evidence; wait for it.
-    for (const Wave& w : waves_) {
+    for (const Wave& w : s.waves) {
       if (!w.includes[j]) continue;
       if (!w.run_of[j] || !cp_.run_complete(*w.run_of[j])) return;
     }
   }
-  const std::size_t reruns = waves_.size() - std::max<std::size_t>(
-                                                 1, request_->r);
-  if (reruns >= request_->max_rerun_waves) {
+  const std::size_t reruns =
+      s.waves.size() - std::max<std::size_t>(1, s.request.r);
+  if (reruns >= s.request.max_rerun_waves) {
     CBFT_WARN("giving up after " << reruns << " rerun waves");
-    failure_ = FailureReason::kRerunBudgetExhausted;
-    finish(false);
+    s.failure = FailureReason::kRerunBudgetExhausted;
+    finish(s, false);
     return;
   }
-  create_wave();
+  create_wave(s);
 }
 
-FaultAnalyzer::NodeSet ClusterBft::cluster_of(std::size_t run_id) const {
+FaultAnalyzer::NodeSet ClusterBft::cluster_of(const ScriptSession& s,
+                                              std::size_t run_id) const {
   FaultAnalyzer::NodeSet nodes;
-  const RunInfo info = run_info_.at(run_id);
-  const Wave& w = waves_[info.wave];
+  const RunInfo info = s.run_info.at(run_id);
+  const Wave& w = s.waves[info.wave];
 
   // BFS back through dependencies, stopping at gating jobs (their own
   // verification points bound the corruption) and at verified inputs.
@@ -990,10 +1296,10 @@ FaultAnalyzer::NodeSet ClusterBft::cluster_of(std::size_t run_id) const {
       const auto& run_nodes = cp_.run_nodes(*w.run_of[j]);
       nodes.insert(run_nodes.begin(), run_nodes.end());
     }
-    for (std::size_t d : dag_.jobs[j].deps) {
+    for (std::size_t d : s.dag.jobs[j].deps) {
       if (seen.count(d)) continue;
-      if (verified_[d]) continue;
-      if (verifier_->is_gating(dag_.jobs[d].sid)) continue;
+      if (s.verified[d]) continue;
+      if (s.verifier->is_gating(s.dag.jobs[d].sid)) continue;
       seen.insert(d);
       stack.push_back(d);
     }
@@ -1002,45 +1308,56 @@ FaultAnalyzer::NodeSet ClusterBft::cluster_of(std::size_t run_id) const {
 }
 
 void ClusterBft::attribute_commission(
-    const std::vector<std::size_t>& deviant_runs) {
+    ScriptSession& s, const std::vector<std::size_t>& deviant_runs) {
   for (std::size_t run : deviant_runs) {
     if (crashed_) return;
-    if (!attributed_runs_.insert(run).second) continue;
-    ++commission_seen_;
-    const FaultAnalyzer::NodeSet nodes = cluster_of(run);
+    if (!s.attributed_runs.insert(run).second) continue;
+    ++s.commission_seen;
+    const FaultAnalyzer::NodeSet nodes = cluster_of(s, run);
     if (nodes.empty()) continue;
     common::WireWriter wr;
     wr.u64(run);
     wr.u8(1);  // commission
-    if (!journal_decision(RecordKind::kSuspicionUpdate, wr.take())) return;
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kSuspicionUpdate, wr.take())) {
+      return;
+    }
     audit_.record(now(), AuditEvent::Kind::kCommissionFault,
                   "deviant replica of " +
-                      dag_.jobs[run_info_.at(run).job].sid,
-                  dag_.jobs[run_info_.at(run).job].sid, nodes);
+                      s.dag.jobs[s.run_info.at(run).job].sid,
+                  s.dag.jobs[s.run_info.at(run).job].sid, nodes, s.scope);
     for (NodeId n : nodes) cp_.record_fault(n);
     if (!fault_analyzer_) {
       fault_analyzer_ = std::make_unique<FaultAnalyzer>(
-          std::max<std::size_t>(1, request_->f));
+          std::max<std::size_t>(1, s.request.f));
     }
-    fault_analyzer_->set_f(std::max<std::size_t>(1, request_->f));
+    fault_analyzer_->set_f(std::max<std::size_t>(1, s.request.f));
     fault_analyzer_->observe(nodes);
+    // Every cached result a now-convicted node contributed to is suspect:
+    // drop it so no future session adopts tainted evidence.
+    for (NodeId n : nodes) result_cache_.invalidate_node(n);
   }
 }
 
-void ClusterBft::attribute_omission(const std::vector<std::size_t>& runs) {
+void ClusterBft::attribute_omission(ScriptSession& s,
+                                    const std::vector<std::size_t>& runs) {
   for (std::size_t run : runs) {
     if (crashed_) return;
-    if (!attributed_runs_.insert(run).second) continue;
-    ++omission_seen_;
+    if (!s.attributed_runs.insert(run).second) continue;
+    ++s.omission_seen;
     common::WireWriter wr;
     wr.u64(run);
     wr.u8(0);  // omission
-    if (!journal_decision(RecordKind::kSuspicionUpdate, wr.take())) return;
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kSuspicionUpdate, wr.take())) {
+      return;
+    }
     audit_.record(now(), AuditEvent::Kind::kOmissionFault,
-                  "replica of " + dag_.jobs[run_info_.at(run).job].sid +
+                  "replica of " + s.dag.jobs[s.run_info.at(run).job].sid +
                       " missed the verifier timeout",
-                  dag_.jobs[run_info_.at(run).job].sid,
-                  {cp_.run_nodes(run).begin(), cp_.run_nodes(run).end()});
+                  s.dag.jobs[s.run_info.at(run).job].sid,
+                  {cp_.run_nodes(run).begin(), cp_.run_nodes(run).end()},
+                  s.scope);
     // Omission is detectable but not attributable to a specific node
     // (§2.1): raise suspicion on all involved nodes, but do not feed the
     // commission-fault analyzer.
@@ -1052,7 +1369,7 @@ void ClusterBft::attribute_omission(const std::vector<std::size_t>& runs) {
 }
 
 void ClusterBft::rollback_tainted(
-    const std::vector<std::size_t>& deviant_runs) {
+    ScriptSession& s, const std::vector<std::size_t>& deviant_runs) {
   if (deviant_runs.empty() || crashed_) return;
   // Transitive downstream closure over the recorded taint edges: a run is
   // tainted when it read the materialised output of a deviant or tainted
@@ -1062,7 +1379,7 @@ void ClusterBft::rollback_tainted(
   bool grew = true;
   while (grew) {
     grew = false;
-    for (const auto& [run, info] : run_info_) {
+    for (const auto& [run, info] : s.run_info) {
       if (tainted.count(run)) continue;
       for (const std::size_t up : info.upstream_runs) {
         if (tainted.count(up)) {
@@ -1077,20 +1394,21 @@ void ClusterBft::rollback_tainted(
                                       deviant_runs.end());
   for (const std::size_t run : tainted) {
     if (crashed_) return;
-    const RunInfo& info = run_info_.at(run);
+    const RunInfo& info = s.run_info.at(run);
     const std::size_t j = info.job;
     // A tainted run whose completed digest vector agrees with its job's
     // verified majority provably produced the correct output despite the
     // tainted input — keep it (and everything built on it).
-    if (!sources.count(run) && verified_[j] && verified_ref_run_[j] &&
-        *verified_ref_run_[j] != run && cp_.run_complete(run) &&
-        verifier_->run_agrees(dag_.jobs[j].sid, *verified_ref_run_[j], run)) {
+    if (!sources.count(run) && s.verified[j] && s.verified_ref_run[j] &&
+        *s.verified_ref_run[j] != run && cp_.run_complete(run) &&
+        s.verifier->run_agrees(s.dag.jobs[j].sid, *s.verified_ref_run[j],
+                               run)) {
       continue;
     }
     // Unhook the run from its wave slot so downstream dispatches in that
     // wave resolve the dependency from the verified output — and, for a
     // cancelled run, so pump() re-dispatches the job itself.
-    Wave& w = waves_[info.wave];
+    Wave& w = s.waves[info.wave];
     if (w.run_of[j] && *w.run_of[j] == run) w.run_of[j] = std::nullopt;
     if (sources.count(run)) {
       // The deviant itself is complete and already attributed; its record
@@ -1098,57 +1416,217 @@ void ClusterBft::rollback_tainted(
       // cancelled.
       continue;
     }
-    if (rolled_back_runs_.count(run) != 0) continue;
+    if (s.rolled_back_runs.count(run) != 0) continue;
     common::WireWriter wr;
     wr.u64(run);
-    if (!journal_decision(RecordKind::kRollback, wr.take())) return;
-    rolled_back_runs_.insert(run);
-    ++rollbacks_;
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kRollback, wr.take())) {
+      return;
+    }
+    s.rolled_back_runs.insert(run);
+    ++s.rollbacks;
     cp_.cancel_run(run);
-    verifier_->forget_run(dag_.jobs[j].sid, run);
-    if (first_complete_run_[j] && *first_complete_run_[j] == run) {
+    s.verifier->forget_run(s.dag.jobs[j].sid, run);
+    if (s.first_complete_run[j] && *s.first_complete_run[j] == run) {
       // Rescan: another (non-rolled-back) completed replica may exist.
-      first_complete_run_[j] = std::nullopt;
-      for (const auto& [other, other_info] : run_info_) {
-        if (other_info.job != j || rolled_back_runs_.count(other)) continue;
+      s.first_complete_run[j] = std::nullopt;
+      for (const auto& [other, other_info] : s.run_info) {
+        if (other_info.job != j || s.rolled_back_runs.count(other)) continue;
         if (!cp_.run_complete(other)) continue;
-        first_complete_run_[j] = other;
+        s.first_complete_run[j] = other;
         break;
       }
     }
     audit_.record(now(), AuditEvent::Kind::kRollback,
-                  "rolled back replica of " + dag_.jobs[j].sid +
+                  "rolled back replica of " + s.dag.jobs[j].sid +
                       " tainted by a deviant upstream run",
-                  dag_.jobs[j].sid,
-                  {cp_.run_nodes(run).begin(), cp_.run_nodes(run).end()});
+                  s.dag.jobs[j].sid,
+                  {cp_.run_nodes(run).begin(), cp_.run_nodes(run).end()},
+                  s.scope);
   }
 }
 
-void ClusterBft::check_completion() {
-  if (finished_ || crashed_) return;
-  for (const MRJobSpec& j : dag_.jobs) {
+void ClusterBft::check_completion(ScriptSession& s) {
+  if (s.finished || crashed_) return;
+  for (const MRJobSpec& j : s.dag.jobs) {
     if (!j.is_final_store) continue;
-    // A final job must be verified when it is verifiable (it carries
+    // A verified final (freshly decided or adopted from the result
+    // cache) always suffices.
+    if (s.verified[j.job_index]) continue;
+    // Otherwise it must be verified when it is verifiable (it carries
     // verification points), when the client demanded output
     // verification, or when degradation re-admitted suspect nodes
     // (nothing a degraded script ran may be promoted unverified);
     // otherwise one completed replica suffices.
-    const bool must_verify = request_->verify_final_output ||
-                             verifier_->is_gating(j.sid) || degraded_;
-    if (must_verify) {
-      if (!verified_[j.job_index]) return;
-    } else {
-      if (!first_complete_run_[j.job_index]) return;
-    }
+    const bool must_verify = s.request.verify_final_output ||
+                             s.verifier->is_gating(j.sid) || s.degraded;
+    if (must_verify) return;
+    if (!s.first_complete_run[j.job_index]) return;
   }
-  finish(true);
+  finish(s, true);
 }
 
-void ClusterBft::finish(bool success) {
-  if (finished_) return;
-  finished_ = true;
-  success_ = success;
-  finish_time_ = now();
+void ClusterBft::finish(ScriptSession& s, bool success) {
+  if (s.finished) return;
+  s.finished = true;
+  s.success = success;
+  s.finish_time = now();
+}
+
+// ---- verified-result cache ----------------------------------------------
+
+crypto::Digest256 ClusterBft::input_digest(const std::string& path) {
+  const std::uint64_t size = dfs_.size_of(path);
+  const auto it = input_digest_memo_.find(path);
+  if (it != input_digest_memo_.end() && it->second.first == size) {
+    return it->second.second;
+  }
+  // Canonical content digest: sorted rows, canonical tuple serialisation.
+  // peek() (not read()) — cache-key computation is control-tier metadata
+  // access and must not perturb the Table 3 byte counters.
+  const dataflow::Relation& rel = dfs_.peek(path);
+  crypto::Sha256 h;
+  std::string buf;
+  for (const dataflow::Tuple& t : rel.sorted_rows()) {
+    buf.clear();
+    dataflow::serialize_tuple_into(t, buf);
+    h.update(buf);
+    h.update("\x1e");  // record separator
+  }
+  const crypto::Digest256 d{h.finalize()};
+  input_digest_memo_[path] = {size, d};
+  return d;
+}
+
+void ClusterBft::compute_cache_keys(ScriptSession& s) {
+  // Jobs are emitted in topological order by the compiler, so dep keys
+  // are ready when a job's own key is computed; composed recursively,
+  // two equal keys mean "same logical sub-plan, same input content, same
+  // verification policy" — and therefore the same verified result.
+  for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
+    const MRJobSpec& spec = s.dag.jobs[j];
+    bool ok = true;
+    for (std::size_t d : spec.deps) ok = ok && d < j && s.cache_ok[d];
+    if (!ok) continue;
+    crypto::Sha256 h;
+    const auto feed = [&h](const std::string& t) {
+      h.update(t);
+      h.update("\n");
+    };
+    feed("cbft-result-cache-v1");
+    // r-policy: what "verified" meant when the entry was created.
+    feed("policy f=" + std::to_string(s.request.f) +
+         " r=" + std::to_string(std::max<std::size_t>(1, s.request.r)) +
+         " d=" + std::to_string(s.request.records_per_digest) +
+         " adv=" +
+         std::to_string(static_cast<int>(s.request.adversary)));
+    for (const mapreduce::MapBranch& b : spec.branches) {
+      feed("branch " + std::to_string(b.tag));
+      feed(s.plan.node(b.source_vertex).to_string());
+      for (dataflow::OpId op : b.map_ops) feed(s.plan.node(op).to_string());
+      if (s.plan.node(b.source_vertex).kind == dataflow::OpKind::kLoad) {
+        feed("input " + input_digest(b.input_path).hex());
+      } else {
+        const auto dep = s.job_by_output.find(b.input_path);
+        if (dep == s.job_by_output.end()) {
+          ok = false;
+          break;
+        }
+        feed("dep " + s.cache_key[dep->second].hex());
+      }
+    }
+    if (!ok) continue;
+    if (spec.blocking) feed("blocking " + s.plan.node(*spec.blocking).to_string());
+    for (dataflow::OpId op : spec.reduce_ops) {
+      feed("reduce " + s.plan.node(op).to_string());
+    }
+    feed("reducers " + std::to_string(spec.num_reducers));
+    for (const mapreduce::VerificationPoint& vp : spec.vps) {
+      feed("vp " + s.plan.node(vp.vertex).to_string() + " @" +
+           std::to_string(vp.records_per_digest));
+    }
+    feed(spec.is_final_store ? "final" : "mid");
+    s.cache_key[j] = crypto::Digest256{h.finalize()};
+    s.cache_ok[j] = true;
+  }
+}
+
+void ClusterBft::adopt_cache_hits(ScriptSession& s) {
+  for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
+    if (!s.cache_ok[j]) continue;
+    const ResultCache::Entry* e = result_cache_.lookup(s.cache_key[j]);
+    if (e == nullptr) continue;
+    // The materialised relation must still exist — a hit adopts data,
+    // not just evidence.
+    if (!dfs_.exists(e->output_path)) continue;
+    common::WireWriter wr;
+    wr.u64(j);
+    wr.raw(s.cache_key[j].bytes.data(), s.cache_key[j].bytes.size());
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kCacheHit, wr.take())) {
+      return;
+    }
+    s.verified[j] = true;
+    s.verified_path[j] = e->output_path;
+    s.cache_adopted[j] = true;
+    s.verified_fp_hex[j] = e->fingerprint.hex();
+    s.contributors[j] = e->contributors;
+    ++s.cache_hits;
+    audit_.record(now(), AuditEvent::Kind::kCacheHit,
+                  s.dag.jobs[j].sid +
+                      " adopted verified result from cache (key " +
+                      s.cache_key[j].hex().substr(0, 12) + ")",
+                  s.dag.jobs[j].sid, {}, s.scope);
+  }
+  // Prune: a job whose output is only needed by adopted (or transitively
+  // unneeded) consumers never runs in any wave.
+  std::vector<bool> needed(s.dag.jobs.size(), false);
+  std::vector<std::size_t> stack;
+  for (const MRJobSpec& j : s.dag.jobs) {
+    if (j.is_final_store && !s.verified[j.job_index]) {
+      needed[j.job_index] = true;
+      stack.push_back(j.job_index);
+    }
+  }
+  while (!stack.empty()) {
+    const std::size_t j = stack.back();
+    stack.pop_back();
+    for (std::size_t d : s.dag.jobs[j].deps) {
+      if (s.verified[d] || needed[d]) continue;
+      needed[d] = true;
+      stack.push_back(d);
+    }
+  }
+  for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
+    s.wave_skip[j] = !s.verified[j] && !needed[j];
+  }
+}
+
+void ClusterBft::cache_store_verified(
+    ScriptSession& s, std::size_t j,
+    const std::vector<std::size_t>& majority_runs) {
+  if (!s.request.use_result_cache || !s.cache_ok[j]) return;
+  // Contributors: every node whose corruption could have influenced this
+  // verified result — the majority runs' fault clusters plus the
+  // contributors of every verified/adopted dependency.
+  std::set<NodeId> contrib;
+  for (std::size_t run : majority_runs) {
+    const FaultAnalyzer::NodeSet nodes = cluster_of(s, run);
+    contrib.insert(nodes.begin(), nodes.end());
+  }
+  for (std::size_t d : s.dag.jobs[j].deps) {
+    contrib.insert(s.contributors[d].begin(), s.contributors[d].end());
+  }
+  s.contributors[j] = contrib;
+  const auto fp =
+      s.verifier->completed_fingerprint(s.dag.jobs[j].sid,
+                                        majority_runs.front());
+  if (!fp) return;
+  ResultCache::Entry entry;
+  entry.fingerprint = *fp;
+  entry.output_path = s.verified_path[j];
+  entry.contributors = std::move(contrib);
+  result_cache_.insert(s.cache_key[j], std::move(entry));
 }
 
 }  // namespace clusterbft::core

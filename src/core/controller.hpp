@@ -4,6 +4,18 @@
 // typed control-plane protocol messages over a pluggable transport — the
 // trust boundary of the paper is exactly that seam.
 //
+// Multi-tenant model: the controller is the SHARED substrate — pool
+// membership, suspicion mirror, fault analyzer, transport, journal,
+// timers, and the digest-keyed verified-result cache. Everything that
+// belongs to one script lives in a core::ScriptSession (core/session.hpp)
+// and N sessions multiplex concurrently through the one event loop:
+// inbound digests and completions route to the owning session by run id,
+// timers carry their session, and journal records are namespaced by a
+// session field so crash-recovery replays a *set* of in-flight scripts
+// bit-identically. `execute()` remains the one-shot convenience
+// (begin_session + drive + collect); the front end (src/frontend) uses
+// the session API directly to keep many scripts in flight.
+//
 // Execution model per script:
 //  * the script is parsed, analysed (verification points) and compiled to
 //    a job DAG;
@@ -29,22 +41,34 @@
 //  * the script is done when every final STORE job is verified; one
 //    verified replica's output is promoted to the plain store path.
 //
+// Verified-result cache (ClientRequest::use_result_cache): every job's
+// sub-graph is keyed by (canonical logical-plan fingerprint, LOAD input
+// content digests, r-policy), composed recursively through dependency
+// keys. When a key matches an earlier *verified* sub-graph, the session
+// adopts the cached digest-vector fingerprint and materialised relation
+// instead of re-running it — journaled as kCacheHit, audited as a
+// cache-hit event, and counted in ScriptMetrics::cache_hits. Convicting
+// a node that contributed to an entry (commission attribution or a probe
+// conviction) invalidates every dependent entry; both conviction paths
+// are journaled stimuli, so the cache replays deterministically.
+//
 // Durability and crash-recovery (core/journal.hpp): when constructed over
 // a Journal, the controller writes a typed record for every stimulus
 // (inbound message, timer firing, threshold application, probe outcome)
 // and journals every externally visible decision (wave creation, run
-// dispatch, verification, rollback, suspicion update, degradation)
-// *before* the corresponding control-plane message is sent. An injected
-// crash (Journal::set_crash_at) turns the instance into a no-op shell:
-// it detaches from the transport, refuses all further work, and
-// execute()/recover() throw ControllerCrashed. A fresh instance over the
-// same journal then recover()s: it replays the stimulus stream through
-// the (deterministic) handlers with sends muted, rebuilding waves, run
+// dispatch, verification, cache adoption, rollback, suspicion update,
+// degradation) *before* the corresponding control-plane message is sent.
+// An injected crash (Journal::set_crash_at) turns the instance into a
+// no-op shell: it detaches from the transport, refuses all further work,
+// and execute()/recover() throw ControllerCrashed. A fresh instance over
+// the same journal then recover()s (recover_all() for a concurrent set):
+// it replays the stimulus stream through the (deterministic) handlers
+// with sends muted, rebuilding every in-flight session's waves, run
 // info, verifier evidence, fault-analyzer state and the audit history
 // bit-for-bit, then resynchronises the computation tier — re-sending the
 // journaled SubmitRun/CancelRun/DrainNode/ReadmitNode bytes for work
 // whose completion was never journaled (the service deduplicates by run
-// id and re-emits retained events) — and resumes the script mid-flight.
+// id and re-emits retained events) — and resumes every script mid-flight.
 //
 // Graceful degradation: when suspicion-driven exclusion plus node
 // crashes shrink the healthy pool below what r needs, the controller
@@ -69,6 +93,8 @@
 #include "core/fault_analyzer.hpp"
 #include "core/journal.hpp"
 #include "core/request.hpp"
+#include "core/result_cache.hpp"
+#include "core/session.hpp"
 #include "core/verifier.hpp"
 #include "dataflow/plan.hpp"
 #include "mapreduce/compiler.hpp"
@@ -86,9 +112,9 @@ class ClusterBft {
   /// stand-in for the shared job-bundle store). It never holds a
   /// reference to the execution machinery itself — the trust boundary of
   /// §4 is the transport seam. With a non-null `journal` every stimulus
-  /// and decision is journaled write-ahead; a journal whose script never
-  /// finished makes the constructor defer inbound traffic until
-  /// recover() replayed the log.
+  /// and decision is journaled write-ahead; a journal whose sessions
+  /// never all finished makes the constructor defer inbound traffic
+  /// until recover()/recover_all() replayed the log.
   ClusterBft(cluster::EventSim& sim, mapreduce::Dfs& dfs,
              protocol::Transport& transport,
              protocol::ProgramRegistry& programs, Journal* journal = nullptr);
@@ -105,6 +131,40 @@ class ClusterBft {
   /// script text). Throws ControllerCrashed if a newly armed crash point
   /// fires during or after recovery.
   ScriptResult recover(const ClientRequest& request);
+
+  /// Multi-session recovery: replay the journal, matching its n-th
+  /// kScriptStart of each request *name* to the n-th request with that
+  /// name in `requests`, resync the computation tier, begin any request
+  /// the crashed life never durably started, drive everything to
+  /// completion, and return the results in request order. Sessions that
+  /// finished before the crash are re-collected without duplicating
+  /// their kScriptFinish record.
+  std::vector<ScriptResult> recover_all(
+      const std::vector<ClientRequest>& requests);
+
+  // ---- multi-session API (the front end's interface) ----
+  /// Admit a script: parse, analyse, compile, journal kScriptStart,
+  /// adopt cache hits, and dispatch its initial waves. Returns the
+  /// session id (1-based). Throws like execute(); a fully cache-hit
+  /// script is finished on return.
+  std::size_t begin_session(const ClientRequest& request);
+  bool session_finished(std::size_t session) const;
+  /// Sessions begun and not yet finished.
+  std::size_t active_sessions() const;
+  /// Drive the event loop until every active session finished (or the
+  /// queue drains: remaining sessions fail as kStalled with diagnostics).
+  void drive_all();
+  /// Declare every still-unfinished session stalled (the event queue
+  /// drained under it), with an audit event naming the session, wave,
+  /// and first unmet dependency.
+  void fail_stalled_sessions();
+  /// Result of a finished session (promotes outputs, journals the
+  /// session's kScriptFinish). Callable once per session.
+  ScriptResult collect_session(std::size_t session);
+  /// Nodes currently schedulable: cluster size minus exclusions — what
+  /// admission weighs aggregate r against.
+  std::size_t healthy_pool_size() const;
+  ResultCache::Stats cache_stats() const;
 
   /// The fault analyzer persists across scripts so isolation sharpens
   /// over a workload (§4.3). Null until the first fault was observed.
@@ -141,20 +201,8 @@ class ClusterBft {
   ProbeReport probe_suspects(const std::string& probe_input_path);
 
  private:
-  struct Wave {
-    std::size_t replica = 0;
-    cluster::SimTime created_at = 0;
-    std::vector<bool> includes;                       ///< per job
-    std::vector<std::optional<std::size_t>> run_of;   ///< per job
-  };
-  struct RunInfo {
-    std::size_t wave = 0;
-    std::size_t job = 0;
-    /// Runs whose materialised (unverified) outputs this run read —
-    /// the taint edges rollback propagates along. Verified inputs are
-    /// trusted and record no edge.
-    std::vector<std::size_t> upstream_runs;
-  };
+  using Wave = ScriptSession::Wave;
+  using RunInfo = ScriptSession::RunInfo;
   /// A pending control-tier timer. Arms are not journaled (they are a
   /// deterministic consequence of the journaled stimuli); firings are
   /// journaled as kTimerFired so recovery replays exactly the timers
@@ -162,6 +210,7 @@ class ClusterBft {
   struct TimerSpec {
     enum class Kind { kJobTimeout, kDecision };
     Kind kind = Kind::kJobTimeout;
+    std::size_t session = 0;  ///< owning session id
     std::size_t job = 0;
     std::size_t wave = 0;   ///< kJobTimeout only
     std::size_t run = 0;    ///< kJobTimeout only
@@ -173,15 +222,26 @@ class ClusterBft {
   // declares the scheduler-thread capability: under clang -Wthread-safety
   // a pool payload (or any async path) calling into controller state
   // without the role is a compile error.
-  void begin_script(const ClientRequest& request)
+  /// Create + admit a session. Returns null when the crash point fired
+  /// on the session's kScriptStart append (the session never durably
+  /// existed).
+  ScriptSession* begin_script(const ClientRequest& request)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  ScriptResult drive_and_collect()
+  ScriptResult drive_and_collect(ScriptSession& s)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  ScriptResult collect_result()
+  ScriptResult collect_result(ScriptSession& s)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void replay_record(const JournalRecord& rec, const ClientRequest& request)
+  void replay_record(
+      const JournalRecord& rec,
+      std::map<std::string, std::vector<const ClientRequest*>>& pending,
+      std::map<std::string, std::vector<std::size_t>>& replayed_ids)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   void resync() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// The session owning `run_id`, or null (stale straggler / probe run).
+  ScriptSession* session_of_run(std::size_t run_id)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void mark_stalled(ScriptSession& s)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   // Event-driven steps.
   void handle_digest(const mapreduce::DigestReport& report,
@@ -189,26 +249,51 @@ class ClusterBft {
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   void handle_run_complete(std::size_t run_id)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void handle_timeout(std::size_t job, std::size_t wave_index,
-                      std::size_t run_id)
+  void handle_timeout(ScriptSession& s, std::size_t job,
+                      std::size_t wave_index, std::size_t run_id)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   /// Dispatch ready wave jobs, critical-path-first.
-  void pump() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void submit_job(std::size_t wave_index, std::size_t job)
+  void pump(ScriptSession& s)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void try_verify(std::size_t job)
+  void submit_job(ScriptSession& s, std::size_t wave_index, std::size_t job)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void need_wave(std::size_t job, bool force)
+  void try_verify(ScriptSession& s, std::size_t job)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void create_wave() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void check_completion() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void finish(bool success) CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void need_wave(ScriptSession& s, std::size_t job, bool force)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void create_wave(ScriptSession& s)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void check_completion(ScriptSession& s)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  void finish(ScriptSession& s, bool success)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+
+  // Verified-result cache.
+  /// Fill s.cache_key / s.cache_ok for every job (pure function of the
+  /// plan structure, LOAD input content, and r-policy).
+  void compute_cache_keys(ScriptSession& s)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// Adopt every cached verified sub-graph (journal kCacheHit each) and
+  /// mark jobs whose consumers were all adopted as wave_skip.
+  void adopt_cache_hits(ScriptSession& s)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// Content digest of a LOAD input (canonical row serialisation),
+  /// memoized by (path, size).
+  crypto::Digest256 input_digest(const std::string& path)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// Record contributors / fingerprint for a freshly verified job and
+  /// insert the sub-graph into the cache when eligible.
+  void cache_store_verified(ScriptSession& s, std::size_t job,
+                            const std::vector<std::size_t>& majority_runs)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   // Journal / crash plumbing.
-  /// Append a record write-ahead. Returns false when the injected crash
-  /// point fired — the caller must abandon the action (the record, and
-  /// with it the action, died with the process).
-  bool journal_decision(RecordKind kind, std::vector<std::uint8_t> payload)
+  /// Append a record write-ahead, tagged with the owning session (0 for
+  /// substrate records). Returns false when the injected crash point
+  /// fired — the caller must abandon the action (the record, and with it
+  /// the action, died with the process).
+  bool journal_decision(std::uint32_t session, RecordKind kind,
+                        std::vector<std::uint8_t> payload)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   /// Flip to the no-op shell and detach the transport.
   void crash_now() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
@@ -232,7 +317,8 @@ class ClusterBft {
   /// pool has fewer than max(1, r) nodes, degrade (re-admit the least
   /// suspect excluded nodes) or fail honestly per the request's
   /// degraded_mode. Returns false when the wave must not be created.
-  bool ensure_capacity() CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  bool ensure_capacity(ScriptSession& s)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   /// Cancel and forget every run transitively tainted by the given
   /// deviant runs (downstream along recorded `upstream_runs` edges),
@@ -240,28 +326,33 @@ class ClusterBft {
   /// majority — a tainted input that provably produced the correct
   /// output needs no rerun. The affected wave slots are cleared so pump()
   /// re-dispatches them from verified outputs.
-  void rollback_tainted(const std::vector<std::size_t>& deviant_runs)
+  void rollback_tainted(ScriptSession& s,
+                        const std::vector<std::size_t>& deviant_runs)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   /// Nodes plausibly responsible for a deviant run: the run's own nodes
   /// plus same-wave runs of unverified (non-gating) ancestors, whose
   /// corruption would only surface at this job's verification points.
-  FaultAnalyzer::NodeSet cluster_of(std::size_t run_id) const
+  FaultAnalyzer::NodeSet cluster_of(const ScriptSession& s,
+                                    std::size_t run_id) const
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void attribute_commission(const std::vector<std::size_t>& deviant_runs)
+  void attribute_commission(ScriptSession& s,
+                            const std::vector<std::size_t>& deviant_runs)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void attribute_omission(const std::vector<std::size_t>& runs)
+  void attribute_omission(ScriptSession& s,
+                          const std::vector<std::size_t>& runs)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
-  std::string wave_scope(const Wave& w) const
+  std::string wave_scope(const ScriptSession& s, const Wave& w) const
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  bool deps_ready(const Wave& w, std::size_t job) const
+  bool deps_ready(const ScriptSession& s, const Wave& w,
+                  std::size_t job) const
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   /// Input paths for `job` in wave `w`; when `upstream` is non-null, the
   /// run ids behind every unverified materialised input are appended (the
   /// taint edges for rollback).
   std::vector<std::string> resolve_inputs(
-      const Wave& w, std::size_t job,
+      const ScriptSession& s, const Wave& w, std::size_t job,
       std::vector<std::size_t>* upstream = nullptr) const
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
@@ -293,60 +384,25 @@ class ClusterBft {
   /// Armed, not yet fired.
   std::map<std::size_t, TimerSpec> timers_ CBFT_SCHED;
 
-  // Per-execution state (reset by begin_script()).
-  const ClientRequest* request_ CBFT_SCHED = nullptr;
-  dataflow::LogicalPlan plan_ CBFT_SCHED;
-  mapreduce::JobDag dag_ CBFT_SCHED;
-  /// Registry handle for plan_/dag_.
-  std::uint64_t program_id_ CBFT_SCHED = 0;
-  std::unique_ptr<Verifier> verifier_ CBFT_SCHED;
-  std::vector<Wave> waves_ CBFT_SCHED;
-  std::map<std::size_t, RunInfo> run_info_ CBFT_SCHED;
-  std::vector<bool> verified_ CBFT_SCHED;              ///< per job
-  std::vector<std::string> verified_path_ CBFT_SCHED;  ///< per job
-  /// Per job: one member of the verified majority — the reference a
-  /// late-completing replica is compared against.
-  std::vector<std::optional<std::size_t>> verified_ref_run_ CBFT_SCHED;
-  /// Per job.
-  std::vector<std::optional<std::size_t>> first_complete_run_ CBFT_SCHED;
-  /// Output path -> job.
-  std::map<std::string, std::size_t> job_by_output_ CBFT_SCHED;
-  std::vector<std::size_t> my_runs_ CBFT_SCHED;
-  /// Runs already blamed.
-  std::set<std::size_t> attributed_runs_ CBFT_SCHED;
-  /// Cancelled as tainted.
-  std::set<std::size_t> rolled_back_runs_ CBFT_SCHED;
-  std::size_t rollbacks_ CBFT_SCHED = 0;
-  /// The exact SubmitRun bytes journaled for each of my_runs_ — what
-  /// resync() re-sends for runs whose completion was never journaled.
-  std::map<std::size_t, std::vector<std::uint8_t>> dispatch_frames_ CBFT_SCHED;
-  /// Excluded nodes re-admitted by graceful degradation this script.
-  std::set<cluster::NodeId> degraded_nodes_ CBFT_SCHED;
-  bool degraded_ CBFT_SCHED = false;
-  FailureReason failure_ CBFT_SCHED = FailureReason::kNone;
-  /// Per job, dispatch prio.
-  std::vector<std::size_t> pipeline_depth_ CBFT_SCHED;
-  /// Offline digest-comparison pool (request.verifier_threads > 0); the
-  /// verifier borrows it, so execute() must reset verifier_ before
-  /// replacing the pool.
-  std::unique_ptr<common::ThreadPool> verifier_pool_ CBFT_SCHED;
-  /// Decision round in flight.
-  std::set<std::size_t> decision_pending_ CBFT_SCHED;
-  /// Decision latency paid.
-  std::set<std::size_t> decision_paid_ CBFT_SCHED;
-  /// Nodes of hung replicas.
+  // Sessions. Retained for the controller's lifetime: the program
+  // registry and tracker hold pointers into each session's plan/dag, and
+  // a straggling replica of a finished session may still complete.
+  std::vector<std::unique_ptr<ScriptSession>> sessions_ CBFT_SCHED;
+  /// Run id -> owning session id (routing for inbound events).
+  std::map<std::size_t, std::size_t> session_of_run_ CBFT_SCHED;
+  /// Executions per request name (admission-order-independent serials).
+  std::map<std::string, std::size_t> name_serial_ CBFT_SCHED;
+
+  /// Nodes of hung replicas — substrate knowledge, persists across
+  /// scripts (omission is not attributable, only avoidable).
   std::set<cluster::NodeId> omission_suspects_ CBFT_SCHED;
-  /// Per job, escalates.
-  std::vector<double> job_timeout_s_ CBFT_SCHED;
-  bool finished_ CBFT_SCHED = false;
-  bool success_ CBFT_SCHED = false;
-  cluster::SimTime start_time_ CBFT_SCHED = 0;
-  cluster::SimTime finish_time_ CBFT_SCHED = 0;
-  std::size_t commission_seen_ CBFT_SCHED = 0;
-  std::size_t omission_seen_ CBFT_SCHED = 0;
-  std::size_t digest_reports_ CBFT_SCHED = 0;
-  /// Distinguishes repeated executions.
-  std::size_t exec_counter_ CBFT_SCHED = 0;
+
+  // Verified-result cache (shared across sessions and tenants).
+  ResultCache result_cache_ CBFT_SCHED;
+  /// LOAD input content digests, memoized by path while the size is
+  /// unchanged.
+  std::map<std::string, std::pair<std::uint64_t, crypto::Digest256>>
+      input_digest_memo_ CBFT_SCHED;
 #undef CBFT_SCHED
 };
 

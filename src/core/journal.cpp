@@ -1,6 +1,7 @@
 #include "core/journal.hpp"
 
 #include <cstdio>
+#include <set>
 
 #include "common/wire.hpp"
 
@@ -8,7 +9,9 @@ namespace clusterbft::core {
 
 namespace {
 constexpr std::uint32_t kJournalMagic = 0x434A424CU;  // "CBJL"
-constexpr std::uint16_t kJournalVersion = 1;
+// v2: records carry a u32 session id so recovery can replay a set of
+// concurrently in-flight scripts and route every record to its session.
+constexpr std::uint16_t kJournalVersion = 2;
 // A journal record never carries more than one codec frame; anything
 // bigger is a corrupt length field, not a real record.
 constexpr std::uint32_t kMaxPayload = 1U << 24;
@@ -30,6 +33,7 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kSuspicionUpdate: return "suspicion-update";
     case RecordKind::kDegraded: return "degraded";
     case RecordKind::kPoolExhausted: return "pool-exhausted";
+    case RecordKind::kCacheHit: return "cache-hit";
   }
   return "unknown";
 }
@@ -39,7 +43,8 @@ Journal::~Journal() {
 }
 
 Journal::Append Journal::append(RecordKind kind, double time,
-                                std::vector<std::uint8_t> payload) {
+                                std::vector<std::uint8_t> payload,
+                                std::uint32_t session) {
   const common::RoleGuard held(common::scheduler_thread_role);
   if (replaying_) return Append::kReplaying;
   if (crashed_) return Append::kCrashed;
@@ -51,7 +56,7 @@ Journal::Append Journal::append(RecordKind kind, double time,
     crash_at_ = SIZE_MAX;
     return Append::kCrashed;
   }
-  records_.push_back(JournalRecord{kind, time, std::move(payload)});
+  records_.push_back(JournalRecord{kind, session, time, std::move(payload)});
   if (file_ != nullptr) {
     const auto bytes = encode_record(records_.back());
     auto* f = static_cast<std::FILE*>(file_);
@@ -63,17 +68,19 @@ Journal::Append Journal::append(RecordKind kind, double time,
 
 bool Journal::recovery_pending() const {
   const common::RoleGuard held(common::scheduler_thread_role);
-  // A script is in flight iff the journal's last kScriptStart has no
-  // kScriptFinish after it. Records appended between scripts (e.g. a
-  // suspicion-threshold application) do not reopen recovery.
-  std::size_t last_start = SIZE_MAX;
-  std::size_t last_finish = SIZE_MAX;
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    if (records_[i].kind == RecordKind::kScriptStart) last_start = i;
-    if (records_[i].kind == RecordKind::kScriptFinish) last_finish = i;
+  // A session is in flight iff its kScriptStart has no kScriptFinish
+  // carrying the same session id. Records appended between scripts
+  // (e.g. a suspicion-threshold application) do not reopen recovery.
+  std::set<std::uint32_t> started;
+  std::set<std::uint32_t> finished;
+  for (const JournalRecord& r : records_) {
+    if (r.kind == RecordKind::kScriptStart) started.insert(r.session);
+    if (r.kind == RecordKind::kScriptFinish) finished.insert(r.session);
   }
-  if (last_start == SIZE_MAX) return false;
-  return last_finish == SIZE_MAX || last_finish < last_start;
+  for (std::uint32_t s : started) {
+    if (finished.count(s) == 0) return true;
+  }
+  return false;
 }
 
 std::vector<std::uint8_t> Journal::encode_record(const JournalRecord& r) {
@@ -81,6 +88,7 @@ std::vector<std::uint8_t> Journal::encode_record(const JournalRecord& r) {
   w.u32(kJournalMagic);
   w.u16(kJournalVersion);
   w.u16(static_cast<std::uint16_t>(r.kind));
+  w.u32(r.session);
   w.f64(r.time);
   w.u32(static_cast<std::uint32_t>(r.payload.size()));
   w.raw(r.payload.data(), r.payload.size());
@@ -94,15 +102,17 @@ std::optional<JournalRecord> Journal::decode_record(const std::uint8_t* data,
   const std::uint32_t magic = rd.u32();
   const std::uint16_t version = rd.u16();
   const std::uint16_t kind = rd.u16();
+  const std::uint32_t session = rd.u32();
   const double time = rd.f64();
   const std::uint32_t len = rd.u32();
   if (!rd.ok() || magic != kJournalMagic || version != kJournalVersion ||
-      kind < 1 || kind > static_cast<std::uint16_t>(RecordKind::kPoolExhausted) ||
+      kind < 1 || kind > static_cast<std::uint16_t>(RecordKind::kCacheHit) ||
       len > kMaxPayload || rd.remaining() < len) {
     return std::nullopt;
   }
   JournalRecord r;
   r.kind = static_cast<RecordKind>(kind);
+  r.session = session;
   r.time = time;
   r.payload.resize(len);
   rd.raw(r.payload.data(), len);

@@ -67,12 +67,18 @@ enum class RecordKind : std::uint16_t {
   kSuspicionUpdate = 12, ///< payload: u64 run id, u8 commission flag
   kDegraded = 13,        ///< payload: u64 count, u64 node ids...
   kPoolExhausted = 14,   ///< payload: empty
+  kCacheHit = 15,        ///< payload: u64 job index, 32-byte cache key
 };
 
 const char* to_string(RecordKind kind);
 
 struct JournalRecord {
   RecordKind kind = RecordKind::kScriptStart;
+  /// Owning session (1-based controller session id); 0 for records that
+  /// belong to the shared substrate (inbound frames, probes, thresholds).
+  /// Journal format v2 carries this on the wire so recovery can replay a
+  /// *set* of in-flight scripts and route each record to its session.
+  std::uint32_t session = 0;
   double time = 0;  ///< simulated seconds at append
   std::vector<std::uint8_t> payload;
 };
@@ -89,7 +95,8 @@ class Journal {
   /// record already exists from the pre-crash run). Returns kCrashed
   /// when this append is the configured crash point; the record is lost
   /// exactly as if the process died before the write completed.
-  Append append(RecordKind kind, double time, std::vector<std::uint8_t> payload);
+  Append append(RecordKind kind, double time, std::vector<std::uint8_t> payload,
+                std::uint32_t session = 0);
 
   // ---- crash injection ----
   /// Die on the append that would create record `record_index` (0-based).
@@ -122,7 +129,10 @@ class Journal {
   }
 
   /// True when the journal holds a script whose kScriptFinish was never
-  /// written — i.e. a crash left a script in flight and recover() applies.
+  /// written — i.e. a crash left one or more sessions in flight and
+  /// recover()/recover_all() applies. With multiple sessions the match
+  /// is per session id, so any unfinished member of a concurrent set
+  /// keeps recovery pending.
   bool recovery_pending() const;
 
   // ---- replay cursor ----
@@ -159,8 +169,8 @@ class Journal {
   static bool load_file(const std::string& path, Journal& out);
 
   /// Deterministic record framing (shares the wire primitives with the
-  /// protocol codec): u32 magic, u16 version, u16 kind, f64 time,
-  /// u32 payload length, payload bytes.
+  /// protocol codec): u32 magic, u16 version, u16 kind, u32 session,
+  /// f64 time, u32 payload length, payload bytes.
   static std::vector<std::uint8_t> encode_record(const JournalRecord& r);
   static std::optional<JournalRecord> decode_record(const std::uint8_t* data,
                                                     std::size_t size,

@@ -92,6 +92,14 @@ struct ClientRequest {
 
   /// Pool-exhaustion policy (see DegradedMode).
   DegradedMode degraded_mode = DegradedMode::kReadmit;
+
+  /// Digest-keyed verified-result cache: when on, every job's sub-graph
+  /// is keyed by (canonical logical-plan fingerprint, input content
+  /// digests, r-policy) and a key that matches an earlier *verified*
+  /// sub-graph adopts the cached digest vector and materialised relation
+  /// instead of re-running it. Adoption is journaled (kCacheHit) and
+  /// audited; convicting a contributing node invalidates its entries.
+  bool use_result_cache = false;
 };
 
 /// Aggregated cost of executing one script, over all replicas and waves —
@@ -113,6 +121,9 @@ struct ScriptMetrics {
   /// handler replicas, so this scales the control-tier cost with the
   /// digest granularity d.
   std::size_t digest_reports = 0;
+  /// Jobs whose verified result was adopted from the result cache
+  /// instead of being re-executed (use_result_cache).
+  std::size_t cache_hits = 0;
 };
 
 /// Why a script that did not verify stopped. Structured so callers can
@@ -150,6 +161,10 @@ struct ScriptResult {
   std::vector<cluster::NodeId> suspects;
   std::size_t commission_faults_seen = 0;
   std::size_t omission_faults_seen = 0;
+  /// Per verified gating job: hex SHA-256 fingerprint of the agreed
+  /// digest vector, keyed by sid. A cache hit must reproduce these
+  /// byte-identically to a cold execution.
+  std::map<std::string, std::string> verified_digest_hex;
 };
 
 }  // namespace clusterbft::core

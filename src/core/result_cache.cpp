@@ -1,0 +1,33 @@
+#include "core/result_cache.hpp"
+
+namespace clusterbft::core {
+
+const ResultCache::Entry* ResultCache::lookup(const crypto::Digest256& key) {
+  ++stats_.lookups;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++stats_.hits;
+  return &it->second;
+}
+
+void ResultCache::insert(const crypto::Digest256& key, Entry entry) {
+  if (entries_.count(key) != 0) return;
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+}
+
+std::size_t ResultCache::invalidate_node(cluster::NodeId node) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.contributors.count(node) != 0) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidated += dropped;
+  return dropped;
+}
+
+}  // namespace clusterbft::core

@@ -1,0 +1,81 @@
+// Digest-keyed verified-result cache (ROADMAP: "memoizes verified
+// sub-graph results by (logical-plan fingerprint, input digest) so
+// identical sub-queries from different tenants reuse already-verified
+// outputs instead of re-running them" — the Yoon & Liu lever: reusing
+// already-checked work is where the assurance-vs-cost curve bends).
+//
+// An entry is created only when a sub-graph *verified* (f+1 completed
+// replicas agreed on its whole digest vector), and records the agreed
+// digest-vector fingerprint, the materialised output path, and the
+// contributor set — every node whose corruption could have influenced
+// the result (the majority runs' fault clusters plus the contributors
+// of every cached/verified dependency). A suspicion change that
+// convicts a contributing node invalidates every dependent entry; the
+// conviction paths (kSuspicionUpdate, kProbeOutcome) are journaled
+// stimuli, so invalidation replays deterministically under recovery.
+//
+// The cache lives on the controller (shared substrate), spans sessions
+// and tenants, and is rebuilt bit-identically by journal replay — it is
+// never persisted separately.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+
+#include "cluster/resource_table.hpp"
+#include "common/guarded.hpp"
+#include "crypto/digest.hpp"
+
+namespace clusterbft::core {
+
+class ResultCache {
+ public:
+  struct Entry {
+    /// Fingerprint of the agreed digest vector — the verified evidence a
+    /// hit adopts instead of re-deriving.
+    crypto::Digest256 fingerprint;
+    /// Materialised (wave-scoped) relation of one majority replica.
+    std::string output_path;
+    /// Nodes whose conviction invalidates this entry.
+    std::set<cluster::NodeId> contributors;
+  };
+
+  struct Stats {
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    std::size_t insertions = 0;
+    std::size_t invalidated = 0;
+  };
+
+  /// Entry for `key`, or null. Counts a lookup (and a hit).
+  const Entry* lookup(const crypto::Digest256& key)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+
+  /// First insert wins: a key is a pure function of the sub-graph and
+  /// its inputs, so two verified results under one key are identical and
+  /// re-inserting would only churn the output path.
+  void insert(const crypto::Digest256& key, Entry entry)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+
+  /// Drop every entry `node` contributed to; returns how many died.
+  std::size_t invalidate_node(cluster::NodeId node)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+
+  const Stats& stats() const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role) {
+    return stats_;
+  }
+  std::size_t size() const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role) {
+    return entries_.size();
+  }
+
+ private:
+  std::map<crypto::Digest256, Entry> entries_
+      CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role);
+  Stats stats_ CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role);
+};
+
+}  // namespace clusterbft::core

@@ -231,4 +231,14 @@ std::vector<std::size_t> Verifier::incomplete_runs(
   return out;
 }
 
+std::optional<crypto::Digest256> Verifier::completed_fingerprint(
+    const std::string& sid, std::size_t run_id) {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  JobState* job = find(sid);
+  if (!job) return std::nullopt;
+  auto it = job->runs.find(run_id);
+  if (it == job->runs.end() || !it->second.complete) return std::nullopt;
+  return fingerprint(it->second);
+}
+
 }  // namespace clusterbft::core

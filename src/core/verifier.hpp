@@ -80,6 +80,12 @@ class Verifier {
   std::size_t completed_runs(const std::string& sid) const;
   std::vector<std::size_t> incomplete_runs(const std::string& sid) const;
 
+  /// Fingerprint of a *completed* run's digest vector — the value the
+  /// verification decision compared. Exposed so the result cache can key
+  /// and replay verified evidence; nullopt for unknown/incomplete runs.
+  std::optional<crypto::Digest256> completed_fingerprint(
+      const std::string& sid, std::size_t run_id);
+
  private:
   struct RunState {
     std::map<mapreduce::DigestKey, crypto::Digest256> digests;

@@ -309,6 +309,25 @@ class Compiler {
       }
       CBFT_CHECK_MSG(placed, "verification point on a vertex outside any job");
     }
+
+    // Boundary coverage: when a gating job is verified, the controller
+    // promotes one majority run's materialised output as the trusted input
+    // for every downstream consumer. Those exact bytes must therefore be
+    // part of the attested evidence. A job whose only VPs sit upstream of
+    // its output vertex (e.g. map-side before the shuffle) leaves a
+    // window: a commission fault inside the reduce task corrupts the
+    // written output while every digest stays honest, and f+1 agreement
+    // then promotes corrupt bytes as "verified". Close it by ensuring
+    // every job that carries any VP also digests its output vertex.
+    for (MRJobSpec& j : dag_.jobs) {
+      if (j.vps.empty()) continue;  // non-gating: nothing gets promoted
+      const bool covered = std::any_of(
+          j.vps.begin(), j.vps.end(),
+          [&](const VerificationPoint& vp) { return vp.vertex == j.output_vertex; });
+      if (!covered) {
+        j.vps.push_back({j.output_vertex, j.vps.front().records_per_digest});
+      }
+    }
   }
 
   void finalize_sids() {

@@ -40,6 +40,13 @@ class Dfs {
   /// Read the whole relation (accounts bytes_read).
   const dataflow::Relation& read(const std::string& path);
 
+  /// Read the whole relation WITHOUT accounting — control-tier metadata
+  /// access (result-cache input fingerprints) that must not perturb the
+  /// Table 3 byte counters.
+  const dataflow::Relation& peek(const std::string& path) const {
+    return file_at(path).rel;
+  }
+
   /// Size in canonical bytes without accounting a read.
   std::uint64_t size_of(const std::string& path) const;
 

@@ -42,6 +42,7 @@ bool get_strs(WireReader& r, std::vector<Text>& v) {
 
 void encode_payload(WireWriter& w, const SubmitRun& m) {
   w.u64(m.run);
+  w.u64(m.session);
   w.u64(m.program);
   w.u64(m.job_index);
   w.u64(m.replica);
@@ -54,6 +55,7 @@ void encode_payload(WireWriter& w, const SubmitRun& m) {
 
 bool decode_payload(WireReader& r, SubmitRun& m) {
   m.run = r.u64();
+  m.session = r.u64();
   m.program = r.u64();
   m.job_index = r.u64();
   m.replica = r.u64();
@@ -239,6 +241,34 @@ std::optional<Message> decode_as(WireReader& r) {
   return Message{std::move(m)};
 }
 
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), bitwise — frames are small
+// and the simulator is not checksum-bound. `state` is the raw register
+// (start at 0xFFFFFFFF, finalize with ~), so the sum can be accumulated
+// across the header and payload ranges without a scratch buffer.
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* p,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      state = (state >> 1) ^ (0xEDB88320u & (0u - (state & 1u)));
+    }
+  }
+  return state;
+}
+
+// Envelope layout offsets. The checksum covers [4, 12) (version, type,
+// length) and the payload at [16, size) — everything integrity-relevant
+// except the magic (a constant, checked directly) and the field itself.
+constexpr std::size_t kCrcOffset = 12;
+constexpr std::size_t kHeaderSize = 16;
+
+std::uint32_t frame_crc(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t state = 0xFFFFFFFFu;
+  state = crc32_update(state, data + 4, kCrcOffset - 4);
+  state = crc32_update(state, data + kHeaderSize, size - kHeaderSize);
+  return ~state;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Message& m) {
@@ -250,8 +280,20 @@ std::vector<std::uint8_t> encode(const Message& m) {
   frame.u16(kWireVersion);
   frame.u16(static_cast<std::uint16_t>(m.index() + 1));
   frame.u32(static_cast<std::uint32_t>(payload.bytes().size()));
+  frame.u32(0);  // checksum placeholder, sealed below
   frame.raw(payload.bytes().data(), payload.bytes().size());
-  return frame.take();
+  std::vector<std::uint8_t> out = frame.take();
+  reseal_frame(out);
+  return out;
+}
+
+void reseal_frame(std::vector<std::uint8_t>& frame) {
+  if (frame.size() < kHeaderSize) return;
+  const std::uint32_t crc = frame_crc(frame.data(), frame.size());
+  frame[kCrcOffset + 0] = static_cast<std::uint8_t>(crc);
+  frame[kCrcOffset + 1] = static_cast<std::uint8_t>(crc >> 8);
+  frame[kCrcOffset + 2] = static_cast<std::uint8_t>(crc >> 16);
+  frame[kCrcOffset + 3] = static_cast<std::uint8_t>(crc >> 24);
 }
 
 std::optional<Message> decode(const std::uint8_t* data, std::size_t size) {
@@ -260,7 +302,9 @@ std::optional<Message> decode(const std::uint8_t* data, std::size_t size) {
   if (r.u16() != kWireVersion) return std::nullopt;
   const std::uint16_t type = r.u16();
   const std::uint32_t length = r.u32();
+  const std::uint32_t crc = r.u32();
   if (!r.ok() || r.remaining() != length) return std::nullopt;
+  if (crc != frame_crc(data, size)) return std::nullopt;
 
   std::optional<Message> out;
   switch (type) {

@@ -3,10 +3,12 @@
 // Every message travels in a versioned, length-prefixed envelope:
 //
 //   u32 magic   = 0x43424654 ("CBFT")
-//   u16 version = 2 (v2 added event/command sequence numbers and the
-//                    ReadmitNode/NodeReadmitted pair)
+//   u16 version = 3 (v2 added event/command sequence numbers and the
+//                    ReadmitNode/NodeReadmitted pair; v3 added the
+//                    SubmitRun session field and the frame checksum)
 //   u16 type    = variant index of the payload + 1 (0 is reserved)
 //   u32 length  = payload byte count
+//   u32 crc     = CRC-32 (IEEE) over version, type, length and payload
 //   ...payload  (little-endian fields, see encode_payload per struct)
 //
 // Encoding is a pure function of the message value — two equal messages
@@ -15,9 +17,19 @@
 // skips the codec entirely and still behaves observably the same.
 // `decode` rejects (returns nullopt) anything that is not a complete,
 // well-formed frame: bad magic/version/type, truncated payload, trailing
-// bytes, or length fields pointing past the end of the buffer. It never
-// reads out of bounds and never aborts, so a byzantine computation tier
-// cannot crash the control tier with a malformed frame.
+// bytes, length fields pointing past the end of the buffer, or a
+// checksum mismatch. It never reads out of bounds and never aborts, so a
+// byzantine computation tier cannot crash the control tier with a
+// malformed frame.
+//
+// The checksum models the integrity layer every deployed control channel
+// has (link CRC, TLS/MAC): CHANNEL corruption is detected and the frame
+// dropped — it degrades to an omission the timeout machinery already
+// handles. Without it, a bit-flipped run id can masquerade as a fresh
+// command and re-execute a job over an output path whose digests were
+// already agreed — a verified-but-wrong promotion, the one failure class
+// the system exists to exclude. It is NOT authentication: a byzantine
+// node can still seal any well-formed frame it likes.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +41,16 @@
 namespace clusterbft::protocol {
 
 inline constexpr std::uint32_t kWireMagic = 0x43424654;  // "CBFT"
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 
-/// Serialize `m` into one self-delimiting frame.
+/// Serialize `m` into one self-delimiting frame (checksum sealed).
 std::vector<std::uint8_t> encode(const Message& m);
+
+/// Recompute and patch the envelope checksum of a (possibly tampered)
+/// frame in place. For tests and tools that hand-craft hostile frames
+/// and need them to pass the integrity check so deeper validation is
+/// what rejects them. No-op on buffers shorter than the header.
+void reseal_frame(std::vector<std::uint8_t>& frame);
 
 /// Parse exactly one frame occupying the whole buffer. Returns nullopt on
 /// any malformation; never exhibits UB on hostile input.

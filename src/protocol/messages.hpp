@@ -45,10 +45,14 @@ namespace clusterbft::protocol {
 /// Submit one replica of one compiled job. `program` is a ProgramRegistry
 /// handle standing in for the deployed job bundle (the "job jar" both
 /// tiers fetch from the shared store); `run` is the control-assigned id
-/// every later message about this run refers to. `avoid`/`restrict_to`
-/// are sorted node-id lists (§3.3 smart deployment / probe overlay).
+/// every later message about this run refers to; `session` names the
+/// controller session (script) the run belongs to, so multi-tenant
+/// traces attribute work without parsing output paths. `avoid`/
+/// `restrict_to` are sorted node-id lists (§3.3 smart deployment /
+/// probe overlay).
 struct SubmitRun {
   std::uint64_t run = 0;
+  std::uint64_t session = 0;
   std::uint64_t program = 0;
   std::uint64_t job_index = 0;
   std::uint64_t replica = 0;

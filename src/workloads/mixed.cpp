@@ -1,0 +1,75 @@
+#include "workloads/mixed.hpp"
+
+#include "common/rng.hpp"
+#include "workloads/scripts.hpp"
+
+namespace clusterbft::workloads {
+
+namespace {
+
+/// A follower analysis made unique by a user-id threshold: a different
+/// `k` is a different logical plan, so its sub-graphs can never share a
+/// cache key with another request's.
+std::string follower_above(std::uint64_t k, const std::string& output) {
+  return "edges = LOAD 'twitter/edges' AS (user:long, follower:long);\n"
+         "clean = FILTER edges BY user > " + std::to_string(k) + ";\n"
+         "grp = GROUP clean BY user;\n"
+         "counts = FOREACH grp GENERATE group AS user, COUNT(clean) AS followers;\n"
+         "STORE counts INTO '" + output + "';\n";
+}
+
+std::string weather_above(std::uint64_t k, const std::string& output) {
+  return "readings = LOAD 'weather/gsod' AS (station:long, year:long, temp:double);\n"
+         "valid = FILTER readings BY station > " + std::to_string(k) + ";\n"
+         "by_station = GROUP valid BY station;\n"
+         "avgs = FOREACH by_station GENERATE group AS station, TRUNC(AVG(valid.temp)) AS avg_temp;\n"
+         "STORE avgs INTO '" + output + "';\n";
+}
+
+}  // namespace
+
+std::vector<TenantRequest> mixed_tenant_workload(std::size_t count,
+                                                 std::uint64_t seed,
+                                                 double repeated_fraction) {
+  Rng rng(seed);
+  const struct {
+    const char* tenant;
+    std::size_t weight;
+  } kTenants[] = {{"alpha", 3}, {"beta", 2}, {"gamma", 1}};
+
+  // The repeatable base queries: identical script text (and therefore
+  // identical sub-graph cache keys) every time they are drawn.
+  const std::string kBase[] = {
+      twitter_follower_analysis(),
+      weather_average_analysis(),
+      airline_top20_analysis(),
+  };
+  constexpr std::size_t kBases = sizeof(kBase) / sizeof(kBase[0]);
+
+  std::vector<TenantRequest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& tn = kTenants[rng.next_below(3)];
+    TenantRequest req;
+    req.tenant = tn.tenant;
+    req.weight = tn.weight;
+    req.priority = rng.next_below(2);  // two priority classes
+    if (rng.chance(repeated_fraction)) {
+      const std::size_t b = rng.next_below(kBases);
+      req.name = std::string("rep-") + std::to_string(b);
+      req.script = kBase[b];
+    } else {
+      // Unique: a fresh threshold per request (the request index keeps
+      // thresholds distinct even if the rng repeats a value).
+      const std::uint64_t k = i * 7 + rng.next_below(5);
+      req.name = "uniq-" + std::to_string(i);
+      req.script = rng.chance(0.5)
+                       ? follower_above(k, "out/uniq_f_" + std::to_string(i))
+                       : weather_above(k, "out/uniq_w_" + std::to_string(i));
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace clusterbft::workloads

@@ -1,0 +1,32 @@
+// Mixed multi-tenant request stream for the front-end benchmarks and
+// tests: a deterministic (seeded) sequence of twitter / weather / airline
+// analysis scripts spread over a handful of tenants with different WRR
+// weights, in which a configurable fraction of requests are exact repeats
+// of earlier sub-queries — the knob the verified-result-cache ablation
+// turns (repeated sub-graphs hit the cache, unique ones never can).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clusterbft::workloads {
+
+struct TenantRequest {
+  std::string tenant;
+  std::size_t weight = 1;
+  std::size_t priority = 0;
+  std::string name;    ///< request name (scoping)
+  std::string script;  ///< PigLatin-subset source
+};
+
+/// `count` requests over tenants {alpha(w=3), beta(w=2), gamma(w=1)}.
+/// Roughly `repeated_fraction` of them re-issue an earlier request's
+/// script verbatim (same logical plan over the same inputs — cacheable);
+/// the rest are made unique by a varying filter threshold, so their cache
+/// keys can never collide. Deterministic in `seed`.
+std::vector<TenantRequest> mixed_tenant_workload(std::size_t count,
+                                                 std::uint64_t seed,
+                                                 double repeated_fraction);
+
+}  // namespace clusterbft::workloads

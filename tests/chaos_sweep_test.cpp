@@ -244,6 +244,91 @@ TEST(ChaosSweepTest, ZeroChaosConfigIsBitCompatibleWithLoopback) {
   EXPECT_EQ(res.metrics.waves, loopback_res.metrics.waves);
 }
 
+// ---- concurrent sessions under chaos -------------------------------
+//
+// Two sessions in flight through one controller while the storm rages,
+// with a journal crash point that can land anywhere in the interleaved
+// life. After recover_all the same two safety invariants must hold for
+// EACH session independently: verified implies bit-identical to the
+// honest reference, unverified implies a structured failure and no
+// promoted output.
+class ConcurrentChaosSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ConcurrentChaosSweep, SafetyHoldsPerSessionUnderStormAndCrash) {
+  const std::uint64_t seed = GetParam();
+  workloads::WeatherConfig wc;
+  wc.num_stations = 30;
+  wc.readings_per_station = 4;
+  const auto readings = workloads::generate_weather(wc);
+  const std::string script = workloads::weather_average_analysis();
+  const auto plan = dataflow::parse_script(script);
+  const auto golden = dataflow::interpret(plan, {{kInputPath, readings}});
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, readings);
+  TrackerConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = seed;
+  cfg.policies[1] = AdversaryPolicy{.commission_prob = 0.6};
+  cluster::ExecutionTracker tracker(sim, dfs, cfg);
+  protocol::ChaosSeam seam(tracker, chaos_for({Mix::kNetworkStorm, seed}));
+
+  auto request = [&](const std::string& name) {
+    ClientRequest req = baseline::cluster_bft(script, name, 1, 2, 1);
+    req.verifier_timeout_s = 5.0;
+    req.max_rerun_waves = 4;
+    return req;
+  };
+  const std::vector<ClientRequest> reqs{request("chaos-a"),
+                                        request("chaos-b")};
+
+  Journal journal;
+  journal.set_crash_at(5 + (seed * 17) % 150);
+  std::vector<ScriptResult> results;
+  {
+    ClusterBft crashed(sim, dfs, seam.transport, seam.programs, &journal);
+    sim.run();  // drain the initial NodeAnnounce over the storm link
+    try {
+      for (const ClientRequest& r : reqs) (void)crashed.begin_session(r);
+      crashed.drive_all();
+      crashed.fail_stalled_sessions();
+      for (std::size_t s = 1; s <= reqs.size(); ++s) {
+        results.push_back(crashed.collect_session(s));
+      }
+    } catch (const ControllerCrashed&) {
+      results.clear();
+      ClusterBft recovered(sim, dfs, seam.transport, seam.programs,
+                           &journal);
+      results = recovered.recover_all(reqs);
+    }
+  }
+
+  ASSERT_EQ(results.size(), reqs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(reqs[i].name);
+    const ScriptResult& res = results[i];
+    if (res.verified) {
+      ASSERT_TRUE(res.outputs.count(kOutputPath));
+      EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+                golden.at(kOutputPath).sorted_rows())
+          << "VERIFIED OUTPUT IS WRONG (integrity violation)";
+    } else {
+      EXPECT_NE(res.failure, FailureReason::kNone);
+      EXPECT_TRUE(res.outputs.empty())
+          << "an unverified session promoted outputs";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, ConcurrentChaosSweep,
+                         ::testing::Range<std::uint64_t>(1, 13),
+                         [](const ::testing::TestParamInfo<std::uint64_t>&
+                                ti) {
+                           return "s" + std::to_string(ti.param);
+                         });
+
 TEST(ChaosSweepTest, FaultCountersProveTheStormWasReal) {
   // The sweep is only meaningful if the fault model actually engages.
   workloads::WeatherConfig wc;

@@ -147,9 +147,15 @@ TEST(CompilerTest, VerificationPointsLandInTheRightJobs) {
   CompileOptions opts;
   opts.sid_prefix = "t";
   const auto dag = compile(plan, {{2, 100}, {0, 0}}, opts);
-  ASSERT_EQ(dag.jobs[0].vps.size(), 2u);
-  EXPECT_TRUE(dag.jobs[1].vps.empty());
+  // The two requested points land in job 0, plus the implicit boundary
+  // point at the job's output vertex: a gating job must digest the exact
+  // bytes it materialises, or agreement could promote corrupt output.
+  ASSERT_EQ(dag.jobs[0].vps.size(), 3u);
   EXPECT_EQ(dag.jobs[0].vps[0].records_per_digest, 100u);
+  EXPECT_EQ(dag.jobs[0].vps[2].vertex, dag.jobs[0].output_vertex);
+  EXPECT_EQ(dag.jobs[0].vps[2].records_per_digest, 100u);
+  // Job 1 carries no VP, so it stays non-gating: no implicit point added.
+  EXPECT_TRUE(dag.jobs[1].vps.empty());
 }
 
 TEST(CompilerTest, StorePointNormalisesToStoredVertex) {

@@ -14,10 +14,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baseline/presets.hpp"
 #include "cluster/tracker.hpp"
@@ -94,6 +96,7 @@ void expect_equal(const Outcome& got, const Outcome& want) {
   EXPECT_EQ(gm.waves, wm.waves);
   EXPECT_EQ(gm.rollbacks, wm.rollbacks);
   EXPECT_EQ(gm.digest_reports, wm.digest_reports);
+  EXPECT_EQ(gm.cache_hits, wm.cache_hits);
   EXPECT_EQ(got.result.commission_faults_seen,
             want.result.commission_faults_seen);
   EXPECT_EQ(got.result.omission_faults_seen,
@@ -163,6 +166,140 @@ TEST(CrashRecoveryTest, RecoveryIsBitIdenticalAtEveryCrashPoint) {
                          &journal);
     const ScriptResult res = recovered.recover(req);
     expect_equal({res, recovered.audit_log().to_string()}, want);
+    EXPECT_FALSE(journal.recovery_pending());
+  }
+}
+
+TEST(CrashRecoveryTest, RecoveryWithTwoInFlightSessionsIsBitIdentical) {
+  // Two weather sessions in flight at once (interleaved waves, shared
+  // verifier and suspicion bookkeeping), crashed at EVERY journal record
+  // and recovered as a set: both results and the full audit history must
+  // match the uninterrupted concurrent run bit for bit.
+  const ClientRequest req_a = baseline::cluster_bft(
+      workloads::weather_average_analysis(), "multi-a", 1, 2, 1);
+  const ClientRequest req_b = baseline::cluster_bft(
+      workloads::weather_average_analysis(), "multi-b", 1, 2, 1);
+  const std::vector<ClientRequest> reqs{req_a, req_b};
+
+  // ---- uninterrupted concurrent reference ----
+  World ref_world;
+  Journal ref_journal;
+  ClusterBft ref(ref_world.sim, ref_world.dfs, ref_world.seam->transport,
+                 ref_world.seam->programs, &ref_journal);
+  std::vector<Outcome> want;
+  {
+    for (const ClientRequest& r : reqs) (void)ref.begin_session(r);
+    ref.drive_all();
+    for (std::size_t s = 1; s <= reqs.size(); ++s) {
+      want.push_back({ref.collect_session(s), {}});
+      ASSERT_TRUE(want.back().result.verified) << s;
+    }
+  }
+  const std::string want_audit = ref.audit_log().to_string();
+  ASSERT_FALSE(ref_journal.recovery_pending());
+
+  const std::size_t records = ref_journal.size();
+  ASSERT_GT(records, 20u) << "journal suspiciously small";
+
+  for (std::size_t k = 0; k < records; ++k) {
+    SCOPED_TRACE("crash at journal record " + std::to_string(k));
+    World w;
+    Journal journal;
+    journal.set_crash_at(k);
+    ClusterBft crashed(w.sim, w.dfs, w.seam->transport, w.seam->programs,
+                       &journal);
+    try {
+      for (const ClientRequest& r : reqs) (void)crashed.begin_session(r);
+      crashed.drive_all();
+      for (std::size_t s = 1; s <= reqs.size(); ++s) {
+        (void)crashed.collect_session(s);
+      }
+      FAIL() << "crash point never fired";
+    } catch (const ControllerCrashed&) {
+    }
+    ASSERT_TRUE(journal.crashed());
+    ASSERT_EQ(journal.size(), k);
+
+    ClusterBft recovered(w.sim, w.dfs, w.seam->transport, w.seam->programs,
+                         &journal);
+    const std::vector<ScriptResult> got = recovered.recover_all(reqs);
+    ASSERT_EQ(got.size(), reqs.size());
+    const std::string got_audit = recovered.audit_log().to_string();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      SCOPED_TRACE(reqs[i].name);
+      expect_equal({got[i], got_audit}, {want[i].result, want_audit});
+    }
+    EXPECT_FALSE(journal.recovery_pending());
+  }
+}
+
+TEST(CrashRecoveryTest, CacheHitRecoveryIsBitIdentical) {
+  // The same script executed twice with the result cache on: the second
+  // execution adopts cached verified results (cache_hits > 0, journaled
+  // as kCacheHit). Crash the pair at every record; recovery must replay
+  // the adoption — same hits, same outputs, same audit — even when the
+  // crash lands between the insert (first script) and the hit (second).
+  const ClientRequest base = request();
+  ClientRequest req = base;
+  req.use_result_cache = true;
+
+  World ref_world;
+  Journal ref_journal;
+  ClusterBft ref(ref_world.sim, ref_world.dfs, ref_world.seam->transport,
+                 ref_world.seam->programs, &ref_journal);
+  // Audit comparison is per-session canonical transcript: recovery
+  // collects sessions at the end, so the raw insertion order of the
+  // script-completed lines differs from the serial reference even though
+  // every event (and its timestamp) is identical.
+  Outcome want_cold{ref.execute(req), {}};
+  Outcome want_hit{ref.execute(req), {}};
+  want_cold.audit = ref.audit_log().transcript("recover#1");
+  want_hit.audit = ref.audit_log().transcript("recover#2");
+  ASSERT_TRUE(want_cold.result.verified);
+  ASSERT_TRUE(want_hit.result.verified);
+  ASSERT_EQ(want_cold.result.metrics.cache_hits, 0u);
+  ASSERT_GT(want_hit.result.metrics.cache_hits, 0u)
+      << "the scenario must exercise cache adoption";
+
+  const std::size_t records = ref_journal.size();
+  for (std::size_t k = 0; k < records; ++k) {
+    SCOPED_TRACE("crash at journal record " + std::to_string(k));
+    World w;
+    Journal journal;
+    journal.set_crash_at(k);
+    ClusterBft crashed(w.sim, w.dfs, w.seam->transport, w.seam->programs,
+                       &journal);
+    try {
+      (void)crashed.execute(req);
+      (void)crashed.execute(req);
+      FAIL() << "crash point never fired";
+    } catch (const ControllerCrashed&) {
+    }
+    ASSERT_TRUE(journal.crashed());
+
+    // Only sessions whose kScriptStart reached the journal were in flight
+    // at the crash; those are recovered. The rest were never submitted —
+    // the client re-executes them on the recovered controller, whose
+    // cache was rebuilt by replay (so the re-executed second script still
+    // hits). A non-empty journal is always replayed (via recover_all with
+    // one request) even when no script durably started: it can hold
+    // membership announcements the wire already delivered.
+    std::size_t started = 0;
+    for (std::size_t i = 0; i < journal.size(); ++i) {
+      if (journal.at(i).kind == RecordKind::kScriptStart) ++started;
+    }
+    ClusterBft recovered(w.sim, w.dfs, w.seam->transport, w.seam->programs,
+                         &journal);
+    std::vector<ScriptResult> got;
+    if (journal.size() > 0) {
+      got = recovered.recover_all(std::vector<ClientRequest>(
+          std::max<std::size_t>(started, 1), req));
+    }
+    while (got.size() < 2) got.push_back(recovered.execute(req));
+    expect_equal({got[0], recovered.audit_log().transcript("recover#1")},
+                 want_cold);
+    expect_equal({got[1], recovered.audit_log().transcript("recover#2")},
+                 want_hit);
     EXPECT_FALSE(journal.recovery_pending());
   }
 }

@@ -270,11 +270,12 @@ TEST(ProtocolCodecTest, BadMagicVersionAndTypeAreRejected) {
   }
 }
 
-TEST(ProtocolCodecTest, SingleByteCorruptionNeverCrashes) {
-  // Flip each byte of each frame through all of a few XOR masks. The
-  // decoder may reject or may produce some other well-formed message
-  // (flipping a payload integer byte yields a different valid value);
-  // what it must never do is read out of bounds or abort.
+TEST(ProtocolCodecTest, SingleByteCorruptionIsAlwaysDetected) {
+  // Flip each byte of each frame through a few XOR masks. CRC-32 detects
+  // every single-byte error regardless of position (header, checksum
+  // field, or payload), so EVERY tampered frame must be rejected — a
+  // bit-flipped run id masquerading as a fresh command is exactly the
+  // corruption class that could re-execute over a verified output path.
   Rng rng(99);
   for (std::size_t type = 0; type < kNumTypes; ++type) {
     const Message m = rand_message(type, rng);
@@ -284,14 +285,35 @@ TEST(ProtocolCodecTest, SingleByteCorruptionNeverCrashes) {
            {std::uint8_t{0x01}, std::uint8_t{0x80}, std::uint8_t{0xff}}) {
         auto b = bytes;
         b[pos] ^= mask;
-        const auto back = decode(b);
-        if (back.has_value()) {
-          // Whatever decoded must re-encode into a frame of the same
-          // size class the decoder accepted (sanity, not identity).
-          EXPECT_EQ(encode(*back).size(), b.size());
-        }
+        EXPECT_FALSE(decode(b).has_value())
+            << "type " << type << " accepted a frame corrupted at byte "
+            << pos;
       }
     }
+  }
+}
+
+TEST(ProtocolCodecTest, ResealedTamperingStillFacesDeepValidation) {
+  // reseal_frame lets a hostile WELL-CHECKSUMMED frame through to the
+  // payload validators — the checksum is integrity, not authentication,
+  // so the deeper checks must still hold on resealed garbage.
+  const auto good = encode(Message{CancelRun{42}});
+  {
+    auto b = good;
+    b[6] = 0;  // type 0 is reserved
+    reseal_frame(b);
+    EXPECT_FALSE(decode(b).has_value());
+  }
+  {
+    // A resealed flip in a payload integer decodes to a different, valid
+    // value: corruption past the checksum is indistinguishable from a
+    // different (well-formed) command by design.
+    auto b = good;
+    b.back() ^= 0x01;
+    reseal_frame(b);
+    const auto back = decode(b);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_NE(std::get<CancelRun>(*back).run, 42u);
   }
 }
 
@@ -302,20 +324,24 @@ TEST(ProtocolCodecTest, HostileCountFieldsAreRejected) {
   m.run = 1;
   m.node = 2;
   auto bytes = encode(Message{m});
-  // Payload layout: run u64, node u64, count u32. Overwrite the count.
-  const std::size_t count_off = 12 + 8 + 8;
+  // Payload layout: run u64, node u64, count u32. Overwrite the count
+  // (header is 16 bytes: magic, version, type, length, crc).
+  const std::size_t count_off = 16 + 8 + 8;
   ASSERT_LT(count_off + 3, bytes.size() + 4);
   bytes.resize(count_off + 4);
   bytes[count_off + 0] = 0xff;
   bytes[count_off + 1] = 0xff;
   bytes[count_off + 2] = 0xff;
   bytes[count_off + 3] = 0x7f;
-  // Fix the envelope length to match the (short) payload.
-  const std::uint32_t payload = static_cast<std::uint32_t>(bytes.size() - 12);
+  // Fix the envelope length to match the (short) payload and reseal the
+  // checksum: the COUNT validation, not the integrity check, must be
+  // what rejects this frame.
+  const std::uint32_t payload = static_cast<std::uint32_t>(bytes.size() - 16);
   bytes[8] = static_cast<std::uint8_t>(payload);
   bytes[9] = static_cast<std::uint8_t>(payload >> 8);
   bytes[10] = static_cast<std::uint8_t>(payload >> 16);
   bytes[11] = static_cast<std::uint8_t>(payload >> 24);
+  reseal_frame(bytes);
   EXPECT_FALSE(decode(bytes).has_value());
 }
 

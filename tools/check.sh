@@ -28,6 +28,12 @@
 #                                them three consecutive times — every
 #                                storm is seeded and deterministic, so a
 #                                single flake is a safety bug, not noise
+#   tools/check.sh --frontend    multi-tenant gate: the frontend suite
+#                                (N concurrent sessions == serial bit
+#                                for bit, cache-hit byte-identity,
+#                                multi-session crash recovery) plus the
+#                                concurrent chaos storms (>= 2 sessions
+#                                in flight), three consecutive passes
 #   tools/check.sh --parity      SHA-256 dispatch parity gate: build the
 #                                digest_parity transcript generator, run
 #                                the 24-seed verification-point sweep
@@ -128,6 +134,27 @@ case "$MODE" in
         -R 'ChaosSweep|CrashRecovery'
     done
     echo "check.sh: chaos gate OK (3/3 clean)"
+    ;;
+
+  --frontend)
+    # Multi-tenant gate: the front end's whole correctness story is
+    # "concurrent == serial, bit for bit" — N interleaved sessions (and
+    # cache adoptions) must reproduce serial outputs, metrics and audit
+    # transcripts, including across a mid-flight crash + recovery, and
+    # the chaos storms must hold per-session safety with >= 2 sessions
+    # concurrently in flight (the ConcurrentChaosSweep suite). All of it
+    # is seeded and deterministic, so the bar is three consecutive clean
+    # passes, same as the chaos gate.
+    echo "== frontend gate: build the frontend + chaos + recovery suites =="
+    cmake -S "$ROOT" -B "$ROOT/build" >/dev/null
+    cmake --build "$ROOT/build" \
+      --target frontend_test chaos_sweep_test crash_recovery_test -j "$JOBS"
+    for i in 1 2 3; do
+      echo "== frontend gate: pass $i/3 =="
+      ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
+        -R 'Frontend|ConcurrentChaosSweep|CrashRecovery'
+    done
+    echo "check.sh: frontend gate OK (3/3 clean)"
     ;;
 
   --parity)
