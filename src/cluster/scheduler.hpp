@@ -22,6 +22,10 @@ struct TaskCandidate {
   std::size_t replica = 0;
   bool reduce = false;
   std::size_t task_index = 0;  ///< map: task number; reduce: partition
+  /// Restart/escalation run: when any urgent candidate is schedulable on
+  /// a node, the tracker narrows the safe list to urgent ones before the
+  /// scheduler picks, so policies only order *within* the urgency class.
+  bool urgent = false;
 };
 
 class TaskScheduler {

@@ -85,7 +85,7 @@ std::size_t ExecutionTracker::submit(const dataflow::LogicalPlan& plan,
                                      std::string output_path,
                                      std::set<NodeId> avoid,
                                      std::set<NodeId> restrict_to,
-                                     std::size_t max_nodes) {
+                                     std::size_t max_nodes, bool urgent) {
   CBFT_CHECK_MSG(input_paths.size() == spec.branches.size(),
                  "one input path per branch required");
   JobRun run;
@@ -97,6 +97,7 @@ std::size_t ExecutionTracker::submit(const dataflow::LogicalPlan& plan,
   run.output_path = std::move(output_path);
   run.avoid = std::move(avoid);
   run.restrict_to = std::move(restrict_to);
+  run.urgent = urgent;
 
   for (std::size_t b = 0; b < spec.branches.size(); ++b) {
     CBFT_CHECK_MSG(dfs_.exists(run.branch_inputs[b]),
@@ -200,10 +201,27 @@ bool ExecutionTracker::assign_one(ResourceEntry& node) {
       continue;
     }
     safe.push_back(TaskCandidate{ref.run, run.spec->sid, run.replica,
-                                 ref.reduce, ref.index});
+                                 ref.reduce, ref.index, run.urgent});
     safe_pending_index.push_back(i);
   }
   if (safe.empty()) return false;
+  // Urgency class first: a restart/escalation run gates a sub-graph the
+  // control tier already knows is disagreeing, so its tasks must not
+  // queue behind bulk first-wave work. Filtering (rather than sorting)
+  // keeps every scheduling policy's order stable within a class.
+  bool any_urgent = false;
+  for (const TaskCandidate& c : safe) any_urgent = any_urgent || c.urgent;
+  if (any_urgent) {
+    std::vector<TaskCandidate> urgent_safe;
+    std::vector<std::size_t> urgent_index;
+    for (std::size_t i = 0; i < safe.size(); ++i) {
+      if (!safe[i].urgent) continue;
+      urgent_safe.push_back(safe[i]);
+      urgent_index.push_back(safe_pending_index[i]);
+    }
+    safe.swap(urgent_safe);
+    safe_pending_index.swap(urgent_index);
+  }
   const auto choice = scheduler_->pick(node, safe);
   if (!choice) return false;
   CBFT_CHECK(*choice < safe.size());

@@ -145,12 +145,16 @@ class ExecutionTracker {
   /// footprint — the control tier passes cluster_size/(r+1) so that r
   /// sibling replicas plus a rerun replica can always find unpinned
   /// nodes, whatever the job's parallelism.
+  /// `urgent` marks a restart/escalation run of an already-disagreeing
+  /// sub-graph: on every heartbeat, urgent pending tasks are offered to
+  /// the scheduler before bulk work so targeted rollback is not
+  /// serialised behind first-wave queues.
   std::size_t submit(const dataflow::LogicalPlan& plan,
                      const mapreduce::MRJobSpec& spec, std::size_t replica,
                      std::vector<std::string> input_paths,
                      std::string output_path, std::set<NodeId> avoid = {},
                      std::set<NodeId> restrict_to = {},
-                     std::size_t max_nodes = 0);
+                     std::size_t max_nodes = 0, bool urgent = false);
 
   /// The id the next submit() will return — lets a submitting service map
   /// its own run identifiers *before* submit dispatches inline (tracker
@@ -240,6 +244,7 @@ class ExecutionTracker {
     std::set<NodeId> nodes;
     std::set<NodeId> avoid;        ///< nodes barred from this run
     std::set<NodeId> restrict_to;  ///< if non-empty, the only allowed nodes
+    bool urgent = false;           ///< drain before bulk pending work
     /// Cap on |nodes|: enough for the run's peak task parallelism, but no
     /// wider — every extra node a replica touches gets pinned to it and
     /// becomes unusable for sibling/rerun replicas of the same sub-graph.

@@ -31,6 +31,10 @@ const char* to_string(AuditEvent::Kind kind) {
       return "cache-hit";
     case AuditEvent::Kind::kStalled:
       return "stalled";
+    case AuditEvent::Kind::kCheckpoint:
+      return "checkpoint";
+    case AuditEvent::Kind::kEscalation:
+      return "escalation";
   }
   return "?";
 }

@@ -39,6 +39,14 @@ struct AuditEvent {
     /// The event queue drained with the session's jobs still pending:
     /// the detail names the stalled session, wave, and unmet dependency.
     kStalled,
+    /// A verified intermediate relation was materialised to (or adopted
+    /// from) the content-addressed checkpoint store — the durable
+    /// boundary rerun waves restart from.
+    kCheckpoint,
+    /// Dynamic replication degree: a sub-graph that started at f+1
+    /// chains gained a further replica chain after its evidence failed
+    /// to agree (or timed out) under nonzero suspicion.
+    kEscalation,
   };
 
   double time = 0;  ///< simulated seconds

@@ -1,0 +1,33 @@
+#include "core/checkpoint.hpp"
+
+namespace clusterbft::core {
+
+const CheckpointStore::Entry* CheckpointStore::lookup(
+    const crypto::Digest256& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+void CheckpointStore::insert(const crypto::Digest256& key, Entry entry) {
+  if (entries_.count(key) != 0) return;
+  ++stats_.writes;
+  stats_.bytes_written += entry.bytes;
+  entries_.emplace(key, std::move(entry));
+}
+
+std::size_t CheckpointStore::invalidate_node(cluster::NodeId node) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.contributors.count(node) != 0) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidated += dropped;
+  return dropped;
+}
+
+}  // namespace clusterbft::core

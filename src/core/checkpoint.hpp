@@ -1,0 +1,93 @@
+// Checkpoint store for verified intermediate relations (ROADMAP:
+// "Adaptive checkpointing and dynamic replication degree", after
+// Chinnathambi & Santhanam, arXiv 1802.00951).
+//
+// Content-addressed like the result cache — the key is the same
+// recursive (logical-plan fingerprint, input digest) cache key — but
+// where a cache entry only *points* at one majority replica's
+// wave-scoped output, a checkpoint additionally materialises those
+// verified bytes to a trusted, run-independent DFS path
+// (`ckpt/<key-hex>`). That makes the verified boundary durable: rerun
+// and escalation waves restart from the nearest checkpointed (or
+// otherwise verified) job instead of from the chain inputs, and a
+// later session re-deriving the same sub-graph adopts the checkpoint
+// bytes instead of writing them again.
+//
+// Which verification points get a checkpoint is a cost-model decision
+// (graph_analyzer::select_checkpoints): write bytes vs expected
+// rollback re-execution cost given current suspicion and pipeline
+// depths. Every materialisation or adoption is journaled as a
+// kCheckpoint record *before* the DFS write, so recover() replays the
+// decision bit-identically; like the result cache, the store itself is
+// rebuilt by replay and never persisted separately. Convicting a
+// contributing node drops the entry (the bytes stay — in-flight
+// readers may still hold the path — but no future adoption sees it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "cluster/resource_table.hpp"
+#include "common/guarded.hpp"
+#include "crypto/digest.hpp"
+
+namespace clusterbft::core {
+
+class CheckpointStore {
+ public:
+  struct Entry {
+    /// Fingerprint of the agreed digest vector the checkpoint proves.
+    crypto::Digest256 fingerprint;
+    /// Trusted content-addressed DFS path holding the verified bytes.
+    std::string path;
+    /// Size of the materialised relation (the cost-model's write side).
+    std::uint64_t bytes = 0;
+    /// Nodes whose conviction invalidates this entry.
+    std::set<cluster::NodeId> contributors;
+  };
+
+  struct Stats {
+    std::size_t writes = 0;             ///< fresh materialisations
+    std::uint64_t bytes_written = 0;    ///< total bytes across writes
+    std::size_t adoptions = 0;          ///< lookups that reused an entry
+    std::size_t invalidated = 0;        ///< entries dropped by conviction
+  };
+
+  /// Entry for `key`, or null. Pure query: adoption accounting happens
+  /// in `adopted()` once the caller commits to reusing the entry.
+  const Entry* lookup(const crypto::Digest256& key) const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+
+  /// First insert wins, same as the result cache: the key determines
+  /// the bytes, so a second verified result under it is identical.
+  void insert(const crypto::Digest256& key, Entry entry)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+
+  /// Count one committed adoption of an existing entry.
+  void adopted() CLUSTERBFT_REQUIRES(common::scheduler_thread_role) {
+    ++stats_.adoptions;
+  }
+
+  /// Drop every entry `node` contributed to; returns how many died.
+  std::size_t invalidate_node(cluster::NodeId node)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+
+  const Stats& stats() const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role) {
+    return stats_;
+  }
+  std::size_t size() const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role) {
+    return entries_.size();
+  }
+
+ private:
+  std::map<crypto::Digest256, Entry> entries_
+      CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role);
+  Stats stats_ CLUSTERBFT_GUARDED_BY(common::scheduler_thread_role);
+};
+
+}  // namespace clusterbft::core

@@ -163,6 +163,11 @@ ResultCache::Stats ClusterBft::cache_stats() const {
   return result_cache_.stats();
 }
 
+CheckpointStore::Stats ClusterBft::checkpoint_stats() const {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  return checkpoints_.stats();
+}
+
 void ClusterBft::drive_all() {
   const common::RoleGuard held(common::scheduler_thread_role);
   if (crashed_) throw ControllerCrashed(journal_ ? journal_->size() : 0);
@@ -253,6 +258,7 @@ ScriptSession* ClusterBft::begin_script(const ClientRequest& request) {
                         : nullptr;
   s.verifier = std::make_unique<Verifier>(request.f, s.verifier_pool.get());
   s.pipeline_depth = pipeline_depths(s.dag);
+  s.base_replicas = base_replication(request);
   const std::size_t jobs = s.dag.jobs.size();
   s.verified.assign(jobs, false);
   s.verified_path.assign(jobs, "");
@@ -265,8 +271,32 @@ ScriptSession* ClusterBft::begin_script(const ClientRequest& request) {
   s.wave_skip.assign(jobs, false);
   s.contributors.assign(jobs, {});
   s.verified_fp_hex.assign(jobs, "");
+  s.ckpt_selected.assign(jobs, false);
+  s.checkpointed.assign(jobs, false);
   for (const MRJobSpec& j : s.dag.jobs) {
     s.job_by_output[j.output_path] = j.job_index;
+  }
+
+  if (request.adaptive_checkpoints) {
+    // Cost-model checkpoint placement: only jobs whose digests gate
+    // verification can checkpoint (unverifiable relations never become
+    // restart boundaries), and the final store is promoted anyway.
+    std::vector<bool> gating(jobs, false);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      gating[j] =
+          !s.dag.jobs[j].vps.empty() && !s.dag.jobs[j].is_final_store;
+    }
+    // Prior = the worst current suspicion in the pool (max-fold): one
+    // strongly suspect node makes mid-chain rollback likely everywhere
+    // it may be scheduled.
+    double prior = 0.0;
+    for (std::uint64_t n = 0; n < cp_.cluster_size(); ++n) {
+      prior = std::max(prior, cp_.suspicion(n));
+    }
+    s.ckpt_selected =
+        select_checkpoints(s.dag, input_sizes, s.pipeline_depth, gating,
+                           prior, request.checkpoint_budget_bytes)
+            .selected;
   }
 
   s.id = sessions_.size() + 1;
@@ -291,17 +321,22 @@ ScriptSession* ClusterBft::begin_script(const ClientRequest& request) {
                     std::to_string(ss.dag.jobs.size()) + " jobs)",
                 "", {}, ss.scope);
 
-  if (ss.request.use_result_cache) {
+  // Checkpoint keys are the cache keys: the checkpoint store is content-
+  // addressed by the same "same sub-plan, same inputs, same policy"
+  // digest even when the result cache itself is off.
+  if (ss.request.use_result_cache || ss.request.adaptive_checkpoints) {
     compute_cache_keys(ss);
+  }
+  if (ss.request.use_result_cache) {
     adopt_cache_hits(ss);
     if (crashed_) return &ss;
     // A fully (or sufficiently) adopted script finishes with zero waves.
     check_completion(ss);
   }
 
-  // Initial replication: r independent chains.
-  for (std::size_t i = 0;
-       !ss.finished && i < std::max<std::size_t>(1, request.r); ++i) {
+  // Initial replication: the base chains (r under static assurance, f+1
+  // under adaptive — escalation adds more only on fault evidence).
+  for (std::size_t i = 0; !ss.finished && i < ss.base_replicas; ++i) {
     create_wave(ss);
     if (crashed_ || ss.finished) break;
   }
@@ -396,6 +431,9 @@ ScriptResult ClusterBft::collect_result(ScriptSession& s) {
   result.metrics.digest_reports = s.digest_reports;
   result.metrics.rollbacks = s.rollbacks;
   result.metrics.cache_hits = s.cache_hits;
+  result.metrics.checkpoints = s.checkpoints;
+  result.metrics.checkpoint_bytes = s.checkpoint_bytes;
+  result.metrics.escalations = s.escalations;
   result.commission_faults_seen = s.commission_seen;
   result.omission_faults_seen = s.omission_seen;
 
@@ -617,6 +655,8 @@ void ClusterBft::replay_record(
     case RecordKind::kSuspicionUpdate:
     case RecordKind::kDegraded:
     case RecordKind::kPoolExhausted:
+    case RecordKind::kCheckpoint:
+    case RecordKind::kEscalation:
       // Decision records: re-derived by the replayed handlers above
       // (their appends are suppressed in replay mode). kRunDispatched
       // frames are re-captured into the session's dispatch_frames by the
@@ -800,10 +840,11 @@ void ClusterBft::apply_probe_outcome(std::uint64_t suspect,
     if (fault_analyzer_) {
       fault_analyzer_->observe({static_cast<NodeId>(suspect)});
     }
-    // A convicted contributor poisons every cached result it helped
-    // produce (deterministic under replay: kProbeOutcome is a journaled
-    // stimulus).
+    // A convicted contributor poisons every cached result and checkpoint
+    // it helped produce (deterministic under replay: kProbeOutcome is a
+    // journaled stimulus).
     result_cache_.invalidate_node(static_cast<NodeId>(suspect));
+    checkpoints_.invalidate_node(static_cast<NodeId>(suspect));
   }
 }
 
@@ -813,7 +854,7 @@ std::string ClusterBft::wave_scope(const ScriptSession& s,
 }
 
 bool ClusterBft::ensure_capacity(ScriptSession& s) {
-  const std::size_t need = std::max<std::size_t>(1, s.request.r);
+  const std::size_t need = s.base_replicas;
   std::vector<std::uint64_t> excluded = cp_.excluded_nodes();
   // Nodes already re-admitted this script but whose NodeReadmitted echo
   // has not arrived count as healthy — they were handed back already.
@@ -882,11 +923,18 @@ bool ClusterBft::ensure_capacity(ScriptSession& s) {
   return true;
 }
 
-void ClusterBft::create_wave(ScriptSession& s) {
+void ClusterBft::create_wave(ScriptSession& s,
+                             std::optional<std::size_t> scope_job) {
   if (s.finished || crashed_) return;
   if (!ensure_capacity(s)) return;
+  // Scoped restart waves only exist under adaptive checkpointing: without
+  // durable verified boundaries a narrow wave could strand a job no wave
+  // covers.
+  if (!s.request.adaptive_checkpoints) scope_job = std::nullopt;
   common::WireWriter wr;
   wr.u64(s.waves.size());
+  wr.u64(scope_job ? static_cast<std::uint64_t>(*scope_job)
+                   : ~std::uint64_t{0});
   if (!journal_decision(static_cast<std::uint32_t>(s.id),
                         RecordKind::kWaveCreated, wr.take())) {
     return;
@@ -894,9 +942,28 @@ void ClusterBft::create_wave(ScriptSession& s) {
   Wave w;
   w.replica = s.waves.size();
   w.created_at = now();
+  w.scope_job = scope_job;
   w.includes.resize(s.dag.jobs.size());
-  for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
-    w.includes[j] = !s.verified[j] && !s.wave_skip[j];
+  if (scope_job) {
+    // Restart from checkpoints: re-execute only the scope job's
+    // unverified-ancestor closure. Verified (checkpointed or adopted)
+    // relations are ground truth and resolve as inputs; unrelated
+    // branches of the DAG are never re-run.
+    std::vector<std::size_t> stack{*scope_job};
+    std::set<std::size_t> seen{*scope_job};
+    while (!stack.empty()) {
+      const std::size_t j = stack.back();
+      stack.pop_back();
+      if (s.verified[j] || s.wave_skip[j]) continue;
+      w.includes[j] = true;
+      for (std::size_t d : s.dag.jobs[j].deps) {
+        if (seen.insert(d).second) stack.push_back(d);
+      }
+    }
+  } else {
+    for (std::size_t j = 0; j < s.dag.jobs.size(); ++j) {
+      w.includes[j] = !s.verified[j] && !s.wave_skip[j];
+    }
   }
   w.run_of.assign(s.dag.jobs.size(), std::nullopt);
   s.waves.push_back(std::move(w));
@@ -1010,7 +1077,7 @@ void ClusterBft::submit_job(ScriptSession& s, std::size_t wave_index,
   // deployment): a node that corrupted one wave should not get the
   // chance to corrupt its replacement.
   std::set<NodeId> avoid;
-  if (w.replica >= std::max<std::size_t>(1, s.request.r)) {
+  if (w.replica >= s.base_replicas) {
     if (fault_analyzer_) avoid = fault_analyzer_->suspects();
     // Nodes involved in timed-out (non-responding) replicas never
     // reach the commission-fault analyzer; steer around them too.
@@ -1019,9 +1086,9 @@ void ClusterBft::submit_job(ScriptSession& s, std::size_t wave_index,
   // Degradation handed these nodes back to the scheduler on purpose;
   // avoiding them would re-create the exhaustion.
   for (NodeId n : s.degraded_nodes) avoid.erase(n);
-  // Bound each replica's footprint so the r initial replicas plus a
-  // rerun replica always fit on pairwise-disjoint node sets.
-  const std::size_t groups = std::max<std::size_t>(1, s.request.r) + 1;
+  // Bound each replica's footprint so the base replicas plus a rerun
+  // replica always fit on pairwise-disjoint node sets.
+  const std::size_t groups = s.base_replicas + 1;
   const std::size_t max_nodes =
       std::max<std::size_t>(1, cp_.cluster_size() / groups);
   RunInfo info{wave_index, j, {}};
@@ -1047,6 +1114,15 @@ void ClusterBft::submit_job(ScriptSession& s, std::size_t wave_index,
       wave_scope(s, w) + "r" + std::to_string(run) + "/" + spec.output_path;
   msg.avoid.assign(avoid.begin(), avoid.end());
   msg.max_nodes = max_nodes;
+  // Restart/escalation runs jump the tracker's pending queue: the whole
+  // session is blocked on them, while first-wave work is bulk throughput.
+  // Only the adaptive knobs set the flag so baseline scheduling is
+  // bit-identical with them off.
+  if (w.replica >= s.base_replicas &&
+      (s.request.adaptive_checkpoints ||
+       s.request.assurance == Assurance::kAdaptive)) {
+    msg.urgent = 1;
+  }
   // Write-ahead: the exact dispatch bytes (run id pre-assigned) go to the
   // journal first; resync() re-sends them for runs whose completion was
   // never journaled.
@@ -1211,6 +1287,9 @@ void ClusterBft::try_verify(ScriptSession& s, std::size_t j) {
                       std::to_string(decision->majority_runs.size()) +
                       " agreeing replicas)",
                   spec.sid, {}, s.scope);
+    compute_contributors(s, j, decision->majority_runs);
+    maybe_checkpoint(s, j, decision->majority_runs);
+    if (crashed_) return;
     cache_store_verified(s, j, decision->majority_runs);
     attribute_commission(s, decision->deviant_runs);
     // Downstream jobs of a deviant chain may already be running on (or
@@ -1268,15 +1347,50 @@ void ClusterBft::need_wave(ScriptSession& s, std::size_t j, bool force) {
       if (!w.run_of[j] || !cp_.run_complete(*w.run_of[j])) return;
     }
   }
-  const std::size_t reruns =
-      s.waves.size() - std::max<std::size_t>(1, s.request.r);
+  const bool scoped = s.request.adaptive_checkpoints;
+  // Waves actually covering this job: under scoped restarts the global
+  // wave count over-states how often a job ran, so the rerun budget (and
+  // the adaptive degree cap) are per job.
+  std::size_t covering = 0;
+  for (const Wave& w : s.waves) {
+    if (j < w.includes.size() && w.includes[j]) ++covering;
+  }
+  const std::size_t ran = scoped ? covering : s.waves.size();
+  const std::size_t reruns = ran - std::min(ran, s.base_replicas);
   if (reruns >= s.request.max_rerun_waves) {
     CBFT_WARN("giving up after " << reruns << " rerun waves");
     s.failure = FailureReason::kRerunBudgetExhausted;
     finish(s, false);
     return;
   }
-  create_wave(s);
+  if (s.request.assurance == Assurance::kAdaptive) {
+    // Dynamic replication degree: f+1 chains ran; fault evidence on this
+    // sub-graph (disagreement without majority, or a timeout) escalates
+    // the degree one chain at a time, capped at 3f+1 — beyond that the
+    // fault assumption itself is broken and we fail honestly.
+    const std::size_t cap = 3 * s.request.f + 1;
+    if (covering + 1 > cap) {
+      CBFT_WARN("escalation for job " << j << " would exceed degree "
+                                      << cap);
+      s.failure = FailureReason::kRerunBudgetExhausted;
+      finish(s, false);
+      return;
+    }
+    common::WireWriter wr;
+    wr.u64(j);
+    wr.u64(covering + 1);
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kEscalation, wr.take())) {
+      return;
+    }
+    ++s.escalations;
+    audit_.record(now(), AuditEvent::Kind::kEscalation,
+                  s.dag.jobs[j].sid + " escalated to replication degree " +
+                      std::to_string(covering + 1) + " (cap " +
+                      std::to_string(cap) + ")",
+                  s.dag.jobs[j].sid, {}, s.scope);
+  }
+  create_wave(s, scoped ? std::optional<std::size_t>(j) : std::nullopt);
 }
 
 FaultAnalyzer::NodeSet ClusterBft::cluster_of(const ScriptSession& s,
@@ -1333,9 +1447,14 @@ void ClusterBft::attribute_commission(
     }
     fault_analyzer_->set_f(std::max<std::size_t>(1, s.request.f));
     fault_analyzer_->observe(nodes);
-    // Every cached result a now-convicted node contributed to is suspect:
-    // drop it so no future session adopts tainted evidence.
-    for (NodeId n : nodes) result_cache_.invalidate_node(n);
+    // Every cached result and checkpoint a now-convicted node contributed
+    // to is suspect: drop them so no future session adopts tainted
+    // evidence. The checkpoint bytes stay on the DFS (in-flight readers
+    // hold the old paths); only the adoptable index entries go.
+    for (NodeId n : nodes) {
+      result_cache_.invalidate_node(n);
+      checkpoints_.invalidate_node(n);
+    }
   }
 }
 
@@ -1602,13 +1721,13 @@ void ClusterBft::adopt_cache_hits(ScriptSession& s) {
   }
 }
 
-void ClusterBft::cache_store_verified(
+void ClusterBft::compute_contributors(
     ScriptSession& s, std::size_t j,
     const std::vector<std::size_t>& majority_runs) {
-  if (!s.request.use_result_cache || !s.cache_ok[j]) return;
   // Contributors: every node whose corruption could have influenced this
   // verified result — the majority runs' fault clusters plus the
-  // contributors of every verified/adopted dependency.
+  // contributors of every verified/adopted dependency. Both the result
+  // cache and the checkpoint store key their invalidation on this set.
   std::set<NodeId> contrib;
   for (std::size_t run : majority_runs) {
     const FaultAnalyzer::NodeSet nodes = cluster_of(s, run);
@@ -1617,7 +1736,13 @@ void ClusterBft::cache_store_verified(
   for (std::size_t d : s.dag.jobs[j].deps) {
     contrib.insert(s.contributors[d].begin(), s.contributors[d].end());
   }
-  s.contributors[j] = contrib;
+  s.contributors[j] = std::move(contrib);
+}
+
+void ClusterBft::cache_store_verified(
+    ScriptSession& s, std::size_t j,
+    const std::vector<std::size_t>& majority_runs) {
+  if (!s.request.use_result_cache || !s.cache_ok[j]) return;
   const auto fp =
       s.verifier->completed_fingerprint(s.dag.jobs[j].sid,
                                         majority_runs.front());
@@ -1625,8 +1750,62 @@ void ClusterBft::cache_store_verified(
   ResultCache::Entry entry;
   entry.fingerprint = *fp;
   entry.output_path = s.verified_path[j];
-  entry.contributors = std::move(contrib);
+  entry.contributors = s.contributors[j];
   result_cache_.insert(s.cache_key[j], std::move(entry));
+}
+
+void ClusterBft::maybe_checkpoint(
+    ScriptSession& s, std::size_t j,
+    const std::vector<std::size_t>& majority_runs) {
+  if (!s.request.adaptive_checkpoints || crashed_) return;
+  if (!s.ckpt_selected[j]) return;
+  // The checkpoint key is the cache key: jobs whose key chain broke (an
+  // unresolvable dependency) cannot be content-addressed.
+  if (!s.cache_ok[j]) return;
+  const crypto::Digest256& key = s.cache_key[j];
+  const CheckpointStore::Entry* existing = checkpoints_.lookup(key);
+  const bool adopt = existing != nullptr && dfs_.exists(existing->path);
+  common::WireWriter wr;
+  wr.u64(j);
+  wr.u8(adopt ? 0 : 1);
+  wr.raw(key.bytes.data(), key.bytes.size());
+  if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                        RecordKind::kCheckpoint, wr.take())) {
+    return;
+  }
+  if (adopt) {
+    // The same logical relation was already materialised durably (by an
+    // earlier session, or an earlier incarnation of this one): repoint
+    // the verified path at the durable copy instead of rewriting it.
+    s.verified_path[j] = existing->path;
+    checkpoints_.adopted();
+  } else {
+    // Materialise the freshly verified relation at its content address.
+    // Idempotent under replay: the same key always rewrites the same
+    // bytes, so a crash anywhere around this write recovers cleanly.
+    const std::string path = "ckpt/" + key.hex();
+    dataflow::Relation rel = dfs_.read(s.verified_path[j]);
+    dfs_.write(path, rel);
+    CheckpointStore::Entry entry;
+    if (const auto fp = s.verifier->completed_fingerprint(
+            s.dag.jobs[j].sid, majority_runs.front())) {
+      entry.fingerprint = *fp;
+    }
+    entry.path = path;
+    entry.bytes = dfs_.size_of(path);
+    entry.contributors = s.contributors[j];
+    s.checkpoint_bytes += entry.bytes;
+    s.verified_path[j] = path;
+    checkpoints_.insert(key, std::move(entry));
+  }
+  ++s.checkpoints;
+  s.checkpointed[j] = true;
+  audit_.record(now(), AuditEvent::Kind::kCheckpoint,
+                s.dag.jobs[j].sid +
+                    (adopt ? " adopted checkpoint (key "
+                           : " checkpointed verified relation (key ") +
+                    key.hex().substr(0, 12) + ")",
+                s.dag.jobs[j].sid, {}, s.scope);
 }
 
 }  // namespace clusterbft::core

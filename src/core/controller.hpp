@@ -90,6 +90,7 @@
 #include "common/guarded.hpp"
 #include "common/thread_pool.hpp"
 #include "core/audit.hpp"
+#include "core/checkpoint.hpp"
 #include "core/fault_analyzer.hpp"
 #include "core/journal.hpp"
 #include "core/request.hpp"
@@ -165,6 +166,7 @@ class ClusterBft {
   /// admission weighs aggregate r against.
   std::size_t healthy_pool_size() const;
   ResultCache::Stats cache_stats() const;
+  CheckpointStore::Stats checkpoint_stats() const;
 
   /// The fault analyzer persists across scripts so isolation sharpens
   /// over a workload (§4.3). Null until the first fault was observed.
@@ -261,7 +263,13 @@ class ClusterBft {
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   void need_wave(ScriptSession& s, std::size_t job, bool force)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
-  void create_wave(ScriptSession& s)
+  /// With a scope job (adaptive checkpointing), the wave re-executes only
+  /// the scope job's unverified-ancestor closure — restart from the
+  /// nearest verified (checkpointed) boundary instead of chain inputs.
+  /// Without one, the wave covers every unverified job (the classic
+  /// full rerun wave and all initial replicas).
+  void create_wave(ScriptSession& s,
+                   std::optional<std::size_t> scope_job = std::nullopt)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   void check_completion(ScriptSession& s)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
@@ -281,10 +289,24 @@ class ClusterBft {
   /// memoized by (path, size).
   crypto::Digest256 input_digest(const std::string& path)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// Fill s.contributors[job] — the majority runs' fault clusters plus
+  /// every dependency's contributors; the invalidation set both the
+  /// result cache and the checkpoint store key entries on.
+  void compute_contributors(ScriptSession& s, std::size_t job,
+                            const std::vector<std::size_t>& majority_runs)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   /// Record contributors / fingerprint for a freshly verified job and
   /// insert the sub-graph into the cache when eligible.
   void cache_store_verified(ScriptSession& s, std::size_t job,
                             const std::vector<std::size_t>& majority_runs)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// Adaptive checkpointing: when the cost model selected `job`, journal
+  /// a kCheckpoint record and either materialise the freshly verified
+  /// relation to the content-addressed store or adopt the bytes an
+  /// earlier session already checkpointed under the same key, then
+  /// repoint verified_path[job] at the durable copy.
+  void maybe_checkpoint(ScriptSession& s, std::size_t job,
+                        const std::vector<std::size_t>& majority_runs)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   // Journal / crash plumbing.
@@ -399,6 +421,10 @@ class ClusterBft {
 
   // Verified-result cache (shared across sessions and tenants).
   ResultCache result_cache_ CBFT_SCHED;
+  /// Checkpoint store: durable verified intermediate relations, shared
+  /// across sessions like the cache and invalidated on the same
+  /// conviction paths.
+  CheckpointStore checkpoints_ CBFT_SCHED;
   /// LOAD input content digests, memoized by path while the size is
   /// unchanged.
   std::map<std::string, std::pair<std::uint64_t, crypto::Digest256>>

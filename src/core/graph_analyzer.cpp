@@ -146,6 +146,107 @@ std::vector<mapreduce::VerificationPoint> analyze(
   return vps;
 }
 
+std::vector<std::uint64_t> estimate_job_output_bytes(
+    const mapreduce::JobDag& dag,
+    const std::map<std::string, std::uint64_t>& input_sizes) {
+  std::map<std::string, std::size_t> producer;  // output path -> job
+  for (const mapreduce::MRJobSpec& j : dag.jobs) {
+    producer[j.output_path] = j.job_index;
+  }
+  std::vector<std::uint64_t> est(dag.jobs.size(), 0);
+  std::vector<bool> done(dag.jobs.size(), false);
+  // Worklist, so the result is independent of job emission order: a job
+  // resolves once every dependency branch has.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const mapreduce::MRJobSpec& j : dag.jobs) {
+      if (done[j.job_index]) continue;
+      std::uint64_t total = 0;
+      bool ready = true;
+      for (const mapreduce::MapBranch& b : j.branches) {
+        const auto dep = producer.find(b.input_path);
+        if (dep != producer.end()) {
+          if (!done[dep->second]) {
+            ready = false;
+            break;
+          }
+          total += est[dep->second];
+        } else {
+          const auto sz = input_sizes.find(b.input_path);
+          if (sz != input_sizes.end()) total += sz->second;
+        }
+      }
+      if (!ready) continue;
+      est[j.job_index] = total;
+      done[j.job_index] = true;
+      progress = true;
+    }
+  }
+  return est;
+}
+
+CheckpointPlacement select_checkpoints(
+    const mapreduce::JobDag& dag,
+    const std::map<std::string, std::uint64_t>& input_sizes,
+    const std::vector<std::size_t>& pipeline_depth,
+    const std::vector<bool>& gating, double suspicion_prior,
+    std::uint64_t budget_bytes) {
+  CBFT_CHECK(pipeline_depth.size() == dag.jobs.size());
+  CBFT_CHECK(gating.size() == dag.jobs.size());
+  CheckpointPlacement out;
+  out.est_bytes = estimate_job_output_bytes(dag, input_sizes);
+  out.selected.assign(dag.jobs.size(), false);
+
+  // Work a rollback past j would redo: j plus its transitive deps (a
+  // visited set keeps diamonds from double-counting).
+  std::vector<std::uint64_t> upstream(dag.jobs.size(), 0);
+  for (const mapreduce::MRJobSpec& j : dag.jobs) {
+    std::vector<bool> seen(dag.jobs.size(), false);
+    std::vector<std::size_t> stack = {j.job_index};
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      if (seen[v]) continue;
+      seen[v] = true;
+      upstream[j.job_index] += out.est_bytes[v];
+      for (std::size_t d : dag.jobs[v].deps) stack.push_back(d);
+    }
+  }
+
+  // Risk prior: a background chance that some downstream wave must rerun
+  // even on a so-far-clean cluster, sharply raised once any node carries
+  // suspicion. max-folded by the caller, so no float accumulation here.
+  const double risk = std::min(1.0, 0.25 + 4.0 * suspicion_prior);
+  // Serialising a byte to the DFS is roughly an order of magnitude
+  // cheaper than re-deriving it (scan + operator + digest passes; see
+  // cluster::CostModel ratios).
+  constexpr double kWriteCostFactor = 0.1;
+
+  std::vector<std::size_t> candidates;
+  for (const mapreduce::MRJobSpec& j : dag.jobs) {
+    if (gating[j.job_index]) candidates.push_back(j.job_index);
+  }
+  const auto net = [&](std::size_t j) {
+    const double stages =
+        pipeline_depth[j] > 0 ? static_cast<double>(pipeline_depth[j] - 1)
+                              : 0.0;
+    return risk * stages * static_cast<double>(upstream[j]) -
+           kWriteCostFactor * static_cast<double>(out.est_bytes[j]);
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](std::size_t a, std::size_t b) { return net(a) > net(b); });
+
+  std::uint64_t spent = 0;
+  for (std::size_t j : candidates) {
+    if (net(j) <= 0.0) break;  // sorted: the rest only get worse
+    if (budget_bytes > 0 && spent + out.est_bytes[j] > budget_bytes) continue;
+    out.selected[j] = true;
+    spent += out.est_bytes[j];
+  }
+  return out;
+}
+
 std::vector<std::size_t> pipeline_depths(const mapreduce::JobDag& dag) {
   // Fixpoint over the (acyclic, tiny) dependency relation: every job
   // starts at depth 1; a job's dependency is at least one deeper than the

@@ -54,4 +54,40 @@ std::vector<mapreduce::VerificationPoint> analyze(
 /// branches. Indexed by job index.
 std::vector<std::size_t> pipeline_depths(const mapreduce::JobDag& dag);
 
+/// Conservative per-job output-size estimate: LOAD branches contribute
+/// their known input bytes, dependency branches the producing job's
+/// estimate, and a job passes its total input through (an upper bound —
+/// blocking operators only shrink streams). Indexed by job index.
+std::vector<std::uint64_t> estimate_job_output_bytes(
+    const mapreduce::JobDag& dag,
+    const std::map<std::string, std::uint64_t>& input_sizes);
+
+/// Which gating jobs to checkpoint, plus the estimates the decision used.
+struct CheckpointPlacement {
+  std::vector<bool> selected;             ///< per job
+  std::vector<std::uint64_t> est_bytes;   ///< per job output estimate
+};
+
+/// Cost-model checkpoint placement (Chinnathambi & Santhanam, arXiv
+/// 1802.00951): checkpoint a verification point when the write is cheaper
+/// than the re-execution it saves. For job j the expected saving is
+///
+///   risk x (pipeline_depth[j] - 1) x upstream_bytes[j]
+///
+/// — a rollback triggered anywhere in j's downstream cone (one chance per
+/// downstream stage, weighted by the suspicion-derived risk prior) would
+/// re-execute j's whole unverified-ancestor closure unless j's bytes are
+/// checkpointed — against a write cost of est_bytes[j] scaled by how much
+/// cheaper serialising a byte is than recomputing it. Candidates are the
+/// `gating` jobs (internal verification points; final stores are promoted
+/// anyway); winners are taken by descending net saving under
+/// `budget_bytes` (0 = unlimited). Deterministic: pure function of its
+/// inputs, so replayed begin_script calls re-derive the same placement.
+CheckpointPlacement select_checkpoints(
+    const mapreduce::JobDag& dag,
+    const std::map<std::string, std::uint64_t>& input_sizes,
+    const std::vector<std::size_t>& pipeline_depth,
+    const std::vector<bool>& gating, double suspicion_prior,
+    std::uint64_t budget_bytes);
+
 }  // namespace clusterbft::core

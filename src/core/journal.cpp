@@ -11,7 +11,9 @@ namespace {
 constexpr std::uint32_t kJournalMagic = 0x434A424CU;  // "CBJL"
 // v2: records carry a u32 session id so recovery can replay a set of
 // concurrently in-flight scripts and route every record to its session.
-constexpr std::uint16_t kJournalVersion = 2;
+// v3: adds the kCheckpoint / kEscalation decision kinds (adaptive
+// checkpointing + dynamic replication degree).
+constexpr std::uint16_t kJournalVersion = 3;
 // A journal record never carries more than one codec frame; anything
 // bigger is a corrupt length field, not a real record.
 constexpr std::uint32_t kMaxPayload = 1U << 24;
@@ -34,6 +36,8 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kDegraded: return "degraded";
     case RecordKind::kPoolExhausted: return "pool-exhausted";
     case RecordKind::kCacheHit: return "cache-hit";
+    case RecordKind::kCheckpoint: return "checkpoint";
+    case RecordKind::kEscalation: return "escalation";
   }
   return "unknown";
 }
@@ -106,7 +110,7 @@ std::optional<JournalRecord> Journal::decode_record(const std::uint8_t* data,
   const double time = rd.f64();
   const std::uint32_t len = rd.u32();
   if (!rd.ok() || magic != kJournalMagic || version != kJournalVersion ||
-      kind < 1 || kind > static_cast<std::uint16_t>(RecordKind::kCacheHit) ||
+      kind < 1 || kind > static_cast<std::uint16_t>(RecordKind::kEscalation) ||
       len > kMaxPayload || rd.remaining() < len) {
     return std::nullopt;
   }

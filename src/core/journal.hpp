@@ -68,6 +68,11 @@ enum class RecordKind : std::uint16_t {
   kDegraded = 13,        ///< payload: u64 count, u64 node ids...
   kPoolExhausted = 14,   ///< payload: empty
   kCacheHit = 15,        ///< payload: u64 job index, 32-byte cache key
+  kCheckpoint = 16,      ///< payload: u64 job index, u8 fresh flag
+                         ///  (1 = materialised, 0 = adopted an existing
+                         ///  entry), 32-byte checkpoint key
+  kEscalation = 17,      ///< payload: u64 job index, u64 new degree
+                         ///  (waves covering the job after escalation)
 };
 
 const char* to_string(RecordKind kind);

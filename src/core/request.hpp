@@ -27,6 +27,15 @@ enum class AdversaryModel { kWeak, kStrong };
 /// fails the script honestly with FailureReason::kPoolExhausted.
 enum class DegradedMode { kReadmit, kFail };
 
+/// How the replication degree is chosen (ROADMAP: "Adaptive checkpointing
+/// and dynamic replication degree"). kStatic runs the client's r replica
+/// chains up front; kAdaptive starts every chain at f+1 (the minimum that
+/// can produce an f+1 agreement) and escalates a sub-graph's degree — up
+/// to 3f+1 — only when its evidence fails to agree or times out, i.e.
+/// when its candidate nodes have earned nonzero suspicion. Escalations
+/// are journaled (kEscalation) and audited.
+enum class Assurance { kStatic, kAdaptive };
+
 struct ClientRequest {
   std::string script;            ///< PigLatin-subset source text
   std::string name = "script";   ///< sid prefix / scoping name
@@ -100,7 +109,32 @@ struct ClientRequest {
   /// instead of re-running it. Adoption is journaled (kCacheHit) and
   /// audited; convicting a contributing node invalidates its entries.
   bool use_result_cache = false;
+
+  /// Assurance class: static r up front, or adaptive f+1-first with
+  /// suspicion-driven escalation (see Assurance).
+  Assurance assurance = Assurance::kStatic;
+
+  /// Adaptive checkpointing: materialise cost-model-selected verified
+  /// intermediate relations to the content-addressed checkpoint store
+  /// (journaled kCheckpoint), and scope rerun/escalation waves to the
+  /// unverified-ancestor closure of the disagreeing job — restart from
+  /// the nearest verified checkpoint instead of the chain inputs.
+  bool adaptive_checkpoints = false;
+
+  /// Byte budget for checkpoint materialisation per script (estimated
+  /// output bytes of the selected jobs; 0 = unlimited). The placement
+  /// pass spends it on the highest expected-rework savings first.
+  std::uint64_t checkpoint_budget_bytes = 0;
 };
+
+/// Replica chains a request launches up front: the client's r for the
+/// static assurance class, f+1 for the adaptive one. The frontend's
+/// admission control and the controller's wave scheduling must agree on
+/// this number, so both call here.
+inline std::size_t base_replication(const ClientRequest& req) {
+  if (req.assurance == Assurance::kAdaptive) return req.f + 1;
+  return req.r > 1 ? req.r : std::size_t{1};
+}
 
 /// Aggregated cost of executing one script, over all replicas and waves —
 /// the columns of Table 3.
@@ -124,6 +158,13 @@ struct ScriptMetrics {
   /// Jobs whose verified result was adopted from the result cache
   /// instead of being re-executed (use_result_cache).
   std::size_t cache_hits = 0;
+  /// Verified intermediate relations checkpointed (materialised or
+  /// adopted) by this script (adaptive_checkpoints).
+  std::size_t checkpoints = 0;
+  /// Bytes this script freshly materialised into the checkpoint store.
+  std::uint64_t checkpoint_bytes = 0;
+  /// Replica-chain escalations under the adaptive assurance class.
+  std::size_t escalations = 0;
 };
 
 /// Why a script that did not verify stopped. Structured so callers can

@@ -44,6 +44,10 @@ struct ScriptSession {
     cluster::SimTime created_at = 0;
     std::vector<bool> includes;                       ///< per job
     std::vector<std::optional<std::size_t>> run_of;   ///< per job
+    /// Scoped rerun/escalation wave (adaptive_checkpoints): the job whose
+    /// unverified-ancestor closure this wave re-executes. Full waves
+    /// (initial replicas, non-adaptive reruns) carry nullopt.
+    std::optional<std::size_t> scope_job;
   };
   struct RunInfo {
     std::size_t wave = 0;
@@ -65,6 +69,9 @@ struct ScriptSession {
 
   /// Owned copy: a queued request outlives the caller's stack frame.
   ClientRequest request;
+  /// Replica chains launched up front: base_replication(request) — the
+  /// client's r (static) or f+1 (adaptive), cached at begin time.
+  std::size_t base_replicas = 1;
 
   dataflow::LogicalPlan plan;
   mapreduce::JobDag dag;
@@ -141,6 +148,17 @@ struct ScriptSession {
   /// cache hit must reproduce byte-identically).
   std::vector<std::string> verified_fp_hex;
   std::size_t cache_hits = 0;
+
+  // ---- adaptive checkpointing (request.adaptive_checkpoints) ----
+  /// Per job: selected by the graph analyzer's cost model — when this
+  /// job verifies, its relation is materialised to (or adopted from)
+  /// the checkpoint store.
+  std::vector<bool> ckpt_selected;
+  /// Per job: checkpoint committed (verified_path points at the store).
+  std::vector<bool> checkpointed;
+  std::size_t checkpoints = 0;            ///< metrics.checkpoints
+  std::uint64_t checkpoint_bytes = 0;     ///< metrics.checkpoint_bytes
+  std::size_t escalations = 0;            ///< metrics.escalations
 };
 
 }  // namespace clusterbft::core

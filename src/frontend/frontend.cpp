@@ -54,7 +54,11 @@ bool Frontend::can_admit(const Ticket& t) const {
     return false;
   }
   if (options_.respect_pool_capacity) {
-    const std::size_t demand = std::max<std::size_t>(1, t.submission.request.r);
+    // Adaptive requests only launch f+1 chains up front, so that is the
+    // capacity they reserve; escalations borrow from the pool like rerun
+    // waves always have (base_replication keeps this in lock-step with
+    // the controller's wave scheduling).
+    const std::size_t demand = core::base_replication(t.submission.request);
     // One session may always run: a pool permanently smaller than one
     // request's r must reach the controller's degraded-mode machinery,
     // not starve in this queue.
@@ -72,7 +76,7 @@ void Frontend::admit(std::size_t ticket) {
   t.session = controller_.begin_session(t.submission.request);
   ++tenant.inflight;
   ++inflight_total_;
-  inflight_demand_ += std::max<std::size_t>(1, t.submission.request.r);
+  inflight_demand_ += core::base_replication(t.submission.request);
   ++metrics_.admitted;
 }
 
@@ -119,7 +123,7 @@ void Frontend::collect_finished() {
     Tenant& tenant = tenants_.at(t.submission.tenant);
     --tenant.inflight;
     --inflight_total_;
-    inflight_demand_ -= std::max<std::size_t>(1, t.submission.request.r);
+    inflight_demand_ -= core::base_replication(t.submission.request);
     if (t.result->verified) {
       ++metrics_.completed;
     } else {

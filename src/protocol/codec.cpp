@@ -51,6 +51,7 @@ void encode_payload(WireWriter& w, const SubmitRun& m) {
   put_ids(w, m.avoid);
   put_ids(w, m.restrict_to);
   w.u64(m.max_nodes);
+  w.u8(m.urgent);
 }
 
 bool decode_payload(WireReader& r, SubmitRun& m) {
@@ -64,6 +65,7 @@ bool decode_payload(WireReader& r, SubmitRun& m) {
   if (!get_ids(r, m.avoid)) return false;
   if (!get_ids(r, m.restrict_to)) return false;
   m.max_nodes = r.u64();
+  m.urgent = r.u8();
   return r.ok();
 }
 

@@ -41,7 +41,8 @@
 namespace clusterbft::protocol {
 
 inline constexpr std::uint32_t kWireMagic = 0x43424654;  // "CBFT"
-inline constexpr std::uint16_t kWireVersion = 3;
+// v4: SubmitRun carries the urgent flag (dynamic-r restart scheduling).
+inline constexpr std::uint16_t kWireVersion = 4;
 
 /// Serialize `m` into one self-delimiting frame (checksum sealed).
 std::vector<std::uint8_t> encode(const Message& m);

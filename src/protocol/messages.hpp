@@ -61,6 +61,10 @@ struct SubmitRun {
   std::vector<std::uint64_t> avoid;
   std::vector<std::uint64_t> restrict_to;
   std::uint64_t max_nodes = 0;
+  /// Restart/escalation run of an already-disagreeing sub-graph: the
+  /// tracker drains urgent pending tasks before bulk first-wave work, so
+  /// a rollback's critical path is not serialised behind the queue.
+  std::uint8_t urgent = 0;
 };
 
 /// Abandon a run: queued tasks are forgotten, in-flight task results are

@@ -144,7 +144,7 @@ void ComputationService::on_submit(const SubmitRun& m) {
       m.output_path.str(),
       std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()),
       std::set<cluster::NodeId>(m.restrict_to.begin(), m.restrict_to.end()),
-      m.max_nodes);
+      m.max_nodes, m.urgent != 0);
   CBFT_CHECK(ctl_of_.at(run) == m.run);
   tracker_of_[m.run] = run;
 }

@@ -38,10 +38,12 @@ constexpr const char* kInputPath = "weather/gsod";
 constexpr const char* kOutputPath = "out/weather_hist";
 
 enum class Mix {
-  kNetworkStorm,     // drop + duplicate + reorder + corrupt, both ways
-  kDigestOutage,     // storm + extra digest loss, delay and a blackout
-  kWorkerCrashes,    // two workers die mid-run under a mild storm
-  kControllerCrash,  // journal crash point + recovery under a mild storm
+  kNetworkStorm,        // drop + duplicate + reorder + corrupt, both ways
+  kDigestOutage,        // storm + extra digest loss, delay and a blackout
+  kWorkerCrashes,       // two workers die mid-run under a mild storm
+  kControllerCrash,     // journal crash point + recovery under a mild storm
+  kDynamicReplication,  // adaptive f+1-first degree + checkpoints under a
+                        // storm with a node convicted mid-chain
 };
 
 const char* to_string(Mix mix) {
@@ -50,6 +52,7 @@ const char* to_string(Mix mix) {
     case Mix::kDigestOutage: return "DigestOutage";
     case Mix::kWorkerCrashes: return "WorkerCrashes";
     case Mix::kControllerCrash: return "ControllerCrash";
+    case Mix::kDynamicReplication: return "DynamicReplication";
   }
   return "?";
 }
@@ -80,6 +83,7 @@ protocol::ChaosConfig chaos_for(const SweepParam& p) {
       break;
     case Mix::kWorkerCrashes:
     case Mix::kControllerCrash:
+    case Mix::kDynamicReplication:
       cfg.link.drop_prob = 0.03;
       cfg.link.dup_prob = 0.05;
       cfg.reorder_prob = 0.05;
@@ -123,6 +127,14 @@ TEST_P(ChaosSweep, SafetyInvariantsHoldUnderFaultStorm) {
   // honest structured failure instead of a 300-simulated-second wait.
   req.verifier_timeout_s = 5.0;
   req.max_rerun_waves = 4;
+  if (p.mix == Mix::kDynamicReplication) {
+    // f+1-first chains with checkpointed boundaries: a mid-chain
+    // conviction (the commission node deviates under the storm) forces
+    // escalated, scoped re-execution — which must never promote the
+    // deviant bytes it restarted from.
+    req.assurance = Assurance::kAdaptive;
+    req.adaptive_checkpoints = true;
+  }
 
   // The fault plan is armed only after the warm-up drain below so the
   // worker deaths land mid-script, not before it starts.
@@ -179,8 +191,9 @@ TEST_P(ChaosSweep, SafetyInvariantsHoldUnderFaultStorm) {
 
 std::vector<SweepParam> sweep_params() {
   std::vector<SweepParam> out;
-  for (const Mix mix : {Mix::kNetworkStorm, Mix::kDigestOutage,
-                        Mix::kWorkerCrashes, Mix::kControllerCrash}) {
+  for (const Mix mix :
+       {Mix::kNetworkStorm, Mix::kDigestOutage, Mix::kWorkerCrashes,
+        Mix::kControllerCrash, Mix::kDynamicReplication}) {
     for (std::uint64_t seed = 1; seed <= 12; ++seed) {
       out.push_back({mix, seed});
     }

@@ -97,6 +97,9 @@ void expect_equal(const Outcome& got, const Outcome& want) {
   EXPECT_EQ(gm.rollbacks, wm.rollbacks);
   EXPECT_EQ(gm.digest_reports, wm.digest_reports);
   EXPECT_EQ(gm.cache_hits, wm.cache_hits);
+  EXPECT_EQ(gm.checkpoints, wm.checkpoints);
+  EXPECT_EQ(gm.checkpoint_bytes, wm.checkpoint_bytes);
+  EXPECT_EQ(gm.escalations, wm.escalations);
   EXPECT_EQ(got.result.commission_faults_seen,
             want.result.commission_faults_seen);
   EXPECT_EQ(got.result.omission_faults_seen,
@@ -229,6 +232,65 @@ TEST(CrashRecoveryTest, RecoveryWithTwoInFlightSessionsIsBitIdentical) {
       SCOPED_TRACE(reqs[i].name);
       expect_equal({got[i], got_audit}, {want[i].result, want_audit});
     }
+    EXPECT_FALSE(journal.recovery_pending());
+  }
+}
+
+TEST(CrashRecoveryTest, AdaptiveCheckpointRecoveryIsBitIdentical) {
+  // Adaptive knobs on: f+1-first chains (the commission fault forces a
+  // journaled kEscalation), and the cost model checkpoints the mid-chain
+  // verified relation (journaled kCheckpoint before the DFS write). The
+  // crash sweep therefore straddles every checkpoint/escalation record —
+  // including a crash between the kCheckpoint append and the verified
+  // decision that follows, and crashes mid-rollback — and recovery must
+  // re-derive adoption and escalation bit-identically.
+  ClientRequest req = request();
+  req.assurance = Assurance::kAdaptive;
+  req.adaptive_checkpoints = true;
+
+  World ref_world;
+  Journal ref_journal;
+  ClusterBft ref(ref_world.sim, ref_world.dfs, ref_world.seam->transport,
+                 ref_world.seam->programs, &ref_journal);
+  Outcome want{ref.execute(req), ref.audit_log().to_string()};
+  ASSERT_TRUE(want.result.verified);
+  ASSERT_GT(want.result.commission_faults_seen, 0u);
+  ASSERT_GT(want.result.metrics.checkpoints, 0u)
+      << "the scenario must exercise checkpoint materialisation";
+  ASSERT_GT(want.result.metrics.escalations, 0u)
+      << "the scenario must exercise degree escalation";
+
+  std::size_t ckpt_records = 0;
+  std::size_t esc_records = 0;
+  for (std::size_t i = 0; i < ref_journal.size(); ++i) {
+    if (ref_journal.at(i).kind == RecordKind::kCheckpoint) ++ckpt_records;
+    if (ref_journal.at(i).kind == RecordKind::kEscalation) ++esc_records;
+  }
+  ASSERT_GT(ckpt_records, 0u);
+  ASSERT_GT(esc_records, 0u);
+
+  const auto plan = dataflow::parse_script(req.script);
+  const auto golden = dataflow::interpret(
+      plan, {{kInputPath, ref_world.dfs.read(kInputPath)}});
+  ASSERT_EQ(want.result.outputs.at(kOutputPath).sorted_rows(),
+            golden.at(kOutputPath).sorted_rows());
+
+  const std::size_t records = ref_journal.size();
+  for (std::size_t k = 0; k < records; ++k) {
+    SCOPED_TRACE("crash at journal record " + std::to_string(k));
+    World w;
+    Journal journal;
+    journal.set_crash_at(k);
+    ClusterBft crashed(w.sim, w.dfs, w.seam->transport, w.seam->programs,
+                       &journal);
+    ASSERT_THROW(crashed.execute(req), ControllerCrashed);
+    ASSERT_TRUE(journal.crashed());
+    ASSERT_EQ(journal.size(), k);
+
+    ClusterBft recovered(w.sim, w.dfs, w.seam->transport, w.seam->programs,
+                         &journal);
+    const ScriptResult res = recovered.recover(req);
+    expect_equal({res, recovered.audit_log().to_string()}, want);
     EXPECT_FALSE(journal.recovery_pending());
   }
 }

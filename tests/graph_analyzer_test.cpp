@@ -5,6 +5,7 @@
 #include <set>
 
 #include "dataflow/parser.hpp"
+#include "mapreduce/compiler.hpp"
 #include "workloads/scripts.hpp"
 
 namespace clusterbft::core {
@@ -162,6 +163,107 @@ TEST(AnalyzeTest, NCappedByCandidateCount) {
   const auto vps = analyze(plan, {{"twitter/edges", 1 << 20}}, req);
   EXPECT_GT(vps.size(), 0u);
   EXPECT_LT(vps.size(), plan.size());
+}
+
+// ---- checkpoint cost model -----------------------------------------------
+
+struct CompiledDag {
+  mapreduce::JobDag dag;
+  std::vector<bool> gating;
+};
+
+CompiledDag compile_fig4(const std::map<std::string, std::uint64_t>& sizes) {
+  const auto plan = fig4_like();
+  ClientRequest req;
+  req.n = 2;
+  const auto vps = analyze(plan, sizes, req);
+  mapreduce::CompileOptions copts;
+  copts.sid_prefix = "ckpt";
+  CompiledDag out{mapreduce::compile(plan, vps, copts), {}};
+  out.gating.assign(out.dag.jobs.size(), false);
+  for (std::size_t j = 0; j < out.dag.jobs.size(); ++j) {
+    out.gating[j] = !out.dag.jobs[j].vps.empty() &&
+                    !out.dag.jobs[j].is_final_store;
+  }
+  return out;
+}
+
+TEST(CheckpointModelTest, EstimatesPassInputBytesThrough) {
+  const auto sizes = fig4_sizes();
+  const auto c = compile_fig4(sizes);
+  const auto est = estimate_job_output_bytes(c.dag, sizes);
+  ASSERT_EQ(est.size(), c.dag.jobs.size());
+  std::uint64_t total_in = 0;
+  for (const auto& [path, bytes] : sizes) total_in += bytes;
+  // Pass-through upper bound: every estimate is positive and no job can
+  // exceed the total input volume (the fig4 DAG is a funnel).
+  for (std::size_t j = 0; j < est.size(); ++j) {
+    EXPECT_GT(est[j], 0u) << "job " << j;
+    EXPECT_LE(est[j], total_in) << "job " << j;
+  }
+  // The final store consumes everything: its estimate is the total.
+  for (const mapreduce::MRJobSpec& spec : c.dag.jobs) {
+    if (spec.is_final_store) EXPECT_EQ(est[spec.job_index], total_in);
+  }
+}
+
+TEST(CheckpointModelTest, SelectsOnlyGatingJobsAndIsDeterministic) {
+  const auto sizes = fig4_sizes();
+  const auto c = compile_fig4(sizes);
+  const auto depth = pipeline_depths(c.dag);
+  const auto a = select_checkpoints(c.dag, sizes, depth, c.gating, 0.0, 0);
+  const auto b = select_checkpoints(c.dag, sizes, depth, c.gating, 0.0, 0);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.est_bytes, b.est_bytes);
+  bool any = false;
+  for (std::size_t j = 0; j < a.selected.size(); ++j) {
+    if (!a.selected[j]) continue;
+    any = true;
+    EXPECT_TRUE(c.gating[j]) << "non-gating job " << j << " selected";
+  }
+  // Even at zero suspicion the 0.25 risk floor beats the 0.1 write cost
+  // for mid-chain points, so something is checkpointed.
+  EXPECT_TRUE(any);
+}
+
+TEST(CheckpointModelTest, BudgetBoundsSelectedBytes) {
+  const auto sizes = fig4_sizes();
+  const auto c = compile_fig4(sizes);
+  const auto depth = pipeline_depths(c.dag);
+  const auto all = select_checkpoints(c.dag, sizes, depth, c.gating, 1.0, 0);
+  std::uint64_t unbounded = 0;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < all.selected.size(); ++j) {
+    if (!all.selected[j]) continue;
+    unbounded += all.est_bytes[j];
+    ++count;
+  }
+  ASSERT_GT(count, 0u);
+  // A budget below the unbounded spend must select strictly less, and
+  // never exceed the budget.
+  const std::uint64_t budget = unbounded / 2;
+  const auto capped =
+      select_checkpoints(c.dag, sizes, depth, c.gating, 1.0, budget);
+  std::uint64_t spent = 0;
+  for (std::size_t j = 0; j < capped.selected.size(); ++j) {
+    if (capped.selected[j]) spent += capped.est_bytes[j];
+  }
+  EXPECT_LE(spent, budget);
+  EXPECT_LT(spent, unbounded);
+}
+
+TEST(CheckpointModelTest, HigherSuspicionNeverSelectsLess) {
+  const auto sizes = fig4_sizes();
+  const auto c = compile_fig4(sizes);
+  const auto depth = pipeline_depths(c.dag);
+  const auto calm = select_checkpoints(c.dag, sizes, depth, c.gating, 0.0, 0);
+  const auto hot = select_checkpoints(c.dag, sizes, depth, c.gating, 1.0, 0);
+  for (std::size_t j = 0; j < calm.selected.size(); ++j) {
+    if (calm.selected[j]) {
+      EXPECT_TRUE(hot.selected[j])
+          << "job " << j << " dropped when risk rose";
+    }
+  }
 }
 
 }  // namespace

@@ -68,6 +68,7 @@ Message rand_message(std::size_t type, Rng& rng) {
       m.avoid = rand_ids(rng);
       m.restrict_to = rand_ids(rng);
       m.max_nodes = rng.next_below(32);
+      m.urgent = static_cast<std::uint8_t>(rng.next_below(2));
       return m;
     }
     case 1:

@@ -104,18 +104,26 @@ case "$MODE" in
       echo "bench-compare requires python3" >&2; exit 2; }
     echo "== bench regression gate: build + run bench_micro (best of 3) =="
     cmake -S "$ROOT" -B "$ROOT/build" >/dev/null
-    cmake --build "$ROOT/build" --target bench_micro -j "$JOBS"
+    cmake --build "$ROOT/build" --target bench_micro bench_checkpoint \
+      -j "$JOBS"
     # Three independent runs; the gate compares the per-metric best, so a
     # load spike on a shared machine cannot fake a regression.
     for i in 1 2 3; do
       (cd "$ROOT/build/bench" && ./bench_micro >/dev/null &&
        mv BENCH_micro.json "BENCH_micro.run$i.json")
     done
+    # The checkpoint ablation is simulated time, so one run is exact; it
+    # enforces its own bars (>=1.3x under faults, strictly fewer adaptive
+    # replicas) by exit code, and its sim-second rows ride along in the
+    # diff as informational context.
+    echo "== bench regression gate: checkpoint + dynamic-replication bars =="
+    (cd "$ROOT/build/bench" && ./bench_checkpoint)
     echo "== bench regression gate: diff against committed baseline =="
     python3 "$ROOT/tools/bench_compare.py" \
       "$ROOT/build/bench/BENCH_micro.run1.json" \
       "$ROOT/build/bench/BENCH_micro.run2.json" \
       "$ROOT/build/bench/BENCH_micro.run3.json" \
+      "$ROOT/build/bench/BENCH_checkpoint.json" \
       --baseline "$ROOT/tools/bench_baseline.json" \
       --threshold "${BENCH_THRESHOLD:-25}"
     ;;
