@@ -5,6 +5,17 @@
 // sub-graph on the same node — is enforced by the execution tracker before
 // a scheduler ever sees a candidate, so no scheduling policy can violate
 // it. Schedulers only express *preference* among safe candidates.
+//
+// Multi-cloud (ISSUE 10): each cluster::Cloud owns its own tracker and
+// scheduler instance, so task scheduling stays strictly cloud-local.
+// WHICH cloud a replica chain runs in is the control tier's placement
+// decision (core/graph_analyzer::placement_order on the membership
+// mirror); by the time candidates reach a scheduler the cloud is fixed,
+// and the replica-safety invariant holds per pool — two clouds may each
+// run a replica of one sub-graph, on disjoint node-id spaces. Failed-over
+// runs arrive with SubmitRun::urgent set, so the tracker's urgent-first
+// narrowing puts cross-cloud re-execution ahead of bulk first-wave work
+// exactly like intra-cloud restarts.
 #pragma once
 
 #include <optional>

@@ -35,6 +35,12 @@ const char* to_string(AuditEvent::Kind kind) {
       return "checkpoint";
     case AuditEvent::Kind::kEscalation:
       return "escalation";
+    case AuditEvent::Kind::kCloudFailover:
+      return "cloud-failover";
+    case AuditEvent::Kind::kCloudDown:
+      return "cloud-down";
+    case AuditEvent::Kind::kCloudReadmitted:
+      return "cloud-readmitted";
   }
   return "?";
 }

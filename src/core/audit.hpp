@@ -47,6 +47,17 @@ struct AuditEvent {
     /// chains gained a further replica chain after its evidence failed
     /// to agree (or timed out) under nonzero suspicion.
     kEscalation,
+    /// Multi-cloud failover: a disputed sub-graph closure (digest
+    /// mismatch, timeout, or unresponsive cloud) was re-executed in a
+    /// different cloud than the wave it replaces.
+    kCloudFailover,
+    /// A cloud stopped answering (repeated verifier timeouts with no
+    /// intervening traffic): its nodes are avoided for new waves until
+    /// it speaks again.
+    kCloudDown,
+    /// A cloud previously marked down delivered traffic again and was
+    /// re-admitted to placement.
+    kCloudReadmitted,
   };
 
   double time = 0;  ///< simulated seconds

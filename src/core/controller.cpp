@@ -158,6 +158,56 @@ std::size_t ClusterBft::healthy_pool_size() const {
   return total > excluded ? total - excluded : 0;
 }
 
+std::size_t ClusterBft::placement_capacity(
+    const ClientRequest& request) const {
+  const common::RoleGuard held(common::scheduler_thread_role);
+  if (cp_.cloud_count() <= 1) {
+    const std::size_t excluded = cp_.excluded_nodes().size();
+    const std::size_t total = cp_.cluster_size();
+    return total > excluded ? total - excluded : 0;
+  }
+  std::size_t capacity = 0;
+  for (std::uint64_t c : placement_candidates(request.placement)) {
+    capacity += cp_.healthy_in_cloud(c);
+  }
+  return capacity;
+}
+
+std::vector<std::uint64_t> ClusterBft::placement_candidates(
+    Placement placement) const {
+  std::vector<CloudInfo> infos;
+  for (std::uint64_t id : cp_.cloud_ids()) {
+    CloudInfo info;
+    info.id = id;
+    info.price_milli = cp_.cloud_price(id);
+    info.healthy_nodes = cp_.healthy_in_cloud(id);
+    infos.push_back(info);
+  }
+  std::vector<std::uint64_t> order =
+      placement_order(placement, std::move(infos));
+  // A cloud marked down is not a candidate, under ANY policy — a
+  // kSingleCloud request whose home cloud is down fails honestly rather
+  // than silently migrating.
+  order.erase(std::remove_if(order.begin(), order.end(),
+                             [this](std::uint64_t c) {
+                               return clouds_down_.count(c) != 0;
+                             }),
+              order.end());
+  return order;
+}
+
+void ClusterBft::note_cloud_alive(std::size_t run_id) {
+  if (cp_.cloud_count() <= 1) return;
+  const std::uint64_t cloud = cp_.run_cloud(run_id);
+  if (cloud == protocol::ControlPlane::kNoCloud) return;
+  cloud_timeout_strikes_.erase(cloud);
+  if (clouds_down_.erase(cloud) != 0) {
+    audit_.record(now(), AuditEvent::Kind::kCloudReadmitted,
+                  "cloud " + std::to_string(cloud) +
+                      " delivered traffic again; re-admitted to placement");
+  }
+}
+
 ResultCache::Stats ClusterBft::cache_stats() const {
   const common::RoleGuard held(common::scheduler_thread_role);
   return result_cache_.stats();
@@ -434,6 +484,7 @@ ScriptResult ClusterBft::collect_result(ScriptSession& s) {
   result.metrics.checkpoints = s.checkpoints;
   result.metrics.checkpoint_bytes = s.checkpoint_bytes;
   result.metrics.escalations = s.escalations;
+  result.metrics.cloud_failovers = s.cloud_failovers;
   result.commission_faults_seen = s.commission_seen;
   result.omission_faults_seen = s.omission_seen;
 
@@ -657,6 +708,7 @@ void ClusterBft::replay_record(
     case RecordKind::kPoolExhausted:
     case RecordKind::kCheckpoint:
     case RecordKind::kEscalation:
+    case RecordKind::kCloudFailover:
       // Decision records: re-derived by the replayed handlers above
       // (their appends are suppressed in replay mode). kRunDispatched
       // frames are re-captured into the session's dispatch_frames by the
@@ -855,6 +907,25 @@ std::string ClusterBft::wave_scope(const ScriptSession& s,
 
 bool ClusterBft::ensure_capacity(ScriptSession& s) {
   const std::size_t need = s.base_replicas;
+  if (cp_.cloud_count() > 1 &&
+      placement_candidates(s.request.placement).empty()) {
+    // Every cloud the placement policy may use is down (or fully
+    // excluded): no wave is placeable anywhere. Node-level degradation
+    // cannot help — the clouds are unreachable, not suspect — so fail
+    // honestly.
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kPoolExhausted, {})) {
+      return false;
+    }
+    audit_.record(now(), AuditEvent::Kind::kPoolExhausted,
+                  s.request.name + ": no cloud available under " +
+                      std::string(to_string(s.request.placement)) +
+                      " placement; failing honestly",
+                  "", {}, s.scope);
+    s.failure = FailureReason::kPoolExhausted;
+    finish(s, false);
+    return false;
+  }
   std::vector<std::uint64_t> excluded = cp_.excluded_nodes();
   // Nodes already re-admitted this script but whose NodeReadmitted echo
   // has not arrived count as healthy — they were handed back already.
@@ -924,17 +995,85 @@ bool ClusterBft::ensure_capacity(ScriptSession& s) {
 }
 
 void ClusterBft::create_wave(ScriptSession& s,
-                             std::optional<std::size_t> scope_job) {
+                             std::optional<std::size_t> scope_job,
+                             std::optional<std::size_t> disputed_job) {
   if (s.finished || crashed_) return;
   if (!ensure_capacity(s)) return;
   // Scoped restart waves only exist under adaptive checkpointing: without
   // durable verified boundaries a narrow wave could strand a job no wave
   // covers.
   if (!s.request.adaptive_checkpoints) scope_job = std::nullopt;
+
+  // Multi-cloud placement (ISSUE 10). With at most one cloud attached
+  // everything below resolves to cloud 0 and no failover — bit-identical
+  // to the single-cloud controller.
+  std::uint64_t cloud = 0;
+  bool failover = false;
+  std::uint64_t failover_from = 0;
+  if (cp_.cloud_count() > 1) {
+    const std::vector<std::uint64_t> order =
+        placement_candidates(s.request.placement);
+    CBFT_CHECK_MSG(!order.empty(), "create_wave past empty placement set");
+    if (s.waves.size() < s.base_replicas) {
+      // Initial replica chains: spread round-robins chain i into
+      // order[i % n]; the other policies fill the preferred cloud.
+      cloud = s.request.placement == Placement::kSpread
+                  ? order[s.waves.size() % order.size()]
+                  : order.front();
+    } else {
+      // Rerun/escalation wave: the disputed closure moves away from the
+      // clouds whose replicas of the disputed job produced the failed
+      // evidence (digest mismatch, timeout, or an unresponsive cloud).
+      std::set<std::uint64_t> disputed;
+      bool have_prev = false;
+      std::uint64_t prev = 0;
+      for (const Wave& pw : s.waves) {
+        if (disputed_job && !pw.includes[*disputed_job]) continue;
+        disputed.insert(pw.cloud);
+        prev = pw.cloud;  // last covering wave = the one being replaced
+        have_prev = true;
+      }
+      cloud = order.front();
+      for (std::uint64_t c : order) {
+        if (disputed.count(c) == 0) {
+          cloud = c;
+          break;
+        }
+      }
+      if (have_prev && cloud != prev) {
+        failover = true;
+        failover_from = prev;
+      }
+    }
+  }
+  if (failover) {
+    // Journaled write-ahead like every decision: replay re-derives the
+    // same choice from the journaled stimuli, so recovery replays
+    // failover decisions bit-identically.
+    common::WireWriter fw;
+    fw.u64(disputed_job ? static_cast<std::uint64_t>(*disputed_job)
+                        : ~std::uint64_t{0});
+    fw.u64(failover_from);
+    fw.u64(cloud);
+    if (!journal_decision(static_cast<std::uint32_t>(s.id),
+                          RecordKind::kCloudFailover, fw.take())) {
+      return;
+    }
+    ++s.cloud_failovers;
+    const std::string what =
+        disputed_job ? s.dag.jobs[*disputed_job].sid : s.request.name;
+    audit_.record(now(), AuditEvent::Kind::kCloudFailover,
+                  what + " re-executing in cloud " + std::to_string(cloud) +
+                      " (was cloud " + std::to_string(failover_from) + ")",
+                  disputed_job ? s.dag.jobs[*disputed_job].sid : "", {},
+                  s.scope);
+  }
+
   common::WireWriter wr;
   wr.u64(s.waves.size());
   wr.u64(scope_job ? static_cast<std::uint64_t>(*scope_job)
                    : ~std::uint64_t{0});
+  wr.u64(cloud);
   if (!journal_decision(static_cast<std::uint32_t>(s.id),
                         RecordKind::kWaveCreated, wr.take())) {
     return;
@@ -943,6 +1082,8 @@ void ClusterBft::create_wave(ScriptSession& s,
   w.replica = s.waves.size();
   w.created_at = now();
   w.scope_job = scope_job;
+  w.cloud = cloud;
+  w.failover = failover;
   w.includes.resize(s.dag.jobs.size());
   if (scope_job) {
     // Restart from checkpoints: re-execute only the scope job's
@@ -1087,10 +1228,15 @@ void ClusterBft::submit_job(ScriptSession& s, std::size_t wave_index,
   // avoiding them would re-create the exhaustion.
   for (NodeId n : s.degraded_nodes) avoid.erase(n);
   // Bound each replica's footprint so the base replicas plus a rerun
-  // replica always fit on pairwise-disjoint node sets.
+  // replica always fit on pairwise-disjoint node sets. Multi-cloud: the
+  // footprint bound is per cloud — replicas placed in different clouds
+  // are disjoint by construction, so only same-cloud replicas share a
+  // pool.
   const std::size_t groups = s.base_replicas + 1;
-  const std::size_t max_nodes =
-      std::max<std::size_t>(1, cp_.cluster_size() / groups);
+  const std::size_t pool = cp_.cloud_count() > 1
+                               ? cp_.cloud_size(w.cloud)
+                               : cp_.cluster_size();
+  const std::size_t max_nodes = std::max<std::size_t>(1, pool / groups);
   RunInfo info{wave_index, j, {}};
   protocol::SubmitRun msg;
   const std::size_t run = cp_.next_run_id();
@@ -1114,6 +1260,7 @@ void ClusterBft::submit_job(ScriptSession& s, std::size_t wave_index,
       wave_scope(s, w) + "r" + std::to_string(run) + "/" + spec.output_path;
   msg.avoid.assign(avoid.begin(), avoid.end());
   msg.max_nodes = max_nodes;
+  msg.cloud = w.cloud;
   // Restart/escalation runs jump the tracker's pending queue: the whole
   // session is blocked on them, while first-wave work is bulk throughput.
   // Only the adaptive knobs set the flag so baseline scheduling is
@@ -1123,6 +1270,11 @@ void ClusterBft::submit_job(ScriptSession& s, std::size_t wave_index,
        s.request.assurance == Assurance::kAdaptive)) {
     msg.urgent = 1;
   }
+  // Failed-over runs always dispatch urgent: the destination cloud's
+  // queue holds its own bulk work, and the service's wrong-cloud guard
+  // plus run-id dedupe make the urgent resubmission safe even if the
+  // original cloud comes back and its stale copy still executes.
+  if (w.failover) msg.urgent = 1;
   // Write-ahead: the exact dispatch bytes (run id pre-assigned) go to the
   // journal first; resync() re-sends them for runs whose completion was
   // never journaled.
@@ -1201,6 +1353,7 @@ void ClusterBft::fire_timer(std::size_t id) {
 void ClusterBft::handle_digest(const mapreduce::DigestReport& report,
                                std::size_t run_id, NodeId /*node*/) {
   if (crashed_) return;
+  note_cloud_alive(run_id);
   ScriptSession* sp = session_of_run(run_id);
   if (sp == nullptr) return;  // probe run or unknown straggler
   ScriptSession& s = *sp;
@@ -1214,6 +1367,7 @@ void ClusterBft::handle_digest(const mapreduce::DigestReport& report,
 
 void ClusterBft::handle_run_complete(std::size_t run_id) {
   if (crashed_) return;
+  note_cloud_alive(run_id);
   ScriptSession* sp = session_of_run(run_id);
   if (sp == nullptr) return;
   ScriptSession& s = *sp;
@@ -1324,6 +1478,21 @@ void ClusterBft::handle_timeout(ScriptSession& s, std::size_t j,
   for (std::size_t wi = wave_index + 1; wi < s.waves.size(); ++wi) {
     if (s.waves[wi].includes[j]) return;
   }
+  // Cloud-down detection (ISSUE 10): a verifier timeout is one strike
+  // against the wave's cloud; two strikes with no intervening traffic
+  // from it mark the cloud unresponsive and exclude it from placement
+  // until it speaks again (note_cloud_alive). Single-cloud runs never
+  // strike, so their audit trail is unchanged.
+  if (cp_.cloud_count() > 1) {
+    const std::uint64_t wc = s.waves[wave_index].cloud;
+    if (clouds_down_.count(wc) == 0 && ++cloud_timeout_strikes_[wc] >= 2) {
+      clouds_down_.insert(wc);
+      audit_.record(now(), AuditEvent::Kind::kCloudDown,
+                    "cloud " + std::to_string(wc) +
+                        " unresponsive (repeated verifier timeouts); "
+                        "avoiding for new waves");
+    }
+  }
   const MRJobSpec& spec = s.dag.jobs[j];
   const auto incomplete = s.verifier->incomplete_runs(spec.sid);
   if (!incomplete.empty()) {
@@ -1390,7 +1559,7 @@ void ClusterBft::need_wave(ScriptSession& s, std::size_t j, bool force) {
                       std::to_string(cap) + ")",
                   s.dag.jobs[j].sid, {}, s.scope);
   }
-  create_wave(s, scoped ? std::optional<std::size_t>(j) : std::nullopt);
+  create_wave(s, scoped ? std::optional<std::size_t>(j) : std::nullopt, j);
 }
 
 FaultAnalyzer::NodeSet ClusterBft::cluster_of(const ScriptSession& s,

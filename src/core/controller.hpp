@@ -165,6 +165,12 @@ class ClusterBft {
   /// Nodes currently schedulable: cluster size minus exclusions — what
   /// admission weighs aggregate r against.
   std::size_t healthy_pool_size() const;
+  /// Placement-aware capacity (ISSUE 10): healthy nodes in the clouds
+  /// the request's placement policy may actually use (down clouds
+  /// excluded). Collapses to healthy_pool_size() when at most one cloud
+  /// is attached, so single-cloud admission is unchanged. Read-only —
+  /// the front end weighs aggregate demand against it.
+  std::size_t placement_capacity(const ClientRequest& request) const;
   ResultCache::Stats cache_stats() const;
   CheckpointStore::Stats checkpoint_stats() const;
 
@@ -267,9 +273,14 @@ class ClusterBft {
   /// the scope job's unverified-ancestor closure — restart from the
   /// nearest verified (checkpointed) boundary instead of chain inputs.
   /// Without one, the wave covers every unverified job (the classic
-  /// full rerun wave and all initial replicas).
+  /// full rerun wave and all initial replicas). `disputed_job` names the
+  /// job whose failed evidence triggered a rerun wave — multi-cloud
+  /// failover steers the wave away from the clouds whose replicas of
+  /// that job disagreed or timed out (journaled kCloudFailover when the
+  /// wave changes cloud).
   void create_wave(ScriptSession& s,
-                   std::optional<std::size_t> scope_job = std::nullopt)
+                   std::optional<std::size_t> scope_job = std::nullopt,
+                   std::optional<std::size_t> disputed_job = std::nullopt)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
   void check_completion(ScriptSession& s)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
@@ -340,6 +351,18 @@ class ClusterBft {
   /// suspect excluded nodes) or fail honestly per the request's
   /// degraded_mode. Returns false when the wave must not be created.
   bool ensure_capacity(ScriptSession& s)
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+
+  /// Clouds the placement policy may place a wave in, in preference
+  /// order: graph_analyzer::placement_order over the membership mirror's
+  /// cloud views, minus clouds currently marked down. Empty only when no
+  /// allowed cloud is up (the multi-cloud pool-exhaustion condition).
+  std::vector<std::uint64_t> placement_candidates(Placement placement) const
+      CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
+  /// Inbound traffic attributable to `run_id`'s cloud proves the cloud
+  /// is alive: reset its timeout strikes and re-admit it to placement if
+  /// it was marked down (audited kCloudReadmitted).
+  void note_cloud_alive(std::size_t run_id)
       CLUSTERBFT_REQUIRES(common::scheduler_thread_role);
 
   /// Cancel and forget every run transitively tainted by the given
@@ -418,6 +441,16 @@ class ClusterBft {
   /// Nodes of hung replicas — substrate knowledge, persists across
   /// scripts (omission is not attributable, only avoidable).
   std::set<cluster::NodeId> omission_suspects_ CBFT_SCHED;
+
+  // Multi-cloud health (ISSUE 10; substrate, only populated when more
+  // than one cloud is attached). Derived purely from journaled stimuli
+  // (timer firings and inbound frames), so recovery replays it.
+  /// Per cloud: verifier timeouts since the cloud last delivered
+  /// traffic; two in a row mark the cloud down.
+  std::map<std::uint64_t, std::size_t> cloud_timeout_strikes_ CBFT_SCHED;
+  /// Clouds currently considered unresponsive — excluded from placement
+  /// until any of their traffic arrives again.
+  std::set<std::uint64_t> clouds_down_ CBFT_SCHED;
 
   // Verified-result cache (shared across sessions and tenants).
   ResultCache result_cache_ CBFT_SCHED;

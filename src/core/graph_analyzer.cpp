@@ -267,4 +267,38 @@ std::vector<std::size_t> pipeline_depths(const mapreduce::JobDag& dag) {
   return depth;
 }
 
+std::vector<std::uint64_t> placement_order(Placement placement,
+                                           std::vector<CloudInfo> clouds) {
+  // Candidates are clouds with at least one healthy node; keep id order
+  // stable (the mirror hands them over ascending, but don't rely on it).
+  clouds.erase(std::remove_if(clouds.begin(), clouds.end(),
+                              [](const CloudInfo& c) {
+                                return c.healthy_nodes == 0;
+                              }),
+               clouds.end());
+  std::sort(clouds.begin(), clouds.end(),
+            [](const CloudInfo& a, const CloudInfo& b) { return a.id < b.id; });
+  if (clouds.empty()) return {};
+  std::vector<std::uint64_t> order;
+  switch (placement) {
+    case Placement::kSingleCloud:
+      order.push_back(clouds.front().id);
+      break;
+    case Placement::kSpread:
+      for (const CloudInfo& c : clouds) order.push_back(c.id);
+      break;
+    case Placement::kCheapestFirst:
+      std::sort(clouds.begin(), clouds.end(),
+                [](const CloudInfo& a, const CloudInfo& b) {
+                  if (a.price_milli != b.price_milli) {
+                    return a.price_milli < b.price_milli;
+                  }
+                  return a.id < b.id;
+                });
+      for (const CloudInfo& c : clouds) order.push_back(c.id);
+      break;
+  }
+  return order;
+}
+
 }  // namespace clusterbft::core

@@ -90,4 +90,23 @@ CheckpointPlacement select_checkpoints(
     const std::vector<bool>& gating, double suspicion_prior,
     std::uint64_t budget_bytes);
 
+/// What the placement policy knows about one cloud — a pure-value
+/// snapshot of the membership mirror, so the ordering stays a pure
+/// function (replayed decisions re-derive identically).
+struct CloudInfo {
+  std::uint64_t id = 0;
+  std::uint64_t price_milli = 0;   ///< advertised, milli-units/CPU-second
+  std::size_t healthy_nodes = 0;   ///< announced minus excluded
+};
+
+/// Multi-cloud placement order (ISSUE 10): the preference order replica
+/// chains are assigned clouds in. kSingleCloud returns only the
+/// lowest-id cloud (the pre-multi-cloud behaviour); kSpread returns
+/// every cloud in id order (chain i runs in order[i % n]); and
+/// kCheapestFirst sorts ascending by (price_milli, id) so ties stay
+/// deterministic. Clouds with no healthy nodes are dropped — a fully
+/// excluded or never-announced cloud is not a placement candidate.
+std::vector<std::uint64_t> placement_order(Placement placement,
+                                           std::vector<CloudInfo> clouds);
+
 }  // namespace clusterbft::core

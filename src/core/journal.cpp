@@ -13,7 +13,8 @@ constexpr std::uint32_t kJournalMagic = 0x434A424CU;  // "CBJL"
 // concurrently in-flight scripts and route every record to its session.
 // v3: adds the kCheckpoint / kEscalation decision kinds (adaptive
 // checkpointing + dynamic replication degree).
-constexpr std::uint16_t kJournalVersion = 3;
+// v4: adds the kCloudFailover decision kind (multi-cloud failover).
+constexpr std::uint16_t kJournalVersion = 4;
 // A journal record never carries more than one codec frame; anything
 // bigger is a corrupt length field, not a real record.
 constexpr std::uint32_t kMaxPayload = 1U << 24;
@@ -38,6 +39,7 @@ const char* to_string(RecordKind kind) {
     case RecordKind::kCacheHit: return "cache-hit";
     case RecordKind::kCheckpoint: return "checkpoint";
     case RecordKind::kEscalation: return "escalation";
+    case RecordKind::kCloudFailover: return "cloud-failover";
   }
   return "unknown";
 }
@@ -110,7 +112,8 @@ std::optional<JournalRecord> Journal::decode_record(const std::uint8_t* data,
   const double time = rd.f64();
   const std::uint32_t len = rd.u32();
   if (!rd.ok() || magic != kJournalMagic || version != kJournalVersion ||
-      kind < 1 || kind > static_cast<std::uint16_t>(RecordKind::kEscalation) ||
+      kind < 1 ||
+      kind > static_cast<std::uint16_t>(RecordKind::kCloudFailover) ||
       len > kMaxPayload || rd.remaining() < len) {
     return std::nullopt;
   }

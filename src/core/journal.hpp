@@ -73,6 +73,11 @@ enum class RecordKind : std::uint16_t {
                          ///  entry), 32-byte checkpoint key
   kEscalation = 17,      ///< payload: u64 job index, u64 new degree
                          ///  (waves covering the job after escalation)
+  kCloudFailover = 18,   ///< payload: u64 job index, u64 from cloud,
+                         ///  u64 to cloud — a disputed closure was moved
+                         ///  to a different cloud (digest mismatch or
+                         ///  unresponsive cloud); replay re-derives the
+                         ///  same choice from the journaled stimuli
 };
 
 const char* to_string(RecordKind kind);

@@ -36,6 +36,28 @@ enum class DegradedMode { kReadmit, kFail };
 /// are journaled (kEscalation) and audited.
 enum class Assurance { kStatic, kAdaptive };
 
+/// Multi-cloud replica placement (Medusa-style, ISSUE 10): which cloud
+/// each of a script's r replica chains is assigned to. kSingleCloud runs
+/// everything in the lowest-id cloud — with one cloud attached this is
+/// bit-identical to the pre-multi-cloud controller, the default.
+/// kSpread round-robins the chains across the up clouds so a whole-cloud
+/// fault (outage, correlated commission) touches at most ceil(r/n)
+/// chains. kCheapestFirst orders clouds by advertised price and fills
+/// the cheapest first, spilling to pricier clouds only on failover or
+/// exhaustion. Failover re-placement (moving a disputed closure to a
+/// different cloud) applies under every policy whenever more than one
+/// cloud is attached.
+enum class Placement { kSingleCloud, kSpread, kCheapestFirst };
+
+inline const char* to_string(Placement placement) {
+  switch (placement) {
+    case Placement::kSingleCloud: return "single-cloud";
+    case Placement::kSpread: return "spread";
+    case Placement::kCheapestFirst: return "cheapest-first";
+  }
+  return "?";
+}
+
 struct ClientRequest {
   std::string script;            ///< PigLatin-subset source text
   std::string name = "script";   ///< sid prefix / scoping name
@@ -125,6 +147,11 @@ struct ClientRequest {
   /// output bytes of the selected jobs; 0 = unlimited). The placement
   /// pass spends it on the highest expected-rework savings first.
   std::uint64_t checkpoint_budget_bytes = 0;
+
+  /// Multi-cloud replica placement policy (see Placement). Irrelevant —
+  /// and bit-identical to the old behaviour — when only one cloud is
+  /// attached.
+  Placement placement = Placement::kSingleCloud;
 };
 
 /// Replica chains a request launches up front: the client's r for the
@@ -165,6 +192,9 @@ struct ScriptMetrics {
   std::uint64_t checkpoint_bytes = 0;
   /// Replica-chain escalations under the adaptive assurance class.
   std::size_t escalations = 0;
+  /// Disputed closures re-executed in a different cloud (multi-cloud
+  /// failover after a digest mismatch, timeout, or unresponsive cloud).
+  std::size_t cloud_failovers = 0;
 };
 
 /// Why a script that did not verify stopped. Structured so callers can

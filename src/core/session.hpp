@@ -48,6 +48,12 @@ struct ScriptSession {
     /// unverified-ancestor closure this wave re-executes. Full waves
     /// (initial replicas, non-adaptive reruns) carry nullopt.
     std::optional<std::size_t> scope_job;
+    /// Cloud this wave's runs are placed in (ISSUE 10); 0 when only one
+    /// cloud is attached, which keeps the single-cloud path
+    /// bit-identical.
+    std::uint64_t cloud = 0;
+    /// Wave created by cross-cloud failover: its runs dispatch urgent.
+    bool failover = false;
   };
   struct RunInfo {
     std::size_t wave = 0;
@@ -159,6 +165,7 @@ struct ScriptSession {
   std::size_t checkpoints = 0;            ///< metrics.checkpoints
   std::uint64_t checkpoint_bytes = 0;     ///< metrics.checkpoint_bytes
   std::size_t escalations = 0;            ///< metrics.escalations
+  std::size_t cloud_failovers = 0;        ///< metrics.cloud_failovers
 };
 
 }  // namespace clusterbft::core

@@ -61,9 +61,13 @@ bool Frontend::can_admit(const Ticket& t) const {
     const std::size_t demand = core::base_replication(t.submission.request);
     // One session may always run: a pool permanently smaller than one
     // request's r must reach the controller's degraded-mode machinery,
-    // not starve in this queue.
+    // not starve in this queue. Capacity is placement-aware (ISSUE 10):
+    // a request pinned to one cloud weighs its demand against that
+    // cloud's healthy nodes, not the whole fleet — with one cloud
+    // attached this is exactly healthy_pool_size().
     if (inflight_total_ > 0 &&
-        inflight_demand_ + demand > controller_.healthy_pool_size()) {
+        inflight_demand_ + demand >
+            controller_.placement_capacity(t.submission.request)) {
       return false;
     }
   }

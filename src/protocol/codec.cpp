@@ -52,6 +52,7 @@ void encode_payload(WireWriter& w, const SubmitRun& m) {
   put_ids(w, m.restrict_to);
   w.u64(m.max_nodes);
   w.u8(m.urgent);
+  w.u64(m.cloud);
 }
 
 bool decode_payload(WireReader& r, SubmitRun& m) {
@@ -66,6 +67,7 @@ bool decode_payload(WireReader& r, SubmitRun& m) {
   if (!get_ids(r, m.restrict_to)) return false;
   m.max_nodes = r.u64();
   m.urgent = r.u8();
+  m.cloud = r.u64();
   return r.ok();
 }
 
@@ -102,12 +104,14 @@ void encode_payload(WireWriter& w, const AddNodes& m) {
   w.u64(m.count);
   w.u64(m.slots);
   w.u64(m.seq);
+  w.u64(m.cloud);
 }
 
 bool decode_payload(WireReader& r, AddNodes& m) {
   m.count = r.u64();
   m.slots = r.u64();
   m.seq = r.u64();
+  m.cloud = r.u64();
   return r.ok();
 }
 
@@ -121,11 +125,15 @@ bool decode_payload(WireReader& r, DrainNode& m) {
 void encode_payload(WireWriter& w, const NodeAnnounce& m) {
   w.u64(m.first);
   w.u64(m.count);
+  w.u64(m.cloud);
+  w.u64(m.price_milli);
 }
 
 bool decode_payload(WireReader& r, NodeAnnounce& m) {
   m.first = r.u64();
   m.count = r.u64();
+  m.cloud = r.u64();
+  m.price_milli = r.u64();
   return r.ok();
 }
 

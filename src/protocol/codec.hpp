@@ -42,7 +42,10 @@ namespace clusterbft::protocol {
 
 inline constexpr std::uint32_t kWireMagic = 0x43424654;  // "CBFT"
 // v4: SubmitRun carries the urgent flag (dynamic-r restart scheduling).
-inline constexpr std::uint16_t kWireVersion = 4;
+// v5: multi-cloud placement — SubmitRun and AddNodes carry the target
+//     cloud id, NodeAnnounce carries the announcing cloud id and its
+//     advertised price (milli-units per CPU-second).
+inline constexpr std::uint16_t kWireVersion = 5;
 
 /// Serialize `m` into one self-delimiting frame (checksum sealed).
 std::vector<std::uint8_t> encode(const Message& m);

@@ -65,6 +65,7 @@ std::size_t ControlPlane::submit_run(SubmitRun msg) {
   const std::size_t run = runs_.size();
   msg.run = run;
   runs_.emplace_back();
+  runs_.back().cloud = msg.cloud;
   send(std::move(msg));
   return run;
 }
@@ -88,8 +89,9 @@ void ControlPlane::cancel_run(std::size_t run) {
   send(CancelRun{run});
 }
 
-void ControlPlane::add_nodes(std::uint64_t count, std::uint64_t slots) {
-  send(AddNodes{count, slots, ++command_seq_});
+void ControlPlane::add_nodes(std::uint64_t count, std::uint64_t slots,
+                             std::uint64_t cloud) {
+  send(AddNodes{count, slots, ++command_seq_, cloud});
 }
 
 void ControlPlane::drain_node(std::uint64_t nid) { send(DrainNode{nid}); }
@@ -127,6 +129,43 @@ std::vector<std::uint64_t> ControlPlane::excluded_nodes() const {
     if (nodes_[nid].excluded) out.push_back(nid);
   }
   return out;
+}
+
+std::vector<std::uint64_t> ControlPlane::cloud_ids() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(clouds_.size());
+  for (const auto& [cid, view] : clouds_) out.push_back(cid);
+  return out;
+}
+
+std::size_t ControlPlane::cloud_size(std::uint64_t cloud) const {
+  const auto it = clouds_.find(cloud);
+  return it == clouds_.end() ? 0 : it->second.nodes.size();
+}
+
+std::size_t ControlPlane::healthy_in_cloud(std::uint64_t cloud) const {
+  const auto it = clouds_.find(cloud);
+  if (it == clouds_.end()) return 0;
+  std::size_t healthy = 0;
+  for (std::uint64_t nid : it->second.nodes) {
+    if (!node_excluded(nid)) ++healthy;
+  }
+  return healthy;
+}
+
+std::uint64_t ControlPlane::cloud_price(std::uint64_t cloud) const {
+  const auto it = clouds_.find(cloud);
+  return it == clouds_.end() ? 0 : it->second.price_milli;
+}
+
+std::uint64_t ControlPlane::cloud_of_node(std::uint64_t node) const {
+  const auto it = node_cloud_.find(node);
+  return it == node_cloud_.end() ? kNoCloud : it->second;
+}
+
+std::uint64_t ControlPlane::run_cloud(std::size_t run) const {
+  CBFT_CHECK(run < runs_.size());
+  return runs_[run].cloud;
 }
 
 void ControlPlane::record_fault(std::uint64_t nid) { ++node(nid).faults; }
@@ -177,9 +216,29 @@ void ControlPlane::handle(const Message& m) {
               CBFT_WARN("control plane: dropping oversized NodeAnnounce");
               return;
             }
-            cluster_size_ = std::max<std::size_t>(cluster_size_,
-                                                  e.first + e.count);
-            if (cluster_size_ > nodes_.size()) nodes_.resize(cluster_size_);
+            if (e.first + e.count > nodes_.size()) {
+              nodes_.resize(e.first + e.count);
+            }
+            // Set-semantics membership: cluster_size_ counts nodes
+            // actually announced, so a duplicated announce (transport
+            // duplication) or cloud-strided sparse id ranges never
+            // inflate it. A node's cloud is fixed by its first announce;
+            // a conflicting re-announce (confused or byzantine sender)
+            // is ignored per node, and a cloud entry only exists once it
+            // actually contributed a node (a corrupt announce must not
+            // mint phantom clouds the placement policy could pick).
+            std::vector<std::uint64_t> fresh;
+            for (std::uint64_t nid = e.first; nid < e.first + e.count;
+                 ++nid) {
+              if (node_cloud_.emplace(nid, e.cloud).second) {
+                fresh.push_back(nid);
+              }
+            }
+            if (fresh.empty()) return;
+            CloudView& cv = clouds_[e.cloud];
+            if (cv.nodes.empty()) cv.price_milli = e.price_milli;
+            for (std::uint64_t nid : fresh) cv.nodes.insert(nid);
+            cluster_size_ += fresh.size();
           },
           [this](const NodeDrained& e) {
             if (e.node >= kMaxNodeId) return;

@@ -41,6 +41,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -74,7 +75,8 @@ class ControlPlane {
   /// late DigestBatch/RunComplete events for it are discarded so a
   /// cancelled run can never feed the verifier or serve as a dependency.
   void cancel_run(std::size_t run);
-  void add_nodes(std::uint64_t count, std::uint64_t slots = 0);
+  void add_nodes(std::uint64_t count, std::uint64_t slots = 0,
+                 std::uint64_t cloud = 0);
   void drain_node(std::uint64_t node);
   /// Graceful degradation: resume scheduling onto a drained node. Like
   /// draining, the membership mirror moves on the NodeReadmitted echo.
@@ -123,6 +125,26 @@ class ControlPlane {
   bool node_excluded(std::uint64_t node) const;
   std::vector<std::uint64_t> excluded_nodes() const;
 
+  // ---- per-cloud membership (learned from NodeAnnounce, wire v5) ----
+  /// Number of distinct clouds that announced nodes (a classic
+  /// single-cluster deployment reports 1, as cloud 0).
+  std::size_t cloud_count() const { return clouds_.size(); }
+  /// Announced cloud ids, ascending.
+  std::vector<std::uint64_t> cloud_ids() const;
+  /// Announced nodes of one cloud (0 for an unknown cloud).
+  std::size_t cloud_size(std::uint64_t cloud) const;
+  /// Announced-and-not-excluded nodes of one cloud.
+  std::size_t healthy_in_cloud(std::uint64_t cloud) const;
+  /// Advertised price of one cloud, milli-units per CPU-second.
+  std::uint64_t cloud_price(std::uint64_t cloud) const;
+  /// Cloud owning a node (kNoCloud when the node was never announced).
+  std::uint64_t cloud_of_node(std::uint64_t node) const;
+  /// Cloud a run was dispatched to (from its SubmitRun; kNoCloud for
+  /// probe runs, which are routed by suspect node instead).
+  std::uint64_t run_cloud(std::size_t run) const;
+
+  static constexpr std::uint64_t kNoCloud = ~0ULL;
+
   // ---- suspicion (§4.1: s = faults / jobs executed, control-tier data) ----
   void record_fault(std::uint64_t node);
   /// s = faults / jobs executed (0 when the node never ran a job).
@@ -147,11 +169,16 @@ class ControlPlane {
     /// duplicate suppression for the accumulating events.
     std::set<std::uint64_t> seen_seqs;
     RunMetrics metrics;
+    std::uint64_t cloud = kNoCloud;  ///< placement, from the SubmitRun
   };
   struct NodeView {
     std::uint64_t jobs = 0;
     std::uint64_t faults = 0;
     bool excluded = false;
+  };
+  struct CloudView {
+    std::uint64_t price_milli = 0;
+    std::set<std::uint64_t> nodes;  ///< global ids announced for the cloud
   };
 
   void receive(const Message& m);
@@ -163,6 +190,11 @@ class ControlPlane {
   Transport& transport_;
   std::vector<RunView> runs_;
   std::vector<NodeView> nodes_;
+  /// cloud id -> announced membership; node id -> owning cloud. Node ids
+  /// are cloud-strided, so nodes_ is indexed sparsely while
+  /// cluster_size_ counts nodes actually announced (not the max id).
+  std::map<std::uint64_t, CloudView> clouds_;
+  std::map<std::uint64_t, std::uint64_t> node_cloud_;
   std::size_t cluster_size_ = 0;
   std::uint64_t command_seq_ = 0;  ///< AddNodes dedup identity
   bool muted_ = false;

@@ -65,6 +65,11 @@ struct SubmitRun {
   /// tracker drains urgent pending tasks before bulk first-wave work, so
   /// a rollback's critical path is not serialised behind the queue.
   std::uint8_t urgent = 0;
+  /// Cloud the run is assigned to (wire v5). The multi-cloud transport
+  /// routes on it and every service executes only runs addressed to its
+  /// own cloud, so a failed-over run can never also execute in the cloud
+  /// the controller moved it away from.
+  std::uint64_t cloud = 0;
 };
 
 /// Abandon a run: queued tasks are forgotten, in-flight task results are
@@ -96,6 +101,9 @@ struct AddNodes {
   /// register the fleet twice, so the service dedupes on it (0 = legacy
   /// unsequenced sender, never deduped).
   std::uint64_t seq = 0;
+  /// Cloud whose pool grows (wire v5); the multi-cloud transport routes
+  /// on it and every service ignores commands for other clouds.
+  std::uint64_t cloud = 0;
 };
 
 /// Stop scheduling onto a node (running tasks finish normally). Answered
@@ -115,10 +123,17 @@ struct ReadmitNode {
 // ----------------------------------------------------------------- events
 
 /// Membership report: nodes [first, first+count) exist. Sent once at
-/// service start for the initial cluster and after every AddNodes.
+/// service start for the initial cluster and after every AddNodes. Node
+/// ids are global (cloud-strided); the announce names the cloud owning
+/// the range plus its advertised price so the control tier's membership
+/// mirror can answer per-cloud capacity and placement-cost queries
+/// without ever touching execution-tier state (wire v5).
 struct NodeAnnounce {
   std::uint64_t first = 0;
   std::uint64_t count = 0;
+  std::uint64_t cloud = 0;
+  /// Advertised price, milli-units per CPU-second (0 = unpriced).
+  std::uint64_t price_milli = 0;
 };
 
 /// A node stopped accepting tasks (DrainNode acknowledgement).

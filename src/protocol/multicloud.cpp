@@ -1,0 +1,180 @@
+#include "protocol/multicloud.hpp"
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.hpp"
+
+namespace clusterbft::protocol {
+
+// ------------------------------------------------------------- CloudLink
+
+void CloudLink::ship(bool up, Message m) {
+  if (outage_depth_ > 0) {
+    // Held past the caller's frame lifetime: materialize borrows first.
+    own_payload(m);
+    held_.push_back(Held{up, std::move(m)});
+    return;
+  }
+  if (extra_delay_s_ > 0) {
+    own_payload(m);
+    sim_.schedule_after(extra_delay_s_,
+                        [this, up, msg = std::move(m)]() mutable {
+                          deliver(up, std::move(msg));
+                        });
+    return;
+  }
+  deliver(up, std::move(m));
+}
+
+void CloudLink::end_outage() {
+  if (outage_depth_ == 0) return;
+  if (--outage_depth_ > 0) return;
+  // The slow cloud comes back online: everything held on either side of
+  // the partition flushes in original send order. Handlers may send
+  // again synchronously — those replies see the healed link and ship
+  // directly, never re-entering held_ mid-flush.
+  std::vector<Held> queued;
+  queued.swap(held_);
+  for (Held& h : queued) deliver(h.up, std::move(h.msg));
+}
+
+// -------------------------------------------------- MultiCloudTransport
+
+void MultiCloudTransport::attach(std::size_t cloud, Transport& link) {
+  links_[cloud] = &link;
+  link.bind_control([this, cloud](const Message& m) { from_cloud(cloud, m); });
+}
+
+void MultiCloudTransport::from_cloud(std::size_t cloud, const Message& m) {
+  // Learn node ownership from announces passing through, so node-keyed
+  // commands (probes, drains) route without a cloud field of their own.
+  if (const auto* na = std::get_if<NodeAnnounce>(&m)) {
+    for (std::uint64_t nid = na->first; nid < na->first + na->count; ++nid) {
+      node_cloud_[nid] = cloud;
+    }
+  }
+  deliver_control(m);  // copy: materializes borrows if the control
+                       // handler is not bound yet
+}
+
+void MultiCloudTransport::to_computation(Message m) {
+  if (const auto* s = std::get_if<SubmitRun>(&m)) {
+    // Remember the assignment so a later CancelRun follows the run.
+    run_cloud_[s->run] = s->cloud;
+    route_to(s->cloud, std::move(m));
+    return;
+  }
+  if (const auto* a = std::get_if<AddNodes>(&m)) {
+    route_to(a->cloud, std::move(m));
+    return;
+  }
+  std::uint64_t node = 0;
+  if (const auto* p = std::get_if<ProbeRequest>(&m)) {
+    node = p->suspect;
+  } else if (const auto* d = std::get_if<DrainNode>(&m)) {
+    node = d->node;
+  } else if (const auto* r = std::get_if<ReadmitNode>(&m)) {
+    node = r->node;
+  } else if (const auto* c = std::get_if<CancelRun>(&m)) {
+    const auto it = run_cloud_.find(c->run);
+    if (it != run_cloud_.end()) {
+      route_to(it->second, std::move(m));
+    } else {
+      broadcast(m);  // unknown run: cancel is idempotent everywhere
+    }
+    return;
+  } else {
+    broadcast(m);  // unknown command kind: services bounds-check
+    return;
+  }
+  const auto it = node_cloud_.find(node);
+  if (it != node_cloud_.end()) {
+    route_to(it->second, std::move(m));
+  } else {
+    broadcast(m);  // node not announced yet: owning service range-checks
+  }
+}
+
+void MultiCloudTransport::route_to(std::size_t cloud, Message m) {
+  const auto it = links_.find(cloud);
+  if (it == links_.end()) {
+    CBFT_WARN("multicloud: dropping command for unattached cloud "
+              << cloud);
+    return;
+  }
+  it->second->to_computation(std::move(m));
+}
+
+void MultiCloudTransport::broadcast(const Message& m) {
+  for (auto& [cloud, link] : links_) {
+    link->to_computation(m);  // copy per cloud (materializes borrows)
+  }
+}
+
+// ------------------------------------------------------- MultiCloudSeam
+
+MultiCloudSeam::Endpoint::Endpoint(cluster::Cloud& cloud,
+                                   ProgramRegistry& programs)
+    : link(cloud.tracker().sim()),
+      service(cloud.tracker(), link, programs,
+              ServiceConfig{cloud.id(), cloud.node_base(),
+                            cloud.profile().price_milli,
+                            cluster::kCloudNodeStride}) {}
+
+MultiCloudSeam::MultiCloudSeam(std::vector<cluster::Cloud*> clouds)
+    : clouds_(std::move(clouds)) {
+  for (cluster::Cloud* cloud : clouds_) {
+    // The service's construction-time NodeAnnounce buffers inside the
+    // link until attach() binds the router's forwarder, which replays it
+    // through from_cloud — so the router learns the range and the
+    // controller (bound later still) gets the announce, in order.
+    endpoints.push_back(std::make_unique<Endpoint>(*cloud, programs));
+    transport.attach(cloud->id(), endpoints.back()->link);
+  }
+}
+
+MultiCloudSeam::Endpoint* MultiCloudSeam::endpoint(std::size_t cloud) {
+  for (std::size_t i = 0; i < clouds_.size(); ++i) {
+    if (clouds_[i]->id() == cloud) return endpoints[i].get();
+  }
+  return nullptr;
+}
+
+void MultiCloudSeam::arm(cluster::EventSim& sim,
+                         const cluster::FaultPlan& plan) {
+  for (const auto& c : plan.worker_crashes) {
+    // Global node id -> owning cloud by stride.
+    const std::size_t cloud = c.node / cluster::kCloudNodeStride;
+    const auto local =
+        static_cast<cluster::NodeId>(c.node % cluster::kCloudNodeStride);
+    for (cluster::Cloud* cl : clouds_) {
+      if (cl->id() != cloud) continue;
+      cluster::ExecutionTracker* t = &cl->tracker();
+      sim.schedule_at(c.at_s, [t, local] { t->crash_node(local); });
+      break;
+    }
+  }
+  for (const auto& o : plan.cloud_outages) {
+    Endpoint* ep = endpoint(o.cloud);
+    if (ep == nullptr) continue;
+    CloudLink* link = &ep->link;
+    sim.schedule_at(o.at_s, [link] { link->begin_outage(); });
+    if (o.duration_s > 0) {
+      sim.schedule_at(o.at_s + o.duration_s, [link] { link->end_outage(); });
+    }
+  }
+  for (const auto& d : plan.cloud_degrades) {
+    Endpoint* ep = endpoint(d.cloud);
+    if (ep == nullptr) continue;
+    CloudLink* link = &ep->link;
+    const double extra = d.extra_delay_s;
+    sim.schedule_at(d.at_s, [link, extra] { link->set_extra_delay(extra); });
+    if (d.duration_s > 0) {
+      sim.schedule_at(d.at_s + d.duration_s,
+                      [link] { link->set_extra_delay(0); });
+    }
+  }
+}
+
+}  // namespace clusterbft::protocol

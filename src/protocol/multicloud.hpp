@@ -1,0 +1,139 @@
+// Multi-cloud protocol seam (ISSUE 10): one controller, N independent
+// clouds, each behind its own per-cloud link.
+//
+//   controller <-> MultiCloudTransport <-(CloudLink c)-> service c <-> tracker c
+//
+// MultiCloudTransport is the Transport the controller binds; it routes
+// control->computation commands to the owning cloud's link (SubmitRun/
+// AddNodes by their cloud field, node commands by the announced node
+// ranges, CancelRun by the remembered run->cloud assignment) and funnels
+// every cloud's events up to the one control handler. Messages whose
+// owner cannot be determined are broadcast — every service bounds-checks
+// and dedupes, so a broadcast is safe, never wrong.
+//
+// CloudLink is where cloud-level faults live: a whole-cloud outage holds
+// traffic in BOTH directions (a partition, not a crash — the pool keeps
+// executing behind it) and flushes everything held, in order, when the
+// outage heals; permanent outages never flush. Cloud-wide latency
+// degradation delays each crossing message via the event simulator.
+// Both are armed from the declarative cluster::FaultPlan by
+// MultiCloudSeam::arm — the cluster tier stays protocol-free.
+//
+// This header lives on the computation side of the trust boundary (it
+// includes the cloud/tracker); src/core never includes it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/cloud.hpp"
+#include "cluster/fault_plan.hpp"
+#include "protocol/registry.hpp"
+#include "protocol/service.hpp"
+#include "protocol/transport.hpp"
+
+namespace clusterbft::protocol {
+
+/// The pipe between the multi-cloud router and ONE cloud's service.
+/// Synchronous (loopback-identical) until a fault window opens.
+class CloudLink final : public Transport {
+ public:
+  explicit CloudLink(cluster::EventSim& sim) : sim_(sim) {}
+
+  void to_control(Message m) override { ship(/*up=*/true, std::move(m)); }
+  void to_computation(Message m) override {
+    ship(/*up=*/false, std::move(m));
+  }
+
+  /// Outage window edges (nested windows stack).
+  void begin_outage() { ++outage_depth_; }
+  void end_outage();
+  /// Cloud-wide latency degradation (0 restores synchronous delivery).
+  void set_extra_delay(double seconds) { extra_delay_s_ = seconds; }
+
+  bool in_outage() const { return outage_depth_ > 0; }
+  std::size_t held() const { return held_.size(); }
+
+ private:
+  struct Held {
+    bool up = false;  ///< true: toward control; false: toward computation
+    Message msg;
+  };
+
+  void ship(bool up, Message m);
+  void deliver(bool up, Message m) {
+    if (up) {
+      deliver_control(std::move(m));
+    } else {
+      deliver_computation(std::move(m));
+    }
+  }
+
+  cluster::EventSim& sim_;
+  std::size_t outage_depth_ = 0;
+  double extra_delay_s_ = 0;
+  std::vector<Held> held_;
+};
+
+/// The Transport the controller binds: fans control-side commands out to
+/// the right cloud's link and funnels every cloud's events up.
+class MultiCloudTransport final : public Transport {
+ public:
+  /// Register a cloud's link and start forwarding its events up.
+  void attach(std::size_t cloud, Transport& link);
+
+  void to_control(Message m) override { deliver_control(std::move(m)); }
+  void to_computation(Message m) override;
+
+  /// Cloud that announced this (global) node id, if any.
+  std::map<std::uint64_t, std::size_t> const& node_clouds() const {
+    return node_cloud_;
+  }
+
+ private:
+  void from_cloud(std::size_t cloud, const Message& m);
+  void route_to(std::size_t cloud, Message m);
+  void broadcast(const Message& m);
+
+  std::map<std::size_t, Transport*> links_;
+  std::map<std::uint64_t, std::size_t> node_cloud_;
+  /// SubmitRun routing is remembered so a later CancelRun for the run
+  /// reaches the same cloud (survives controller crashes — the map lives
+  /// with the seam, on the computation side).
+  std::map<std::uint64_t, std::size_t> run_cloud_;
+};
+
+/// Construction bundle: one service endpoint per cloud behind one
+/// router. Idiom (mirrors LoopbackSeam):
+///
+///   cluster::Cloud a(0, sim, dfs, profile_a), b(1, sim, dfs, profile_b);
+///   protocol::MultiCloudSeam seam({&a, &b});
+///   core::ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+///   seam.arm(sim, faults);  // cloud outages/degrades + worker crashes
+struct MultiCloudSeam {
+  MultiCloudTransport transport;
+  ProgramRegistry programs;
+
+  struct Endpoint {
+    CloudLink link;
+    ComputationService service;
+    Endpoint(cluster::Cloud& cloud, ProgramRegistry& programs);
+  };
+  std::vector<std::unique_ptr<Endpoint>> endpoints;
+
+  explicit MultiCloudSeam(std::vector<cluster::Cloud*> clouds);
+
+  /// Schedule the plan's cloud outages/degrades onto the per-cloud links
+  /// and its worker crashes (global node ids) into the owning trackers.
+  void arm(cluster::EventSim& sim, const cluster::FaultPlan& plan);
+
+  /// The endpoint serving `cloud`, or nullptr.
+  Endpoint* endpoint(std::size_t cloud);
+
+ private:
+  std::vector<cluster::Cloud*> clouds_;
+};
+
+}  // namespace clusterbft::protocol

@@ -24,14 +24,16 @@ constexpr std::uint64_t kMaxSlots = 1024;
 
 ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
                                        Transport& transport,
-                                       const ProgramRegistry& programs)
-    : tracker_(tracker), transport_(transport), programs_(programs) {
+                                       const ProgramRegistry& programs,
+                                       ServiceConfig cfg)
+    : tracker_(tracker), transport_(transport), programs_(programs),
+      cfg_(cfg) {
   transport_.bind_computation([this](const Message& m) { handle(m); });
 
   tracker_.on_node_assigned = [this](std::size_t run, cluster::NodeId nid) {
     const auto it = ctl_of_.find(run);
     if (it == ctl_of_.end()) return;
-    emit(it->second, NodeStatus{it->second, nid});
+    emit(it->second, NodeStatus{it->second, cfg_.node_base + nid});
   };
   tracker_.on_task_accounted =
       [this](std::size_t run, cluster::NodeId nid, bool reduce,
@@ -40,7 +42,7 @@ ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
         if (it == ctl_of_.end()) return;
         Heartbeat hb;
         hb.run = it->second;
-        hb.node = nid;
+        hb.node = cfg_.node_base + nid;
         hb.reduce = reduce ? 1 : 0;
         hb.cpu_seconds = acct.cpu_seconds;
         hb.file_read = acct.file_read;
@@ -54,7 +56,7 @@ ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
     const auto it = ctl_of_.find(run);
     if (it == ctl_of_.end()) return;
     digests_sent_[it->second] += reports.size();
-    DigestBatch batch{it->second, nid, std::move(reports),
+    DigestBatch batch{it->second, cfg_.node_base + nid, std::move(reports),
                       next_seq(it->second)};
     emit(it->second, std::move(batch));
   };
@@ -75,18 +77,37 @@ ComputationService::ComputationService(cluster::ExecutionTracker& tracker,
     emit(ctl, std::move(rc));
   };
   tracker_.on_nodes_added = [this](cluster::NodeId first, std::size_t count) {
-    transport_.to_control(NodeAnnounce{first, count});
+    transport_.to_control(NodeAnnounce{cfg_.node_base + first, count,
+                                       cfg_.cloud, cfg_.price_milli});
   };
   tracker_.on_node_drained = [this](cluster::NodeId nid) {
-    transport_.to_control(NodeDrained{nid});
+    transport_.to_control(NodeDrained{cfg_.node_base + nid});
   };
   tracker_.on_node_readmitted = [this](cluster::NodeId nid) {
-    transport_.to_control(NodeReadmitted{nid});
+    transport_.to_control(NodeReadmitted{cfg_.node_base + nid});
   };
 
   // Announce the initial cluster; the transport buffers this until the
   // control tier binds its handler.
-  transport_.to_control(NodeAnnounce{0, tracker_.resources().size()});
+  transport_.to_control(NodeAnnounce{cfg_.node_base,
+                                     tracker_.resources().size(), cfg_.cloud,
+                                     cfg_.price_milli});
+}
+
+bool ComputationService::local_node(std::uint64_t g) const {
+  return g >= cfg_.node_base &&
+         g - cfg_.node_base < tracker_.resources().size();
+}
+
+std::set<cluster::NodeId> ComputationService::to_local(
+    const std::vector<std::uint64_t>& g) const {
+  std::set<cluster::NodeId> local;
+  for (std::uint64_t id : g) {
+    if (local_node(id)) {
+      local.insert(static_cast<cluster::NodeId>(id - cfg_.node_base));
+    }
+  }
+  return local;
 }
 
 void ComputationService::emit(std::uint64_t ctl_run, Message event) {
@@ -104,6 +125,16 @@ void ComputationService::replay_history(std::uint64_t ctl_run) {
 }
 
 void ComputationService::on_submit(const SubmitRun& m) {
+  if (m.cloud != cfg_.cloud) {
+    // A run addressed to another cloud must never execute here — not
+    // even a duplicate of one we never saw. Checked before the dedupe
+    // insert so a misrouted (or maliciously re-addressed) frame leaves
+    // no state behind: a failed-over run id stays single-homed in the
+    // cloud the controller reassigned it to.
+    CBFT_WARN("SubmitRun " << m.run << " addressed to cloud " << m.cloud
+                           << " reached cloud " << cfg_.cloud << "; dropped");
+    return;
+  }
   if (!accepted_.insert(m.run).second) {
     // Duplicate (transport duplication or crash-recovery resync): the
     // command already executed. Re-emit the run's retained events so
@@ -141,15 +172,22 @@ void ComputationService::on_submit(const SubmitRun& m) {
   ctl_of_[tracker_.next_run_id()] = m.run;
   const std::size_t run = tracker_.submit(
       *prog->plan, spec, m.replica, std::move(input_paths),
-      m.output_path.str(),
-      std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()),
-      std::set<cluster::NodeId>(m.restrict_to.begin(), m.restrict_to.end()),
+      m.output_path.str(), to_local(m.avoid), to_local(m.restrict_to),
       m.max_nodes, m.urgent != 0);
   CBFT_CHECK(ctl_of_.at(run) == m.run);
   tracker_of_[m.run] = run;
 }
 
 void ComputationService::on_probe(const ProbeRequest& m) {
+  if (!local_node(m.suspect)) {
+    // Probe routed to (or broadcast at) a cloud that does not own the
+    // suspect; checked before the dedupe insert so the owning cloud's
+    // copy still executes.
+    CBFT_WARN("probe " << m.probe << " suspect " << m.suspect
+                       << " is not a cloud-" << cfg_.cloud
+                       << " node; dropped");
+    return;
+  }
   if (!accepted_.insert(m.run_suspect).second) {
     replay_history(m.run_suspect);
     replay_history(m.run_control);
@@ -197,11 +235,13 @@ void ComputationService::on_probe(const ProbeRequest& m) {
   ctl_of_[tracker_.next_run_id()] = m.run_suspect;
   tracker_of_[m.run_suspect] = tracker_.submit(
       *probe->plan, spec, 0, {m.input_path.str()}, m.suspect_path.str(),
-      /*avoid=*/{}, /*restrict_to=*/{m.suspect});
+      /*avoid=*/{},
+      /*restrict_to=*/
+      {static_cast<cluster::NodeId>(m.suspect - cfg_.node_base)});
   ctl_of_[tracker_.next_run_id()] = m.run_control;
   tracker_of_[m.run_control] = tracker_.submit(
       *probe->plan, spec, 1, {m.input_path.str()}, m.control_path.str(),
-      std::set<cluster::NodeId>(m.avoid.begin(), m.avoid.end()));
+      to_local(m.avoid));
   probe_jobs_.push_back(std::move(probe));
 }
 
@@ -215,6 +255,9 @@ void ComputationService::handle(const Message& m) {
             if (it != tracker_of_.end()) tracker_.cancel_run(it->second);
           },
           [this](const AddNodes& c) {
+            // A broadcast or misrouted grow command must only grow the
+            // cloud it names.
+            if (c.cloud != cfg_.cloud) return;
             // Dedupe by command seq (a duplicated AddNodes must not
             // register the fleet twice) and bound corrupt counts.
             if (c.seq != 0 && !addnode_seqs_.insert(c.seq).second) return;
@@ -223,15 +266,23 @@ void ComputationService::handle(const Message& m) {
               CBFT_WARN("dropping implausible AddNodes command");
               return;
             }
+            if (cfg_.node_span != 0 &&
+                tracker_.resources().size() + c.count > cfg_.node_span) {
+              CBFT_WARN("dropping AddNodes: cloud " << cfg_.cloud
+                        << " node-id span exhausted");
+              return;
+            }
             tracker_.add_nodes(c.count, c.slots);
           },
           [this](const DrainNode& c) {
-            if (c.node >= tracker_.resources().size()) return;
-            tracker_.drain_node(c.node);
+            if (!local_node(c.node)) return;
+            tracker_.drain_node(
+                static_cast<cluster::NodeId>(c.node - cfg_.node_base));
           },
           [this](const ReadmitNode& c) {
-            if (c.node >= tracker_.resources().size()) return;
-            tracker_.readmit_node(c.node);
+            if (!local_node(c.node)) return;
+            tracker_.readmit_node(
+                static_cast<cluster::NodeId>(c.node - cfg_.node_base));
           },
           [](const auto& /*event echoed to the wrong side*/) {
             // Corruption or a confused sender: log and drop, never abort.

@@ -41,15 +41,39 @@
 
 namespace clusterbft::protocol {
 
+/// Cloud identity of one service endpoint. Node ids on the wire are
+/// global (cloud-strided); the service translates at the boundary —
+/// outbound events add `node_base`, inbound commands subtract it — so
+/// the tracker keeps its local 0..N-1 id space and the execution
+/// machinery is byte-identical whether it runs alone or as one cloud of
+/// many. The default (cloud 0, base 0) is the classic single-cluster
+/// deployment, bit-identical to the pre-multi-cloud wire behaviour.
+struct ServiceConfig {
+  std::uint64_t cloud = 0;
+  std::uint64_t node_base = 0;
+  /// Advertised price, milli-units per CPU-second (0 = unpriced).
+  std::uint64_t price_milli = 0;
+  /// Ceiling on this cloud's node-id span (0 = unbounded). AddNodes that
+  /// would grow the pool past it are dropped, so strided global ids of
+  /// neighbouring clouds can never collide.
+  std::uint64_t node_span = 0;
+};
+
 class ComputationService {
  public:
   ComputationService(cluster::ExecutionTracker& tracker, Transport& transport,
-                     const ProgramRegistry& programs);
+                     const ProgramRegistry& programs, ServiceConfig cfg = {});
 
  private:
   void handle(const Message& m);
   void on_submit(const SubmitRun& m);
   void on_probe(const ProbeRequest& m);
+  /// True iff global node id `g` names a node of this cloud's pool.
+  bool local_node(std::uint64_t g) const;
+  /// Sorted local ids for the in-range subset of global ids (ids naming
+  /// other clouds' nodes are simply not constraints on this pool).
+  std::set<cluster::NodeId> to_local(const std::vector<std::uint64_t>& g)
+      const;
   /// Append to the run's event history and ship it.
   void emit(std::uint64_t ctl_run, Message event);
   /// Re-ship a run's retained events (duplicate-submission recovery).
@@ -59,6 +83,7 @@ class ComputationService {
   cluster::ExecutionTracker& tracker_;
   Transport& transport_;
   const ProgramRegistry& programs_;
+  const ServiceConfig cfg_;
 
   /// tracker run id -> control run id.
   std::map<std::size_t, std::uint64_t> ctl_of_;

@@ -17,12 +17,14 @@
 #include <vector>
 
 #include "baseline/presets.hpp"
+#include "cluster/cloud.hpp"
 #include "cluster/fault_plan.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
 #include "core/journal.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
+#include "protocol/multicloud.hpp"
 #include "protocol/seam.hpp"
 #include "workloads/scripts.hpp"
 #include "workloads/weather.hpp"
@@ -44,6 +46,10 @@ enum class Mix {
   kControllerCrash,     // journal crash point + recovery under a mild storm
   kDynamicReplication,  // adaptive f+1-first degree + checkpoints under a
                         // storm with a node convicted mid-chain
+  kCloudOutage,         // two clouds under kSpread, one (seed-chosen,
+                        // sometimes the one with a correlated commission
+                        // fault) killed mid-chain — failover or honest
+                        // failure, never wrong bytes
 };
 
 const char* to_string(Mix mix) {
@@ -53,6 +59,7 @@ const char* to_string(Mix mix) {
     case Mix::kWorkerCrashes: return "WorkerCrashes";
     case Mix::kControllerCrash: return "ControllerCrash";
     case Mix::kDynamicReplication: return "DynamicReplication";
+    case Mix::kCloudOutage: return "CloudOutage";
   }
   return "?";
 }
@@ -89,8 +96,29 @@ protocol::ChaosConfig chaos_for(const SweepParam& p) {
       cfg.reorder_prob = 0.05;
       cfg.corrupt_prob = 0.02;
       break;
+    case Mix::kCloudOutage:
+      // The fault here IS the whole-cloud partition (armed through the
+      // multi-cloud seam); no chaos link is layered on top.
+      break;
   }
   return cfg;
+}
+
+// The two safety invariants every sweep point must satisfy.
+void expect_safety(const ScriptResult& res,
+                   const std::map<std::string, dataflow::Relation>& golden) {
+  if (res.verified) {
+    // Invariant 2: verified == correct, bit for bit.
+    ASSERT_TRUE(res.outputs.count(kOutputPath));
+    EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+              golden.at(kOutputPath).sorted_rows())
+        << "VERIFIED OUTPUT IS WRONG (integrity violation)";
+  } else {
+    // Invariant 1: failure is structured and promotes nothing.
+    EXPECT_NE(res.failure, FailureReason::kNone);
+    EXPECT_TRUE(res.outputs.empty())
+        << "an unverified script promoted outputs";
+  }
 }
 
 class ChaosSweep : public ::testing::TestWithParam<SweepParam> {};
@@ -107,6 +135,51 @@ TEST_P(ChaosSweep, SafetyInvariantsHoldUnderFaultStorm) {
   const std::string script = workloads::weather_average_analysis();
   const auto plan = dataflow::parse_script(script);
   const auto golden = dataflow::interpret(plan, {{kInputPath, readings}});
+
+  if (p.mix == Mix::kCloudOutage) {
+    // Two clouds under kSpread, one chain per cloud. Cloud 1 carries a
+    // correlated commission fault (the provider-level fault class clouds
+    // exist to tolerate); the seed picks which cloud dies mid-chain —
+    // sometimes the faulty one (failover into the honest cloud),
+    // sometimes the honest one (reruns confined to the faulty cloud,
+    // whose deviations deterministically disagree and cannot verify
+    // wrong bytes).
+    cluster::EventSim sim;
+    mapreduce::Dfs dfs(16384);
+    dfs.write(kInputPath, readings);
+    cluster::CloudProfile honest;
+    honest.name = "honest";
+    honest.num_nodes = 10;
+    honest.seed = p.seed;
+    cluster::CloudProfile shady = honest;
+    shady.name = "shady";
+    shady.seed = p.seed + 100;
+    shady.commission_prob = 0.3;
+    cluster::Cloud a(0, sim, dfs, honest);
+    cluster::Cloud b(1, sim, dfs, shady);
+    protocol::MultiCloudSeam seam({&a, &b});
+    ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+
+    FaultPlan faults;
+    faults.cloud_outages.push_back(
+        {0.05, 0 /* never heals */, p.seed % 2});
+    seam.arm(sim, faults);
+
+    ClientRequest req = baseline::cluster_bft(script, "cloud-chaos", 1, 2, 1);
+    req.placement = Placement::kSpread;
+    req.verifier_timeout_s = 5.0;
+    req.max_rerun_waves = 4;
+    const ScriptResult res = controller.execute(req);
+
+    expect_safety(res, golden);
+    if (res.verified) {
+      // One of the two spread chains died with its cloud before any of
+      // its digests landed, so completing the workload required at least
+      // one journaled cross-cloud failover.
+      EXPECT_GE(res.metrics.cloud_failovers, 1u);
+    }
+    return;
+  }
 
   cluster::EventSim sim;
   mapreduce::Dfs dfs(16384);
@@ -175,25 +248,15 @@ TEST_P(ChaosSweep, SafetyInvariantsHoldUnderFaultStorm) {
     res = controller.execute(req);
   }
 
-  if (res.verified) {
-    // Invariant 2: verified == correct, bit for bit.
-    ASSERT_TRUE(res.outputs.count(kOutputPath));
-    EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
-              golden.at(kOutputPath).sorted_rows())
-        << "VERIFIED OUTPUT IS WRONG (integrity violation)";
-  } else {
-    // Invariant 1: failure is structured and promotes nothing.
-    EXPECT_NE(res.failure, FailureReason::kNone);
-    EXPECT_TRUE(res.outputs.empty())
-        << "an unverified script promoted outputs";
-  }
+  expect_safety(res, golden);
 }
 
 std::vector<SweepParam> sweep_params() {
   std::vector<SweepParam> out;
   for (const Mix mix :
        {Mix::kNetworkStorm, Mix::kDigestOutage, Mix::kWorkerCrashes,
-        Mix::kControllerCrash, Mix::kDynamicReplication}) {
+        Mix::kControllerCrash, Mix::kDynamicReplication,
+        Mix::kCloudOutage}) {
     for (std::uint64_t seed = 1; seed <= 12; ++seed) {
       out.push_back({mix, seed});
     }

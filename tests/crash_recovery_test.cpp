@@ -22,11 +22,14 @@
 #include <vector>
 
 #include "baseline/presets.hpp"
+#include "cluster/cloud.hpp"
+#include "cluster/fault_plan.hpp"
 #include "cluster/tracker.hpp"
 #include "core/controller.hpp"
 #include "core/journal.hpp"
 #include "dataflow/interpreter.hpp"
 #include "dataflow/parser.hpp"
+#include "protocol/multicloud.hpp"
 #include "protocol/seam.hpp"
 #include "workloads/scripts.hpp"
 #include "workloads/weather.hpp"
@@ -100,6 +103,7 @@ void expect_equal(const Outcome& got, const Outcome& want) {
   EXPECT_EQ(gm.checkpoints, wm.checkpoints);
   EXPECT_EQ(gm.checkpoint_bytes, wm.checkpoint_bytes);
   EXPECT_EQ(gm.escalations, wm.escalations);
+  EXPECT_EQ(gm.cloud_failovers, wm.cloud_failovers);
   EXPECT_EQ(got.result.commission_faults_seen,
             want.result.commission_faults_seen);
   EXPECT_EQ(got.result.omission_faults_seen,
@@ -279,6 +283,95 @@ TEST(CrashRecoveryTest, AdaptiveCheckpointRecoveryIsBitIdentical) {
   for (std::size_t k = 0; k < records; ++k) {
     SCOPED_TRACE("crash at journal record " + std::to_string(k));
     World w;
+    Journal journal;
+    journal.set_crash_at(k);
+    ClusterBft crashed(w.sim, w.dfs, w.seam->transport, w.seam->programs,
+                       &journal);
+    ASSERT_THROW(crashed.execute(req), ControllerCrashed);
+    ASSERT_TRUE(journal.crashed());
+    ASSERT_EQ(journal.size(), k);
+
+    ClusterBft recovered(w.sim, w.dfs, w.seam->transport, w.seam->programs,
+                         &journal);
+    const ScriptResult res = recovered.recover(req);
+    expect_equal({res, recovered.audit_log().to_string()}, want);
+    EXPECT_FALSE(journal.recovery_pending());
+  }
+}
+
+TEST(CrashRecoveryTest, CloudFailoverRecoveryIsBitIdentical) {
+  // Multi-cloud world: two clouds under kSpread with a permanent
+  // whole-cloud outage killing cloud 1 mid-chain, so the reference run
+  // journals a kCloudFailover decision. The crash sweep straddles every
+  // record — in particular the crash that lands right ON the
+  // kCloudFailover append (the record is lost, replay re-derives the
+  // same failover from the journaled stimuli) and the crashes between
+  // the failover and its urgent re-dispatches. Outputs, metrics and the
+  // audit transcript must match the uninterrupted run bit for bit.
+  struct CloudWorld {
+    cluster::EventSim sim;
+    mapreduce::Dfs dfs{16384};
+    std::unique_ptr<cluster::Cloud> a;
+    std::unique_ptr<cluster::Cloud> b;
+    std::unique_ptr<protocol::MultiCloudSeam> seam;
+
+    CloudWorld() {
+      workloads::WeatherConfig w;
+      w.num_stations = 40;
+      w.readings_per_station = 4;
+      dfs.write(kInputPath, workloads::generate_weather(w));
+      cluster::CloudProfile alpha;
+      alpha.name = "alpha";
+      alpha.num_nodes = 8;
+      alpha.seed = 7;
+      cluster::CloudProfile beta = alpha;
+      beta.name = "beta";
+      beta.seed = 8;
+      a = std::make_unique<cluster::Cloud>(0, sim, dfs, alpha);
+      b = std::make_unique<cluster::Cloud>(1, sim, dfs, beta);
+      seam = std::make_unique<protocol::MultiCloudSeam>(
+          std::vector<cluster::Cloud*>{a.get(), b.get()});
+      cluster::FaultPlan faults;
+      faults.cloud_outages.push_back({0.05, 0 /* never heals */, 1});
+      seam->arm(sim, faults);
+    }
+  };
+
+  ClientRequest req = request();
+  req.placement = Placement::kSpread;
+  req.verifier_timeout_s = 5.0;
+  req.max_rerun_waves = 4;
+
+  // ---- uninterrupted reference ----
+  CloudWorld ref_world;
+  Journal ref_journal;
+  ClusterBft ref(ref_world.sim, ref_world.dfs, ref_world.seam->transport,
+                 ref_world.seam->programs, &ref_journal);
+  Outcome want{ref.execute(req), ref.audit_log().to_string()};
+  ASSERT_TRUE(want.result.verified);
+  ASSERT_GT(want.result.metrics.cloud_failovers, 0u)
+      << "the scenario must exercise cross-cloud failover";
+
+  std::size_t failover_records = 0;
+  for (std::size_t i = 0; i < ref_journal.size(); ++i) {
+    if (ref_journal.at(i).kind == RecordKind::kCloudFailover) {
+      ++failover_records;
+    }
+  }
+  ASSERT_GT(failover_records, 0u);
+
+  const auto plan = dataflow::parse_script(req.script);
+  const auto golden = dataflow::interpret(
+      plan, {{kInputPath, ref_world.dfs.read(kInputPath)}});
+  ASSERT_EQ(want.result.outputs.at(kOutputPath).sorted_rows(),
+            golden.at(kOutputPath).sorted_rows());
+
+  // ---- crash at every record index, recover, compare ----
+  const std::size_t records = ref_journal.size();
+  ASSERT_GT(records, 10u) << "journal suspiciously small";
+  for (std::size_t k = 0; k < records; ++k) {
+    SCOPED_TRACE("crash at journal record " + std::to_string(k));
+    CloudWorld w;
     Journal journal;
     journal.set_crash_at(k);
     ClusterBft crashed(w.sim, w.dfs, w.seam->transport, w.seam->programs,

@@ -97,7 +97,7 @@ const std::array<RuleCount, 11> kLintExpected = {{
     {"core-async-dispatch", 1},
     {"journal-before-send", 1},
     {"uninit-pod-member", 1},
-    {"trust-boundary-include", 1},
+    {"trust-boundary-include", 2},
     {"session-isolation", 1},
 }};
 

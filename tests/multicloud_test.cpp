@@ -1,0 +1,390 @@
+// Multi-cloud execution and cross-cloud failover (ISSUE 10).
+//
+// Contract under test, layer by layer:
+//  * a MultiCloudSeam over ONE cloud is observationally bit-identical to
+//    the LoopbackSeam (outputs, metrics, audit) — the multi-cloud seam
+//    costs nothing when unused;
+//  * kSingleCloud (the default) with several clouds attached keeps every
+//    run in the lowest-id cloud and never fails over;
+//  * kSpread round-robins the replica chains across clouds and still
+//    promotes bytes equal to the reference interpreter;
+//  * kCheapestFirst fills the cheapest advertised cloud;
+//  * a whole-cloud outage under kSpread triggers a journaled
+//    kCloudFailover: the disputed closure re-executes in a different
+//    cloud, urgent, and the script completes with golden bytes;
+//  * the same outage under kSingleCloud fails honestly with
+//    kPoolExhausted (no silent migration off the pinned cloud);
+//  * a slow cloud coming back online cannot double-commit a failed-over
+//    run: the wrong-cloud guard plus run-id dedupe in the service keep
+//    the healed cloud's pool untouched by the moved run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "baseline/presets.hpp"
+#include "cluster/cloud.hpp"
+#include "cluster/fault_plan.hpp"
+#include "common/wire.hpp"
+#include "core/controller.hpp"
+#include "core/graph_analyzer.hpp"
+#include "core/journal.hpp"
+#include "dataflow/interpreter.hpp"
+#include "dataflow/parser.hpp"
+#include "protocol/codec.hpp"
+#include "protocol/multicloud.hpp"
+#include "protocol/seam.hpp"
+#include "workloads/scripts.hpp"
+#include "workloads/weather.hpp"
+
+namespace clusterbft::core {
+namespace {
+
+using cluster::Cloud;
+using cluster::CloudProfile;
+using cluster::FaultPlan;
+
+constexpr const char* kInputPath = "weather/gsod";
+constexpr const char* kOutputPath = "out/weather_hist";
+
+dataflow::Relation weather_rows() {
+  workloads::WeatherConfig wc;
+  wc.num_stations = 30;
+  wc.readings_per_station = 4;
+  return workloads::generate_weather(wc);
+}
+
+std::map<std::string, dataflow::Relation> golden_outputs(
+    const dataflow::Relation& rows) {
+  const auto plan = dataflow::parse_script(workloads::weather_average_analysis());
+  return dataflow::interpret(plan, {{kInputPath, rows}});
+}
+
+CloudProfile profile(std::string name, std::uint64_t seed,
+                     std::uint64_t price_milli = 1000) {
+  CloudProfile p;
+  p.name = std::move(name);
+  p.num_nodes = 10;
+  p.slots_per_node = 3;
+  p.seed = seed;
+  p.price_milli = price_milli;
+  return p;
+}
+
+ClientRequest request(const std::string& name, Placement placement) {
+  ClientRequest req = baseline::cluster_bft(
+      workloads::weather_average_analysis(), name, 1, 2, 1);
+  req.placement = placement;
+  req.verifier_timeout_s = 5.0;
+  req.max_rerun_waves = 4;
+  return req;
+}
+
+// ---- placement_order: pure-function policy checks --------------------
+
+TEST(PlacementOrderTest, SingleCloudPicksTheLowestId) {
+  const auto order = placement_order(
+      Placement::kSingleCloud,
+      {{2, 500, 4}, {0, 900, 4}, {1, 100, 4}});
+  ASSERT_EQ(order, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(PlacementOrderTest, SpreadKeepsIdOrder) {
+  const auto order = placement_order(
+      Placement::kSpread, {{2, 500, 4}, {0, 900, 4}, {1, 100, 4}});
+  ASSERT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(PlacementOrderTest, CheapestFirstSortsByPriceThenId) {
+  const auto order = placement_order(
+      Placement::kCheapestFirst,
+      {{0, 900, 4}, {1, 100, 4}, {2, 100, 4}, {3, 500, 4}});
+  ASSERT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3, 0}));
+}
+
+TEST(PlacementOrderTest, CloudsWithoutHealthyNodesAreNoCandidates) {
+  const auto order = placement_order(
+      Placement::kSpread, {{0, 900, 0}, {1, 100, 3}});
+  ASSERT_EQ(order, (std::vector<std::uint64_t>{1}));
+  ASSERT_TRUE(
+      placement_order(Placement::kSingleCloud, {{0, 1, 0}}).empty());
+}
+
+// ---- seam equivalence ------------------------------------------------
+
+TEST(MultiCloudTest, OneCloudSeamIsBitIdenticalToLoopback) {
+  const auto rows = weather_rows();
+  const ClientRequest req = request("one", Placement::kSingleCloud);
+
+  ScriptResult loopback_res;
+  std::string loopback_audit;
+  {
+    cluster::EventSim sim;
+    mapreduce::Dfs dfs(16384);
+    dfs.write(kInputPath, rows);
+    cluster::TrackerConfig cfg;
+    cfg.num_nodes = 10;
+    cfg.seed = 3;
+    cluster::ExecutionTracker tracker(sim, dfs, cfg);
+    protocol::LoopbackSeam seam(tracker);
+    ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+    loopback_res = controller.execute(req);
+    loopback_audit = controller.audit_log().to_string();
+  }
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, rows);
+  Cloud cloud(0, sim, dfs, profile("alpha", 3));
+  protocol::MultiCloudSeam seam({&cloud});
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+  const ScriptResult res = controller.execute(req);
+
+  ASSERT_TRUE(res.verified);
+  ASSERT_TRUE(loopback_res.verified);
+  EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+            loopback_res.outputs.at(kOutputPath).sorted_rows());
+  EXPECT_EQ(res.metrics.runs, loopback_res.metrics.runs);
+  EXPECT_EQ(res.metrics.waves, loopback_res.metrics.waves);
+  EXPECT_EQ(res.metrics.digested, loopback_res.metrics.digested);
+  EXPECT_EQ(res.metrics.cloud_failovers, 0u);
+  EXPECT_EQ(res.verified_digest_hex, loopback_res.verified_digest_hex);
+  EXPECT_EQ(controller.audit_log().to_string(), loopback_audit);
+}
+
+TEST(MultiCloudTest, SingleCloudPolicyWithThreeCloudsStaysHome) {
+  const auto rows = weather_rows();
+  const auto golden = golden_outputs(rows);
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, rows);
+  Cloud a(0, sim, dfs, profile("alpha", 3));
+  Cloud b(1, sim, dfs, profile("beta", 4));
+  Cloud c(2, sim, dfs, profile("gamma", 5));
+  protocol::MultiCloudSeam seam({&a, &b, &c});
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+  const ScriptResult res =
+      controller.execute(request("home", Placement::kSingleCloud));
+
+  ASSERT_TRUE(res.verified);
+  EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+            golden.at(kOutputPath).sorted_rows());
+  EXPECT_EQ(res.metrics.cloud_failovers, 0u);
+  // Everything ran in the lowest-id cloud; the others never saw a run.
+  EXPECT_GT(a.tracker().next_run_id(), 0u);
+  EXPECT_EQ(b.tracker().next_run_id(), 0u);
+  EXPECT_EQ(c.tracker().next_run_id(), 0u);
+}
+
+TEST(MultiCloudTest, SpreadPlacesChainsAcrossCloudsAndMatchesGolden) {
+  const auto rows = weather_rows();
+  const auto golden = golden_outputs(rows);
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, rows);
+  Cloud a(0, sim, dfs, profile("alpha", 3));
+  Cloud b(1, sim, dfs, profile("beta", 4));
+  protocol::MultiCloudSeam seam({&a, &b});
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+  const ScriptResult res =
+      controller.execute(request("spread", Placement::kSpread));
+
+  ASSERT_TRUE(res.verified);
+  EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+            golden.at(kOutputPath).sorted_rows());
+  EXPECT_EQ(res.metrics.cloud_failovers, 0u);
+  // r = 2: one chain per cloud.
+  EXPECT_GT(a.tracker().next_run_id(), 0u);
+  EXPECT_GT(b.tracker().next_run_id(), 0u);
+}
+
+TEST(MultiCloudTest, CheapestFirstFillsTheCheapestCloud) {
+  const auto rows = weather_rows();
+  const auto golden = golden_outputs(rows);
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, rows);
+  Cloud pricey(0, sim, dfs, profile("pricey", 3, 3000));
+  Cloud cheap(1, sim, dfs, profile("cheap", 4, 1000));
+  Cloud mid(2, sim, dfs, profile("mid", 5, 2000));
+  protocol::MultiCloudSeam seam({&pricey, &cheap, &mid});
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+  const ScriptResult res =
+      controller.execute(request("cheap", Placement::kCheapestFirst));
+
+  ASSERT_TRUE(res.verified);
+  EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+            golden.at(kOutputPath).sorted_rows());
+  EXPECT_GT(cheap.tracker().next_run_id(), 0u);
+  EXPECT_EQ(pricey.tracker().next_run_id(), 0u);
+  EXPECT_EQ(mid.tracker().next_run_id(), 0u);
+}
+
+// ---- failover --------------------------------------------------------
+
+TEST(MultiCloudTest, FailoverCompletesUnderPermanentCloudOutage) {
+  const auto rows = weather_rows();
+  const auto golden = golden_outputs(rows);
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, rows);
+  Cloud a(0, sim, dfs, profile("alpha", 3));
+  Cloud b(1, sim, dfs, profile("beta", 4));
+  protocol::MultiCloudSeam seam({&a, &b});
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+
+  FaultPlan faults;
+  faults.cloud_outages.push_back({0.05, 0 /* never heals */, 1});
+  seam.arm(sim, faults);
+
+  const ScriptResult res =
+      controller.execute(request("outage", Placement::kSpread));
+
+  ASSERT_TRUE(res.verified);
+  EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+            golden.at(kOutputPath).sorted_rows());
+  EXPECT_GE(res.metrics.cloud_failovers, 1u);
+  const auto failovers =
+      controller.audit_log().events_of(AuditEvent::Kind::kCloudFailover);
+  ASSERT_FALSE(failovers.empty());
+  EXPECT_NE(failovers.front().detail.find("cloud 0"), std::string::npos);
+}
+
+TEST(MultiCloudTest, SingleCloudPolicyFailsHonestlyWhenHomeCloudDies) {
+  const auto rows = weather_rows();
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, rows);
+  Cloud a(0, sim, dfs, profile("alpha", 3));
+  Cloud b(1, sim, dfs, profile("beta", 4));
+  protocol::MultiCloudSeam seam({&a, &b});
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+
+  FaultPlan faults;
+  faults.cloud_outages.push_back({0.05, 0 /* never heals */, 0});
+  seam.arm(sim, faults);
+
+  const ScriptResult res =
+      controller.execute(request("pinned", Placement::kSingleCloud));
+
+  // The home cloud is pinned by policy: its death must surface as an
+  // honest structured failure, never a silent migration to cloud 1.
+  EXPECT_FALSE(res.verified);
+  EXPECT_EQ(res.failure, FailureReason::kPoolExhausted);
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_EQ(res.metrics.cloud_failovers, 0u);
+  EXPECT_EQ(b.tracker().next_run_id(), 0u);
+  EXPECT_FALSE(
+      controller.audit_log().events_of(AuditEvent::Kind::kCloudDown).empty());
+}
+
+TEST(MultiCloudTest, HealedCloudCannotDoubleCommitFailedOverRun) {
+  const auto rows = weather_rows();
+  const auto golden = golden_outputs(rows);
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, rows);
+  Cloud a(0, sim, dfs, profile("alpha", 3));
+  Cloud b(1, sim, dfs, profile("beta", 4));
+  protocol::MultiCloudSeam seam({&a, &b});
+  Journal journal;
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs, &journal);
+
+  // Cloud 1 partitions mid-chain and heals AFTER the failover verified:
+  // everything held on its link (stale completions both ways) flushes
+  // back into a world that already moved on.
+  FaultPlan faults;
+  faults.cloud_outages.push_back({0.05, 30.0, 1});
+  seam.arm(sim, faults);
+
+  const ScriptResult res =
+      controller.execute(request("heal", Placement::kSpread));
+  sim.run();  // deliver the heal flush
+
+  ASSERT_TRUE(res.verified);
+  EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+            golden.at(kOutputPath).sorted_rows());
+  EXPECT_GE(res.metrics.cloud_failovers, 1u);
+
+  // Walk the WAL. Pipelined execution means wave 1's (cloud 1, non-
+  // urgent) dispatches can legitimately land after the failover record,
+  // so the contract is about the DISPUTED closure, not every dispatch:
+  // after the failover decision the disputed job re-dispatches urgent in
+  // the target cloud and is never again offered to the cloud it left.
+  bool saw_failover = false;
+  std::uint64_t disputed_job = 0;
+  std::uint64_t from_cloud = 0;
+  std::uint64_t to_cloud = 0;
+  std::size_t urgent_redispatches = 0;
+  std::size_t cloud1_dispatches = 0;
+  for (std::size_t i = 0; i < journal.size(); ++i) {
+    const JournalRecord& rec = journal.at(i);
+    if (rec.kind == RecordKind::kCloudFailover && !saw_failover) {
+      saw_failover = true;
+      common::WireReader rd(rec.payload.data(), rec.payload.size());
+      disputed_job = rd.u64();
+      from_cloud = rd.u64();
+      to_cloud = rd.u64();
+      continue;
+    }
+    if (rec.kind != RecordKind::kRunDispatched) continue;
+    const auto m = protocol::decode(rec.payload);
+    ASSERT_TRUE(m.has_value());
+    const auto& submit = std::get<protocol::SubmitRun>(*m);
+    if (submit.cloud == 1) ++cloud1_dispatches;
+    if (saw_failover && submit.job_index == disputed_job) {
+      EXPECT_NE(submit.cloud, from_cloud)
+          << "disputed closure re-offered to the cloud it failed over "
+             "away from";
+      if (submit.cloud == to_cloud && submit.urgent == 1) {
+        ++urgent_redispatches;
+      }
+    }
+  }
+  ASSERT_TRUE(saw_failover);
+  EXPECT_EQ(from_cloud, 1u);
+  EXPECT_EQ(to_cloud, 0u);
+  ASSERT_GT(urgent_redispatches, 0u);
+  // The healed cloud executed exactly the runs addressed to it — the
+  // held dispatches flushed at heal ran once each, and the failed-over
+  // run never ran there (wrong-cloud guard + run-id dedupe).
+  EXPECT_EQ(b.tracker().next_run_id(), cloud1_dispatches);
+}
+
+// ---- degrade window --------------------------------------------------
+
+TEST(MultiCloudTest, LatencyDegradedCloudStillVerifiesGoldenBytes) {
+  const auto rows = weather_rows();
+  const auto golden = golden_outputs(rows);
+
+  cluster::EventSim sim;
+  mapreduce::Dfs dfs(16384);
+  dfs.write(kInputPath, rows);
+  Cloud a(0, sim, dfs, profile("alpha", 3));
+  Cloud b(1, sim, dfs, profile("beta", 4));
+  protocol::MultiCloudSeam seam({&a, &b});
+  ClusterBft controller(sim, dfs, seam.transport, seam.programs);
+
+  FaultPlan faults;
+  faults.cloud_degrades.push_back({0.0, 60.0, 1, 0.3});
+  seam.arm(sim, faults);
+
+  const ScriptResult res =
+      controller.execute(request("slow", Placement::kSpread));
+  sim.run();
+
+  ASSERT_TRUE(res.verified);
+  EXPECT_EQ(res.outputs.at(kOutputPath).sorted_rows(),
+            golden.at(kOutputPath).sorted_rows());
+}
+
+}  // namespace
+}  // namespace clusterbft::core

@@ -34,6 +34,13 @@
 #                                multi-session crash recovery) plus the
 #                                concurrent chaos storms (>= 2 sessions
 #                                in flight), three consecutive passes
+#   tools/check.sh --multicloud  multi-cloud gate: the placement/failover
+#                                suite (seam bit-identity, policy
+#                                placement, cross-cloud failover,
+#                                double-commit guard, failover crash
+#                                recovery) plus the whole-cloud-outage
+#                                chaos mix and the bench_multicloud
+#                                exit-code bars, three consecutive passes
 #   tools/check.sh --parity      SHA-256 dispatch parity gate: build the
 #                                digest_parity transcript generator, run
 #                                the 24-seed verification-point sweep
@@ -165,6 +172,28 @@ case "$MODE" in
     echo "check.sh: frontend gate OK (3/3 clean)"
     ;;
 
+  --multicloud)
+    # Multi-cloud gate: placement policies, cross-cloud failover, the
+    # healed-cloud double-commit guard, the crash sweep straddling the
+    # kCloudFailover record, and the CloudOutage chaos mix — all seeded
+    # and deterministic, so the bar is three consecutive clean passes —
+    # plus the bench_multicloud exit-code bars (failover completes the
+    # Fig. 9 workload where the pinned policy reports pool exhaustion).
+    echo "== multicloud gate: build the multicloud + chaos + recovery suites =="
+    cmake -S "$ROOT" -B "$ROOT/build" >/dev/null
+    cmake --build "$ROOT/build" \
+      --target multicloud_test chaos_sweep_test crash_recovery_test \
+      bench_multicloud -j "$JOBS"
+    for i in 1 2 3; do
+      echo "== multicloud gate: pass $i/3 =="
+      ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
+        -R 'MultiCloud|PlacementOrder|CloudOutage|CloudFailover'
+    done
+    echo "== multicloud gate: bench_multicloud bars =="
+    (cd "$ROOT/build/bench" && ./bench_multicloud)
+    echo "check.sh: multicloud gate OK (3/3 clean)"
+    ;;
+
   --parity)
     # SHA-256 dispatch parity gate. The whole raw-speed pass rests on
     # the dispatched kernels being bit-identical to the scalar
@@ -239,7 +268,7 @@ case "$MODE" in
     ;;
 
   *)
-    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare|--chaos|--parity|--analyze]" >&2
+    echo "usage: tools/check.sh [--fast|--asan-smoke|--tsan-smoke|--bench-compare|--chaos|--frontend|--multicloud|--parity|--analyze]" >&2
     exit 2
     ;;
 esac

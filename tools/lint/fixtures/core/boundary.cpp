@@ -1,9 +1,13 @@
 // Fixture for the trust-boundary-include rule: this file pretends to be
 // control-tier code (the rule's applies_to_paths lists this directory
-// alongside src/core). One barred include fires, one is suppressed.
+// alongside src/core). Two barred includes fire (the tracker and the
+// multi-cloud Cloud bundle — src/core sees clouds only through the
+// ControlPlane mirror); two are suppressed.
+#include "cluster/cloud.hpp"
 #include "cluster/tracker.hpp"
 #include "mapreduce/task.hpp"  // lint:allow(trust-boundary-include)
 #include "protocol/messages.hpp"
+#include "protocol/multicloud.hpp"  // lint:allow(trust-boundary-include)
 
 // Mentioning cluster/tracker.hpp in a comment, or in a string literal
 // like "cluster/tracker.hpp", must not fire: only #include lines count.
